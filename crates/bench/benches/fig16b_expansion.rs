@@ -1,0 +1,100 @@
+//! Figure 16(b): on-demand expansion of a Paper node of the
+//! Author–Paper^i–Author presentation graph, per decomposition
+//! (Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xkw_bench::workload::{self as w, Config};
+use xkw_core::ctssn::{Ctssn, KwRequirement};
+use xkw_core::exec::{self, PartialCache};
+use xkw_core::optimizer::{build_plan, build_plan_anchored};
+use xkw_core::prelude::*;
+use xkw_core::presentation::{expand_on_demand, PresentationGraph};
+use xkw_core::tree::{TreeEdge, TssTree};
+
+/// Builds the Author ← Paper (→ Paper)* → Author CTSSN of the given size.
+fn author_chain_ctssn(xk: &XKeyword, size: usize) -> Ctssn {
+    let tss = &xk.tss;
+    let paper = tss.node_ids().find(|&i| tss.node(i).name == "Paper").unwrap();
+    let author = tss.node_ids().find(|&i| tss.node(i).name == "Author").unwrap();
+    let pa = tss.find_edge(paper, author).unwrap();
+    let pp = tss.find_edge(paper, paper).unwrap();
+    let aname = tss.schema().node_by_tag("aname").unwrap();
+    let n_papers = size - 1;
+    let mut roles = vec![author];
+    roles.extend(std::iter::repeat_n(paper, n_papers));
+    roles.push(author);
+    let mut edges = vec![TreeEdge { a: 1, b: 0, edge: pa }];
+    for i in 1..n_papers {
+        edges.push(TreeEdge { a: i as u8, b: (i + 1) as u8, edge: pp });
+    }
+    edges.push(TreeEdge { a: n_papers as u8, b: (n_papers + 1) as u8, edge: pa });
+    let mut annotations = vec![Vec::new(); n_papers + 2];
+    annotations[0] = vec![KwRequirement { set: 0b01, schema_node: aname }];
+    annotations[n_papers + 1] = vec![KwRequirement { set: 0b10, schema_node: aname }];
+    Ctssn { tree: TssTree { roles, edges }, annotations, cn_size: size + 2 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut data = w::bench_dblp_config();
+    data.papers_per_year = 15;
+    data.citations_per_paper = 4;
+    let mut group = c.benchmark_group("fig16b_expansion");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("inlined", Config::XKeyword),
+        ("minimal", Config::MinClust),
+        ("combination", Config::Combined),
+    ] {
+        let xk = w::dblp_instance(cfg, &data);
+        let queries = w::pick_author_queries(&xk, 2, 7);
+        for size in [2usize, 4] {
+            let ctssn = author_chain_ctssn(&xk, size);
+            // Precompute PG0 per query (not part of the measured step).
+            let mut setups = Vec::new();
+            for (a, b) in &queries {
+                let keywords = [a.as_str(), b.as_str()];
+                let Some(plan) = build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)
+                else {
+                    continue;
+                };
+                let mut cache = PartialCache::new(8192);
+                let mut stats = exec::ExecStats::default();
+                let mut first = None;
+                let _ = exec::eval_plan(
+                    &xk.db, &xk.catalog, 0, &plan, w::cached(), &mut cache, &mut stats,
+                    &mut |r| {
+                        first = Some(r.assignment);
+                        std::ops::ControlFlow::Break(())
+                    },
+                );
+                let Some(first) = first else { continue };
+                let anchored =
+                    build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1)
+                        .unwrap();
+                setups.push((first, anchored));
+            }
+            if setups.is_empty() {
+                continue;
+            }
+            let paper = xk.tss.node_ids().find(|&i| xk.tss.node(i).name == "Paper").unwrap();
+            let universe = xk.targets.tos_of(paper).to_vec();
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                b.iter(|| {
+                    for (first, anchored) in &setups {
+                        let mut pg = PresentationGraph::initial(0, first.clone());
+                        let mut cache = PartialCache::new(8192);
+                        let r = expand_on_demand(
+                            &xk.db, &xk.catalog, anchored, &mut pg, &universe,
+                            w::cached(), &mut cache,
+                        );
+                        std::hint::black_box(r.0);
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Substrate microbenches: the storage-engine access paths that the
+//! decomposition comparisons rest on (clustered range vs secondary index
+//! vs full scan; buffer-pool behaviour; hash vs index-nested-loop join).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xkw_store::{hash_join, Db, PhysicalOptions, Row};
+
+fn mk_rows(n: usize, fanout: u32, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let key = (i as u32) / fanout;
+            vec![key, rng.gen_range(0..n as u32)].into()
+        })
+        .collect()
+}
+
+fn access_paths(c: &mut Criterion) {
+    let db = Db::new(256);
+    let rows = mk_rows(200_000, 10, 1);
+    let clustered = db.create_table("c", 2, rows.clone(), PhysicalOptions::clustered(&[0, 1]));
+    let indexed = db.create_table("i", 2, rows.clone(), PhysicalOptions::indexed_all(2));
+    let heap = db.create_table("h", 2, rows, PhysicalOptions::heap());
+    let mut group = c.benchmark_group("substrate_probe");
+    for (name, table) in [("clustered", &clustered), ("indexed", &indexed), ("heap", &heap)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let key = rng.gen_range(0..20_000u32);
+                let (rows, _) = db.probe(table, &[0], &[key]);
+                std::hint::black_box(rows.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn joins(c: &mut Criterion) {
+    let db = Db::new(1024);
+    let left = mk_rows(20_000, 5, 2);
+    let right_rows = mk_rows(20_000, 5, 3);
+    let right = db.create_table("r", 2, right_rows.clone(), PhysicalOptions::indexed_all(2));
+    let mut group = c.benchmark_group("substrate_join");
+    group.sample_size(10);
+    group.bench_function("hash_join", |b| {
+        b.iter(|| std::hint::black_box(hash_join(&left, &[0], &right_rows, &[0]).len()))
+    });
+    group.bench_function("index_nested_loop", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in left.iter().take(2_000) {
+                let (rows, _) = db.probe(&right, &[0], &[l[0]]);
+                n += rows.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, access_paths, joins);
+criterion_main!(benches);

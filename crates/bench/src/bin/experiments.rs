@@ -1,0 +1,372 @@
+//! Regenerates the series of the paper's evaluation figures (§7).
+//!
+//! ```text
+//! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] [all]
+//! ```
+//!
+//! * **fig15a** — top-K execution time (ms) vs K per decomposition
+//!   (XKeyword / Complete / MinClust / MinNClustIndx / MinNClustNIndx),
+//!   disk-resident scenario (buffer-pool miss penalty on);
+//! * **fig15b** — all-results time vs maximum CTSSN size, RAM-resident;
+//! * **fig16a** — speedup of the partial-result-caching execution over
+//!   the naive one vs maximum CTSSN size;
+//! * **fig16b** — average time to expand a Paper node of the
+//!   Author–Paper^i–Author presentation graph under the inlined /
+//!   minimal / combination decompositions;
+//! * **space** — decomposition space accounting (id cells, disk pages).
+
+use std::time::{Duration, Instant};
+use xkw_bench::workload::{self as w, Config};
+use xkw_core::ctssn::{Ctssn, KwRequirement};
+use xkw_core::exec::{self, ExecMode, PartialCache};
+use xkw_core::optimizer::build_plan_anchored;
+use xkw_core::prelude::*;
+use xkw_core::presentation::expand_on_demand;
+use xkw_core::tree::{TreeEdge, TssTree};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| {
+        args.is_empty() || args.iter().any(|a| a == name || a == "all")
+    };
+    if want("decompose") {
+        w::time_decompositions();
+    }
+    if want("space") {
+        space();
+    }
+    if want("fig15a") {
+        fig15a();
+    }
+    if want("fig15b") {
+        fig15b();
+    }
+    if want("fig16a") {
+        fig16a();
+    }
+    if want("fig16b") {
+        fig16b();
+    }
+    if want("tpch") {
+        tpch_section();
+    }
+}
+
+const QUERIES: usize = 5;
+const SEED: u64 = 7;
+
+fn avg_ms(samples: &[Duration]) -> f64 {
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64 * 1e3
+}
+
+/// Decomposition space accounting (the §5.1 tradeoff).
+fn space() {
+    println!("\n== Decomposition space (DBLP, M=6, B=2) ==");
+    println!(
+        "{:<16}{:>12}{:>12}{:>12}",
+        "decomposition", "fragments", "id-cells", "disk-pages"
+    );
+    let data = w::bench_dblp_config();
+    for cfg in Config::FIG15 {
+        let xk = w::dblp_instance(cfg, &data);
+        println!(
+            "{:<16}{:>12}{:>12}{:>12}",
+            cfg.name(),
+            xk.catalog.decomposition.fragments.len(),
+            xk.catalog.space_cells(),
+            xk.db.disk_pages()
+        );
+    }
+}
+
+/// Fig. 15(a): top-K time vs K per decomposition.
+fn fig15a() {
+    println!("\n== Figure 15(a): top-K execution time (ms) vs K ==");
+    println!("(disk-resident middleware scenario: 100us round trip, 128-page pool, 2ms miss penalty)");
+    let data = w::bench_dblp_config();
+    let ks = [1usize, 10, 20, 40, 60, 80, 100];
+    print!("{:<16}", "decomposition");
+    for k in ks {
+        print!("{:>10}", format!("K={k}"));
+    }
+    println!();
+    for cfg in Config::FIG15 {
+        let mut opts = cfg.load_options();
+        opts.pool_pages = 128;
+        let d = data.generate();
+        let xk = XKeyword::load(d.graph, d.tss, opts).unwrap();
+        xk.db.pool().set_miss_penalty(Duration::from_millis(2));
+        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+        let plan_sets: Vec<Vec<_>> = queries
+            .iter()
+            .map(|(a, b)| w::plans_for(&xk, &[a, b], w::Z))
+            .collect();
+        print!("{:<16}", cfg.name());
+        for k in ks {
+            let mut samples = Vec::new();
+            for plans in &plan_sets {
+                let t = Instant::now();
+                let res = exec::topk(&xk.db, &xk.catalog, plans, w::cached(), k, 4);
+                samples.push(t.elapsed());
+                std::hint::black_box(res.rows.len());
+            }
+            print!("{:>10.1}", avg_ms(&samples));
+        }
+        println!();
+    }
+}
+
+/// Fig. 15(b): all-results time vs maximum CTSSN size. Each
+/// decomposition is evaluated with its natural full-results strategy:
+/// nested-loop probing for the clustered/indexed configurations, full
+/// scans + hash joins for the bare one (and, for reference, the hash
+/// strategy is identical across the three minimal variants).
+fn fig15b() {
+    println!("\n== Figure 15(b): all-results time (ms) vs max CTSSN size ==");
+    let data = w::bench_dblp_config();
+    let sizes = [2usize, 3, 4, 5, 6];
+    print!("{:<22}", "decomposition");
+    for m in sizes {
+        print!("{:>10}", format!("M={m}"));
+    }
+    println!();
+    println!("(middleware scenario: 100us statement round trip)");
+    for cfg in Config::FIG15 {
+        let xk = w::dblp_instance(cfg, &data);
+        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+        let plan_sets: Vec<Vec<_>> = queries
+            .iter()
+            .map(|(a, b)| w::plans_for(&xk, &[a, b], w::Z))
+            .collect();
+        let hash = cfg == Config::MinNClustNIndx;
+        print!(
+            "{:<22}",
+            format!("{}{}", cfg.name(), if hash { " (hash)" } else { "" })
+        );
+        for m in sizes {
+            let mut samples = Vec::new();
+            for plans in &plan_sets {
+                let capped = w::cap_ctssn_size(plans, m);
+                let t = Instant::now();
+                let res = if hash {
+                    exec::all_results(&xk.db, &xk.catalog, &capped)
+                } else {
+                    exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached())
+                };
+                samples.push(t.elapsed());
+                std::hint::black_box(res.rows.len());
+            }
+            print!("{:>10.1}", avg_ms(&samples));
+        }
+        println!();
+    }
+}
+
+/// Fig. 16(a): speedup of the cached execution over the naive one, vs
+/// maximum CTSSN size (MinClust decomposition, as in §7).
+fn fig16a() {
+    println!("\n== Figure 16(a): caching speedup vs max CTSSN size ==");
+    println!("(middleware scenario: 20us statement round trip)");
+    let data = w::bench_dblp_config();
+    let xk = w::dblp_instance(Config::MinClust, &data);
+    xk.catalog.set_roundtrip(Duration::from_micros(20));
+    let queries = w::pick_author_queries(&xk, 3, SEED);
+    let plan_sets: Vec<Vec<_>> = queries
+        .iter()
+        .map(|(a, b)| w::plans_for(&xk, &[a, b], w::Z))
+        .collect();
+    println!(
+        "{:>4}{:>14}{:>14}{:>10}{:>14}{:>14}",
+        "M", "naive-ms", "cached-ms", "speedup", "naive-probes", "cached-probes"
+    );
+    for m in [2usize, 3, 4, 5, 6] {
+        let (mut tn, mut tc) = (Vec::new(), Vec::new());
+        let (mut pn, mut pc) = (0u64, 0u64);
+        for plans in &plan_sets {
+            let capped = w::cap_ctssn_size(plans, m);
+            let t = Instant::now();
+            let rn = exec::all_plans(&xk.db, &xk.catalog, &capped, ExecMode::Naive);
+            tn.push(t.elapsed());
+            pn += rn.stats.probes;
+            let t = Instant::now();
+            let rc = exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached());
+            tc.push(t.elapsed());
+            pc += rc.stats.probes;
+            assert_eq!(rn.mttons(), rc.mttons());
+        }
+        let (n, c) = (avg_ms(&tn), avg_ms(&tc));
+        println!(
+            "{:>4}{:>14.1}{:>14.1}{:>10.2}{:>14}{:>14}",
+            m,
+            n,
+            c,
+            n / c,
+            pn / 3,
+            pc / 3
+        );
+    }
+}
+
+/// Fig. 16(b): average time to expand a Paper node of the
+/// Author–Paper^(s-1)–Author presentation graph, for the inlined
+/// (XKeyword), minimal and combination decompositions.
+fn fig16b() {
+    println!("\n== Figure 16(b): expansion of a Paper node (ms) vs CTSSN size ==");
+    println!("(middleware scenario: 100us statement round trip)");
+    let data = w::bench_dblp_config();
+    let sizes = [2usize, 3, 4, 5, 6];
+    print!("{:<14}", "decomposition");
+    for s in sizes {
+        print!("{:>10}", format!("size={s}"));
+    }
+    println!();
+    for (label, cfg) in [
+        ("inlined", Config::XKeyword),
+        ("minimal", Config::MinClust),
+        ("combination", Config::Combined),
+    ] {
+        let xk = w::dblp_instance(cfg, &data);
+        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+        print!("{:<14}", label);
+        for s in sizes {
+            let mut samples = Vec::new();
+            for (a, b) in &queries {
+                if let Some(d) = expand_once(&xk, a, b, s) {
+                    samples.push(d);
+                }
+            }
+            if samples.is_empty() {
+                print!("{:>10}", "-");
+            } else {
+                print!("{:>10.2}", avg_ms(&samples));
+            }
+        }
+        println!();
+    }
+}
+
+/// Builds the Author ← Paper (→ Paper)^(s-1) → Author CTSSN, finds its
+/// first result as PG0, then times the on-demand expansion of the first
+/// Paper role.
+fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Duration> {
+    let tss = &xk.tss;
+    let paper = tss.node_ids().find(|&i| tss.node(i).name == "Paper")?;
+    let author = tss.node_ids().find(|&i| tss.node(i).name == "Author")?;
+    let pa = tss.find_edge(paper, author)?;
+    let pp = tss.find_edge(paper, paper)?;
+    let aname = tss.schema().node_by_tag("aname")?;
+
+    // Roles: A0, P1..P_{s-1}, A_last; edges: P1→A0, P_i→P_{i+1} chain,
+    // P_{s-1}→A_last.
+    let n_papers = size - 1;
+    let mut roles = vec![author];
+    roles.extend(std::iter::repeat_n(paper, n_papers));
+    roles.push(author);
+    let mut edges = vec![TreeEdge { a: 1, b: 0, edge: pa }];
+    for i in 1..n_papers {
+        edges.push(TreeEdge {
+            a: i as u8,
+            b: (i + 1) as u8,
+            edge: pp,
+        });
+    }
+    edges.push(TreeEdge {
+        a: n_papers as u8,
+        b: (n_papers + 1) as u8,
+        edge: pa,
+    });
+    let tree = TssTree { roles, edges };
+    let mut annotations = vec![Vec::new(); n_papers + 2];
+    annotations[0] = vec![KwRequirement {
+        set: 0b01,
+        schema_node: aname,
+    }];
+    annotations[n_papers + 1] = vec![KwRequirement {
+        set: 0b10,
+        schema_node: aname,
+    }];
+    let ctssn = Ctssn {
+        tree,
+        annotations,
+        cn_size: size + 2,
+    };
+    let keywords = [kw_a, kw_b];
+    let plan =
+        xkw_core::optimizer::build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)?;
+
+    // PG0: first result.
+    let mut cache = PartialCache::new(8192);
+    let mut stats = exec::ExecStats::default();
+    let mut first = None;
+    let _ = exec::eval_plan(
+        &xk.db,
+        &xk.catalog,
+        0,
+        &plan,
+        w::cached(),
+        &mut cache,
+        &mut stats,
+        &mut |r| {
+            first = Some(r.assignment);
+            std::ops::ControlFlow::Break(())
+        },
+    );
+    let mut pg = xkw_core::presentation::PresentationGraph::initial(0, first?);
+
+    // Expand the first Paper role (role 1).
+    let anchored = build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1)?;
+    let universe = xk.targets.tos_of(paper).to_vec();
+    let mut cache = PartialCache::new(8192);
+    let t = Instant::now();
+    let (_, _) = expand_on_demand(
+        &xk.db,
+        &xk.catalog,
+        &anchored,
+        &mut pg,
+        &universe,
+        w::cached(),
+        &mut cache,
+    );
+    Some(t.elapsed())
+}
+
+/// TPC-H section: the paper's first schema (Figures 1/5/6) at generator
+/// scale — top-20 latency and plan-level join counts per decomposition
+/// for "TV, VCR"-style product queries. Run with `experiments tpch`.
+fn tpch_section() {
+    println!("\n== TPC-H schema: top-20 (ms) and joins per decomposition ==");
+    let data = w::bench_tpch_config();
+    println!(
+        "{:<16}{:>8}{:>10}{:>10}{:>12}",
+        "decomposition", "plans", "joins", "top20-ms", "probes"
+    );
+    for cfg in [Config::XKeyword, Config::MinClust, Config::MinNClustNIndx] {
+        let xk = w::tpch_instance(cfg, &data);
+        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        let queries = w::pick_product_queries(&xk, 3);
+        let mut total_joins = 0usize;
+        let mut nplans = 0usize;
+        let mut samples = Vec::new();
+        let mut probes = 0u64;
+        for (a, b) in &queries {
+            let plans = w::plans_for(&xk, &[a, b], w::Z);
+            total_joins += plans.iter().map(|p| p.joins()).sum::<usize>();
+            nplans += plans.len();
+            let t = Instant::now();
+            let res = exec::topk(&xk.db, &xk.catalog, &plans, w::cached(), 20, 4);
+            samples.push(t.elapsed());
+            probes += res.stats.probes;
+        }
+        println!(
+            "{:<16}{:>8}{:>10}{:>10.1}{:>12}",
+            cfg.name(),
+            nplans,
+            total_joins,
+            avg_ms(&samples),
+            probes
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Prints the fragments of the XKeyword decomposition on the bench DBLP
+//! configuration — fragment shapes, row counts and MVD classification
+//! (a quick look at what Fig. 12 actually builds).
+
+fn main() {
+    let data = xkw_bench::workload::bench_dblp_config();
+    let xk = xkw_bench::workload::dblp_instance(xkw_bench::workload::Config::XKeyword, &data);
+    let tss = &xk.tss;
+    for (i, f) in xk.catalog.decomposition.fragments.iter().enumerate() {
+        let rel = xk.catalog.relation(i);
+        let names: Vec<&str> = f
+            .tree
+            .roles
+            .iter()
+            .map(|&r| tss.node(r).name.as_str())
+            .collect();
+        println!(
+            "{:<10} size={} roles={:?} rows={} mvd={}",
+            f.name,
+            f.size(),
+            names,
+            rel.stats.rows,
+            xkw_core::decompose::has_mvd(&f.tree, tss)
+        );
+    }
+}

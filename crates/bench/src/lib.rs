@@ -1,0 +1,6 @@
+//! # xkw-bench — the XKeyword evaluation harness
+//!
+//! Shared workload builders for the Criterion benches and the
+//! `experiments` binary that regenerate the paper's Figures 15–16.
+
+pub mod workload;

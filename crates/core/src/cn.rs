@@ -1,0 +1,504 @@
+//! The candidate network generator (§4, Definition 4.1).
+//!
+//! A **candidate network** (CN) is a schema node network — an uncycled
+//! tree of schema nodes annotated with keyword sets — such that some
+//! conforming XML instance has an MTNN conforming to it. The generator
+//! extends DISCOVER's breadth-first tuple-set expansion with the XML
+//! specifics the paper calls out:
+//!
+//! * **containment parents are unique** — a CN node with two incoming
+//!   containment edges is unsatisfiable;
+//! * **choice nodes** instantiate at most one alternative;
+//! * **maxOccurs = One** edges cannot occur twice from the same node;
+//! * keyword annotations follow the *exact* tuple-set semantics
+//!   (`S^K` = nodes of type `S` whose query-keyword set is exactly `K`),
+//!   with the sets across a CN disjoint and jointly covering the query —
+//!   which makes the output non-redundant (no MTNN matches two CNs);
+//! * only keyword sets *achievable* in the data (per the master index)
+//!   are instantiated;
+//! * every leaf of an emitted CN is non-free (a free leaf could always be
+//!   removed, so no minimal network matches).
+//!
+//! Because the paper's schemas impose no mandatory children, these local
+//! rules are also *sufficient*: the CN tree itself can be materialized as
+//! a conforming instance whose MTNN is minimal, which is how the tests
+//! check completeness and non-redundancy against the brute-force oracle.
+
+use std::collections::{HashMap, HashSet};
+use xkw_graph::{EdgeKind, MaxOccurs, NodeKind, SchemaEdgeId, SchemaGraph, SchemaNodeId};
+
+/// A bitset over the (≤16) query keywords.
+pub type KwSet = u16;
+
+/// A CN node: a schema node with an exact keyword-set annotation
+/// (`0` = free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnNode {
+    /// The schema node.
+    pub schema: SchemaNodeId,
+    /// Exact query-keyword set this node must contain (0 = free).
+    pub keywords: KwSet,
+}
+
+/// A CN edge occurrence, directed as the schema edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnEdge {
+    /// Source node index.
+    pub a: u8,
+    /// Target node index.
+    pub b: u8,
+    /// The schema edge instantiated.
+    pub edge: SchemaEdgeId,
+}
+
+/// A candidate network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cn {
+    /// Nodes.
+    pub nodes: Vec<CnNode>,
+    /// Edge occurrences (an undirected tree over nodes).
+    pub edges: Vec<CnEdge>,
+}
+
+impl Cn {
+    /// Size in edges — the score of every MTNN conforming to this CN.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Union of keyword annotations.
+    pub fn covered(&self) -> KwSet {
+        self.nodes.iter().fold(0, |acc, n| acc | n.keywords)
+    }
+
+    fn incident(&self, node: u8) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.edges.iter().enumerate().filter_map(move |(i, e)| {
+            if e.a == node {
+                Some((i, true))
+            } else if e.b == node {
+                Some((i, false))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Checks the local satisfiability rules listed in the module docs.
+    pub fn validate_local(&self, schema: &SchemaGraph) -> bool {
+        for i in 0..self.nodes.len() as u8 {
+            let mut containment_in = 0usize;
+            let mut outgoing: Vec<SchemaEdgeId> = Vec::new();
+            for (ei, out) in self.incident(i) {
+                let se = schema.edge(self.edges[ei].edge);
+                if out {
+                    outgoing.push(self.edges[ei].edge);
+                } else if se.kind == EdgeKind::Containment {
+                    containment_in += 1;
+                }
+            }
+            if containment_in > 1 {
+                return false;
+            }
+            let distinct: HashSet<SchemaEdgeId> = outgoing.iter().copied().collect();
+            if schema.node(self.nodes[i as usize].schema).kind == NodeKind::Choice
+                && distinct.len() > 1
+            {
+                return false;
+            }
+            for e in distinct {
+                let count = outgoing.iter().filter(|&&x| x == e).count();
+                if count > 1 && schema.edge(e).max_occurs == MaxOccurs::One {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether all leaves carry keywords (plus the single-node case).
+    pub fn leaves_non_free(&self) -> bool {
+        if self.nodes.len() == 1 {
+            return self.nodes[0].keywords != 0;
+        }
+        (0..self.nodes.len() as u8).all(|i| {
+            let degree = self.incident(i).count();
+            degree != 1 || self.nodes[i as usize].keywords != 0
+        })
+    }
+
+    /// Canonical label (isomorphism-invariant, includes annotations).
+    pub fn canonical(&self) -> String {
+        (0..self.nodes.len() as u8)
+            .map(|r| self.rooted_sig(r, None))
+            .min()
+            .unwrap_or_default()
+    }
+
+    fn rooted_sig(&self, root: u8, from_edge: Option<usize>) -> String {
+        let mut kids: Vec<String> = self
+            .incident(root)
+            .filter(|&(i, _)| Some(i) != from_edge)
+            .map(|(i, out)| {
+                let dir = if out { '>' } else { '<' };
+                let child = if out { self.edges[i].b } else { self.edges[i].a };
+                format!("{}e{}{}", dir, self.edges[i].edge.0, self.rooted_sig(child, Some(i)))
+            })
+            .collect();
+        kids.sort();
+        let n = &self.nodes[root as usize];
+        format!("(S{}k{}[{}])", n.schema.0, n.keywords, kids.join(","))
+    }
+
+    /// Pretty-prints using schema tags, e.g.
+    /// `pname{k1} <- part <- line ...`.
+    pub fn display(&self, schema: &SchemaGraph) -> String {
+        let node_str = |i: u8| {
+            let n = &self.nodes[i as usize];
+            if n.keywords == 0 {
+                schema.tag(n.schema).to_owned()
+            } else {
+                format!("{}^{:b}", schema.tag(n.schema), n.keywords)
+            }
+        };
+        if self.edges.is_empty() {
+            return node_str(0);
+        }
+        self.edges
+            .iter()
+            .map(|e| format!("{}->{}", node_str(e.a), node_str(e.b)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The generator.
+pub struct CnGenerator<'a> {
+    schema: &'a SchemaGraph,
+    /// Achievable exact keyword sets per schema node (from the master
+    /// index), excluding the empty set.
+    achievable: HashMap<SchemaNodeId, Vec<KwSet>>,
+    all: KwSet,
+}
+
+impl<'a> CnGenerator<'a> {
+    /// Creates a generator for a query with `num_keywords` keywords whose
+    /// achievable exact sets per schema node are given (typically
+    /// [`crate::master_index::MasterIndex::achievable_sets`]).
+    pub fn new(
+        schema: &'a SchemaGraph,
+        achievable: &HashMap<SchemaNodeId, HashSet<KwSet>>,
+        num_keywords: usize,
+    ) -> Self {
+        assert!((1..=16).contains(&num_keywords));
+        let mut map: HashMap<SchemaNodeId, Vec<KwSet>> = HashMap::new();
+        for (&s, sets) in achievable {
+            let mut v: Vec<KwSet> = sets.iter().copied().filter(|&k| k != 0).collect();
+            v.sort_unstable();
+            map.insert(s, v);
+        }
+        CnGenerator {
+            schema,
+            achievable: map,
+            all: ((1u32 << num_keywords) - 1) as KwSet,
+        }
+    }
+
+    /// Generates all candidate networks of size ≤ `z`, deduplicated up to
+    /// isomorphism, in increasing size order.
+    pub fn generate(&self, z: usize) -> Vec<Cn> {
+        let dist = self.schema_distances();
+        let mut out = Vec::new();
+        let mut frontier: Vec<Cn> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        // Seeds: single non-free nodes.
+        for (&s, sets) in &self.achievable {
+            for &k in sets {
+                let cn = Cn {
+                    nodes: vec![CnNode {
+                        schema: s,
+                        keywords: k,
+                    }],
+                    edges: vec![],
+                };
+                if seen.insert(cn.canonical()) {
+                    frontier.push(cn);
+                }
+            }
+        }
+        self.emit(&frontier, &mut out);
+        for _ in 0..z {
+            let mut next: Vec<Cn> = Vec::new();
+            let mut next_seen: HashSet<String> = HashSet::new();
+            for cn in &frontier {
+                let used = cn.covered();
+                for i in 0..cn.nodes.len() as u8 {
+                    let s = cn.nodes[i as usize].schema;
+                    for (se, outgoing) in self.schema.incident_edges(s) {
+                        let e = self.schema.edge(se);
+                        let other = if outgoing { e.to } else { e.from };
+                        // Candidate annotations for the new node: free,
+                        // or any achievable set disjoint from `used`.
+                        let mut anns: Vec<KwSet> = vec![0];
+                        if let Some(sets) = self.achievable.get(&other) {
+                            anns.extend(sets.iter().copied().filter(|k| k & used == 0));
+                        }
+                        for k in anns {
+                            let mut grown = cn.clone();
+                            let new_idx = grown.nodes.len() as u8;
+                            grown.nodes.push(CnNode {
+                                schema: other,
+                                keywords: k,
+                            });
+                            grown.edges.push(if outgoing {
+                                CnEdge {
+                                    a: i,
+                                    b: new_idx,
+                                    edge: se,
+                                }
+                            } else {
+                                CnEdge {
+                                    a: new_idx,
+                                    b: i,
+                                    edge: se,
+                                }
+                            });
+                            if self.completable(&grown, z, &dist)
+                                && grown.validate_local(self.schema)
+                                && next_seen.insert(grown.canonical())
+                            {
+                                next.push(grown);
+                            }
+                        }
+                    }
+                }
+            }
+            self.emit(&next, &mut out);
+            frontier = next;
+        }
+        out.sort_by_key(|c| (c.size(), c.canonical()));
+        out
+    }
+
+    /// All-pairs undirected hop distances over the schema graph.
+    fn schema_distances(&self) -> Vec<Vec<usize>> {
+        let n = self.schema.node_count();
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        for s in self.schema.node_ids() {
+            let d = &mut dist[s.idx()];
+            d[s.idx()] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                let du = d[u.idx()];
+                for (se, _) in self.schema.incident_edges(u) {
+                    let e = self.schema.edge(se);
+                    for v in [e.from, e.to] {
+                        if d[v.idx()] == usize::MAX {
+                            d[v.idx()] = du + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Admissible completion bounds; all are lower bounds, so pruning is
+    /// safe for completeness. They remove the deep all-free expansions
+    /// that dominate the naive frontier:
+    ///
+    /// * every leaf of a finished CN is annotated, and annotations are
+    ///   disjoint, so a finished CN has at most `m` leaves; each *free*
+    ///   leaf of a partial CN must therefore grow into a branch ending at
+    ///   a yet-unplaced annotated node — prune when free leaves outnumber
+    ///   uncovered keywords (with two keywords this collapses generation
+    ///   to path enumeration);
+    /// * each free leaf costs at least one more edge;
+    /// * an uncovered keyword unreachable (in schema hops) from every
+    ///   current node within the budget can never be placed.
+    fn completable(&self, cn: &Cn, z: usize, dist: &[Vec<usize>]) -> bool {
+        let missing = self.all & !cn.covered();
+        let free_leaves = (0..cn.nodes.len() as u8)
+            .filter(|&i| {
+                cn.nodes[i as usize].keywords == 0
+                    && (cn.nodes.len() == 1 || cn.incident(i).count() == 1)
+            })
+            .count();
+        if free_leaves > missing.count_ones() as usize {
+            return false;
+        }
+        if cn.size() + free_leaves > z {
+            return false;
+        }
+        if missing == 0 {
+            return cn.size() <= z;
+        }
+        let budget = z - cn.size();
+        let mut bits = missing;
+        while bits != 0 {
+            let bit = bits & bits.wrapping_neg();
+            bits ^= bit;
+            let reachable = self.achievable.iter().any(|(&s, sets)| {
+                sets.iter().any(|&k| k & bit != 0)
+                    && cn
+                        .nodes
+                        .iter()
+                        .any(|n| dist[n.schema.idx()][s.idx()] <= budget)
+            });
+            if !reachable {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn emit(&self, partials: &[Cn], out: &mut Vec<Cn>) {
+        for cn in partials {
+            if cn.covered() == self.all && cn.leaves_non_free() {
+                out.push(cn.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master_index::MasterIndex;
+    use crate::semantics::enumerate_mtnns;
+    use crate::target::TargetGraph;
+    use xkw_datagen::tpch;
+
+    fn setup(keywords: &[&str]) -> (xkw_graph::XmlGraph, xkw_graph::TssGraph, Vec<Cn>) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let idx = MasterIndex::build(&g, &tg);
+        let achievable = idx.achievable_sets(keywords);
+        let gen = CnGenerator::new(tss.schema(), &achievable, keywords.len());
+        let cns = gen.generate(8);
+        (g, tss, cns)
+    }
+
+    /// Maps an MTNN to the CN it conforms to (schema node + exact keyword
+    /// set per node, schema edge per edge) and returns its canonical form.
+    fn mtnn_canonical(
+        g: &xkw_graph::XmlGraph,
+        schema: &SchemaGraph,
+        m: &crate::semantics::Mtnn,
+        keywords: &[&str],
+    ) -> String {
+        let classes = schema.classify(g).unwrap();
+        let node_idx: HashMap<xkw_graph::NodeId, u8> = m
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u8))
+            .collect();
+        let nodes: Vec<CnNode> = m
+            .nodes
+            .iter()
+            .map(|&n| {
+                let toks = g.keywords(n);
+                let mut set = 0u16;
+                for (i, k) in keywords.iter().enumerate() {
+                    if toks.iter().any(|t| t == k) {
+                        set |= 1 << i;
+                    }
+                }
+                CnNode {
+                    schema: classes[n.idx()],
+                    keywords: set,
+                }
+            })
+            .collect();
+        let edges: Vec<CnEdge> = m
+            .edges
+            .iter()
+            .map(|&(a, b, kind)| CnEdge {
+                a: node_idx[&a],
+                b: node_idx[&b],
+                edge: schema
+                    .find_edge(classes[a.idx()], classes[b.idx()], kind)
+                    .expect("data edge licensed"),
+            })
+            .collect();
+        Cn { nodes, edges }.canonical()
+    }
+
+    #[test]
+    fn completeness_every_mtnn_has_a_cn() {
+        // §4: "The CN Generator algorithm is complete: all MTNNs of size
+        // up to Z belong to an output CN."
+        for kws in [["john", "vcr"], ["tv", "vcr"], ["us", "dvd"]] {
+            let (g, tss, cns) = setup(&kws);
+            let canon: HashSet<String> = cns.iter().map(Cn::canonical).collect();
+            for m in enumerate_mtnns(&g, &kws, 8) {
+                let mc = mtnn_canonical(&g, tss.schema(), &m, &kws);
+                assert!(
+                    canon.contains(&mc),
+                    "MTNN of size {} has no CN for {kws:?}",
+                    m.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_redundancy_no_duplicate_cns() {
+        let (_, _, cns) = setup(&["tv", "vcr"]);
+        let canon: HashSet<String> = cns.iter().map(Cn::canonical).collect();
+        assert_eq!(canon.len(), cns.len());
+    }
+
+    #[test]
+    fn every_cn_is_locally_valid_with_nonfree_leaves() {
+        let (_, tss, cns) = setup(&["tv", "vcr"]);
+        for cn in &cns {
+            assert!(cn.validate_local(tss.schema()));
+            assert!(cn.leaves_non_free());
+            assert_eq!(cn.covered(), 0b11);
+            assert!(cn.size() <= 8);
+        }
+    }
+
+    #[test]
+    fn choice_prevents_part_and_product_on_one_line() {
+        let (_, tss, cns) = setup(&["tv", "vcr"]);
+        let schema = tss.schema();
+        let line = schema.node_by_tag("line").unwrap();
+        for cn in &cns {
+            for i in 0..cn.nodes.len() as u8 {
+                if cn.nodes[i as usize].schema == line {
+                    let distinct: HashSet<SchemaEdgeId> = cn
+                        .incident(i)
+                        .filter(|&(_, out)| out)
+                        .map(|(e, _)| cn.edges[e].edge)
+                        .collect();
+                    assert!(distinct.len() <= 1, "choice violated: {}", cn.display(schema));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_cn_when_one_value_has_both_keywords() {
+        let (_, _, cns) = setup(&["vcr", "dvd"]);
+        assert!(cns.iter().any(|c| c.size() == 0));
+    }
+
+    #[test]
+    fn sizes_are_sorted_ascending() {
+        let (_, _, cns) = setup(&["john", "vcr"]);
+        let sizes: Vec<usize> = cns.iter().map(Cn::size).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        // The smallest John–VCR CN is size 4 (person—service_call—product
+        // —descr): CNs are instance-independent, so this shape is valid
+        // even though Figure 1 happens to hold no such result. The first
+        // CN with results in Figure 1 is the size-6 one.
+        assert_eq!(sizes[0], 4);
+        assert!(sizes.contains(&6));
+    }
+}

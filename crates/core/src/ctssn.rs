@@ -1,0 +1,439 @@
+//! Reduction of candidate networks to candidate TSS networks (§4).
+//!
+//! Connection relations store only target-object ids, so candidate
+//! networks (trees of schema nodes) are reduced to **candidate TSS
+//! networks** (CTSSNs) — trees of target schema segments:
+//!
+//! * member CN nodes glued by intra-segment containment edges collapse
+//!   into one role (their keyword annotations merge, remembering the
+//!   schema node each keyword must appear in: `T^{k,S}` in the paper);
+//! * dummy CN nodes are absorbed into the TSS edge whose schema-edge
+//!   path they instantiate;
+//! * the CN's size (in schema edges) is carried along as the score of
+//!   every MTTON the CTSSN produces — which is why the generator works on
+//!   the schema graph and not the TSS graph.
+
+use crate::cn::{Cn, KwSet};
+use crate::tree::{TreeEdge, TssTree};
+use std::fmt;
+use xkw_graph::{SchemaEdgeId, SchemaNodeId, TssGraph};
+
+/// A keyword requirement on a role: a node of type `schema_node` inside
+/// the role's target object must contain exactly the keyword set `set`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KwRequirement {
+    /// Exact query-keyword bitset.
+    pub set: KwSet,
+    /// The schema node that must contain it.
+    pub schema_node: SchemaNodeId,
+}
+
+/// A candidate TSS network.
+#[derive(Debug, Clone)]
+pub struct Ctssn {
+    /// The tree of TSS-edge occurrences.
+    pub tree: TssTree,
+    /// Keyword requirements per role (empty = free role).
+    pub annotations: Vec<Vec<KwRequirement>>,
+    /// Size of the originating CN in schema edges — the score of every
+    /// result this CTSSN produces.
+    pub cn_size: usize,
+}
+
+/// Why a CN could not be reduced (does not occur for well-formed TSS
+/// mappings; reported rather than panicking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// A dummy chain branches (degree ≥ 3 dummy node).
+    DummyBranch,
+    /// A dummy chain's schema-edge path matches no TSS edge.
+    NoTssEdge(Vec<SchemaEdgeId>),
+    /// A dummy chain's edges do not form a directed path.
+    MixedDirection,
+    /// A dummy node is a CN leaf (free dummy leaves should have been
+    /// pruned by the generator).
+    DummyLeaf,
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DummyBranch => write!(f, "dummy chain branches"),
+            Self::NoTssEdge(p) => write!(f, "no TSS edge for dummy path {p:?}"),
+            Self::MixedDirection => write!(f, "dummy chain is not a directed path"),
+            Self::DummyLeaf => write!(f, "dummy node is a CN leaf"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+impl Ctssn {
+    /// Reduces a candidate network.
+    pub fn from_cn(cn: &Cn, tss: &TssGraph) -> Result<Ctssn, ReduceError> {
+        let schema = tss.schema();
+        let n = cn.nodes.len();
+
+        // 1. Union member nodes across intra-segment containment edges.
+        let mut comp: Vec<usize> = (0..n).collect();
+        fn find(comp: &mut [usize], x: usize) -> usize {
+            if comp[x] == x {
+                return x;
+            }
+            let r = find(comp, comp[x]);
+            comp[x] = r;
+            r
+        }
+        for e in &cn.edges {
+            let se = schema.edge(e.edge);
+            let (ta, tb) = (tss.tss_of(se.from), tss.tss_of(se.to));
+            if se.kind == xkw_graph::EdgeKind::Containment
+                && se.from != se.to
+                && ta.is_some()
+                && ta == tb
+            {
+                let (ra, rb) = (find(&mut comp, e.a as usize), find(&mut comp, e.b as usize));
+                comp[ra] = rb;
+            }
+        }
+
+        // 2. Roles for member components.
+        let mut role_of_comp: Vec<Option<u8>> = vec![None; n];
+        let mut roles = Vec::new();
+        let mut annotations: Vec<Vec<KwRequirement>> = Vec::new();
+        for i in 0..n {
+            let Some(seg) = tss.tss_of(cn.nodes[i].schema) else {
+                continue;
+            };
+            let c = find(&mut comp, i);
+            let role = *role_of_comp[c].get_or_insert_with(|| {
+                roles.push(seg);
+                annotations.push(Vec::new());
+                (roles.len() - 1) as u8
+            });
+            debug_assert_eq!(roles[role as usize], seg);
+            if cn.nodes[i].keywords != 0 {
+                annotations[role as usize].push(KwRequirement {
+                    set: cn.nodes[i].keywords,
+                    schema_node: cn.nodes[i].schema,
+                });
+            }
+        }
+        let role_of_node = |comp: &mut Vec<usize>, i: usize| -> Option<u8> {
+            let c = find(comp, i);
+            role_of_comp[c]
+        };
+
+        // 3. TSS edges: direct member→member edges and forward dummy
+        // chains.
+        let mut edges: Vec<TreeEdge> = Vec::new();
+        for (ei, e) in cn.edges.iter().enumerate() {
+            let se = schema.edge(e.edge);
+            let from_member = !tss.is_dummy(se.from);
+            let to_member = !tss.is_dummy(se.to);
+            if from_member && to_member {
+                let ra = role_of_node(&mut comp, e.a as usize).expect("member role");
+                let rb = role_of_node(&mut comp, e.b as usize).expect("member role");
+                if ra == rb {
+                    continue; // intra-segment glue
+                }
+                let te = tss
+                    .edge_for_path(std::slice::from_ref(&e.edge))
+                    .ok_or_else(|| ReduceError::NoTssEdge(vec![e.edge]))?;
+                edges.push(TreeEdge { a: ra, b: rb, edge: te });
+            } else if from_member && !to_member {
+                // Start of a forward dummy chain: walk to the member end.
+                let ra = role_of_node(&mut comp, e.a as usize).expect("member role");
+                let mut path = vec![e.edge];
+                let mut prev_edge = ei;
+                let mut cur = e.b;
+                let rb = loop {
+                    // Other incident edges of the dummy node.
+                    let nexts: Vec<usize> = cn
+                        .edges
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, x)| j != prev_edge && (x.a == cur || x.b == cur))
+                        .map(|(j, _)| j)
+                        .collect();
+                    match nexts.len() {
+                        0 => return Err(ReduceError::DummyLeaf),
+                        1 => {}
+                        _ => return Err(ReduceError::DummyBranch),
+                    }
+                    let j = nexts[0];
+                    let x = &cn.edges[j];
+                    if x.a != cur {
+                        return Err(ReduceError::MixedDirection);
+                    }
+                    path.push(x.edge);
+                    prev_edge = j;
+                    cur = x.b;
+                    if !tss.is_dummy(cn.nodes[cur as usize].schema) {
+                        break role_of_node(&mut comp, cur as usize).expect("member role");
+                    }
+                };
+                let te = tss
+                    .edge_for_path(&path)
+                    .ok_or(ReduceError::NoTssEdge(path))?;
+                edges.push(TreeEdge { a: ra, b: rb, edge: te });
+            }
+            // !from_member: the chain is discovered from its member start.
+        }
+
+        Ok(Ctssn {
+            tree: TssTree { roles, edges },
+            annotations,
+            cn_size: cn.size(),
+        })
+    }
+
+    /// Size in TSS edges.
+    pub fn size(&self) -> usize {
+        self.tree.size()
+    }
+
+    /// Canonical label including annotations.
+    pub fn canonical(&self) -> String {
+        self.tree.canonical_with(|r| {
+            let mut reqs: Vec<String> = self.annotations[r as usize]
+                .iter()
+                .map(|a| format!("k{}s{}", a.set, a.schema_node.0))
+                .collect();
+            reqs.sort();
+            reqs.join(";")
+        })
+    }
+
+    /// Roles that carry keyword requirements, with their requirements.
+    pub fn annotated_roles(&self) -> impl Iterator<Item = (u8, &[KwRequirement])> {
+        self.annotations
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_empty())
+            .map(|(r, a)| (r as u8, a.as_slice()))
+    }
+
+    /// Pretty-prints using segment names, paper style:
+    /// `Part^{TV} <- Part -> Part^{VCR}`.
+    pub fn display(&self, tss: &TssGraph) -> String {
+        let role_str = |r: u8| {
+            let name = &tss.node(self.tree.roles[r as usize]).name;
+            let anns = &self.annotations[r as usize];
+            if anns.is_empty() {
+                name.clone()
+            } else {
+                let sets: Vec<String> = anns.iter().map(|a| format!("{:b}", a.set)).collect();
+                format!("{}^{{{}}}", name, sets.join("+"))
+            }
+        };
+        if self.tree.edges.is_empty() {
+            return role_str(0);
+        }
+        self.tree
+            .edges
+            .iter()
+            .map(|e| format!("{}->{}", role_str(e.a), role_str(e.b)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cn::CnGenerator;
+    use crate::master_index::MasterIndex;
+    use crate::target::TargetGraph;
+    use std::collections::HashSet;
+    use xkw_datagen::tpch;
+
+    fn ctssns(keywords: &[&str], z: usize) -> (xkw_graph::TssGraph, Vec<Ctssn>) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let idx = MasterIndex::build(&g, &tg);
+        let achievable = idx.achievable_sets(keywords);
+        let gen = CnGenerator::new(tss.schema(), &achievable, keywords.len());
+        let out: Vec<Ctssn> = gen
+            .generate(z)
+            .iter()
+            .map(|cn| Ctssn::from_cn(cn, &tss).expect("reducible"))
+            .collect();
+        (tss, out)
+    }
+
+    #[test]
+    fn every_tpch_cn_reduces_and_validates() {
+        let (tss, cs) = ctssns(&["tv", "vcr"], 8);
+        assert!(!cs.is_empty());
+        for c in &cs {
+            assert_eq!(c.tree.validate(&tss), Ok(()), "{}", c.display(&tss));
+            assert!(c.size() <= c.cn_size);
+        }
+    }
+
+    #[test]
+    fn paper_ctssn_shapes_for_tv_vcr() {
+        // §4 lists five CTSSNs for "TV, VCR" at Z = 8, among them
+        // Part^TV—Part^VCR (direct subpart), Part^TV←Part→Part^VCR
+        // (siblings, the edge followed twice), the Order-mediated one and
+        // the Product-descr one. Check those shapes appear.
+        let (tss, cs) = ctssns(&["tv", "vcr"], 8);
+        let seg = |n: &str| tss.node_ids().find(|&i| tss.node(i).name == n).unwrap();
+        let part = seg("Part");
+        let order = seg("Order");
+        let product = seg("Product");
+        // Direct Part→Part with both annotated.
+        assert!(cs.iter().any(|c| {
+            c.size() == 1
+                && c.tree.roles == vec![part, part]
+                && c.annotated_roles().count() == 2
+        }));
+        // Part ← Part → Part siblings.
+        assert!(cs.iter().any(|c| {
+            c.size() == 2
+                && c.tree.roles.iter().all(|&r| r == part)
+                && c.tree.edges.iter().all(|e| e.a == c.tree.edges[0].a)
+        }));
+        // An Order-mediated CTSSN (Part ← Lineitem ← Order → Lineitem → Part).
+        assert!(cs
+            .iter()
+            .any(|c| c.tree.roles.contains(&order) && c.size() == 4));
+        // A Product-descr variant.
+        assert!(cs.iter().any(|c| c.tree.roles.contains(&product)));
+    }
+
+    #[test]
+    fn keyword_annotations_carry_schema_nodes() {
+        let (tss, cs) = ctssns(&["john", "vcr"], 8);
+        let schema = tss.schema();
+        let name = schema.node_by_tag("name").unwrap();
+        let with_name_req = cs.iter().filter(|c| {
+            c.annotated_roles()
+                .any(|(_, reqs)| reqs.iter().any(|r| r.schema_node == name))
+        });
+        assert!(with_name_req.count() > 0);
+    }
+
+    #[test]
+    fn intra_segment_nodes_collapse() {
+        // A CN containing pname^{vcr} ← part has one Part role, not two.
+        let (tss, cs) = ctssns(&["tv", "vcr"], 8);
+        for c in &cs {
+            // cn_size counts schema edges; tree size counts TSS edges;
+            // the difference is exactly the number of collapsed intra
+            // edges, which equals total annotations on leaf-value nodes.
+            let intra = c.cn_size - c.size();
+            let ann_count: usize = c.annotations.iter().map(Vec::len).sum();
+            assert!(intra <= c.cn_size);
+            assert!(ann_count >= 1);
+            let _ = tss;
+        }
+    }
+
+    #[test]
+    fn canonical_distinguishes_annotations() {
+        let (_, cs) = ctssns(&["tv", "vcr"], 8);
+        let canon: HashSet<String> = cs.iter().map(Ctssn::canonical).collect();
+        // Distinct CNs may reduce to the same CTSSN (e.g. keyword in
+        // `pname` of a part vs `key` of a part) — so ≤, but most remain.
+        assert!(canon.len() >= cs.len() / 2);
+    }
+
+    #[test]
+    fn score_is_cn_size_not_tree_size() {
+        let (_, cs) = ctssns(&["tv", "vcr"], 8);
+        // The sibling-parts CTSSN has tree size 2 but CN size 6
+        // (pname←part←sub? — sub edges are TSS-level; schema path is
+        // pname(1) + sub,part(2) + sub,part(2) + pname(1) = 6).
+        let sib = cs
+            .iter()
+            .find(|c| c.size() == 2 && c.tree.roles.len() == 3)
+            .expect("sibling CTSSN");
+        assert_eq!(sib.cn_size, 6);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use crate::cn::{Cn, CnEdge, CnNode};
+    use xkw_graph::{EdgeKind, MaxOccurs, NodeKind, SchemaGraph, TssMapping};
+
+    /// a{A} → hub(dummy) → b{B}, hub → c{C}: the dummy can branch.
+    fn branching_tss() -> xkw_graph::TssGraph {
+        let mut s = SchemaGraph::new();
+        let a = s.add_node("a", NodeKind::All);
+        let hub = s.add_node("hub", NodeKind::All);
+        let b = s.add_node("b", NodeKind::All);
+        let c = s.add_node("c", NodeKind::All);
+        s.add_edge(a, hub, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(hub, b, EdgeKind::Reference, MaxOccurs::Many);
+        s.add_edge(hub, c, EdgeKind::Reference, MaxOccurs::Many);
+        let mut m = TssMapping::new(&s);
+        m.tss("A", &["a"]);
+        m.tss("B", &["b"]);
+        m.tss("C", &["c"]);
+        m.build().unwrap()
+    }
+
+    #[test]
+    fn branching_dummy_is_reported() {
+        let tss = branching_tss();
+        let s = tss.schema();
+        let (a, hub, b, c) = (
+            s.node_by_tag("a").unwrap(),
+            s.node_by_tag("hub").unwrap(),
+            s.node_by_tag("b").unwrap(),
+            s.node_by_tag("c").unwrap(),
+        );
+        let e_ah = s.find_edge(a, hub, EdgeKind::Containment).unwrap();
+        let e_hb = s.find_edge(hub, b, EdgeKind::Reference).unwrap();
+        let e_hc = s.find_edge(hub, c, EdgeKind::Reference).unwrap();
+        // CN: a → hub → b AND hub → c — the dummy chain branches.
+        let cn = Cn {
+            nodes: vec![
+                CnNode { schema: a, keywords: 0b01 },
+                CnNode { schema: hub, keywords: 0 },
+                CnNode { schema: b, keywords: 0b10 },
+                CnNode { schema: c, keywords: 0b100 },
+            ],
+            edges: vec![
+                CnEdge { a: 0, b: 1, edge: e_ah },
+                CnEdge { a: 1, b: 2, edge: e_hb },
+                CnEdge { a: 1, b: 3, edge: e_hc },
+            ],
+        };
+        assert!(matches!(
+            Ctssn::from_cn(&cn, &tss),
+            Err(ReduceError::DummyBranch)
+        ));
+    }
+
+    #[test]
+    fn dummy_leaf_is_reported() {
+        let tss = branching_tss();
+        let s = tss.schema();
+        let (a, hub) = (s.node_by_tag("a").unwrap(), s.node_by_tag("hub").unwrap());
+        let e_ah = s.find_edge(a, hub, EdgeKind::Containment).unwrap();
+        let cn = Cn {
+            nodes: vec![
+                CnNode { schema: a, keywords: 0b1 },
+                CnNode { schema: hub, keywords: 0 },
+            ],
+            edges: vec![CnEdge { a: 0, b: 1, edge: e_ah }],
+        };
+        assert!(matches!(
+            Ctssn::from_cn(&cn, &tss),
+            Err(ReduceError::DummyLeaf)
+        ));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(ReduceError::DummyBranch.to_string().contains("branches"));
+        assert!(ReduceError::MixedDirection.to_string().contains("directed"));
+        assert!(ReduceError::NoTssEdge(vec![]).to_string().contains("TSS edge"));
+    }
+}

@@ -1,0 +1,1116 @@
+//! Execution engines (§6).
+//!
+//! * [`eval_plan`] — nested-loop evaluation of one CTSSN plan, driven by
+//!   index/clustered probes of connection relations, with two modes:
+//!   [`ExecMode::Naive`] (re-sends every probe — the DISCOVER/DBXplorer
+//!   baseline) and [`ExecMode::Cached`] (the optimized algorithm of §6
+//!   that memoizes partial results in a fixed-size cache keyed by the
+//!   structural suffix signature + frontier bindings, avoiding the
+//!   duplicate inner loops that multivalued-dependency-style redundancy
+//!   causes — and sharing them across candidate networks with identical
+//!   suffixes, the DISCOVER-style reuse).
+//! * [`topk`] — the web-search-engine presentation: a pool of threads,
+//!   one candidate network at a time starting from the smallest, until K
+//!   results have been produced overall.
+//! * [`all_results`] — full evaluation of every plan via in-memory hash
+//!   joins over scanned relations (the regime where the paper's
+//!   `MinNClustNIndx` decomposition wins).
+//!
+//! Cached completions are pure join results (shared-role consistency +
+//! keyword-candidate filters); the role-distinctness requirement of the
+//! tree-isomorphism semantics is checked at emission, so cache entries
+//! stay reusable under any outer binding.
+//!
+//! All engines emit [`ResultRow`]s (a role→TO assignment plus the CN
+//! score) and report [`ExecStats`] (probe counts, rows, cache traffic) so
+//! experiments can report logical work next to wall time.
+
+use crate::optimizer::CtssnPlan;
+use crate::relations::RelationCatalog;
+use crate::semantics::Mtton;
+use crate::target::ToId;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use xkw_store::{Db, LruCache, Row};
+
+/// Execution mode for the nested-loop engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// No partial-result caching (the naive algorithm of §6).
+    Naive,
+    /// Partial-result caching with the given cache capacity (entries).
+    Cached {
+        /// Maximum number of cached partial-result lists.
+        capacity: usize,
+    },
+}
+
+/// One produced result: an MTTON with its role assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultRow {
+    /// Index of the plan (candidate network) that produced it.
+    pub plan: usize,
+    /// Bound target object per CTSSN role.
+    pub assignment: Vec<ToId>,
+    /// The score (CN size).
+    pub score: usize,
+}
+
+impl ResultRow {
+    /// Reduces to the canonical [`Mtton`] identity.
+    pub fn to_mtton(&self) -> Mtton {
+        let mut tos = self.assignment.clone();
+        tos.sort_unstable();
+        tos.dedup();
+        Mtton {
+            tos,
+            score: self.score,
+        }
+    }
+}
+
+/// Counters reported by the engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Probes (queries) sent to the store.
+    pub probes: u64,
+    /// Rows returned by those probes.
+    pub rows: u64,
+    /// Partial-result cache hits.
+    pub cache_hits: u64,
+    /// Partial-result cache misses.
+    pub cache_misses: u64,
+    /// Results emitted.
+    pub results: u64,
+}
+
+impl ExecStats {
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.probes += other.probes;
+        self.rows += other.rows;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.results += other.results;
+    }
+}
+
+/// The partial-result cache: suffix signature + frontier bindings →
+/// completions (bindings of the suffix's fresh roles, in
+/// [`suffix_fresh_roles`] order).
+pub type PartialCache = LruCache<(Arc<str>, Vec<ToId>), Arc<Vec<Vec<ToId>>>>;
+
+/// Roles first bound anywhere in the suffix starting at step `i`.
+fn suffix_fresh_roles(plan: &CtssnPlan, i: usize) -> Vec<u8> {
+    plan.new_roles[i..].iter().flatten().copied().collect()
+}
+
+/// Evaluates one plan, calling `emit` for each result. `emit` may stop
+/// the evaluation early by returning [`ControlFlow::Break`].
+#[allow(clippy::too_many_arguments)]
+pub fn eval_plan(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan_idx: usize,
+    plan: &CtssnPlan,
+    mode: ExecMode,
+    cache: &mut PartialCache,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let nroles = plan.role_count();
+    let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
+    let driver_cands = plan.candidates[plan.driver as usize]
+        .as_ref()
+        .expect("driver is annotated");
+    // Deterministic iteration order for reproducibility.
+    let mut drivers: Vec<ToId> = driver_cands.iter().copied().collect();
+    drivers.sort_unstable();
+    let fresh = suffix_fresh_roles(plan, 0);
+    for to in drivers {
+        assignment[plan.driver as usize] = Some(to);
+        let subs = match mode {
+            ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment),
+            ExecMode::Cached { .. } => {
+                completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment)
+            }
+        };
+        for sub in subs.iter() {
+            for (r, v) in fresh.iter().zip(sub) {
+                assignment[*r as usize] = Some(*v);
+            }
+            if check_distinct(plan, &assignment) {
+                stats.results += 1;
+                let flow = emit(ResultRow {
+                    plan: plan_idx,
+                    assignment: assignment.iter().map(|a| a.unwrap()).collect(),
+                    score: plan.score,
+                });
+                if flow.is_break() {
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        for r in &fresh {
+            assignment[*r as usize] = None;
+        }
+        assignment[plan.driver as usize] = None;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Evaluates a plan anchored at a single driver binding `to` (the
+/// driver role comes from the plan — see
+/// [`crate::optimizer::build_plan_anchored`]). Used by the on-demand
+/// presentation-graph expansion, which pins the expanded target object
+/// and searches for its connections.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_anchored(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan: &CtssnPlan,
+    to: ToId,
+    mode: ExecMode,
+    cache: &mut PartialCache,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if let Some(c) = &plan.candidates[plan.driver as usize] {
+        if !c.contains(&to) {
+            return ControlFlow::Continue(());
+        }
+    }
+    let mut assignment: Vec<Option<ToId>> = vec![None; plan.role_count()];
+    assignment[plan.driver as usize] = Some(to);
+    let fresh = suffix_fresh_roles(plan, 0);
+    let subs = match mode {
+        ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment),
+        ExecMode::Cached { .. } => {
+            completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment)
+        }
+    };
+    for sub in subs.iter() {
+        for (r, v) in fresh.iter().zip(sub) {
+            assignment[*r as usize] = Some(*v);
+        }
+        if check_distinct(plan, &assignment) {
+            stats.results += 1;
+            let flow = emit(ResultRow {
+                plan: usize::MAX,
+                assignment: assignment.iter().map(|a| a.unwrap()).collect(),
+                score: plan.score,
+            });
+            if flow.is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// All completions of the suffix `i..`: bindings for
+/// `suffix_fresh_roles(plan, i)`, computed by probing (naive mode).
+fn completions_naive(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan: &CtssnPlan,
+    stats: &mut ExecStats,
+    i: usize,
+    assignment: &mut Vec<Option<ToId>>,
+) -> Arc<Vec<Vec<ToId>>> {
+    if i == plan.tiles.len() {
+        return Arc::new(vec![Vec::new()]);
+    }
+    let mut out: Vec<Vec<ToId>> = Vec::new();
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats);
+    for row in rows {
+        if bind_row(plan, i, &row, assignment) {
+            let local: Vec<ToId> = plan.new_roles[i]
+                .iter()
+                .map(|&r| assignment[r as usize].expect("bound"))
+                .collect();
+            let subs = completions_naive(db, catalog, plan, stats, i + 1, assignment);
+            for sub in subs.iter() {
+                let mut c = local.clone();
+                c.extend_from_slice(sub);
+                out.push(c);
+            }
+            unbind_row(plan, i, assignment);
+        }
+    }
+    Arc::new(out)
+}
+
+/// Cached variant: memoized on (suffix signature, frontier bindings).
+fn completions_cached(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan: &CtssnPlan,
+    cache: &mut PartialCache,
+    stats: &mut ExecStats,
+    i: usize,
+    assignment: &mut Vec<Option<ToId>>,
+) -> Arc<Vec<Vec<ToId>>> {
+    if i == plan.tiles.len() {
+        return Arc::new(vec![Vec::new()]);
+    }
+    let key = (
+        plan.step_sigs[i].clone(),
+        plan.key_roles[i]
+            .iter()
+            .map(|&r| assignment[r as usize].expect("key role bound"))
+            .collect::<Vec<ToId>>(),
+    );
+    if let Some(hit) = cache.get(&key) {
+        stats.cache_hits += 1;
+        return hit.clone();
+    }
+    stats.cache_misses += 1;
+    let mut out: Vec<Vec<ToId>> = Vec::new();
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats);
+    for row in rows {
+        if bind_row(plan, i, &row, assignment) {
+            let local: Vec<ToId> = plan.new_roles[i]
+                .iter()
+                .map(|&r| assignment[r as usize].expect("bound"))
+                .collect();
+            let subs = completions_cached(db, catalog, plan, cache, stats, i + 1, assignment);
+            for sub in subs.iter() {
+                let mut c = local.clone();
+                c.extend_from_slice(sub);
+                out.push(c);
+            }
+            unbind_row(plan, i, assignment);
+        }
+    }
+    let arc = Arc::new(out);
+    cache.put(key, arc.clone());
+    arc
+}
+
+/// Probes tile `i`'s relation on its currently-bound columns.
+fn probe_tile(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan: &CtssnPlan,
+    i: usize,
+    assignment: &[Option<ToId>],
+    stats: &mut ExecStats,
+) -> Vec<Row> {
+    let tile = &plan.tiles[i];
+    let mut cols: Vec<usize> = Vec::new();
+    let mut key: Vec<ToId> = Vec::new();
+    for (c, &role) in tile.cols_to_roles.iter().enumerate() {
+        if let Some(v) = assignment[role as usize] {
+            cols.push(c);
+            key.push(v);
+        }
+    }
+    stats.probes += 1;
+    let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+    stats.rows += rows.len() as u64;
+    rows
+}
+
+/// Binds a probed row into the assignment; `false` when it conflicts
+/// with existing bindings or keyword candidates. (Role distinctness is
+/// checked at emission so cached completions stay reusable.)
+fn bind_row(plan: &CtssnPlan, i: usize, row: &Row, assignment: &mut [Option<ToId>]) -> bool {
+    let tile = &plan.tiles[i];
+    let mut newly: Vec<u8> = Vec::new();
+    let mut ok = true;
+    for (c, &role) in tile.cols_to_roles.iter().enumerate() {
+        let v = row[c];
+        match assignment[role as usize] {
+            Some(existing) if existing != v => {
+                ok = false;
+                break;
+            }
+            Some(_) => {}
+            None => {
+                if let Some(cands) = &plan.candidates[role as usize] {
+                    if !cands.contains(&v) {
+                        ok = false;
+                        break;
+                    }
+                }
+                assignment[role as usize] = Some(v);
+                newly.push(role);
+            }
+        }
+    }
+    if !ok {
+        for r in newly {
+            assignment[r as usize] = None;
+        }
+        return false;
+    }
+    true
+}
+
+/// Clears the roles bound by tile `i` that are not bound by earlier
+/// steps.
+fn unbind_row(plan: &CtssnPlan, i: usize, assignment: &mut [Option<ToId>]) {
+    for &r in &plan.new_roles[i] {
+        assignment[r as usize] = None;
+    }
+}
+
+/// Role-distinctness: roles of the same segment must bind distinct
+/// target objects (tree-isomorphism semantics of §3.1).
+fn check_distinct(plan: &CtssnPlan, assignment: &[Option<ToId>]) -> bool {
+    let n = assignment.len();
+    for a in 0..n {
+        for b in a + 1..n {
+            if plan.ctssn.tree.roles[a] == plan.ctssn.tree.roles[b]
+                && assignment[a].is_some()
+                && assignment[a] == assignment[b]
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The results of a query evaluation.
+#[derive(Debug, Default)]
+pub struct QueryResults {
+    /// Result rows in emission order.
+    pub rows: Vec<ResultRow>,
+    /// Merged statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryResults {
+    /// Deduplicated MTTONs, sorted by (score, tos).
+    pub fn mttons(&self) -> Vec<Mtton> {
+        let mut v: Vec<Mtton> = self.rows.iter().map(ResultRow::to_mtton).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+fn new_cache(mode: ExecMode) -> PartialCache {
+    match mode {
+        ExecMode::Naive => LruCache::new(0),
+        ExecMode::Cached { capacity } => LruCache::new(capacity),
+    }
+}
+
+/// A pull-based result stream: evaluates plans lazily, one driver
+/// binding at a time, so results can be delivered "page by page as in
+/// web search engine interfaces" (§3.2) without computing the full
+/// result set. Plans are consumed in the given (score) order, so early
+/// pages are dominated by small (better) results.
+pub struct ResultStream<'a> {
+    db: &'a Db,
+    catalog: &'a RelationCatalog,
+    plans: &'a [CtssnPlan],
+    mode: ExecMode,
+    cache: PartialCache,
+    stats: ExecStats,
+    plan_idx: usize,
+    drivers: std::vec::IntoIter<ToId>,
+    pending: std::collections::VecDeque<ResultRow>,
+}
+
+impl<'a> ResultStream<'a> {
+    /// Starts streaming over `plans` (assumed sorted by score).
+    pub fn new(
+        db: &'a Db,
+        catalog: &'a RelationCatalog,
+        plans: &'a [CtssnPlan],
+        mode: ExecMode,
+    ) -> Self {
+        let mut s = ResultStream {
+            db,
+            catalog,
+            plans,
+            mode,
+            cache: new_cache(mode),
+            stats: ExecStats::default(),
+            plan_idx: 0,
+            drivers: Vec::new().into_iter(),
+            pending: std::collections::VecDeque::new(),
+        };
+        s.load_plan_drivers();
+        s
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn load_plan_drivers(&mut self) {
+        if let Some(plan) = self.plans.get(self.plan_idx) {
+            let mut d: Vec<ToId> = plan.candidates[plan.driver as usize]
+                .as_ref()
+                .expect("driver is annotated")
+                .iter()
+                .copied()
+                .collect();
+            d.sort_unstable();
+            self.drivers = d.into_iter();
+        }
+    }
+
+    /// Collects the next page of up to `n` results.
+    pub fn page(&mut self, n: usize) -> Vec<ResultRow> {
+        self.take(n).collect()
+    }
+}
+
+impl Iterator for ResultStream<'_> {
+    type Item = ResultRow;
+
+    fn next(&mut self) -> Option<ResultRow> {
+        loop {
+            if let Some(r) = self.pending.pop_front() {
+                return Some(r);
+            }
+            let plan = self.plans.get(self.plan_idx)?;
+            let Some(to) = self.drivers.next() else {
+                self.plan_idx += 1;
+                self.load_plan_drivers();
+                continue;
+            };
+            // Evaluate this one driver binding.
+            let mut assignment: Vec<Option<ToId>> = vec![None; plan.role_count()];
+            assignment[plan.driver as usize] = Some(to);
+            let fresh = suffix_fresh_roles(plan, 0);
+            let subs = match self.mode {
+                ExecMode::Naive => completions_naive(
+                    self.db,
+                    self.catalog,
+                    plan,
+                    &mut self.stats,
+                    0,
+                    &mut assignment,
+                ),
+                ExecMode::Cached { .. } => completions_cached(
+                    self.db,
+                    self.catalog,
+                    plan,
+                    &mut self.cache,
+                    &mut self.stats,
+                    0,
+                    &mut assignment,
+                ),
+            };
+            for sub in subs.iter() {
+                for (r, v) in fresh.iter().zip(sub) {
+                    assignment[*r as usize] = Some(*v);
+                }
+                if check_distinct(plan, &assignment) {
+                    self.stats.results += 1;
+                    self.pending.push_back(ResultRow {
+                        plan: self.plan_idx,
+                        assignment: assignment.iter().map(|a| a.unwrap()).collect(),
+                        score: plan.score,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates every plan to completion (single-threaded), in plan order.
+/// The cache is shared across plans, enabling cross-CN reuse.
+pub fn all_plans(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+) -> QueryResults {
+    let mut cache = new_cache(mode);
+    let mut out = QueryResults::default();
+    for (i, p) in plans.iter().enumerate() {
+        let mut stats = ExecStats::default();
+        let _ = eval_plan(db, catalog, i, p, mode, &mut cache, &mut stats, &mut |r| {
+            out.rows.push(r);
+            ControlFlow::Continue(())
+        });
+        out.stats.merge(&stats);
+    }
+    out
+}
+
+/// Top-k evaluation with a thread pool (§6): threads pull candidate
+/// networks in score order; execution stops once `k` results have been
+/// produced across all threads.
+pub fn topk(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+) -> QueryResults {
+    let emitted = Arc::new(AtomicUsize::new(0));
+    let next_plan = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = crossbeam::channel::unbounded::<Result<ResultRow, ExecStats>>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            let emitted = emitted.clone();
+            let next_plan = next_plan.clone();
+            let db = db.clone();
+            let catalog = catalog.clone();
+            scope.spawn(move || {
+                let mut cache = new_cache(mode);
+                loop {
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() || emitted.load(Ordering::SeqCst) >= k {
+                        break;
+                    }
+                    let plan = &plans[pi];
+                    let mut stats = ExecStats::default();
+                    let _ = eval_plan(
+                        &db,
+                        &catalog,
+                        pi,
+                        plan,
+                        mode,
+                        &mut cache,
+                        &mut stats,
+                        &mut |r| {
+                            let n = emitted.fetch_add(1, Ordering::SeqCst);
+                            if n >= k {
+                                return ControlFlow::Break(());
+                            }
+                            let _ = tx.send(Ok(r));
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    let _ = tx.send(Err(stats));
+                }
+            });
+        }
+        drop(tx);
+        let mut out = QueryResults::default();
+        for msg in rx {
+            match msg {
+                Ok(row) => out.rows.push(row),
+                Err(stats) => out.stats.merge(&stats),
+            }
+        }
+        out.rows.truncate(k);
+        out
+    })
+}
+
+/// Full evaluation of every plan via hash joins over scanned relations
+/// (§7's "all results" regime). Keyword filters are applied during the
+/// scans; tiles are joined in plan order on their shared roles.
+pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> QueryResults {
+    let mut out = QueryResults::default();
+    // Scan memo: the same relation filtered by the same per-column
+    // keyword requirements recurs across candidate networks; scan once.
+    type ScanKey = (usize, Vec<Option<String>>);
+    let mut scans: std::collections::HashMap<ScanKey, Arc<Vec<Row>>> =
+        std::collections::HashMap::new();
+    for (pi, plan) in plans.iter().enumerate() {
+        let nroles = plan.role_count();
+        if plan.tiles.is_empty() {
+            // Single-role plan: candidates are the results.
+            if let Some(c) = &plan.candidates[plan.driver as usize] {
+                let mut tos: Vec<ToId> = c.iter().copied().collect();
+                tos.sort_unstable();
+                for to in tos {
+                    out.stats.results += 1;
+                    out.rows.push(ResultRow {
+                        plan: pi,
+                        assignment: vec![to],
+                        score: plan.score,
+                    });
+                }
+            }
+            continue;
+        }
+        // Intermediate result: rows of bound roles, tracked by role list.
+        let mut bound_roles: Vec<u8> = Vec::new();
+        let mut inter: Vec<Vec<ToId>> = Vec::new();
+        for (i, tile) in plan.tiles.iter().enumerate() {
+            // Scan + filter the tile relation (memoized per filter).
+            let filter_sig: Vec<Option<String>> = tile
+                .cols_to_roles
+                .iter()
+                .map(|&role| {
+                    plan.candidates[role as usize].as_ref().map(|_| {
+                        let mut reqs: Vec<String> = plan.ctssn.annotations[role as usize]
+                            .iter()
+                            .map(|a| format!("k{}s{}", a.set, a.schema_node.0))
+                            .collect();
+                        reqs.sort();
+                        reqs.join(";")
+                    })
+                })
+                .collect();
+            let scanned: Arc<Vec<Row>> = match scans.entry((tile.rel, filter_sig)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    out.stats.probes += 1;
+                    let v: Vec<Row> = catalog
+                        .scan(db, tile.rel)
+                        .into_iter()
+                        .filter(|row| {
+                            tile.cols_to_roles.iter().enumerate().all(|(c, &role)| {
+                                plan.candidates[role as usize]
+                                    .as_ref()
+                                    .is_none_or(|cands| cands.contains(&row[c]))
+                            })
+                        })
+                        .collect();
+                    out.stats.rows += v.len() as u64;
+                    e.insert(Arc::new(v)).clone()
+                }
+            };
+            if i == 0 {
+                bound_roles = tile.cols_to_roles.clone();
+                inter = scanned
+                    .iter()
+                    .map(|r| r.to_vec())
+                    .collect();
+                continue;
+            }
+            // Join columns: roles shared between `bound_roles` and tile.
+            let shared: Vec<(usize, usize)> = tile
+                .cols_to_roles
+                .iter()
+                .enumerate()
+                .filter_map(|(c, role)| {
+                    bound_roles.iter().position(|r| r == role).map(|b| (b, c))
+                })
+                .collect();
+            use std::collections::HashMap;
+            let mut built: HashMap<Vec<ToId>, Vec<usize>> = HashMap::new();
+            for (idx, row) in inter.iter().enumerate() {
+                let key: Vec<ToId> = shared.iter().map(|&(b, _)| row[b]).collect();
+                built.entry(key).or_default().push(idx);
+            }
+            let mut next_inter: Vec<Vec<ToId>> = Vec::new();
+            let new_cols: Vec<usize> = tile
+                .cols_to_roles
+                .iter()
+                .enumerate()
+                .filter(|(_, role)| !bound_roles.contains(role))
+                .map(|(c, _)| c)
+                .collect();
+            for row in scanned.iter() {
+                let key: Vec<ToId> = shared.iter().map(|&(_, c)| row[c]).collect();
+                if let Some(matches) = built.get(&key) {
+                    for &mi in matches {
+                        let mut joined = inter[mi].clone();
+                        joined.extend(new_cols.iter().map(|&c| row[c]));
+                        next_inter.push(joined);
+                    }
+                }
+            }
+            for &c in &new_cols {
+                bound_roles.push(tile.cols_to_roles[c]);
+            }
+            inter = next_inter;
+            if inter.is_empty() {
+                break;
+            }
+        }
+        // Project to role order, enforce distinctness, emit.
+        for row in inter {
+            let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
+            for (b, &role) in bound_roles.iter().enumerate() {
+                assignment[role as usize] = Some(row[b]);
+            }
+            if !check_distinct(plan, &assignment) {
+                continue;
+            }
+            out.stats.results += 1;
+            out.rows.push(ResultRow {
+                plan: pi,
+                assignment: assignment.iter().map(|a| a.unwrap()).collect(),
+                score: plan.score,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cn::CnGenerator;
+    use crate::ctssn::Ctssn;
+    use crate::decompose;
+    use crate::master_index::MasterIndex;
+    use crate::optimizer::build_plan;
+    use crate::relations::{PhysicalPolicy, RelationCatalog};
+    use crate::semantics::enumerate_mttons;
+    use crate::target::TargetGraph;
+    use xkw_datagen::tpch;
+
+    struct Fixture {
+        graph: xkw_graph::XmlGraph,
+        tss: xkw_graph::TssGraph,
+        targets: TargetGraph,
+        master: MasterIndex,
+        db: Arc<Db>,
+        catalog: Arc<RelationCatalog>,
+    }
+
+    fn fixture(decomp: decompose::Decomposition, policy: PhysicalPolicy) -> Fixture {
+        let (graph, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let targets = TargetGraph::build(&graph, &tss).unwrap();
+        let master = MasterIndex::build(&graph, &targets);
+        let db = Arc::new(Db::new(256));
+        let catalog = Arc::new(RelationCatalog::materialize(
+            &db, &targets, decomp, policy, "t",
+        ));
+        Fixture {
+            graph,
+            tss,
+            targets,
+            master,
+            db,
+            catalog,
+        }
+    }
+
+    fn plans_for(f: &Fixture, keywords: &[&str], z: usize) -> Vec<CtssnPlan> {
+        let achievable = f.master.achievable_sets(keywords);
+        let gen = CnGenerator::new(f.tss.schema(), &achievable, keywords.len());
+        gen.generate(z)
+            .iter()
+            .map(|cn| Ctssn::from_cn(cn, &f.tss).unwrap())
+            .filter_map(|c| build_plan(&c, &f.catalog, &f.master, keywords))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_figure1() {
+        let tss = tpch::tss_graph();
+        for kws in [
+            ["john", "vcr"],
+            ["tv", "vcr"],
+            ["us", "vcr"],
+            ["john", "tv"],
+        ] {
+            let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+            let plans = plans_for(&f, &kws, 8);
+            let got = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive).mttons();
+            let expect = enumerate_mttons(&f.graph, &f.targets, &kws, 8);
+            assert_eq!(got, expect, "keywords {kws:?}");
+        }
+    }
+
+    #[test]
+    fn cached_equals_naive() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        for kws in [["us", "vcr"], ["tv", "vcr"]] {
+            let plans = plans_for(&f, &kws, 8);
+            let naive = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive);
+            let cached = all_plans(
+                &f.db,
+                &f.catalog,
+                &plans,
+                ExecMode::Cached { capacity: 4096 },
+            );
+            assert_eq!(naive.mttons(), cached.mttons());
+            assert!(cached.stats.cache_hits + cached.stats.cache_misses > 0);
+            // Caching strictly reduces probes on the MVD-redundant data.
+            assert!(cached.stats.probes <= naive.stats.probes);
+        }
+    }
+
+    #[test]
+    fn complete_decomposition_same_results_fewer_joins() {
+        let tss = tpch::tss_graph();
+        let f_min = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let f_com = fixture(decompose::complete(&tss, 2), PhysicalPolicy::clustered());
+        let kws = ["tv", "vcr"];
+        let p_min = plans_for(&f_min, &kws, 8);
+        let p_com = plans_for(&f_com, &kws, 8);
+        let m1 = all_plans(&f_min.db, &f_min.catalog, &p_min, ExecMode::Naive).mttons();
+        let m2 = all_plans(&f_com.db, &f_com.catalog, &p_com, ExecMode::Naive).mttons();
+        assert_eq!(m1, m2);
+        let joins_min: usize = p_min.iter().map(CtssnPlan::joins).sum();
+        let joins_com: usize = p_com.iter().map(CtssnPlan::joins).sum();
+        assert!(joins_com < joins_min);
+    }
+
+    #[test]
+    fn all_results_hash_join_matches_nested_loops() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::bare());
+        for kws in [["john", "vcr"], ["us", "vcr"]] {
+            let plans = plans_for(&f, &kws, 8);
+            let nl = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive).mttons();
+            let hj = all_results(&f.db, &f.catalog, &plans).mttons();
+            assert_eq!(nl, hj, "keywords {kws:?}");
+        }
+    }
+
+    #[test]
+    fn topk_stops_early_and_returns_k() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let plans = plans_for(&f, &["us", "vcr"], 8);
+        let full = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive);
+        let total = full.rows.len();
+        assert!(total > 4);
+        let top = topk(
+            &f.db,
+            &f.catalog,
+            &plans,
+            ExecMode::Cached { capacity: 1024 },
+            3,
+            2,
+        );
+        assert_eq!(top.rows.len(), 3);
+        // Every returned row is a genuine result.
+        let all: std::collections::HashSet<Mtton> =
+            full.rows.iter().map(ResultRow::to_mtton).collect();
+        for r in &top.rows {
+            assert!(all.contains(&r.to_mtton()));
+        }
+    }
+
+    #[test]
+    fn figure2_redundancy_counted() {
+        // "US, VCR" on the Fig. 2 subgraph: the supplier-route CN yields
+        // exactly the 4 results N1..N4.
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let plans = plans_for(&f, &["us", "vcr"], 8);
+        let res = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive);
+        let li = f
+            .tss
+            .node_ids()
+            .find(|&i| f.tss.node(i).name == "Lineitem")
+            .unwrap();
+        let person = f
+            .tss
+            .node_ids()
+            .find(|&i| f.tss.node(i).name == "Person")
+            .unwrap();
+        let lp = f.tss.find_edge(li, person).unwrap();
+        let counts: usize = res
+            .rows
+            .iter()
+            .filter(|r| {
+                let p = &plans[r.plan];
+                p.ctssn.tree.edges.iter().any(|e| e.edge == lp) && p.ctssn.size() == 3
+            })
+            .count();
+        assert_eq!(counts, 4, "N1..N4 of Figure 2");
+    }
+
+    #[test]
+    fn stats_track_probes_and_results() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let plans = plans_for(&f, &["john", "vcr"], 8);
+        let res = all_plans(&f.db, &f.catalog, &plans, ExecMode::Naive);
+        assert!(res.stats.probes > 0);
+        assert!(res.stats.results as usize >= res.rows.len());
+        assert_eq!(res.stats.cache_hits, 0);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use crate::cn::CnGenerator;
+    use crate::ctssn::Ctssn;
+    use crate::decompose;
+    use crate::master_index::MasterIndex;
+    use crate::optimizer::{build_plan, CtssnPlan};
+    use crate::relations::{PhysicalPolicy, RelationCatalog};
+    use crate::target::TargetGraph;
+    use xkw_datagen::tpch;
+
+    fn setup() -> (Db, RelationCatalog, Vec<CtssnPlan>) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let master = MasterIndex::build(&g, &tg);
+        let db = Db::new(128);
+        let catalog = RelationCatalog::materialize(
+            &db,
+            &tg,
+            decompose::minimal(&tss),
+            PhysicalPolicy::clustered(),
+            "s",
+        );
+        let achievable = master.achievable_sets(&["us", "vcr"]);
+        let gen = CnGenerator::new(tss.schema(), &achievable, 2);
+        let plans: Vec<CtssnPlan> = gen
+            .generate(8)
+            .iter()
+            .map(|cn| Ctssn::from_cn(cn, &tss).unwrap())
+            .filter_map(|c| build_plan(&c, &catalog, &master, &["us", "vcr"]))
+            .collect();
+        (db, catalog, plans)
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_batch_results() {
+        let (db, catalog, plans) = setup();
+        let batch = all_plans(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 });
+        let streamed: Vec<ResultRow> =
+            ResultStream::new(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 })
+                .collect();
+        let mut a: Vec<Mtton> = batch.rows.iter().map(ResultRow::to_mtton).collect();
+        let mut b: Vec<Mtton> = streamed.iter().map(ResultRow::to_mtton).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pages_are_disjoint_and_ordered_by_plan() {
+        let (db, catalog, plans) = setup();
+        let mut stream = ResultStream::new(&db, &catalog, &plans, ExecMode::Naive);
+        let p1 = stream.page(3);
+        let p2 = stream.page(3);
+        assert_eq!(p1.len(), 3);
+        assert!(!p2.is_empty());
+        for a in &p1 {
+            for b in &p2 {
+                assert_ne!((a.plan, &a.assignment), (b.plan, &b.assignment));
+            }
+        }
+        // Plan indexes never decrease across the stream.
+        let all: Vec<ResultRow> = p1.into_iter().chain(p2).chain(stream).collect();
+        assert!(all.windows(2).all(|w| w[0].plan <= w[1].plan));
+    }
+
+    #[test]
+    fn early_pages_cost_less_than_full_evaluation() {
+        let (db, catalog, plans) = setup();
+        let mut stream =
+            ResultStream::new(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 });
+        let _first = stream.page(2);
+        let early_probes = stream.stats().probes;
+        let _rest: Vec<_> = stream.by_ref().collect();
+        assert!(early_probes < stream.stats().probes);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::cn::CnGenerator;
+    use crate::ctssn::Ctssn;
+    use crate::decompose;
+    use crate::master_index::MasterIndex;
+    use crate::optimizer::{build_plan, build_plan_anchored, CtssnPlan};
+    use crate::relations::{PhysicalPolicy, RelationCatalog};
+    use crate::target::TargetGraph;
+    use xkw_datagen::tpch;
+
+    fn setup() -> (Arc<Db>, Arc<RelationCatalog>, MasterIndex, Vec<CtssnPlan>) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let master = MasterIndex::build(&g, &tg);
+        let db = Arc::new(Db::new(128));
+        let catalog = Arc::new(RelationCatalog::materialize(
+            &db,
+            &tg,
+            decompose::minimal(&tss),
+            PhysicalPolicy::clustered(),
+            "e",
+        ));
+        let achievable = master.achievable_sets(&["john", "vcr"]);
+        let gen = CnGenerator::new(tss.schema(), &achievable, 2);
+        let plans: Vec<CtssnPlan> = gen
+            .generate(8)
+            .iter()
+            .map(|cn| Ctssn::from_cn(cn, &tss).unwrap())
+            .filter_map(|c| build_plan(&c, &catalog, &master, &["john", "vcr"]))
+            .collect();
+        (db, catalog, master, plans)
+    }
+
+    #[test]
+    fn topk_k_zero_returns_nothing() {
+        let (db, catalog, _, plans) = setup();
+        let res = topk(&db, &catalog, &plans, ExecMode::Naive, 0, 2);
+        assert!(res.rows.is_empty());
+    }
+
+    #[test]
+    fn topk_k_exceeding_total_returns_all() {
+        let (db, catalog, _, plans) = setup();
+        let all = all_plans(&db, &catalog, &plans, ExecMode::Naive);
+        let res = topk(&db, &catalog, &plans, ExecMode::Naive, 10_000, 3);
+        assert_eq!(res.rows.len(), all.rows.len());
+    }
+
+    #[test]
+    fn topk_more_threads_than_plans() {
+        let (db, catalog, _, plans) = setup();
+        let res = topk(&db, &catalog, &plans, ExecMode::Naive, 5, 64);
+        assert_eq!(res.rows.len(), 5);
+    }
+
+    #[test]
+    fn eval_anchored_rejects_non_candidates() {
+        let (db, catalog, master, plans) = setup();
+        // Anchor at the driver (annotated) role with a TO that is not a
+        // candidate: must produce nothing, not crash.
+        let plan = &plans[0];
+        let anchored = build_plan_anchored(
+            &plan.ctssn,
+            &catalog,
+            &master,
+            &["john", "vcr"],
+            plan.driver,
+        )
+        .unwrap();
+        let bogus: ToId = 9999;
+        let mut cache = PartialCache::new(16);
+        let mut stats = ExecStats::default();
+        let mut count = 0;
+        let _ = eval_anchored(
+            &db,
+            &catalog,
+            &anchored,
+            bogus,
+            ExecMode::Naive,
+            &mut cache,
+            &mut stats,
+            &mut |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(count, 0);
+        assert_eq!(stats.probes, 0);
+    }
+
+    #[test]
+    fn empty_plan_list_is_fine_everywhere() {
+        let (db, catalog, _, _) = setup();
+        let plans: Vec<CtssnPlan> = Vec::new();
+        assert!(all_plans(&db, &catalog, &plans, ExecMode::Naive).rows.is_empty());
+        assert!(all_results(&db, &catalog, &plans).rows.is_empty());
+        assert!(topk(&db, &catalog, &plans, ExecMode::Naive, 5, 2).rows.is_empty());
+        assert!(ResultStream::new(&db, &catalog, &plans, ExecMode::Naive)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    fn cache_capacity_one_still_correct() {
+        let (db, catalog, _, plans) = setup();
+        let tiny = all_plans(&db, &catalog, &plans, ExecMode::Cached { capacity: 1 });
+        let naive = all_plans(&db, &catalog, &plans, ExecMode::Naive);
+        assert_eq!(tiny.mttons(), naive.mttons());
+    }
+}

@@ -1,0 +1,237 @@
+//! The master index (§4, load-stage structure 1).
+//!
+//! *"A master index, which stores for each keyword k a list of triplets of
+//! the form ⟨TO id, node id, schema node⟩ where TO id is the id of the
+//! target object that contains the node of type schema node with id
+//! node id, which contains k."*
+//!
+//! The keyword discoverer of the query stage reads *containing lists*
+//! L(k) straight out of this index. The paper implements it with Oracle
+//! interMedia Text; here it is an in-memory inverted index over the same
+//! triplets.
+
+use crate::target::{TargetGraph, ToId};
+use std::collections::{HashMap, HashSet};
+use xkw_graph::{graph::tokenize, NodeId, SchemaNodeId, XmlGraph};
+
+/// One posting of a containing list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// Target object containing the node.
+    pub to: ToId,
+    /// The containing data node itself.
+    pub node: NodeId,
+    /// Its schema node — needed to score candidate networks, since the
+    /// connection relations only store target-object ids.
+    pub schema_node: SchemaNodeId,
+}
+
+/// The inverted index keyword → containing list.
+#[derive(Debug, Default)]
+pub struct MasterIndex {
+    map: HashMap<String, Vec<Posting>>,
+    /// Query-keyword sets per node are computed lazily per query; this
+    /// stores total postings for reporting.
+    postings: usize,
+}
+
+impl MasterIndex {
+    /// Indexes every member node of every target object (dummy nodes
+    /// carry no information and are skipped). Keywords are lower-cased
+    /// tokens of the node's tag and value, per §3.1.
+    pub fn build(graph: &XmlGraph, targets: &TargetGraph) -> Self {
+        let mut map: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut postings = 0usize;
+        for n in graph.node_ids() {
+            let Some(to) = targets.to_of_node(n) else {
+                continue;
+            };
+            let posting = Posting {
+                to,
+                node: n,
+                schema_node: targets.class_of(n),
+            };
+            for kw in graph.keywords(n) {
+                map.entry(kw).or_default().push(posting);
+                postings += 1;
+            }
+        }
+        MasterIndex { map, postings }
+    }
+
+    /// The containing list L(k) (empty slice if the keyword is unknown).
+    pub fn containing_list(&self, keyword: &str) -> &[Posting] {
+        self.map
+            .get(&keyword.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct schema nodes whose extension contains `keyword`.
+    pub fn schema_nodes_for(&self, keyword: &str) -> Vec<SchemaNodeId> {
+        let mut v: Vec<SchemaNodeId> = self
+            .containing_list(keyword)
+            .iter()
+            .map(|p| p.schema_node)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// For a query `keywords`, computes per data node the *exact* set of
+    /// query keywords it contains, as a bitset — the tuple-set semantics
+    /// of DISCOVER that the CN generator builds on. Returns
+    /// `(node → bitset, node → (to, schema_node))` restricted to nodes
+    /// containing at least one query keyword.
+    pub fn exact_sets(&self, keywords: &[&str]) -> HashMap<NodeId, (u16, Posting)> {
+        assert!(keywords.len() <= 16, "at most 16 query keywords");
+        let mut out: HashMap<NodeId, (u16, Posting)> = HashMap::new();
+        for (i, kw) in keywords.iter().enumerate() {
+            for p in self.containing_list(kw) {
+                let entry = out.entry(p.node).or_insert((0, *p));
+                entry.0 |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// The distinct exact keyword-sets achievable per schema node for the
+    /// given query — used by the CN generator to instantiate only
+    /// non-empty tuple sets.
+    pub fn achievable_sets(&self, keywords: &[&str]) -> HashMap<SchemaNodeId, HashSet<u16>> {
+        let mut out: HashMap<SchemaNodeId, HashSet<u16>> = HashMap::new();
+        for (set, posting) in self.exact_sets(keywords).values() {
+            out.entry(posting.schema_node).or_default().insert(*set);
+        }
+        out
+    }
+
+    /// Target objects that contain, in a node of type `schema_node`, a
+    /// node whose exact query-keyword set equals `set`.
+    pub fn candidate_tos(
+        &self,
+        keywords: &[&str],
+        schema_node: SchemaNodeId,
+        set: u16,
+    ) -> HashSet<ToId> {
+        self.exact_sets(keywords)
+            .values()
+            .filter(|(s, p)| *s == set && p.schema_node == schema_node)
+            .map(|(_, p)| p.to)
+            .collect()
+    }
+
+    /// Number of indexed keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+}
+
+/// Re-export of the tokenizer used at index time, so query keywords can
+/// be normalized identically.
+pub fn normalize(keyword: &str) -> String {
+    tokenize(keyword).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xkw_datagen::tpch;
+
+    fn fixture() -> (XmlGraph, TargetGraph, MasterIndex) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let idx = MasterIndex::build(&g, &tg);
+        (g, tg, idx)
+    }
+
+    #[test]
+    fn containing_lists_find_values() {
+        let (g, _, idx) = fixture();
+        let john = idx.containing_list("john");
+        assert_eq!(john.len(), 1);
+        assert_eq!(g.value(john[0].node), Some("John"));
+        // Case-insensitive lookup.
+        assert_eq!(idx.containing_list("John").len(), 1);
+        // VCR appears in two pnames and one product descr.
+        assert_eq!(idx.containing_list("vcr").len(), 3);
+        assert!(idx.containing_list("zzz-missing").is_empty());
+    }
+
+    #[test]
+    fn tags_are_indexed_too() {
+        let (_, _, idx) = fixture();
+        // Every person node (and nothing else) matches "person".
+        assert_eq!(idx.containing_list("person").len(), 2);
+    }
+
+    #[test]
+    fn schema_nodes_for_keyword() {
+        let (g, _, idx) = fixture();
+        let nodes = idx.schema_nodes_for("vcr");
+        // pname and descr.
+        assert_eq!(nodes.len(), 2);
+        let _ = g;
+    }
+
+    #[test]
+    fn exact_sets_partition_keywords() {
+        let (g, _, idx) = fixture();
+        let sets = idx.exact_sets(&["john", "vcr"]);
+        // 1 john node + 3 vcr nodes, no overlap.
+        assert_eq!(sets.len(), 4);
+        for (n, (set, _)) in &sets {
+            match g.value(*n) {
+                Some("John") => assert_eq!(*set, 0b01),
+                _ => assert_eq!(*set, 0b10),
+            }
+        }
+        // A value containing both keywords gets the union bitset.
+        let both = idx.exact_sets(&["vcr", "dvd"]);
+        let descr_set = both
+            .iter()
+            .find(|(n, _)| g.value(**n) == Some("set of VCR and DVD"))
+            .map(|(_, (s, _))| *s)
+            .unwrap();
+        assert_eq!(descr_set, 0b11);
+    }
+
+    #[test]
+    fn candidate_tos_respect_schema_node_and_set() {
+        let (g, tg, idx) = fixture();
+        let pname = tg.class_of(
+            g.node_ids()
+                .find(|&n| g.tag(n) == "pname")
+                .unwrap(),
+        );
+        let tos = idx.candidate_tos(&["vcr"], pname, 0b1);
+        assert_eq!(tos.len(), 2); // the two VCR parts
+        let tos_tv = idx.candidate_tos(&["tv"], pname, 0b1);
+        assert_eq!(tos_tv.len(), 1);
+    }
+
+    #[test]
+    fn achievable_sets_shape() {
+        let (_, _, idx) = fixture();
+        let a = idx.achievable_sets(&["vcr", "dvd"]);
+        // descr achieves {vcr,dvd} (the "set of VCR and DVD" node) and
+        // {dvd} (the "DVD error" service call descr is scdescr though).
+        let has_union = a.values().any(|sets| sets.contains(&0b11));
+        assert!(has_union);
+    }
+
+    #[test]
+    fn counts_nonzero() {
+        let (_, _, idx) = fixture();
+        assert!(idx.keyword_count() > 10);
+        assert!(idx.posting_count() > idx.keyword_count());
+        assert_eq!(normalize("  VCR!"), "vcr");
+    }
+}

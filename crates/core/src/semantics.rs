@@ -1,0 +1,289 @@
+//! Keyword-query semantics (§3.1) and a brute-force reference evaluator.
+//!
+//! * An **MTNN** (minimal total node network) is an uncycled, connected
+//!   subgraph of the XML graph containing every query keyword in at least
+//!   one node, from which no node can be removed while remaining a total
+//!   node network. Its *score* is its size in edges; smaller is better.
+//! * An **MTTON** (minimal total target-object network) is the MTNN with
+//!   every node replaced by its target object and dummy nodes absorbed
+//!   into the connecting edges.
+//!
+//! [`enumerate_mtnns`] is an exhaustive evaluator — exponential, meant as
+//! the ground-truth oracle for integration and property tests of the
+//! candidate-network generator and the execution engines (which must
+//! produce exactly the same MTTON sets).
+
+use crate::target::{TargetGraph, ToId};
+use std::collections::HashSet;
+use xkw_graph::{EdgeKind, NodeId, XmlGraph};
+
+/// A minimal total node network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mtnn {
+    /// Nodes, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Edges as `(from, to, kind)`, directed as in the XML graph, sorted.
+    pub edges: Vec<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl Mtnn {
+    /// The score: size in number of edges (§3.1).
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Converts to the corresponding MTTON under `targets`.
+    pub fn to_mtton(&self, targets: &TargetGraph) -> Mtton {
+        let mut tos: Vec<ToId> = self
+            .nodes
+            .iter()
+            .filter_map(|&n| targets.to_of_node(n))
+            .collect();
+        tos.sort_unstable();
+        tos.dedup();
+        Mtton {
+            tos,
+            score: self.size(),
+        }
+    }
+}
+
+/// A minimal total target-object network, reduced to its identity: the
+/// set of participating target objects plus the score of its MTNN.
+/// (Execution engines carry richer role assignments internally; equality
+/// of result sets is checked on this form.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mtton {
+    /// Participating target objects, sorted and deduplicated.
+    pub tos: Vec<ToId>,
+    /// Score inherited from the MTNN (size in schema-graph edges).
+    pub score: usize,
+}
+
+/// Exhaustively enumerates all MTNNs of `keywords` with size ≤ `z`.
+///
+/// Keyword containment follows §3.1: a node contains `k` when `k` is a
+/// token of its tag or value. Enumeration grows all connected subtrees of
+/// the graph up to `z` edges (deduplicated by edge set) and filters for
+/// totality and minimality. Exponential — test oracle only.
+pub fn enumerate_mtnns(graph: &XmlGraph, keywords: &[&str], z: usize) -> Vec<Mtnn> {
+    let keywords: Vec<String> = keywords.iter().map(|k| k.to_lowercase()).collect();
+    // Which keywords each node contains.
+    let node_kw: Vec<u16> = graph
+        .node_ids()
+        .map(|n| {
+            let toks = graph.keywords(n);
+            let mut bits = 0u16;
+            for (i, k) in keywords.iter().enumerate() {
+                if toks.iter().any(|t| t == k) {
+                    bits |= 1 << i;
+                }
+            }
+            bits
+        })
+        .collect();
+    let all: u16 = (1 << keywords.len()) - 1;
+
+    // Grow subtrees from every node. State: sorted node set + sorted edge
+    // set, deduped globally per size.
+    type Edge = (NodeId, NodeId, EdgeKind);
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Tree {
+        nodes: Vec<NodeId>,
+        edges: Vec<Edge>,
+    }
+
+    let mut results: Vec<Mtnn> = Vec::new();
+    let mut frontier: HashSet<Tree> = graph
+        .node_ids()
+        .map(|n| Tree {
+            nodes: vec![n],
+            edges: vec![],
+        })
+        .collect();
+
+    let consider = |t: &Tree, results: &mut Vec<Mtnn>| {
+        // Totality.
+        let mut covered = 0u16;
+        for n in &t.nodes {
+            covered |= node_kw[n.idx()];
+        }
+        if covered != all {
+            return;
+        }
+        // Minimality: no leaf removable. Degree per node.
+        let degree = |n: NodeId| {
+            t.edges
+                .iter()
+                .filter(|&&(a, b, _)| a == n || b == n)
+                .count()
+        };
+        for &n in &t.nodes {
+            if t.nodes.len() > 1 && degree(n) != 1 {
+                continue; // internal node: removal disconnects
+            }
+            // Total without n?
+            let mut rest = 0u16;
+            for &m in &t.nodes {
+                if m != n {
+                    rest |= node_kw[m.idx()];
+                }
+            }
+            if rest == all {
+                return; // leaf removable → not minimal
+            }
+        }
+        results.push(Mtnn {
+            nodes: t.nodes.clone(),
+            edges: t.edges.clone(),
+        });
+    };
+
+    for t in &frontier {
+        consider(t, &mut results);
+    }
+    for _ in 0..z {
+        let mut next: HashSet<Tree> = HashSet::new();
+        for t in &frontier {
+            for &n in &t.nodes {
+                for (m, kind, outgoing) in graph.neighbours(n) {
+                    if t.nodes.contains(&m) {
+                        continue; // would close a cycle
+                    }
+                    let e: Edge = if outgoing { (n, m, kind) } else { (m, n, kind) };
+                    let mut nodes = t.nodes.clone();
+                    nodes.push(m);
+                    nodes.sort_unstable();
+                    let mut edges = t.edges.clone();
+                    edges.push(e);
+                    edges.sort();
+                    next.insert(Tree { nodes, edges });
+                }
+            }
+        }
+        for t in &next {
+            consider(t, &mut results);
+        }
+        frontier = next;
+    }
+    results.sort_by_key(|m| (m.size(), m.nodes.clone()));
+    results
+}
+
+/// Enumerates the MTTON result set: the deduplicated projection of
+/// [`enumerate_mtnns`] onto target objects.
+pub fn enumerate_mttons(
+    graph: &XmlGraph,
+    targets: &TargetGraph,
+    keywords: &[&str],
+    z: usize,
+) -> Vec<Mtton> {
+    let mut out: Vec<Mtton> = enumerate_mtnns(graph, keywords, z)
+        .into_iter()
+        .map(|m| m.to_mtton(targets))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xkw_datagen::tpch;
+
+    #[test]
+    fn john_vcr_sizes_6_and_8() {
+        // The worked example of §1: the best "John, VCR" result has size
+        // 6 (John supplies the lineitem whose product description
+        // mentions VCR); the next tier has size 8 (the lineitem's part
+        // has a VCR subpart).
+        let (g, _, _) = tpch::figure1();
+        let res = enumerate_mtnns(&g, &["john", "vcr"], 8);
+        assert!(!res.is_empty());
+        let best = res[0].size();
+        assert_eq!(best, 6);
+        let sizes: Vec<usize> = res.iter().map(Mtnn::size).collect();
+        assert!(sizes.contains(&8), "sizes: {sizes:?}");
+        // Exactly one size-6 result.
+        assert_eq!(sizes.iter().filter(|&&s| s == 6).count(), 1);
+    }
+
+    #[test]
+    fn us_vcr_has_the_four_figure2_results() {
+        // Figure 2: p1(US) supplies l1, l2; both reference part TV(1005),
+        // whose subparts pa1(1008), pa2(1009) are VCRs → exactly 4
+        // results of that shape (multivalued-dependency style redundancy).
+        let (g, _, _) = tpch::figure1();
+        let res = enumerate_mtnns(&g, &["us", "vcr"], 8);
+        // Restrict to results of the Figure 2 shape: the nation and pname
+        // keyword nodes connected through a *supplier* chain (the other
+        // size-8 family goes through Mike's order instead).
+        let fig2: Vec<&Mtnn> = res
+            .iter()
+            .filter(|m| {
+                m.nodes.iter().any(|&n| g.value(n) == Some("US"))
+                    && m.nodes
+                        .iter()
+                        .any(|&n| g.tag(n) == "pname" && g.value(n) == Some("VCR"))
+                    && m.nodes.iter().any(|&n| g.tag(n) == "supplier")
+            })
+            .collect();
+        assert_eq!(fig2.len(), 4, "expected the N1..N4 of Figure 2");
+        assert!(fig2.iter().all(|m| m.size() == 8));
+    }
+
+    #[test]
+    fn single_node_result_when_one_node_has_all_keywords() {
+        let (g, _, _) = tpch::figure1();
+        // "set of VCR and DVD" contains both.
+        let res = enumerate_mtnns(&g, &["vcr", "dvd"], 4);
+        assert_eq!(res[0].size(), 0);
+        assert_eq!(res[0].nodes.len(), 1);
+    }
+
+    #[test]
+    fn minimality_rejects_removable_leaves() {
+        let (g, _, _) = tpch::figure1();
+        for m in enumerate_mtnns(&g, &["john", "tv"], 8) {
+            // Every leaf must carry a keyword not covered elsewhere.
+            for &n in &m.nodes {
+                let deg = m
+                    .edges
+                    .iter()
+                    .filter(|&&(a, b, _)| a == n || b == n)
+                    .count();
+                if m.nodes.len() > 1 && deg == 1 {
+                    let toks = g.keywords(n);
+                    assert!(
+                        toks.iter().any(|t| t == "john" || t == "tv"),
+                        "free leaf {n} in a supposed MTNN"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mttons_dedup_equivalent_node_networks() {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let mttons = enumerate_mttons(&g, &tg, &["john", "vcr"], 8);
+        assert!(!mttons.is_empty());
+        // Scores preserved; all within bound.
+        assert!(mttons.iter().all(|m| m.score <= 8));
+        // Best MTTON involves Person[John], Lineitem, Product.
+        let best = mttons.iter().min_by_key(|m| m.score).unwrap();
+        assert_eq!(best.score, 6);
+        assert_eq!(best.tos.len(), 3);
+    }
+
+    #[test]
+    fn keyword_bound_z_is_respected() {
+        let (g, _, _) = tpch::figure1();
+        let small = enumerate_mtnns(&g, &["john", "vcr"], 6);
+        assert!(small.iter().all(|m| m.size() <= 6));
+        assert_eq!(small.iter().filter(|m| m.size() == 6).count(), 1);
+    }
+}

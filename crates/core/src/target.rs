@@ -1,0 +1,401 @@
+//! Target objects and the target-object graph (§3/§4).
+//!
+//! A *target object* (TO) is a minimal self-contained piece of XML — the
+//! instance-level counterpart of a target schema segment: a maximal set
+//! of data nodes mapped into one TSS and glued by intra-segment
+//! containment edges (e.g. a `person` with its `name` and `nation`).
+//! Dummy data nodes (`line`, `supplier`, `sub`, …) belong to no TO; they
+//! only form the connecting paths that become TO-graph edges.
+//!
+//! The **target object graph** has a node per TO and an edge per TSS-edge
+//! instance between TOs; connection relations (§5) are materialized views
+//! over it, and the master index and BLOB store are keyed by its ids.
+
+use std::collections::HashMap;
+use xkw_graph::{ConformanceError, NodeId, SchemaNodeId, TssEdgeId, TssGraph, TssId, XmlGraph};
+
+/// A target object id — dense, assigned at build time. This is the id
+/// datatype stored in connection relations.
+pub type ToId = u32;
+
+/// One target object.
+#[derive(Debug, Clone)]
+pub struct TargetObject {
+    /// Which segment it instantiates.
+    pub tss: TssId,
+    /// Member data nodes (sorted by id).
+    pub nodes: Vec<NodeId>,
+    /// The topmost member (no intra-segment containment parent).
+    pub root: NodeId,
+}
+
+/// The target-object graph.
+#[derive(Debug)]
+pub struct TargetGraph {
+    objects: Vec<TargetObject>,
+    node_to: Vec<Option<ToId>>,
+    classes: Vec<SchemaNodeId>,
+    out: Vec<Vec<(TssEdgeId, ToId)>>,
+    inc: Vec<Vec<(TssEdgeId, ToId)>>,
+    by_tss: Vec<Vec<ToId>>,
+}
+
+impl TargetGraph {
+    /// Decomposes `graph` into target objects according to `tss`.
+    ///
+    /// Fails if the data does not classify against the schema (every tag
+    /// must be a schema node).
+    pub fn build(graph: &XmlGraph, tss: &TssGraph) -> Result<Self, ConformanceError> {
+        let schema = tss.schema();
+        let classes = schema.classify(graph)?;
+        let n = graph.node_count();
+
+        // 1. Union member nodes along intra-segment containment edges.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            if parent[x as usize] == x {
+                return x;
+            }
+            let r = find(parent, parent[x as usize]);
+            parent[x as usize] = r;
+            r
+        }
+        for u in graph.node_ids() {
+            let su = classes[u.idx()];
+            let Some(tu) = tss.tss_of(su) else { continue };
+            for &v in graph.containment_children(u) {
+                let sv = classes[v.idx()];
+                if su != sv && tss.tss_of(sv) == Some(tu) {
+                    let (ru, rv) = (find(&mut parent, u.0), find(&mut parent, v.0));
+                    parent[ru as usize] = rv;
+                }
+            }
+        }
+
+        // 2. Materialize TOs.
+        let mut objects: Vec<TargetObject> = Vec::new();
+        let mut node_to: Vec<Option<ToId>> = vec![None; n];
+        let mut comp_to: HashMap<u32, ToId> = HashMap::new();
+        for u in graph.node_ids() {
+            let su = classes[u.idx()];
+            let Some(tu) = tss.tss_of(su) else { continue };
+            let root = find(&mut parent, u.0);
+            let id = *comp_to.entry(root).or_insert_with(|| {
+                let id = objects.len() as ToId;
+                objects.push(TargetObject {
+                    tss: tu,
+                    nodes: Vec::new(),
+                    root: u, // fixed up below
+                });
+                id
+            });
+            objects[id as usize].nodes.push(u);
+            node_to[u.idx()] = Some(id);
+        }
+        // Roots: the member without an intra containment parent.
+        for to in &mut objects {
+            to.nodes.sort_unstable();
+            let root = *to
+                .nodes
+                .iter()
+                .find(|&&m| {
+                    !graph
+                        .containment_parents(m)
+                        .iter()
+                        .any(|p| node_to[p.idx()] == node_to[m.idx()])
+                })
+                .unwrap_or(&to.nodes[0]);
+            to.root = root;
+        }
+
+        let mut g = TargetGraph {
+            out: vec![Vec::new(); objects.len()],
+            inc: vec![Vec::new(); objects.len()],
+            by_tss: vec![Vec::new(); tss.node_count()],
+            objects,
+            node_to,
+            classes,
+        };
+        for (i, to) in g.objects.iter().enumerate() {
+            g.by_tss[to.tss.idx()].push(i as ToId);
+        }
+
+        // 3. Instantiate TSS edges by walking their schema-edge paths
+        // through dummy data nodes.
+        for te in tss.edge_ids() {
+            let path = &tss.edge(te).path;
+            let first_from = schema.edge(path[0]).from;
+            let mut pairs: Vec<(ToId, ToId)> = Vec::new();
+            for u in graph.node_ids() {
+                if g.classes[u.idx()] != first_from {
+                    continue;
+                }
+                let mut cur = vec![u];
+                for &se in path {
+                    let e = schema.edge(se);
+                    let mut next = Vec::new();
+                    for &v in &cur {
+                        let targets: &[NodeId] = match e.kind {
+                            xkw_graph::EdgeKind::Containment => graph.containment_children(v),
+                            xkw_graph::EdgeKind::Reference => graph.reference_targets(v),
+                        };
+                        for &w in targets {
+                            if g.classes[w.idx()] == e.to {
+                                next.push(w);
+                            }
+                        }
+                    }
+                    cur = next;
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                let from_to = g.node_to[u.idx()].expect("path starts at a member node");
+                for w in cur {
+                    let to_to = g.node_to[w.idx()].expect("path ends at a member node");
+                    pairs.push((from_to, to_to));
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            for (a, b) in pairs {
+                g.out[a as usize].push((te, b));
+                g.inc[b as usize].push((te, a));
+            }
+        }
+        Ok(g)
+    }
+
+    /// Number of target objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether there are no target objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The target object with the given id.
+    pub fn to(&self, id: ToId) -> &TargetObject {
+        &self.objects[id as usize]
+    }
+
+    /// The TO containing data node `n`, or `None` for dummy nodes.
+    pub fn to_of_node(&self, n: NodeId) -> Option<ToId> {
+        self.node_to[n.idx()]
+    }
+
+    /// Schema classification of a data node.
+    pub fn class_of(&self, n: NodeId) -> SchemaNodeId {
+        self.classes[n.idx()]
+    }
+
+    /// All TOs of a segment.
+    pub fn tos_of(&self, tss: TssId) -> &[ToId] {
+        &self.by_tss[tss.idx()]
+    }
+
+    /// Outgoing TO edges of `id` as `(tss edge, target TO)`.
+    pub fn edges_out(&self, id: ToId) -> &[(TssEdgeId, ToId)] {
+        &self.out[id as usize]
+    }
+
+    /// Incoming TO edges of `id` as `(tss edge, source TO)`.
+    pub fn edges_in(&self, id: ToId) -> &[(TssEdgeId, ToId)] {
+        &self.inc[id as usize]
+    }
+
+    /// Follows TSS edge `e` from `id` (forward if `forward`).
+    pub fn neighbours_via(&self, id: ToId, e: TssEdgeId, forward: bool) -> Vec<ToId> {
+        let list = if forward {
+            &self.out[id as usize]
+        } else {
+            &self.inc[id as usize]
+        };
+        list.iter()
+            .filter(|&&(te, _)| te == e)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// Total TO-graph edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes a target object as a small XML fragment (for the BLOB
+    /// store): the member subtree only, with values.
+    pub fn to_xml(&self, graph: &XmlGraph, id: ToId) -> String {
+        let to = &self.objects[id as usize];
+        let mut out = String::new();
+        self.write_member(graph, id, to.root, &mut out);
+        out
+    }
+
+    fn write_member(&self, graph: &XmlGraph, id: ToId, n: NodeId, out: &mut String) {
+        use std::fmt::Write as _;
+        let tag = graph.tag(n);
+        let _ = write!(out, "<{tag}");
+        let member_kids: Vec<NodeId> = graph
+            .containment_children(n)
+            .iter()
+            .copied()
+            .filter(|&c| self.node_to[c.idx()] == Some(id))
+            .collect();
+        match (graph.value(n), member_kids.is_empty()) {
+            (None, true) => {
+                let _ = write!(out, "/>");
+            }
+            (v, _) => {
+                let _ = write!(out, ">");
+                if let Some(v) = v {
+                    let _ = write!(out, "{v}");
+                }
+                for c in member_kids {
+                    self.write_member(graph, id, c, out);
+                }
+                let _ = write!(out, "</{tag}>");
+            }
+        }
+    }
+
+    /// A short human-readable label for a TO: segment name plus the first
+    /// leaf value found (e.g. `Person[John]`).
+    pub fn label(&self, graph: &XmlGraph, tss: &TssGraph, id: ToId) -> String {
+        let to = &self.objects[id as usize];
+        let name = &tss.node(to.tss).name;
+        let value = to.nodes.iter().find_map(|&n| graph.value(n)).unwrap_or("");
+        if value.is_empty() {
+            format!("{name}#{id}")
+        } else {
+            format!("{name}[{value}]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xkw_datagen::tpch;
+
+    fn fixture() -> (XmlGraph, TssGraph, TargetGraph) {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        (g, tss, tg)
+    }
+
+    fn seg(t: &TssGraph, name: &str) -> TssId {
+        t.node_ids().find(|&i| t.node(i).name == name).unwrap()
+    }
+
+    #[test]
+    fn figure1_to_counts() {
+        let (_, tss, tg) = fixture();
+        // 2 persons, 2 orders, 4 lineitems, 4 parts, 1 product, 1 service
+        // call = 14 target objects.
+        assert_eq!(tg.tos_of(seg(&tss, "Person")).len(), 2);
+        assert_eq!(tg.tos_of(seg(&tss, "Order")).len(), 2);
+        assert_eq!(tg.tos_of(seg(&tss, "Lineitem")).len(), 4);
+        assert_eq!(tg.tos_of(seg(&tss, "Part")).len(), 4);
+        assert_eq!(tg.tos_of(seg(&tss, "Product")).len(), 1);
+        assert_eq!(tg.tos_of(seg(&tss, "ServiceCall")).len(), 1);
+        assert_eq!(tg.len(), 14);
+    }
+
+    #[test]
+    fn members_are_grouped_with_leaves() {
+        let (g, tss, tg) = fixture();
+        let persons = tg.tos_of(seg(&tss, "Person"));
+        for &p in persons {
+            let to = tg.to(p);
+            // person + name + nation.
+            assert_eq!(to.nodes.len(), 3);
+            assert_eq!(g.tag(to.root), "person");
+        }
+    }
+
+    #[test]
+    fn dummy_nodes_have_no_to() {
+        let (g, _, tg) = fixture();
+        for n in g.node_ids() {
+            let tag = g.tag(n);
+            let is_dummy = matches!(tag, "line" | "supplier" | "sub");
+            assert_eq!(tg.to_of_node(n).is_none(), is_dummy, "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn tss_edges_are_instantiated_through_dummies() {
+        let (g, tss, tg) = fixture();
+        let li_seg = seg(&tss, "Lineitem");
+        let person_seg = seg(&tss, "Person");
+        let lp = tss.find_edge(li_seg, person_seg).unwrap();
+        // Every lineitem has exactly one supplier person.
+        for &l in tg.tos_of(li_seg) {
+            assert_eq!(tg.neighbours_via(l, lp, true).len(), 1);
+        }
+        // John supplies three lineitems (l0, l1, l2).
+        let john = tg
+            .tos_of(person_seg)
+            .iter()
+            .copied()
+            .find(|&p| tg.to(p).nodes.iter().any(|&n| g.value(n) == Some("John")))
+            .unwrap();
+        assert_eq!(tg.neighbours_via(john, lp, false).len(), 3);
+    }
+
+    #[test]
+    fn subpart_edges_dedup_parallel_paths() {
+        let (g, tss, tg) = fixture();
+        let part_seg = seg(&tss, "Part");
+        let papa = tss.find_edge(part_seg, part_seg).unwrap();
+        let tv = tg
+            .tos_of(part_seg)
+            .iter()
+            .copied()
+            .find(|&p| tg.to(p).nodes.iter().any(|&n| g.value(n) == Some("TV")))
+            .unwrap();
+        let subs = tg.neighbours_via(tv, papa, true);
+        assert_eq!(subs.len(), 2); // the two VCR parts
+    }
+
+    #[test]
+    fn to_xml_serializes_members_only() {
+        let (g, tss, tg) = fixture();
+        let part_seg = seg(&tss, "Part");
+        let tv = tg
+            .tos_of(part_seg)
+            .iter()
+            .copied()
+            .find(|&p| tg.to(p).nodes.iter().any(|&n| g.value(n) == Some("TV")))
+            .unwrap();
+        let xml = tg.to_xml(&g, tv);
+        assert!(xml.contains("<key>1005</key>"));
+        assert!(xml.contains("<pname>TV</pname>"));
+        assert!(!xml.contains("sub"), "dummies excluded: {xml}");
+        assert!(tg.label(&g, &tss, tv).starts_with("Part["));
+    }
+
+    #[test]
+    fn generated_tpch_builds() {
+        let data = tpch::TpchConfig {
+            persons: 8,
+            parts: 10,
+            ..Default::default()
+        }
+        .generate();
+        let tg = TargetGraph::build(&data.graph, &data.tss).unwrap();
+        assert!(tg.len() > 20);
+        assert!(tg.edge_count() > 20);
+        // Every non-dummy node belongs to a TO of its segment.
+        for n in data.graph.node_ids() {
+            if let Some(id) = tg.to_of_node(n) {
+                let to = tg.to(id);
+                assert!(to.nodes.contains(&n));
+                assert_eq!(data.tss.tss_of(tg.class_of(n)), Some(to.tss));
+            }
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! Trees of TSS-edge occurrences — the shared shape of fragments (§5) and
+//! candidate TSS networks (§4).
+//!
+//! Both fragments and CTSSNs are *uncycled directed graphs of TSSs where
+//! the same TSS edge may appear more than once* (the paper handles
+//! repetitions through *unfolded* TSS graphs). We represent them as a
+//! [`TssTree`]: roles (tree vertices labeled with a segment) plus oriented
+//! edge occurrences (labeled with a [`TssEdgeId`] whose endpoints must
+//! match the role segments). The module provides:
+//!
+//! * structural validation shared by the candidate-network pruning rules
+//!   and the useless-fragment rules (§5),
+//! * canonical labels for duplicate elimination (min-over-roots AHU),
+//! * embedding enumeration (all ways a fragment tiles part of a CTSSN),
+//!   feeding the exact tiling DP in [`crate::decompose`].
+
+use std::collections::HashMap;
+use xkw_graph::{EdgeKind, TssEdgeId, TssGraph, TssId};
+
+/// An oriented TSS-edge occurrence between two roles: the underlying TSS
+/// edge points from role `a` to role `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeEdge {
+    /// Source role index.
+    pub a: u8,
+    /// Target role index.
+    pub b: u8,
+    /// The TSS edge instantiated by this occurrence.
+    pub edge: TssEdgeId,
+}
+
+/// A tree of TSS-edge occurrences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TssTree {
+    /// Segment of each role.
+    pub roles: Vec<TssId>,
+    /// Edge occurrences (an undirected tree over roles; orientation is
+    /// the TSS edge's own direction).
+    pub edges: Vec<TreeEdge>,
+}
+
+/// Why a [`TssTree`] is structurally invalid (cannot match any data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeInvalid {
+    /// Not an undirected tree over the roles.
+    NotATree,
+    /// An edge occurrence's endpoints disagree with the role segments.
+    EndpointMismatch,
+    /// A role has two incoming containment-kind occurrences: data nodes
+    /// have at most one containment parent (useless-fragment rule 2).
+    TwoContainmentParents,
+    /// Two outgoing occurrences diverge at a choice node reached through
+    /// `maxOccurs = One` edges (useless-fragment rule 1).
+    ChoiceConflict,
+    /// The same non-repeatable (all-`maxOccurs = One`) edge occurs twice
+    /// from one role.
+    MaxOccursConflict,
+}
+
+impl TssTree {
+    /// A single-edge tree for TSS edge `e`.
+    pub fn single(tss: &TssGraph, e: TssEdgeId) -> Self {
+        let edge = tss.edge(e);
+        TssTree {
+            roles: vec![edge.from, edge.to],
+            edges: vec![TreeEdge { a: 0, b: 1, edge: e }],
+        }
+    }
+
+    /// Number of edge occurrences — the *size* of a fragment or CTSSN.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Incident occurrences of a role as `(edge index, outgoing?)`.
+    pub fn incident(&self, role: u8) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.edges.iter().enumerate().filter_map(move |(i, e)| {
+            if e.a == role {
+                Some((i, true))
+            } else if e.b == role {
+                Some((i, false))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The role on the far side of occurrence `i` from `role`.
+    pub fn other_end(&self, i: usize, role: u8) -> u8 {
+        let e = &self.edges[i];
+        if e.a == role {
+            e.b
+        } else {
+            e.a
+        }
+    }
+
+    /// Grows the tree by attaching a new occurrence of `edge` at `role`
+    /// (outgoing if `outgoing`, else incoming); returns the extended tree
+    /// and the new role's index.
+    pub fn extend(&self, tss: &TssGraph, role: u8, edge: TssEdgeId, outgoing: bool) -> (Self, u8) {
+        let mut t = self.clone();
+        let e = tss.edge(edge);
+        let new_role = t.roles.len() as u8;
+        if outgoing {
+            debug_assert_eq!(e.from, t.roles[role as usize]);
+            t.roles.push(e.to);
+            t.edges.push(TreeEdge {
+                a: role,
+                b: new_role,
+                edge,
+            });
+        } else {
+            debug_assert_eq!(e.to, t.roles[role as usize]);
+            t.roles.push(e.from);
+            t.edges.push(TreeEdge {
+                a: new_role,
+                b: role,
+                edge,
+            });
+        }
+        (t, new_role)
+    }
+
+    /// Full structural validation against the TSS graph.
+    pub fn validate(&self, tss: &TssGraph) -> Result<(), TreeInvalid> {
+        // Tree shape.
+        if !xkw_graph::uncycled::is_tree(
+            &(0..self.roles.len() as u8).collect::<Vec<_>>(),
+            &self
+                .edges
+                .iter()
+                .map(|e| (e.a, e.b))
+                .collect::<Vec<_>>(),
+        ) {
+            return Err(TreeInvalid::NotATree);
+        }
+        // Endpoint labels.
+        for e in &self.edges {
+            let te = tss.edge(e.edge);
+            if te.from != self.roles[e.a as usize] || te.to != self.roles[e.b as usize] {
+                return Err(TreeInvalid::EndpointMismatch);
+            }
+        }
+        self.validate_local(tss)
+    }
+
+    /// The local per-role rules only (assumes tree shape holds). These
+    /// are exactly the conditions shared by the CN pruning rules (§4) and
+    /// the useless-fragment rules (§5).
+    pub fn validate_local(&self, tss: &TssGraph) -> Result<(), TreeInvalid> {
+        for role in 0..self.roles.len() as u8 {
+            let incoming: Vec<usize> = self
+                .incident(role)
+                .filter(|&(_, out)| !out)
+                .map(|(i, _)| i)
+                .collect();
+            let containment_in = incoming
+                .iter()
+                .filter(|&&i| tss.edge(self.edges[i].edge).kind == EdgeKind::Containment)
+                .count();
+            if containment_in > 1 {
+                return Err(TreeInvalid::TwoContainmentParents);
+            }
+            let outgoing: Vec<usize> = self
+                .incident(role)
+                .filter(|&(_, out)| out)
+                .map(|(i, _)| i)
+                .collect();
+            for (x, &i) in outgoing.iter().enumerate() {
+                for &j in &outgoing[x + 1..] {
+                    let (ei, ej) = (self.edges[i].edge, self.edges[j].edge);
+                    if ei == ej {
+                        if !tss.repeatable_from_source(ei) {
+                            return Err(TreeInvalid::MaxOccursConflict);
+                        }
+                    } else if tss.choice_conflict(ei, ej) {
+                        return Err(TreeInvalid::ChoiceConflict);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical label: equal iff the trees are isomorphic (respecting
+    /// segment labels, edge ids and orientations). Min-over-roots AHU;
+    /// trees here have ≤ ~10 roles so O(n²) is irrelevant.
+    pub fn canonical(&self) -> String {
+        self.canonical_with(|_| String::new())
+    }
+
+    /// Canonical label with extra per-role annotations (used by CTSSNs to
+    /// include keyword annotations in identity).
+    pub fn canonical_with(&self, extra: impl Fn(u8) -> String) -> String {
+        (0..self.roles.len() as u8)
+            .map(|r| self.rooted_sig(r, None, &extra))
+            .min()
+            .unwrap_or_default()
+    }
+
+    fn rooted_sig(&self, root: u8, from_edge: Option<usize>, extra: &impl Fn(u8) -> String) -> String {
+        let mut kids: Vec<String> = self
+            .incident(root)
+            .filter(|&(i, _)| Some(i) != from_edge)
+            .map(|(i, out)| {
+                let dir = if out { '>' } else { '<' };
+                format!(
+                    "{}e{}{}",
+                    dir,
+                    self.edges[i].edge.0,
+                    self.rooted_sig(self.other_end(i, root), Some(i), extra)
+                )
+            })
+            .collect();
+        kids.sort();
+        format!(
+            "(T{}:{}[{}])",
+            self.roles[root as usize].0,
+            extra(root),
+            kids.join(",")
+        )
+    }
+
+    /// Enumerates all embeddings of `self` (the pattern, e.g. a fragment)
+    /// into `target` (e.g. a CTSSN): mappings of pattern roles to target
+    /// roles preserving segments, edge ids and orientations, with pattern
+    /// edges mapped to *distinct* target edge occurrences. Returns, per
+    /// embedding, the role mapping and the bitmask of covered target
+    /// edges.
+    pub fn embeddings_into(&self, target: &TssTree) -> Vec<Embedding> {
+        assert!(target.edges.len() <= 16, "CTSSN too large for bitmask");
+        let mut out = Vec::new();
+        if self.roles.is_empty() {
+            return out;
+        }
+        for start in 0..target.roles.len() as u8 {
+            if target.roles[start as usize] != self.roles[0] {
+                continue;
+            }
+            let mut role_map = vec![u8::MAX; self.roles.len()];
+            let mut edge_map = vec![usize::MAX; self.edges.len()];
+            role_map[0] = start;
+            self.embed_rec(target, 0, &mut role_map, &mut edge_map, &mut out);
+        }
+        // Distinct embeddings may differ only in role mapping but cover
+        // the same edges through automorphisms; keep all (tiling uses the
+        // masks, execution uses the maps).
+        out
+    }
+
+    fn embed_rec(
+        &self,
+        target: &TssTree,
+        placed_edges: usize,
+        role_map: &mut Vec<u8>,
+        edge_map: &mut Vec<usize>,
+        out: &mut Vec<Embedding>,
+    ) {
+        // Find the next pattern edge with exactly one endpoint placed.
+        let next = (0..self.edges.len()).find(|&i| {
+            edge_map[i] == usize::MAX
+                && (role_map[self.edges[i].a as usize] != u8::MAX
+                    || role_map[self.edges[i].b as usize] != u8::MAX)
+        });
+        let Some(pi) = next else {
+            debug_assert_eq!(placed_edges, self.edges.len());
+            let mut mask = 0u16;
+            for &t in edge_map.iter() {
+                mask |= 1 << t;
+            }
+            out.push(Embedding {
+                role_map: role_map.clone(),
+                edge_mask: mask,
+            });
+            return;
+        };
+        let pe = self.edges[pi];
+        let (a_placed, b_placed) = (
+            role_map[pe.a as usize] != u8::MAX,
+            role_map[pe.b as usize] != u8::MAX,
+        );
+        for (ti, te) in target.edges.iter().enumerate() {
+            if te.edge != pe.edge || edge_map.contains(&ti) {
+                continue;
+            }
+            // Orientation must match: pattern a→b onto target a→b.
+            let (need_a, need_b) = (te.a, te.b);
+            let ok_a = !a_placed || role_map[pe.a as usize] == need_a;
+            let ok_b = !b_placed || role_map[pe.b as usize] == need_b;
+            if !ok_a || !ok_b {
+                continue;
+            }
+            let (old_a, old_b) = (role_map[pe.a as usize], role_map[pe.b as usize]);
+            role_map[pe.a as usize] = need_a;
+            role_map[pe.b as usize] = need_b;
+            edge_map[pi] = ti;
+            self.embed_rec(target, placed_edges + 1, role_map, edge_map, out);
+            role_map[pe.a as usize] = old_a;
+            role_map[pe.b as usize] = old_b;
+            edge_map[pi] = usize::MAX;
+        }
+    }
+}
+
+/// One way a pattern tree tiles part of a target tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    /// `role_map[pattern_role] = target_role`.
+    pub role_map: Vec<u8>,
+    /// Bitmask of target edge indexes covered.
+    pub edge_mask: u16,
+}
+
+/// Enumerates all structurally valid trees of exactly `size` edge
+/// occurrences over `tss`, deduplicated by canonical label.
+pub fn enumerate_trees(tss: &TssGraph, size: usize) -> Vec<TssTree> {
+    if size == 0 {
+        return Vec::new();
+    }
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut frontier: Vec<TssTree> = Vec::new();
+    for e in tss.edge_ids() {
+        let t = TssTree::single(tss, e);
+        if t.validate_local(tss).is_ok() && seen.insert(t.canonical(), ()).is_none() {
+            frontier.push(t);
+        }
+    }
+    for _ in 1..size {
+        let mut next = Vec::new();
+        let mut next_seen: HashMap<String, ()> = HashMap::new();
+        for t in &frontier {
+            for role in 0..t.roles.len() as u8 {
+                let seg = t.roles[role as usize];
+                for &e in tss.out_edges(seg) {
+                    let (grown, _) = t.extend(tss, role, e, true);
+                    if grown.validate_local(tss).is_ok()
+                        && next_seen.insert(grown.canonical(), ()).is_none()
+                    {
+                        next.push(grown);
+                    }
+                }
+                for &e in tss.in_edges(seg) {
+                    let (grown, _) = t.extend(tss, role, e, false);
+                    if grown.validate_local(tss).is_ok()
+                        && next_seen.insert(grown.canonical(), ()).is_none()
+                    {
+                        next.push(grown);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xkw_graph::{MaxOccurs, NodeKind, SchemaGraph, TssMapping};
+
+    /// Person —(PO)→ Order —(OL)→ Lineitem —(LPa, ref)→ Part, and
+    /// Part —(PaPa, ref)→ Part, with a choice between LPa and LPr.
+    fn tss() -> TssGraph {
+        let mut s = SchemaGraph::new();
+        let person = s.add_node("person", NodeKind::All);
+        let order = s.add_node("order", NodeKind::All);
+        let li = s.add_node("lineitem", NodeKind::All);
+        let line = s.add_node("line", NodeKind::Choice);
+        let part = s.add_node("part", NodeKind::All);
+        let product = s.add_node("product", NodeKind::All);
+        let sub = s.add_node("sub", NodeKind::All);
+        s.add_edge(person, order, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(order, li, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(li, line, xkw_graph::EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(line, part, xkw_graph::EdgeKind::Reference, MaxOccurs::One);
+        s.add_edge(line, product, xkw_graph::EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(part, sub, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(sub, part, xkw_graph::EdgeKind::Reference, MaxOccurs::One);
+        let mut m = TssMapping::new(&s);
+        m.tss("Person", &["person"]);
+        m.tss("Order", &["order"]);
+        m.tss("Lineitem", &["lineitem"]);
+        m.tss("Part", &["part"]);
+        m.tss("Product", &["product"]);
+        m.build().unwrap()
+    }
+
+    fn seg(t: &TssGraph, name: &str) -> TssId {
+        t.node_ids().find(|&i| t.node(i).name == name).unwrap()
+    }
+
+    #[test]
+    fn single_edge_tree_is_valid() {
+        let g = tss();
+        for e in g.edge_ids() {
+            let t = TssTree::single(&g, e);
+            assert_eq!(t.validate(&g), Ok(()));
+            assert_eq!(t.size(), 1);
+        }
+    }
+
+    #[test]
+    fn chain_grows_and_validates() {
+        let g = tss();
+        let po = g.find_edge(seg(&g, "Person"), seg(&g, "Order")).unwrap();
+        let ol = g.find_edge(seg(&g, "Order"), seg(&g, "Lineitem")).unwrap();
+        let t = TssTree::single(&g, po);
+        let (t, o_role) = {
+            // Role 1 is Order; attach OL outgoing there.
+            let (t2, r) = t.extend(&g, 1, ol, true);
+            (t2, r)
+        };
+        assert_eq!(t.roles.len(), 3);
+        assert_eq!(o_role, 2);
+        assert_eq!(t.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn two_containment_parents_rejected() {
+        let g = tss();
+        let ol = g.find_edge(seg(&g, "Order"), seg(&g, "Lineitem")).unwrap();
+        let t = TssTree::single(&g, ol);
+        // Attach a second incoming OL into the Lineitem role.
+        let (t, _) = t.extend(&g, 1, ol, false);
+        assert_eq!(t.validate(&g), Err(TreeInvalid::TwoContainmentParents));
+    }
+
+    #[test]
+    fn choice_conflict_rejected() {
+        let g = tss();
+        let lpa = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Part")).unwrap();
+        let lpr = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Product")).unwrap();
+        let t = TssTree::single(&g, lpa);
+        let (t, _) = t.extend(&g, 0, lpr, true);
+        assert_eq!(t.validate(&g), Err(TreeInvalid::ChoiceConflict));
+    }
+
+    #[test]
+    fn non_repeatable_edge_rejected_repeatable_allowed() {
+        let g = tss();
+        let lpa = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Part")).unwrap();
+        let t = TssTree::single(&g, lpa);
+        let (t2, _) = t.extend(&g, 0, lpa, true);
+        assert_eq!(t2.validate(&g), Err(TreeInvalid::MaxOccursConflict));
+        // Part→Part via sub is Many: a part with two subparts is fine.
+        let papa = g.find_edge(seg(&g, "Part"), seg(&g, "Part")).unwrap();
+        let t = TssTree::single(&g, papa);
+        let (t, _) = t.extend(&g, 0, papa, true);
+        assert_eq!(t.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn canonical_identifies_isomorphic_trees() {
+        let g = tss();
+        let po = g.find_edge(seg(&g, "Person"), seg(&g, "Order")).unwrap();
+        let ol = g.find_edge(seg(&g, "Order"), seg(&g, "Lineitem")).unwrap();
+        // Build P→O→L in two different orders.
+        let a = {
+            let t = TssTree::single(&g, po);
+            t.extend(&g, 1, ol, true).0
+        };
+        let b = {
+            let t = TssTree::single(&g, ol);
+            t.extend(&g, 0, po, false).0
+        };
+        assert_eq!(a.canonical(), b.canonical());
+        // And a different tree differs.
+        let c = TssTree::single(&g, po);
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn embeddings_cover_expected_tilings() {
+        let g = tss();
+        let papa = g.find_edge(seg(&g, "Part"), seg(&g, "Part")).unwrap();
+        // Target: Part ← Part → Part (one part with two subparts).
+        let target = {
+            let t = TssTree::single(&g, papa);
+            t.extend(&g, 0, papa, true).0
+        };
+        let single = TssTree::single(&g, papa);
+        let embs = single.embeddings_into(&target);
+        // The single edge embeds onto each of the two occurrences.
+        let masks: std::collections::HashSet<u16> =
+            embs.iter().map(|e| e.edge_mask).collect();
+        assert_eq!(masks, [0b01u16, 0b10].into_iter().collect());
+        // The 2-edge pattern embeds onto the whole target (2 automorphic
+        // mappings), covering both edges.
+        let both = target.embeddings_into(&target);
+        assert!(both.iter().all(|e| e.edge_mask == 0b11));
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn embedding_respects_orientation() {
+        let g = tss();
+        let papa = g.find_edge(seg(&g, "Part"), seg(&g, "Part")).unwrap();
+        // Pattern: Part→Part→Part chain (grandparent).
+        let chain = {
+            let t = TssTree::single(&g, papa);
+            t.extend(&g, 1, papa, true).0
+        };
+        // Target: Part ← Part → Part (siblings) — the chain must NOT embed.
+        let siblings = {
+            let t = TssTree::single(&g, papa);
+            t.extend(&g, 0, papa, true).0
+        };
+        assert!(chain.embeddings_into(&siblings).is_empty());
+        assert_eq!(siblings.embeddings_into(&siblings).len(), 2);
+    }
+
+    #[test]
+    fn enumerate_trees_sizes() {
+        let g = tss();
+        let size1 = enumerate_trees(&g, 1);
+        // Edges: PO, OL, LPa, LPr, LPerson? no (no supplier here), PaPa.
+        assert_eq!(size1.len(), g.edge_count());
+        let size2 = enumerate_trees(&g, 2);
+        assert!(!size2.is_empty());
+        for t in &size2 {
+            assert_eq!(t.size(), 2);
+            assert_eq!(t.validate(&g), Ok(()));
+        }
+        // No duplicates.
+        let canon: std::collections::HashSet<String> =
+            size2.iter().map(|t| t.canonical()).collect();
+        assert_eq!(canon.len(), size2.len());
+        // The invalid LPa+LPr combination is not enumerated.
+        assert!(!size2.iter().any(|t| {
+            let lpa = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Part")).unwrap();
+            let lpr = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Product")).unwrap();
+            let ids: Vec<TssEdgeId> = t.edges.iter().map(|e| e.edge).collect();
+            ids.contains(&lpa) && ids.contains(&lpr) && t.roles.len() == 3
+                && t.edges[0].a == t.edges[1].a
+        }));
+    }
+}

@@ -1,0 +1,449 @@
+//! The XKeyword façade: the two-stage architecture of Fig. 7.
+//!
+//! [`XKeyword::load`] is the load stage — it builds the master index,
+//! statistics, target-object BLOBs and the connection relations of the
+//! chosen decomposition inside the embedded store. The query methods are
+//! the query-processing stage: keyword discoverer → CN generator →
+//! optimizer → execution → presentation.
+
+use crate::cn::CnGenerator;
+use crate::ctssn::Ctssn;
+use crate::decompose::{self, Decomposition};
+use crate::exec::{self, ExecMode, PartialCache, QueryResults};
+use crate::master_index::MasterIndex;
+use crate::optimizer::{build_plan, build_plan_anchored, CtssnPlan};
+use crate::presentation::{expand_on_demand, PresentationGraph};
+use crate::relations::{PhysicalPolicy, RelationCatalog};
+use crate::target::{TargetGraph, ToId};
+use std::sync::Arc;
+use xkw_graph::{TssGraph, XmlGraph};
+use xkw_store::Db;
+
+/// Which decomposition the load stage materializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionSpec {
+    /// One fragment per TSS edge.
+    Minimal,
+    /// All fragments of size ≤ L.
+    Complete {
+        /// Fragment size bound.
+        l: usize,
+    },
+    /// The Fig. 12 algorithm with parameters M (max CTSSN size) and B
+    /// (max joins).
+    XKeyword {
+        /// Maximum CTSSN size to cover.
+        m: usize,
+        /// Maximum joins per CTSSN.
+        b: usize,
+    },
+    /// XKeyword ∪ Minimal — the combination §6/§7 recommend for the
+    /// on-demand expansion of presentation graphs.
+    Combined {
+        /// Maximum CTSSN size to cover.
+        m: usize,
+        /// Maximum joins per CTSSN.
+        b: usize,
+    },
+}
+
+/// Load-stage options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Decomposition to build.
+    pub decomposition: DecompositionSpec,
+    /// Physical design of the connection relations.
+    pub policy: PhysicalPolicy,
+    /// Buffer-pool size in pages.
+    pub pool_pages: usize,
+    /// Whether to serialize target-object BLOBs.
+    pub build_blobs: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
+            policy: PhysicalPolicy::clustered(),
+            pool_pages: 1024,
+            build_blobs: true,
+        }
+    }
+}
+
+/// Failures of the zero-configuration [`XKeyword::load_xml`] path.
+#[derive(Debug)]
+pub enum LoadXmlError {
+    /// Malformed XML.
+    Parse(xkw_graph::ParseError),
+    /// The derived segments violate the TSS constraints.
+    Tss(xkw_graph::tss::TssError),
+    /// Data/schema mismatch (cannot occur for inferred schemas, reported
+    /// defensively).
+    Conformance(xkw_graph::ConformanceError),
+}
+
+impl std::fmt::Display for LoadXmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Tss(e) => write!(f, "{e}"),
+            Self::Conformance(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadXmlError {}
+
+/// A loaded XKeyword instance.
+pub struct XKeyword {
+    /// The XML data graph.
+    pub graph: XmlGraph,
+    /// The TSS graph (owning the schema graph).
+    pub tss: Arc<TssGraph>,
+    /// The target-object decomposition of the data.
+    pub targets: Arc<TargetGraph>,
+    /// The inverted master index.
+    pub master: Arc<MasterIndex>,
+    /// The embedded store holding the connection relations and BLOBs.
+    pub db: Arc<Db>,
+    /// The materialized connection relations.
+    pub catalog: Arc<RelationCatalog>,
+}
+
+impl XKeyword {
+    /// The load stage: decomposes the data into target objects, builds
+    /// the master index, BLOBs and connection relations.
+    ///
+    /// ```
+    /// use xkw_core::prelude::*;
+    /// use xkw_core::exec::ExecMode;
+    ///
+    /// let (graph, _, _) = xkw_datagen::tpch::figure1();
+    /// let xk = XKeyword::load(
+    ///     graph,
+    ///     xkw_datagen::tpch::tss_graph(),
+    ///     LoadOptions::default(),
+    /// ).unwrap();
+    /// let res = xk.query_all(&["john", "vcr"], 8, ExecMode::Naive);
+    /// assert_eq!(res.mttons().iter().map(|m| m.score).min(), Some(6));
+    /// ```
+    ///
+    /// # Errors
+    /// Fails if the data graph does not classify against the TSS graph's
+    /// schema.
+    pub fn load(
+        graph: XmlGraph,
+        tss: TssGraph,
+        options: LoadOptions,
+    ) -> Result<Self, xkw_graph::ConformanceError> {
+        let targets = TargetGraph::build(&graph, &tss)?;
+        let master = MasterIndex::build(&graph, &targets);
+        let db = Db::new(options.pool_pages);
+        if options.build_blobs {
+            for id in 0..targets.len() as ToId {
+                db.blobs().put(id, targets.to_xml(&graph, id));
+            }
+        }
+        let decomposition: Decomposition = match options.decomposition {
+            DecompositionSpec::Minimal => decompose::minimal(&tss),
+            DecompositionSpec::Complete { l } => decompose::complete(&tss, l),
+            DecompositionSpec::XKeyword { m, b } => decompose::xkeyword(&tss, m, b),
+            DecompositionSpec::Combined { m, b } => {
+                decompose::xkeyword(&tss, m, b).union(&decompose::minimal(&tss), &tss)
+            }
+        };
+        let catalog = RelationCatalog::materialize(&db, &targets, decomposition, options.policy, "cr");
+        Ok(XKeyword {
+            graph,
+            tss: Arc::new(tss),
+            targets: Arc::new(targets),
+            master: Arc::new(master),
+            db: Arc::new(db),
+            catalog: Arc::new(catalog),
+        })
+    }
+
+    /// Zero-configuration load: parses XML text, infers the schema graph
+    /// by observation, derives a target decomposition automatically
+    /// (value leaves join their parents' segments, pure connectors
+    /// become dummies — see [`xkw_graph::infer`]) and runs the regular
+    /// load stage. A hand-written schema/TSS design remains strictly
+    /// more precise (choice nodes cannot be observed from instances);
+    /// this is the ad-hoc path for arbitrary documents.
+    ///
+    /// # Errors
+    /// Fails on malformed XML or when the derived segments violate the
+    /// TSS constraints.
+    pub fn load_xml(xml: &str, options: LoadOptions) -> Result<Self, LoadXmlError> {
+        let graph = xkw_graph::parse(xml).map_err(LoadXmlError::Parse)?;
+        let schema = xkw_graph::infer_schema(&graph);
+        let tss = xkw_graph::auto_mapping(&schema, &graph).map_err(LoadXmlError::Tss)?;
+        Self::load(graph, tss, options).map_err(LoadXmlError::Conformance)
+    }
+
+    /// The first stages of query processing: keyword discoverer → CN
+    /// generator → CTSSN reduction → optimizer. Returns executable plans
+    /// in increasing score order.
+    pub fn plans(&self, keywords: &[&str], z: usize) -> Vec<CtssnPlan> {
+        let achievable = self.master.achievable_sets(keywords);
+        if achievable.is_empty() {
+            return Vec::new();
+        }
+        let gen = CnGenerator::new(self.tss.schema(), &achievable, keywords.len());
+        gen.generate(z)
+            .iter()
+            .filter_map(|cn| Ctssn::from_cn(cn, &self.tss).ok())
+            .filter_map(|c| build_plan(&c, &self.catalog, &self.master, keywords))
+            .collect()
+    }
+
+    /// Top-k query (the web-search-engine presentation of §6): returns
+    /// the first `k` results across candidate networks, smallest CNs
+    /// first, evaluated by `threads` worker threads.
+    pub fn query_topk(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: usize,
+        mode: ExecMode,
+        threads: usize,
+    ) -> QueryResults {
+        let plans = self.plans(keywords, z);
+        exec::topk(&self.db, &self.catalog, &plans, mode, k, threads)
+    }
+
+    /// Evaluates every candidate network to completion with nested-loop
+    /// probes (naive or cached).
+    pub fn query_all(&self, keywords: &[&str], z: usize, mode: ExecMode) -> QueryResults {
+        let plans = self.plans(keywords, z);
+        exec::all_plans(&self.db, &self.catalog, &plans, mode)
+    }
+
+    /// Evaluates every candidate network via full scans + hash joins
+    /// (the "all results" regime of §7).
+    pub fn query_all_hash(&self, keywords: &[&str], z: usize) -> QueryResults {
+        let plans = self.plans(keywords, z);
+        exec::all_results(&self.db, &self.catalog, &plans)
+    }
+
+    /// Streams results lazily over pre-built plans — the page-by-page
+    /// presentation of §3.2. Use [`XKeyword::plans`] to build the plans,
+    /// then pull pages:
+    ///
+    /// ```ignore
+    /// let plans = xk.plans(&["john", "vcr"], 8);
+    /// let mut stream = xk.stream(&plans, ExecMode::Cached { capacity: 1024 });
+    /// let first_page = stream.page(10);
+    /// ```
+    pub fn stream<'a>(
+        &'a self,
+        plans: &'a [CtssnPlan],
+        mode: ExecMode,
+    ) -> exec::ResultStream<'a> {
+        exec::ResultStream::new(&self.db, &self.catalog, plans, mode)
+    }
+
+    /// Builds the initial presentation graph (PG0) of plan `plan_idx`:
+    /// its top-1 result.
+    pub fn initial_presentation(
+        &self,
+        plans: &[CtssnPlan],
+        plan_idx: usize,
+    ) -> Option<PresentationGraph> {
+        let plan = &plans[plan_idx];
+        let mut cache = PartialCache::new(1024);
+        let mut stats = exec::ExecStats::default();
+        let mut first: Option<Vec<ToId>> = None;
+        let _ = exec::eval_plan(
+            &self.db,
+            &self.catalog,
+            plan_idx,
+            plan,
+            ExecMode::Cached { capacity: 1024 },
+            &mut cache,
+            &mut stats,
+            &mut |r| {
+                first = Some(r.assignment);
+                std::ops::ControlFlow::Break(())
+            },
+        );
+        first.map(|a| PresentationGraph::initial(plan_idx, a))
+    }
+
+    /// Expands a presentation graph on `role` via the on-demand algorithm
+    /// (Fig. 13), probing this instance's connection relations.
+    pub fn expand(
+        &self,
+        keywords: &[&str],
+        plans: &[CtssnPlan],
+        pg: &mut PresentationGraph,
+        role: u8,
+        cache: &mut PartialCache,
+    ) -> exec::ExecStats {
+        let plan = &plans[pg.plan];
+        let Some(anchored) =
+            build_plan_anchored(&plan.ctssn, &self.catalog, &self.master, keywords, role)
+        else {
+            return exec::ExecStats::default();
+        };
+        let universe = self
+            .targets
+            .tos_of(plan.ctssn.tree.roles[role as usize]);
+        let (_, stats) = expand_on_demand(
+            &self.db,
+            &self.catalog,
+            &anchored,
+            pg,
+            universe,
+            ExecMode::Cached { capacity: 4096 },
+            cache,
+        );
+        stats
+    }
+
+    /// Fetches a target object's BLOB (its XML fragment).
+    pub fn blob(&self, to: ToId) -> Option<String> {
+        self.db
+            .blobs()
+            .get(to)
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// A short display label for a target object (`Person[John]`).
+    pub fn label(&self, to: ToId) -> String {
+        self.targets.label(&self.graph, &self.tss, to)
+    }
+
+    /// Renders a presentation graph with labels and the TSS edges'
+    /// semantic annotations — the textual equivalent of Fig. 3.
+    pub fn render_presentation(&self, plans: &[CtssnPlan], pg: &PresentationGraph) -> String {
+        use std::fmt::Write as _;
+        let plan = &plans[pg.plan];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Presentation graph for CN: {} (score {})",
+            plan.ctssn.display(&self.tss),
+            plan.score
+        );
+        for (role, to) in pg.nodes() {
+            let expanded = if pg.expanded_roles().any(|r| r == role) {
+                "*"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  [{role}{expanded}] {}", self.label(to));
+        }
+        for m in pg.supported_mttons() {
+            let labels: Vec<String> = plan
+                .ctssn
+                .tree
+                .edges
+                .iter()
+                .map(|e| {
+                    let te = self.tss.edge(e.edge);
+                    format!(
+                        "{} -({})-> {}",
+                        self.label(m[e.a as usize]),
+                        te.forward_desc,
+                        self.label(m[e.b as usize])
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "  result: {}", labels.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::enumerate_mttons;
+    use xkw_datagen::tpch;
+
+    fn load(spec: DecompositionSpec, policy: PhysicalPolicy) -> XKeyword {
+        let (graph, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        XKeyword::load(
+            graph,
+            tss,
+            LoadOptions {
+                decomposition: spec,
+                policy,
+                pool_pages: 256,
+                build_blobs: true,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_john_vcr() {
+        let xk = load(
+            DecompositionSpec::XKeyword { m: 6, b: 2 },
+            PhysicalPolicy::clustered(),
+        );
+        let res = xk.query_all(&["john", "vcr"], 8, ExecMode::Cached { capacity: 1024 });
+        let mttons = res.mttons();
+        let oracle = enumerate_mttons(&xk.graph, &xk.targets, &["john", "vcr"], 8);
+        assert_eq!(mttons, oracle);
+        assert_eq!(mttons.iter().map(|m| m.score).min(), Some(6));
+    }
+
+    #[test]
+    fn blobs_and_labels() {
+        let xk = load(DecompositionSpec::Minimal, PhysicalPolicy::clustered());
+        let res = xk.query_all(&["john", "vcr"], 8, ExecMode::Naive);
+        let best = &res.mttons()[0];
+        let labels: Vec<String> = best.tos.iter().map(|&t| xk.label(t)).collect();
+        assert!(labels.iter().any(|l| l.contains("John")));
+        for &t in &best.tos {
+            let blob = xk.blob(t).expect("blob built");
+            assert!(blob.starts_with('<'));
+        }
+    }
+
+    #[test]
+    fn topk_on_facade() {
+        let xk = load(DecompositionSpec::Minimal, PhysicalPolicy::clustered());
+        let res = xk.query_topk(
+            &["us", "vcr"],
+            8,
+            5,
+            ExecMode::Cached { capacity: 1024 },
+            2,
+        );
+        assert_eq!(res.rows.len(), 5);
+    }
+
+    #[test]
+    fn presentation_flow() {
+        let xk = load(
+            DecompositionSpec::Combined { m: 6, b: 2 },
+            PhysicalPolicy::clustered(),
+        );
+        let kws = ["us", "vcr"];
+        let plans = xk.plans(&kws, 8);
+        // Find a plan with results.
+        let res = xk.query_all(&kws, 8, ExecMode::Naive);
+        let pi = res.rows[0].plan;
+        let mut pg = xk.initial_presentation(&plans, pi).expect("PG0");
+        assert!(pg.invariant_holds());
+        let mut cache = PartialCache::new(1024);
+        let stats = xk.expand(&kws, &plans, &mut pg, 0, &mut cache);
+        assert!(stats.probes > 0);
+        assert!(pg.invariant_holds());
+        let rendered = xk.render_presentation(&plans, &pg);
+        assert!(rendered.contains("Presentation graph"));
+    }
+
+    #[test]
+    fn unknown_keywords_give_empty() {
+        let xk = load(DecompositionSpec::Minimal, PhysicalPolicy::bare());
+        let res = xk.query_all(&["florp", "blag"], 8, ExecMode::Naive);
+        assert!(res.rows.is_empty());
+        assert!(xk.plans(&["florp"], 8).is_empty());
+    }
+}

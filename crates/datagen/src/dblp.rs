@@ -1,0 +1,296 @@
+//! The DBLP-like XML workload of Figure 14 and §7.
+//!
+//! Schema (Fig. 14):
+//!
+//! ```text
+//! conference ──► cname                       (leaf)
+//! conference ──► year*                       (containment)
+//! year ──► yval                              (leaf)
+//! year ──► paper*                            (containment)
+//! paper ──► title, pages, url                (leaves)
+//! paper ──ref──► author*                     ("by author" / "of paper")
+//! paper ──ref──► paper*                      ("cites" / "is cited by")
+//! author ──► aname                           (leaf)
+//! ```
+//!
+//! Target decomposition (Fig. 14): Conference{conference,cname},
+//! Year{year,yval}, Paper{paper,title,pages,url}, Author{author,aname}.
+//!
+//! §7: *"The citations of many papers are not contained in the DBLP
+//! database, so we randomly added a set of citations to each such paper,
+//! such that the average number of citations of each paper is 20."* The
+//! generator does exactly that (configurable).
+
+use crate::words::{Vocabulary, NAMES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xkw_graph::{
+    EdgeKind, MaxOccurs, NodeId, NodeKind, SchemaGraph, TssGraph, TssMapping, XmlGraph,
+};
+
+/// Builds the Fig. 14 schema graph.
+pub fn schema() -> SchemaGraph {
+    let mut s = SchemaGraph::new();
+    let conference = s.add_node("conference", NodeKind::All);
+    let cname = s.add_node("cname", NodeKind::All);
+    let year = s.add_node("year", NodeKind::All);
+    let yval = s.add_node("yval", NodeKind::All);
+    let paper = s.add_node("paper", NodeKind::All);
+    let title = s.add_node("title", NodeKind::All);
+    let pages = s.add_node("pages", NodeKind::All);
+    let url = s.add_node("url", NodeKind::All);
+    let author = s.add_node("author", NodeKind::All);
+    let aname = s.add_node("aname", NodeKind::All);
+
+    s.add_edge(conference, cname, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(conference, year, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(year, yval, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(year, paper, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(paper, title, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(paper, pages, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(paper, url, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(paper, author, EdgeKind::Reference, MaxOccurs::Many);
+    s.add_edge(paper, paper, EdgeKind::Reference, MaxOccurs::Many);
+    s.add_edge(author, aname, EdgeKind::Containment, MaxOccurs::One);
+    s
+}
+
+/// Builds the Fig. 14 TSS graph with its semantic annotations.
+pub fn tss_graph() -> TssGraph {
+    let s = schema();
+    let mut m = TssMapping::new(&s);
+    let conference = m.tss("Conference", &["conference", "cname"]);
+    let year = m.tss("Year", &["year", "yval"]);
+    let paper = m.tss("Paper", &["paper", "title", "pages", "url"]);
+    let author = m.tss("Author", &["author", "aname"]);
+    let mut g = m.build().expect("DBLP TSS graph is valid");
+    g.set_edge_desc(conference, year, "in year", "of conference");
+    g.set_edge_desc(year, paper, "contains paper", "in issue");
+    g.set_edge_desc(paper, author, "by author", "of paper");
+    g.set_edge_desc(paper, paper, "cites", "is cited by");
+    g
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of conferences.
+    pub conferences: usize,
+    /// Years per conference.
+    pub years_per_conference: usize,
+    /// Papers per year (average).
+    pub papers_per_year: usize,
+    /// Size of the author pool.
+    pub authors: usize,
+    /// Authors per paper (average).
+    pub authors_per_paper: usize,
+    /// Citations per paper (average; the paper uses 20).
+    pub citations_per_paper: usize,
+    /// Title vocabulary size.
+    pub vocabulary: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self {
+            conferences: 5,
+            years_per_conference: 5,
+            papers_per_year: 40,
+            authors: 300,
+            authors_per_paper: 3,
+            citations_per_paper: 20,
+            vocabulary: 500,
+            seed: 0xD8_1F,
+        }
+    }
+}
+
+/// A generated DBLP-like dataset.
+#[derive(Debug)]
+pub struct DblpData {
+    /// The data graph (conforms to [`schema`]).
+    pub graph: XmlGraph,
+    /// The TSS graph (which owns the schema graph).
+    pub tss: TssGraph,
+    /// All paper nodes (handy for picking query targets).
+    pub papers: Vec<NodeId>,
+    /// All author nodes.
+    pub authors: Vec<NodeId>,
+}
+
+impl DblpConfig {
+    /// Total papers this configuration will generate.
+    pub fn total_papers(&self) -> usize {
+        self.conferences * self.years_per_conference * self.papers_per_year
+    }
+
+    /// Generates a dataset. Deterministic under a fixed seed.
+    pub fn generate(&self) -> DblpData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let vocab = Vocabulary::new(self.vocabulary, 1.0);
+        let mut g = XmlGraph::new();
+
+        // Author pool: surname pool is synthetic words, so two-keyword
+        // author queries have tunable selectivity.
+        let authors: Vec<NodeId> = (0..self.authors)
+            .map(|i| {
+                let a = g.add_node("author", None);
+                let full = format!(
+                    "{} {}",
+                    NAMES[i % NAMES.len()],
+                    format_args!("surname{}", i % (self.authors / 2).max(1))
+                );
+                let n = g.add_node("aname", Some(&full));
+                g.add_edge(a, n, EdgeKind::Containment);
+                a
+            })
+            .collect();
+
+        let mut papers: Vec<NodeId> = Vec::with_capacity(self.total_papers());
+        for c in 0..self.conferences {
+            let conf = g.add_node("conference", None);
+            let cn = g.add_node("cname", Some(&format!("CONF{c}")));
+            g.add_edge(conf, cn, EdgeKind::Containment);
+            for y in 0..self.years_per_conference {
+                let year = g.add_node("year", None);
+                let yv = g.add_node("yval", Some(&format!("{}", 1998 + y)));
+                g.add_edge(conf, year, EdgeKind::Containment);
+                g.add_edge(year, yv, EdgeKind::Containment);
+                for p in 0..self.papers_per_year {
+                    let paper = g.add_node("paper", None);
+                    let title = g.add_node("title", Some(&vocab.sentence(&mut rng, 6)));
+                    let pages = g.add_node(
+                        "pages",
+                        Some(&format!("{}-{}", p * 12 + 1, p * 12 + 12)),
+                    );
+                    let url = g.add_node(
+                        "url",
+                        Some(&format!("db/conf/c{c}/y{y}/p{p}.html")),
+                    );
+                    g.add_edge(year, paper, EdgeKind::Containment);
+                    g.add_edge(paper, title, EdgeKind::Containment);
+                    g.add_edge(paper, pages, EdgeKind::Containment);
+                    g.add_edge(paper, url, EdgeKind::Containment);
+                    let n_auth = rng.gen_range(1..=self.authors_per_paper * 2 - 1);
+                    let mut chosen = std::collections::HashSet::new();
+                    for _ in 0..n_auth {
+                        chosen.insert(rng.gen_range(0..authors.len()));
+                    }
+                    for ai in chosen {
+                        g.add_edge(paper, authors[ai], EdgeKind::Reference);
+                    }
+                    papers.push(paper);
+                }
+            }
+        }
+
+        // Citations: uniform random, self-citations excluded, average
+        // `citations_per_paper` per paper.
+        if papers.len() > 1 && self.citations_per_paper > 0 {
+            for (i, &p) in papers.iter().enumerate() {
+                let n_cites = rng.gen_range(0..=self.citations_per_paper * 2);
+                let mut cited = std::collections::HashSet::new();
+                for _ in 0..n_cites {
+                    let j = rng.gen_range(0..papers.len());
+                    if j != i {
+                        cited.insert(j);
+                    }
+                }
+                for j in cited {
+                    g.add_edge(p, papers[j], EdgeKind::Reference);
+                }
+            }
+        }
+
+        DblpData {
+            graph: g,
+            tss: tss_graph(),
+            papers,
+            authors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DblpConfig {
+        DblpConfig {
+            conferences: 2,
+            years_per_conference: 2,
+            papers_per_year: 10,
+            authors: 30,
+            citations_per_paper: 5,
+            ..DblpConfig::default()
+        }
+    }
+
+    #[test]
+    fn generated_data_conforms() {
+        let data = small().generate();
+        schema().check_conformance(&data.graph).unwrap();
+        assert_eq!(data.papers.len(), 40);
+        assert_eq!(data.authors.len(), 30);
+    }
+
+    #[test]
+    fn tss_graph_shape() {
+        let t = tss_graph();
+        assert_eq!(t.node_count(), 4);
+        let paper = t.node_ids().find(|&i| t.node(i).name == "Paper").unwrap();
+        let author = t.node_ids().find(|&i| t.node(i).name == "Author").unwrap();
+        // Self-citation TSS edge and authorship edge exist.
+        let cite = t.find_edge(paper, paper).expect("cites edge");
+        assert_eq!(t.edge(cite).kind, EdgeKind::Reference);
+        assert!(t.edge(cite).forward_many);
+        assert!(t.edge(cite).backward_many);
+        assert!(t.find_edge(paper, author).is_some());
+    }
+
+    #[test]
+    fn citations_close_to_average() {
+        let cfg = DblpConfig {
+            citations_per_paper: 20,
+            ..DblpConfig::default()
+        };
+        let data = cfg.generate();
+        let total_cites: usize = data
+            .papers
+            .iter()
+            .map(|&p| {
+                data.graph
+                    .reference_targets(p)
+                    .iter()
+                    .filter(|&&t| data.graph.tag(t) == "paper")
+                    .count()
+            })
+            .sum();
+        let avg = total_cites as f64 / data.papers.len() as f64;
+        assert!((15.0..25.0).contains(&avg), "avg citations {avg}");
+    }
+
+    #[test]
+    fn authors_are_shared_between_papers() {
+        let data = small().generate();
+        let shared = data.authors.iter().any(|&a| {
+            data.graph
+                .reference_sources(a)
+                .iter()
+                .filter(|&&s| data.graph.tag(s) == "paper")
+                .count()
+                > 1
+        });
+        assert!(shared, "some author should have written several papers");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+}

@@ -1,0 +1,23 @@
+//! # xkw-datagen — synthetic XML workloads for XKeyword
+//!
+//! The paper evaluates on two datasets: a TPC-H-derived XML document
+//! (Figures 1/5/6) and the DBLP database with synthetically added
+//! citations averaging 20 per paper (Figure 14, §7). Neither raw dataset
+//! is available offline, so this crate generates faithful synthetic
+//! equivalents over the *exact* schema and TSS graphs of the paper:
+//!
+//! * [`tpch`] — persons/orders/lineitems/parts/subparts/products/
+//!   suppliers/service-calls, plus the literal Figure 1 document used by
+//!   the worked-example tests;
+//! * [`dblp`] — conferences/years/papers/authors with reference-based
+//!   authorship and citation edges;
+//! * [`words`] — a Zipf-distributed vocabulary (implemented from scratch
+//!   on `rand`) so keyword selectivities are realistically skewed.
+
+pub mod dblp;
+pub mod tpch;
+pub mod words;
+
+pub use dblp::{DblpConfig, DblpData};
+pub use tpch::{TpchConfig, TpchData};
+pub use words::{Vocabulary, Zipf};

@@ -1,0 +1,413 @@
+//! The TPC-H-like XML workload of Figures 1, 5 and 6.
+//!
+//! Schema (Fig. 5; solid = containment, dotted = reference, `line` is the
+//! only choice node):
+//!
+//! ```text
+//! person ──► name, nation                     (leaves)
+//! person ──► order*, service_call*            (containment)
+//! order  ──► odate; order ──► lineitem*       (containment)
+//! lineitem ──► quantity, ship                 (leaves)
+//! lineitem ──► line¹ (choice, dummy) ──ref──► part
+//!                                   └──────► product
+//! lineitem ──► supplier¹ (dummy) ──ref──► person
+//! part ──► key, pname; part ──► sub* (dummy) ──ref──► part
+//! product ──► prodkey, descr
+//! service_call ──► scdate, scdescr; service_call ──ref──► product
+//! ```
+//!
+//! Target decomposition (Fig. 6): segments Person{person,name,nation},
+//! Order{order,odate}, Lineitem{lineitem,quantity,ship},
+//! Part{part,key,pname}, Product{product,prodkey,descr},
+//! ServiceCall{service_call,scdate,scdescr}; `line`, `supplier` and `sub`
+//! are dummy schema nodes.
+//!
+//! [`figure1`] builds the literal Figure 1 document so the paper's worked
+//! examples ("John, VCR" results of sizes 6 and 8; the four "US, VCR"
+//! results of Figure 2) are reproducible verbatim in tests.
+
+use crate::words::{Vocabulary, NAMES, NATIONS, PRODUCT_NOUNS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xkw_graph::{
+    EdgeKind, MaxOccurs, NodeId, NodeKind, SchemaGraph, TssGraph, TssMapping, XmlGraph,
+};
+
+/// Builds the Fig. 5 schema graph.
+pub fn schema() -> SchemaGraph {
+    let mut s = SchemaGraph::new();
+    let person = s.add_node("person", NodeKind::All);
+    let name = s.add_node("name", NodeKind::All);
+    let nation = s.add_node("nation", NodeKind::All);
+    let order = s.add_node("order", NodeKind::All);
+    let odate = s.add_node("odate", NodeKind::All);
+    let lineitem = s.add_node("lineitem", NodeKind::All);
+    let quantity = s.add_node("quantity", NodeKind::All);
+    let ship = s.add_node("ship", NodeKind::All);
+    let line = s.add_node("line", NodeKind::Choice);
+    let supplier = s.add_node("supplier", NodeKind::All);
+    let part = s.add_node("part", NodeKind::All);
+    let key = s.add_node("key", NodeKind::All);
+    let pname = s.add_node("pname", NodeKind::All);
+    let sub = s.add_node("sub", NodeKind::All);
+    let product = s.add_node("product", NodeKind::All);
+    let prodkey = s.add_node("prodkey", NodeKind::All);
+    let descr = s.add_node("descr", NodeKind::All);
+    let service_call = s.add_node("service_call", NodeKind::All);
+    let scdate = s.add_node("scdate", NodeKind::All);
+    let scdescr = s.add_node("scdescr", NodeKind::All);
+
+    s.add_edge(person, name, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(person, nation, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(person, order, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(person, service_call, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(order, odate, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(order, lineitem, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(lineitem, quantity, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(lineitem, ship, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(lineitem, line, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(line, part, EdgeKind::Reference, MaxOccurs::One);
+    s.add_edge(line, product, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(lineitem, supplier, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(supplier, person, EdgeKind::Reference, MaxOccurs::One);
+    s.add_edge(part, key, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(part, pname, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(part, sub, EdgeKind::Containment, MaxOccurs::Many);
+    s.add_edge(sub, part, EdgeKind::Reference, MaxOccurs::One);
+    s.add_edge(product, prodkey, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(product, descr, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(service_call, scdate, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(service_call, scdescr, EdgeKind::Containment, MaxOccurs::One);
+    s.add_edge(service_call, product, EdgeKind::Reference, MaxOccurs::One);
+    s
+}
+
+/// Builds the Fig. 6 TSS graph (with the paper's semantic annotations).
+pub fn tss_graph() -> TssGraph {
+    let s = schema();
+    let mut m = TssMapping::new(&s);
+    let person = m.tss("Person", &["person", "name", "nation"]);
+    let order = m.tss("Order", &["order", "odate"]);
+    let lineitem = m.tss("Lineitem", &["lineitem", "quantity", "ship"]);
+    let part = m.tss("Part", &["part", "key", "pname"]);
+    let product = m.tss("Product", &["product", "prodkey", "descr"]);
+    let service_call = m.tss("ServiceCall", &["service_call", "scdate", "scdescr"]);
+    let mut g = m.build().expect("TPC-H TSS graph is valid");
+    g.set_edge_desc(person, order, "placed", "placed by");
+    g.set_edge_desc(person, service_call, "issued", "issued by");
+    g.set_edge_desc(order, lineitem, "contains", "is contained in");
+    g.set_edge_desc(lineitem, part, "line", "line of");
+    g.set_edge_desc(lineitem, product, "line", "line of");
+    g.set_edge_desc(lineitem, person, "supplied by", "supplier of");
+    g.set_edge_desc(part, part, "subpart", "subpart of");
+    g.set_edge_desc(service_call, product, "about", "subject of");
+    g
+}
+
+/// The literal Figure 1 document. Returned node ids:
+/// `(graph, john, mike)` where `john`/`mike` are the two person nodes.
+pub fn figure1() -> (XmlGraph, NodeId, NodeId) {
+    let mut g = XmlGraph::new();
+
+    // Persons.
+    let john = g.add_node("person", None);
+    let john_name = g.add_node("name", Some("John"));
+    let john_nation = g.add_node("nation", Some("US"));
+    g.add_edge(john, john_name, EdgeKind::Containment);
+    g.add_edge(john, john_nation, EdgeKind::Containment);
+
+    let mike = g.add_node("person", None);
+    let mike_name = g.add_node("name", Some("Mike"));
+    let mike_nation = g.add_node("nation", Some("US"));
+    g.add_edge(mike, mike_name, EdgeKind::Containment);
+    g.add_edge(mike, mike_nation, EdgeKind::Containment);
+
+    // Parts: pa3 = TV(1005) with subparts pa1 = VCR(1008), pa2 = VCR(1009).
+    let pa3 = part(&mut g, "1005", "TV");
+    let pa1 = part(&mut g, "1008", "VCR");
+    let pa2 = part(&mut g, "1009", "VCR");
+    for target in [pa1, pa2] {
+        let sub = g.add_node("sub", None);
+        g.add_edge(pa3, sub, EdgeKind::Containment);
+        g.add_edge(sub, target, EdgeKind::Reference);
+    }
+
+    // Product: "set of VCR and DVD", prodkey 2005.
+    // (Created inside l0's line below — products are contained in lines.)
+
+    // Mike's order: l0 (product, supplied by John), l1, l2 (part TV,
+    // supplied by John).
+    let o1 = g.add_node("order", None);
+    let o1d = g.add_node("odate", Some("Nov-22-2002"));
+    g.add_edge(mike, o1, EdgeKind::Containment);
+    g.add_edge(o1, o1d, EdgeKind::Containment);
+
+    let (_l0, l0_line) = lineitem(&mut g, o1, "10", "Nov-25-2002", john);
+    let prod1 = g.add_node("product", None);
+    let prod1_key = g.add_node("prodkey", Some("2005"));
+    let prod1_descr = g.add_node("descr", Some("set of VCR and DVD"));
+    g.add_edge(l0_line, prod1, EdgeKind::Containment);
+    g.add_edge(prod1, prod1_key, EdgeKind::Containment);
+    g.add_edge(prod1, prod1_descr, EdgeKind::Containment);
+
+    let (_l1, l1_line) = lineitem(&mut g, o1, "10", "Oct-28-2002", john);
+    g.add_edge(l1_line, pa3, EdgeKind::Reference);
+    let (_l2, l2_line) = lineitem(&mut g, o1, "10", "Oct-30-2002", john);
+    g.add_edge(l2_line, pa3, EdgeKind::Reference);
+
+    // John's order: l3 (part radio, supplied by Mike).
+    let o2 = g.add_node("order", None);
+    let o2d = g.add_node("odate", Some("Oct-2-2002"));
+    g.add_edge(john, o2, EdgeKind::Containment);
+    g.add_edge(o2, o2d, EdgeKind::Containment);
+    let pa4 = part(&mut g, "1002", "radio");
+    let (_l3, l3_line) = lineitem(&mut g, o2, "6", "Oct-12-2002", mike);
+    g.add_edge(l3_line, pa4, EdgeKind::Reference);
+
+    // Mike's service call about the product.
+    let sc = g.add_node("service_call", None);
+    let scd = g.add_node("scdate", Some("Nov-30-2002"));
+    let sce = g.add_node("scdescr", Some("DVD error"));
+    g.add_edge(mike, sc, EdgeKind::Containment);
+    g.add_edge(sc, scd, EdgeKind::Containment);
+    g.add_edge(sc, sce, EdgeKind::Containment);
+    g.add_edge(sc, prod1, EdgeKind::Reference);
+
+    (g, john, mike)
+}
+
+fn part(g: &mut XmlGraph, key: &str, name: &str) -> NodeId {
+    let p = g.add_node("part", None);
+    let k = g.add_node("key", Some(key));
+    let n = g.add_node("pname", Some(name));
+    g.add_edge(p, k, EdgeKind::Containment);
+    g.add_edge(p, n, EdgeKind::Containment);
+    p
+}
+
+fn lineitem(
+    g: &mut XmlGraph,
+    order: NodeId,
+    quantity: &str,
+    ship: &str,
+    supplier_person: NodeId,
+) -> (NodeId, NodeId) {
+    let l = g.add_node("lineitem", None);
+    let q = g.add_node("quantity", Some(quantity));
+    let sh = g.add_node("ship", Some(ship));
+    let line = g.add_node("line", None);
+    let sup = g.add_node("supplier", None);
+    g.add_edge(order, l, EdgeKind::Containment);
+    g.add_edge(l, q, EdgeKind::Containment);
+    g.add_edge(l, sh, EdgeKind::Containment);
+    g.add_edge(l, line, EdgeKind::Containment);
+    g.add_edge(l, sup, EdgeKind::Containment);
+    g.add_edge(sup, supplier_person, EdgeKind::Reference);
+    (l, line)
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of persons.
+    pub persons: usize,
+    /// Orders per person (average).
+    pub orders_per_person: usize,
+    /// Lineitems per order (average).
+    pub lineitems_per_order: usize,
+    /// Number of catalogue parts.
+    pub parts: usize,
+    /// Average subparts per part.
+    pub subparts_per_part: usize,
+    /// Fraction of lineitems whose choice takes the `product` alternative
+    /// (the rest reference a part), in percent.
+    pub product_line_pct: u32,
+    /// Service calls per person (average).
+    pub service_calls_per_person: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        Self {
+            persons: 50,
+            orders_per_person: 3,
+            lineitems_per_order: 4,
+            parts: 80,
+            subparts_per_part: 2,
+            product_line_pct: 30,
+            service_calls_per_person: 1,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// A generated TPC-H-like dataset.
+#[derive(Debug)]
+pub struct TpchData {
+    /// The data graph (conforms to [`schema`]).
+    pub graph: XmlGraph,
+    /// The TSS graph (which owns the schema graph).
+    pub tss: TssGraph,
+}
+
+impl TpchConfig {
+    /// Generates a dataset. Deterministic under a fixed seed.
+    pub fn generate(&self) -> TpchData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let vocab = Vocabulary::new(200, 1.0);
+        let mut g = XmlGraph::new();
+
+        // Persons.
+        let persons: Vec<NodeId> = (0..self.persons)
+            .map(|i| {
+                let p = g.add_node("person", None);
+                let n = g.add_node("name", Some(NAMES[i % NAMES.len()]));
+                let nat = g.add_node("nation", Some(NATIONS[rng.gen_range(0..NATIONS.len())]));
+                g.add_edge(p, n, EdgeKind::Containment);
+                g.add_edge(p, nat, EdgeKind::Containment);
+                p
+            })
+            .collect();
+
+        // Parts with subpart references (to later-indexed parts only, so
+        // part containment stays acyclic like a bill of materials).
+        let parts: Vec<NodeId> = (0..self.parts)
+            .map(|i| {
+                part(
+                    &mut g,
+                    &format!("{}", 1000 + i),
+                    PRODUCT_NOUNS[rng.gen_range(0..PRODUCT_NOUNS.len())],
+                )
+            })
+            .collect();
+        for (i, &p) in parts.iter().enumerate() {
+            if i + 1 >= parts.len() {
+                break;
+            }
+            for _ in 0..rng.gen_range(0..=self.subparts_per_part * 2) {
+                let target = parts[rng.gen_range(i + 1..parts.len())];
+                let sub = g.add_node("sub", None);
+                g.add_edge(p, sub, EdgeKind::Containment);
+                g.add_edge(sub, target, EdgeKind::Reference);
+            }
+        }
+
+        // Orders, lineitems, service calls.
+        let mut products: Vec<NodeId> = Vec::new();
+        for (pi, &p) in persons.iter().enumerate() {
+            for oi in 0..self.orders_per_person {
+                let o = g.add_node("order", None);
+                let od = g.add_node("odate", Some(&format!("2002-{:02}-{:02}", 1 + oi % 12, 1 + pi % 28)));
+                g.add_edge(p, o, EdgeKind::Containment);
+                g.add_edge(o, od, EdgeKind::Containment);
+                for _ in 0..rng.gen_range(1..=self.lineitems_per_order * 2 - 1) {
+                    let supplier = persons[rng.gen_range(0..persons.len())];
+                    let (_, line) = lineitem(
+                        &mut g,
+                        o,
+                        &format!("{}", rng.gen_range(1..50)),
+                        &format!("2002-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29)),
+                        supplier,
+                    );
+                    if rng.gen_range(0..100) < self.product_line_pct {
+                        let prod = g.add_node("product", None);
+                        let pk = g.add_node("prodkey", Some(&format!("{}", rng.gen_range(2000..3000))));
+                        let mut descr = vocab.sentence(&mut rng, 3);
+                        descr.push(' ');
+                        descr.push_str(PRODUCT_NOUNS[rng.gen_range(0..PRODUCT_NOUNS.len())]);
+                        let d = g.add_node("descr", Some(&descr));
+                        g.add_edge(line, prod, EdgeKind::Containment);
+                        g.add_edge(prod, pk, EdgeKind::Containment);
+                        g.add_edge(prod, d, EdgeKind::Containment);
+                        products.push(prod);
+                    } else {
+                        let target = parts[rng.gen_range(0..parts.len())];
+                        g.add_edge(line, target, EdgeKind::Reference);
+                    }
+                }
+            }
+        }
+        // Service calls reference products (second pass so the product
+        // pool is complete); skipped if no lineitem produced a product.
+        if !products.is_empty() {
+            for &p in &persons {
+                for _ in 0..self.service_calls_per_person {
+                    let target = products[rng.gen_range(0..products.len())];
+                    let sc = g.add_node("service_call", None);
+                    let scd = g.add_node("scdate", Some("2002-12-01"));
+                    let sce = g.add_node("scdescr", Some(&vocab.sentence(&mut rng, 2)));
+                    g.add_edge(p, sc, EdgeKind::Containment);
+                    g.add_edge(sc, scd, EdgeKind::Containment);
+                    g.add_edge(sc, sce, EdgeKind::Containment);
+                    g.add_edge(sc, target, EdgeKind::Reference);
+                }
+            }
+        }
+
+        TpchData {
+            graph: g,
+            tss: tss_graph(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_conforms_to_schema() {
+        let (g, _, _) = figure1();
+        schema().check_conformance(&g).unwrap();
+    }
+
+    #[test]
+    fn figure1_contains_worked_example_keywords() {
+        let (g, john, _) = figure1();
+        let name = g.containment_children(john)[0];
+        assert_eq!(g.value(name), Some("John"));
+        let vcr_parts: Vec<_> = g
+            .node_ids()
+            .filter(|&n| g.tag(n) == "pname" && g.value(n) == Some("VCR"))
+            .collect();
+        assert_eq!(vcr_parts.len(), 2);
+        assert!(g
+            .node_ids()
+            .any(|n| g.value(n) == Some("set of VCR and DVD")));
+    }
+
+    #[test]
+    fn tss_graph_shape() {
+        let t = tss_graph();
+        assert_eq!(t.node_count(), 6);
+        let names: Vec<&str> = t.node_ids().map(|i| t.node(i).name.as_str()).collect();
+        assert!(names.contains(&"Person"));
+        assert!(names.contains(&"Part"));
+        // Part -> Part self edge via `sub`.
+        let part = t.node_ids().find(|&i| t.node(i).name == "Part").unwrap();
+        assert!(t.find_edge(part, part).is_some());
+    }
+
+    #[test]
+    fn generated_data_conforms() {
+        let cfg = TpchConfig {
+            persons: 10,
+            parts: 15,
+            ..TpchConfig::default()
+        };
+        let data = cfg.generate();
+        schema().check_conformance(&data.graph).unwrap();
+        assert!(data.graph.node_count() > 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpchConfig::default();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+}

@@ -1,0 +1,179 @@
+//! Synthetic vocabularies with Zipf-distributed sampling.
+//!
+//! Keyword-search performance depends heavily on keyword selectivity, so
+//! the generators draw words from a Zipf distribution (rank-`i` word has
+//! probability ∝ 1/i^s), implemented from scratch: cumulative weights +
+//! binary search. Deterministic under a fixed seed.
+
+use rand::Rng;
+
+/// A Zipf(|V|, s) sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (s = 1.0 is the
+    /// classic Zipf law).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A vocabulary of synthetic words (`w0`, `w1`, …) plus curated pools of
+/// person names, nations and product nouns used to make the paper's
+/// worked examples expressible.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+/// Person first names used by the generators.
+pub const NAMES: &[&str] = &[
+    "John", "Mike", "Mary", "Anna", "Yannis", "Andrey", "Vagelis", "Laura", "Peter", "Nadia",
+    "Oscar", "Wei", "Tomo", "Ingrid", "Carlos", "Fatima",
+];
+
+/// Nations used by the generators.
+pub const NATIONS: &[&str] = &[
+    "US", "Greece", "Russia", "Japan", "Brazil", "Kenya", "France", "India",
+];
+
+/// Product/part nouns; the first few deliberately include the paper's
+/// examples (TV, VCR, DVD).
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "TV", "VCR", "DVD", "radio", "camera", "tuner", "amplifier", "antenna", "speaker", "remote",
+    "screen", "cable", "battery", "lens", "tripod", "recorder",
+];
+
+impl Vocabulary {
+    /// Creates `n` synthetic words with a Zipf(s) law over them.
+    pub fn new(n: usize, s: f64) -> Self {
+        Self {
+            words: (0..n).map(|i| format!("w{i}")).collect(),
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at a given rank.
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Draws a Zipf-distributed word.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// Draws a sentence of `len` Zipf words.
+    pub fn sentence<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> String {
+        let mut out = String::new();
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.sample(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        // Rank 0 should dominate rank 50 by roughly 50x; allow slack.
+        assert!(counts[0] > counts[50] * 10);
+        // Every head rank should appear.
+        assert!(counts[..5].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300));
+    }
+
+    #[test]
+    fn vocabulary_sentences() {
+        let v = Vocabulary::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = v.sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+        assert!(s.split(' ').all(|w| w.starts_with('w')));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let v = Vocabulary::new(50, 1.0);
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| v.sample(&mut rng).to_owned()).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| v.sample(&mut rng).to_owned()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,299 @@
+//! The XML graph — Definition 3.1 of the paper.
+//!
+//! An [`XmlGraph`] is a labeled directed graph where every node has a unique
+//! id, a label (element tag) and an optional string value. Edges are
+//! classified into *containment* edges (element/sub-element) and *reference*
+//! edges (IDREF-to-ID and XML-Link). The graph may have multiple roots —
+//! nodes with no incoming containment edge — because document roots often
+//! provide only artificial connections and because several documents may be
+//! loaded together.
+
+use crate::interner::{Interner, LabelId};
+use std::fmt;
+
+/// A node in the XML data graph. Dense `u32` ids, assigned at insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Edge classification of Definition 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Element/sub-element containment (solid edges in the paper's figures).
+    Containment,
+    /// IDREF-to-ID or XML-Link pointer (dotted edges).
+    Reference,
+}
+
+/// Payload of a node: its interned tag and optional leaf value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Interned element tag.
+    pub label: LabelId,
+    /// Optional string value (shown in brackets in the paper's figures).
+    pub value: Option<String>,
+}
+
+/// The labeled directed XML graph.
+///
+/// Adjacency is stored per node and per edge kind, in both directions, so
+/// that proximity search can walk edges "in either direction" as the paper
+/// requires.
+#[derive(Debug, Default, Clone)]
+pub struct XmlGraph {
+    interner: Interner,
+    nodes: Vec<XmlNode>,
+    children_c: Vec<Vec<NodeId>>,
+    children_r: Vec<Vec<NodeId>>,
+    parents_c: Vec<Vec<NodeId>>,
+    parents_r: Vec<Vec<NodeId>>,
+}
+
+impl XmlGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given tag and optional value; returns its id.
+    pub fn add_node(&mut self, tag: &str, value: Option<&str>) -> NodeId {
+        let label = self.interner.intern(tag);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(XmlNode {
+            label,
+            value: value.map(|v| v.to_owned()),
+        });
+        self.children_c.push(Vec::new());
+        self.children_r.push(Vec::new());
+        self.parents_c.push(Vec::new());
+        self.parents_r.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge of the given kind.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        match kind {
+            EdgeKind::Containment => {
+                self.children_c[from.idx()].push(to);
+                self.parents_c[to.idx()].push(from);
+            }
+            EdgeKind::Reference => {
+                self.children_r[from.idx()].push(to);
+                self.parents_r[to.idx()].push(from);
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges (both kinds).
+    pub fn edge_count(&self) -> usize {
+        self.children_c.iter().map(Vec::len).sum::<usize>()
+            + self.children_r.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The payload of `n`.
+    pub fn node(&self, n: NodeId) -> &XmlNode {
+        &self.nodes[n.idx()]
+    }
+
+    /// The tag string of `n`.
+    pub fn tag(&self, n: NodeId) -> &str {
+        self.interner.resolve(self.nodes[n.idx()].label)
+    }
+
+    /// The interned label of `n`.
+    pub fn label(&self, n: NodeId) -> LabelId {
+        self.nodes[n.idx()].label
+    }
+
+    /// The value of `n`, if any.
+    pub fn value(&self, n: NodeId) -> Option<&str> {
+        self.nodes[n.idx()].value.as_deref()
+    }
+
+    /// Sets/replaces the value of `n`.
+    pub fn set_value(&mut self, n: NodeId, value: Option<String>) {
+        self.nodes[n.idx()].value = value;
+    }
+
+    /// Containment children of `n`.
+    pub fn containment_children(&self, n: NodeId) -> &[NodeId] {
+        &self.children_c[n.idx()]
+    }
+
+    /// Reference targets of `n`.
+    pub fn reference_targets(&self, n: NodeId) -> &[NodeId] {
+        &self.children_r[n.idx()]
+    }
+
+    /// Containment parents of `n` (usually 0 or 1).
+    pub fn containment_parents(&self, n: NodeId) -> &[NodeId] {
+        &self.parents_c[n.idx()]
+    }
+
+    /// Nodes referring to `n` via reference edges.
+    pub fn reference_sources(&self, n: NodeId) -> &[NodeId] {
+        &self.parents_r[n.idx()]
+    }
+
+    /// Outgoing edges of `n` as `(target, kind)` pairs.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        self.children_c[n.idx()]
+            .iter()
+            .map(|&t| (t, EdgeKind::Containment))
+            .chain(
+                self.children_r[n.idx()]
+                    .iter()
+                    .map(|&t| (t, EdgeKind::Reference)),
+            )
+    }
+
+    /// Incoming edges of `n` as `(source, kind)` pairs.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        self.parents_c[n.idx()]
+            .iter()
+            .map(|&s| (s, EdgeKind::Containment))
+            .chain(
+                self.parents_r[n.idx()]
+                    .iter()
+                    .map(|&s| (s, EdgeKind::Reference)),
+            )
+    }
+
+    /// Undirected neighbours of `n`: all edge endpoints regardless of
+    /// direction, as `(neighbour, kind, outgoing?)`.
+    pub fn neighbours(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind, bool)> + '_ {
+        self.out_edges(n)
+            .map(|(m, k)| (m, k, true))
+            .chain(self.in_edges(n).map(|(m, k)| (m, k, false)))
+    }
+
+    /// Whether the directed edge `(from, to)` of the given kind exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        match kind {
+            EdgeKind::Containment => self.children_c[from.idx()].contains(&to),
+            EdgeKind::Reference => self.children_r[from.idx()].contains(&to),
+        }
+    }
+
+    /// Roots: nodes without an incoming containment edge.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|n| self.parents_c[n.idx()].is_empty())
+            .collect()
+    }
+
+    /// The interner (for tag resolution by callers holding [`LabelId`]s).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a tag without creating a node (useful when preparing label
+    /// sets to match against).
+    pub fn intern_tag(&mut self, tag: &str) -> LabelId {
+        self.interner.intern(tag)
+    }
+
+    /// The set of keywords "contained" in node `n` per §3.1: tokens of its
+    /// tag plus tokens of its value, lower-cased.
+    pub fn keywords(&self, n: NodeId) -> Vec<String> {
+        let mut out = tokenize(self.tag(n));
+        if let Some(v) = self.value(n) {
+            out.extend(tokenize(v));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Splits text into lower-cased alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (XmlGraph, NodeId, NodeId, NodeId) {
+        let mut g = XmlGraph::new();
+        let p = g.add_node("person", None);
+        let n = g.add_node("name", Some("John"));
+        let o = g.add_node("order", None);
+        g.add_edge(p, n, EdgeKind::Containment);
+        g.add_edge(o, p, EdgeKind::Reference);
+        (g, p, n, o)
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let (g, p, n, o) = tiny();
+        assert_eq!(g.containment_children(p), &[n]);
+        assert_eq!(g.containment_parents(n), &[p]);
+        assert_eq!(g.reference_targets(o), &[p]);
+        assert_eq!(g.reference_sources(p), &[o]);
+        assert!(g.has_edge(p, n, EdgeKind::Containment));
+        assert!(!g.has_edge(p, n, EdgeKind::Reference));
+    }
+
+    #[test]
+    fn roots_exclude_contained_nodes() {
+        let (g, p, _n, o) = tiny();
+        // `p` has no containment parent (only a reference), so it is a root.
+        let roots = g.roots();
+        assert!(roots.contains(&p));
+        assert!(roots.contains(&o));
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn keywords_cover_tag_and_value() {
+        let (g, _p, n, _o) = tiny();
+        assert_eq!(g.keywords(n), vec!["john".to_owned(), "name".to_owned()]);
+    }
+
+    #[test]
+    fn neighbours_are_undirected() {
+        let (g, p, n, o) = tiny();
+        let nb: Vec<NodeId> = g.neighbours(p).map(|(m, _, _)| m).collect();
+        assert!(nb.contains(&n));
+        assert!(nb.contains(&o));
+        assert_eq!(nb.len(), 2);
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("set of VCR and DVD "),
+            vec!["set", "of", "vcr", "and", "dvd"]
+        );
+        assert_eq!(tokenize("Nov-22-2002"), vec!["nov", "22", "2002"]);
+        assert!(tokenize("  ").is_empty());
+    }
+}

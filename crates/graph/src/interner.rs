@@ -1,0 +1,116 @@
+//! String interning for element tags and schema-node labels.
+//!
+//! Tags repeat massively in XML data, so the graph stores a compact
+//! [`LabelId`] per node and resolves it through an [`Interner`].
+
+use std::collections::HashMap;
+
+/// An interned tag/label. `u32` is plenty: label counts are bounded by the
+/// schema, not the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simple append-only string interner.
+///
+/// Interning is idempotent: the same string always yields the same
+/// [`LabelId`], and ids are dense (`0..len`).
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, LabelId>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its stable id.
+    pub fn intern(&mut self, s: &str) -> LabelId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = LabelId(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<LabelId> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.strings[id.idx()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("person");
+        let b = i.intern("order");
+        let a2 = i.intern("person");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "person");
+        assert_eq!(i.resolve(b), "order");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        assert!(i.is_empty());
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(LabelId(0)));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = Interner::new();
+        for (n, s) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(i.intern(s), LabelId(n as u32));
+        }
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # xkw-graph — the XML substrate of XKeyword
+//!
+//! This crate implements the data-model layer of the XKeyword system
+//! (Hristidis, Papakonstantinou, Balmin — *Keyword Proximity Search on XML
+//! Graphs*, ICDE 2003):
+//!
+//! * [`XmlGraph`] — the conventional labeled-graph abstraction of XML
+//!   (Definition 3.1 of the paper): nodes carry a tag label and an optional
+//!   string value; edges are *containment* (element/sub-element) or
+//!   *reference* (IDREF-to-ID / XLink) edges; multiple roots are allowed.
+//! * [`parser`] — a self-contained XML subset parser producing an
+//!   [`XmlGraph`] with resolved reference edges.
+//! * [`SchemaGraph`] — the schema-graph formalism of §3: *all*/*choice*
+//!   nodes, typed containment/reference edges with `maxOccurs`, plus a
+//!   conformance checker.
+//! * [`TssGraph`] — the Target-Schema-Segment graph of §3.1: a partial
+//!   mapping of schema nodes onto *target schema segments* with dummy
+//!   schema nodes, derived edges annotated with semantic descriptions and
+//!   per-direction cardinalities.
+//!
+//! Everything downstream (candidate networks, decompositions, connection
+//! relations) is built on these three graphs.
+
+pub mod graph;
+pub mod infer;
+pub mod interner;
+pub mod parser;
+pub mod schema;
+pub mod tss;
+pub mod uncycled;
+pub mod writer;
+
+pub use graph::{EdgeKind, NodeId, XmlGraph, XmlNode};
+pub use interner::{Interner, LabelId};
+pub use parser::{parse, ParseError};
+pub use schema::{
+    ConformanceError, MaxOccurs, NodeKind, SchemaEdge, SchemaEdgeId, SchemaGraph, SchemaNode,
+    SchemaNodeId,
+};
+pub use infer::{auto_mapping, infer_schema};
+pub use tss::{TssEdge, TssEdgeId, TssGraph, TssId, TssMapping, TssNode};
+
+/// Shared fixtures for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::graph::XmlGraph;
+    use crate::parser::parse;
+
+    /// A miniature TPC-H-like document with the paper's value-leaf and
+    /// dummy-connector structure (persons/orders/lineitems/parts with
+    /// subparts, products, suppliers).
+    pub fn tpch_like_document() -> XmlGraph {
+        parse(
+            r#"<person id="per1"><name>John</name><nation>US</nation>
+                 <order><odate>d1</odate>
+                   <lineitem><quantity>10</quantity><ship>s1</ship>
+                     <line idref="pa1"/><supplier idref="per2"/>
+                   </lineitem>
+                   <lineitem><quantity>6</quantity><ship>s2</ship>
+                     <line><product><prodkey>2005</prodkey><descr>combo</descr></product></line>
+                     <supplier idref="per2"/>
+                   </lineitem>
+                 </order>
+               </person>
+               <person id="per2"><name>Mike</name><nation>US</nation>
+                 <order><odate>d2</odate>
+                   <lineitem><quantity>3</quantity><ship>s3</ship>
+                     <line idref="pa2"/><supplier idref="per1"/>
+                   </lineitem>
+                 </order>
+               </person>
+               <part id="pa1"><key>1005</key><pname>TV</pname>
+                 <sub idref="pa2"/><sub idref="pa3"/>
+               </part>
+               <part id="pa2"><key>1008</key><pname>VCR</pname></part>
+               <part id="pa3"><key>1009</key><pname>VCR</pname></part>"#,
+        )
+        .expect("fixture parses")
+    }
+}

@@ -1,0 +1,414 @@
+//! A self-contained XML subset parser producing an [`XmlGraph`].
+//!
+//! Supported: prolog, comments, CDATA, elements, attributes, character
+//! data with the five predefined entities plus numeric character
+//! references, and multiple top-level elements (the paper's graphs may
+//! have multiple roots). IDs and references follow the common convention:
+//!
+//! * an `id="..."` attribute registers the element under that id;
+//! * `idref="..."` / `idrefs="..."` attributes create reference edges to
+//!   the named elements (resolved in a second pass);
+//! * every other attribute becomes a child node labeled with the attribute
+//!   name and valued with the attribute text — matching how the paper
+//!   models leaf information (e.g. `name["John"]`) as value-bearing nodes.
+//!
+//! Element text content becomes the element node's value.
+
+use crate::graph::{EdgeKind, NodeId, XmlGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the failure was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `input` into an [`XmlGraph`], resolving ID/IDREF links into
+/// reference edges.
+///
+/// ```
+/// let g = xkw_graph::parse(
+///     r#"<part id="tv"><pname>TV</pname></part><line idref="tv"/>"#,
+/// ).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// let line = g.node_ids().find(|&n| g.tag(n) == "line").unwrap();
+/// assert_eq!(g.reference_targets(line).len(), 1);
+/// ```
+pub fn parse(input: &str) -> Result<XmlGraph, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        graph: XmlGraph::new(),
+        ids: HashMap::new(),
+        pending_refs: Vec::new(),
+    };
+    p.skip_misc();
+    while p.pos < p.bytes.len() {
+        p.parse_element(None)?;
+        p.skip_misc();
+    }
+    // Resolve idrefs.
+    let mut edges = Vec::new();
+    for (from, target_id, at) in std::mem::take(&mut p.pending_refs) {
+        let Some(&to) = p.ids.get(&target_id) else {
+            return Err(ParseError {
+                at,
+                msg: format!("unresolved idref {target_id:?}"),
+            });
+        };
+        edges.push((from, to));
+    }
+    for (from, to) in edges {
+        p.graph.add_edge(from, to, EdgeKind::Reference);
+    }
+    Ok(p.graph)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    graph: XmlGraph,
+    ids: HashMap<String, NodeId>,
+    pending_refs: Vec<(NodeId, String, usize)>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, processing instructions and DOCTYPE.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if let Some(end) = find(self.bytes, self.pos + 4, b"-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<?") {
+                if let Some(end) = find(self.bytes, self.pos + 2, b"?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal subset support).
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'>' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", c as char))
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.bytes[start..self.pos];
+                self.pos += 1;
+                return decode_entities(raw, start);
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    fn parse_element(&mut self, parent: Option<NodeId>) -> Result<NodeId, ParseError> {
+        self.expect(b'<')?;
+        let tag = self.parse_name()?;
+        let node = self.graph.add_node(&tag, None);
+        if let Some(p) = parent {
+            self.graph.add_edge(p, node, EdgeKind::Containment);
+        }
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let at = self.pos;
+                    let name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    match name.as_str() {
+                        "id" => {
+                            self.ids.insert(value, node);
+                        }
+                        "idref" | "idrefs" => {
+                            for target in value.split_whitespace() {
+                                self.pending_refs.push((node, target.to_owned(), at));
+                            }
+                        }
+                        _ => {
+                            let child = self.graph.add_node(&name, Some(&value));
+                            self.graph.add_edge(node, child, EdgeKind::Containment);
+                        }
+                    }
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err(format!("unterminated element <{tag}>")),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != tag {
+                            return self.err(format!("mismatched </{close}> for <{tag}>"));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        break;
+                    } else if self.starts_with("<!--") {
+                        match find(self.bytes, self.pos + 4, b"-->") {
+                            Some(end) => self.pos = end + 3,
+                            None => return self.err("unterminated comment"),
+                        }
+                    } else if self.starts_with("<![CDATA[") {
+                        match find(self.bytes, self.pos + 9, b"]]>") {
+                            Some(end) => {
+                                text.push_str(&String::from_utf8_lossy(
+                                    &self.bytes[self.pos + 9..end],
+                                ));
+                                self.pos = end + 3;
+                            }
+                            None => return self.err("unterminated CDATA"),
+                        }
+                    } else {
+                        self.parse_element(Some(node))?;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    text.push_str(&decode_entities(&self.bytes[start..self.pos], start)?);
+                }
+            }
+        }
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            self.graph.set_value(node, Some(trimmed.to_owned()));
+        }
+        Ok(node)
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+fn decode_entities(raw: &[u8], at: usize) -> Result<String, ParseError> {
+    let s = String::from_utf8_lossy(raw);
+    if !s.contains('&') {
+        return Ok(s.into_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s.as_ref();
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let Some(end) = rest.find(';') else {
+            return Err(ParseError {
+                at,
+                msg: "unterminated entity reference".to_owned(),
+            });
+        };
+        let ent = &rest[1..end];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| ParseError {
+                    at,
+                    msg: format!("bad character reference &{ent};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ if ent.starts_with('#') => {
+                let cp: u32 = ent[1..].parse().map_err(|_| ParseError {
+                    at,
+                    msg: format!("bad character reference &{ent};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ => {
+                return Err(ParseError {
+                    at,
+                    msg: format!("unknown entity &{ent};"),
+                })
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let g = parse("<person><name>John</name><nation>US</nation></person>").unwrap();
+        assert_eq!(g.node_count(), 3);
+        let roots = g.roots();
+        assert_eq!(roots.len(), 1);
+        let p = roots[0];
+        assert_eq!(g.tag(p), "person");
+        let kids = g.containment_children(p);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(g.value(kids[0]), Some("John"));
+        assert_eq!(g.tag(kids[1]), "nation");
+    }
+
+    #[test]
+    fn attributes_become_value_children() {
+        let g = parse(r#"<lineitem quantity="10" ship="Oct-2002"/>"#).unwrap();
+        let li = g.roots()[0];
+        let kids = g.containment_children(li);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(g.tag(kids[0]), "quantity");
+        assert_eq!(g.value(kids[0]), Some("10"));
+    }
+
+    #[test]
+    fn idrefs_resolve_to_reference_edges() {
+        let g = parse(
+            r#"<db><part id="p1"><pname>TV</pname></part>
+               <lineitem><line idref="p1"/></lineitem></db>"#,
+        )
+        .unwrap();
+        let line = g.node_ids().find(|&n| g.tag(n) == "line").unwrap();
+        let part = g.node_ids().find(|&n| g.tag(n) == "part").unwrap();
+        assert_eq!(g.reference_targets(line), &[part]);
+    }
+
+    #[test]
+    fn multiple_roots_supported() {
+        let g = parse("<a/><b/><c/>").unwrap();
+        assert_eq!(g.roots().len(), 3);
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let g = parse("<d>a &amp; b &#65; <![CDATA[<raw>]]></d>").unwrap();
+        assert_eq!(g.value(g.roots()[0]), Some("a & b A <raw>"));
+    }
+
+    #[test]
+    fn comments_and_prolog_skipped() {
+        let g = parse("<?xml version=\"1.0\"?><!-- hi --><x><!-- inner -->t</x>").unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.value(g.roots()[0]), Some("t"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("<a><b></a>").is_err());
+        assert!(parse("<a idref=\"nope\"/>").is_err());
+        assert!(parse("<a>&bogus;</a>").is_err());
+        assert!(parse("<a").is_err());
+    }
+
+    #[test]
+    fn idrefs_split_on_whitespace() {
+        let g = parse(r#"<db><x id="a"/><x id="b"/><y idrefs="a b"/></db>"#).unwrap();
+        let y = g.node_ids().find(|&n| g.tag(n) == "y").unwrap();
+        assert_eq!(g.reference_targets(y).len(), 2);
+    }
+}

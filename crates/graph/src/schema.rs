@@ -1,0 +1,448 @@
+//! Schema graphs (§3 of the paper).
+//!
+//! Schema graphs are simplified XML-Schema definitions with typed
+//! references, keeping only the constructs useful for optimization:
+//! *all*/*choice* nodes, containment vs reference edges, and the
+//! `maxOccurs` of an edge. An [`XmlGraph`] *conforms* to a [`SchemaGraph`]
+//! when every node and edge is licensed by it; the checker here is used by
+//! the data generators' tests and by property tests of the candidate
+//! network generator.
+
+use crate::graph::{EdgeKind, NodeId, XmlGraph};
+use crate::interner::{Interner, LabelId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A schema node (element type). Dense `u16` ids — schemas are small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaNodeId(pub u16);
+
+impl SchemaNodeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A schema edge id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemaEdgeId(pub u16);
+
+impl SchemaEdgeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Content-model kind of a schema node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// All outgoing edge types may be instantiated together (default).
+    All,
+    /// At most one outgoing edge type may be instantiated per data node
+    /// (drawn with an arc over the outgoing edges in the paper's Fig. 5).
+    Choice,
+}
+
+/// Edge multiplicity: how many instances of the edge a single source node
+/// may have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxOccurs {
+    /// At most one target per source.
+    One,
+    /// Unbounded targets per source.
+    Many,
+}
+
+/// A schema node.
+#[derive(Debug, Clone)]
+pub struct SchemaNode {
+    /// Interned element tag.
+    pub label: LabelId,
+    /// Content-model kind.
+    pub kind: NodeKind,
+}
+
+/// A schema edge.
+#[derive(Debug, Clone)]
+pub struct SchemaEdge {
+    /// Source schema node.
+    pub from: SchemaNodeId,
+    /// Target schema node.
+    pub to: SchemaNodeId,
+    /// Containment or reference.
+    pub kind: EdgeKind,
+    /// Multiplicity from the source side.
+    pub max_occurs: MaxOccurs,
+}
+
+/// The schema graph.
+#[derive(Debug, Default, Clone)]
+pub struct SchemaGraph {
+    interner: Interner,
+    nodes: Vec<SchemaNode>,
+    edges: Vec<SchemaEdge>,
+    out: Vec<Vec<SchemaEdgeId>>,
+    inc: Vec<Vec<SchemaEdgeId>>,
+    by_tag: HashMap<LabelId, SchemaNodeId>,
+}
+
+impl SchemaGraph {
+    /// Creates an empty schema graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a schema node with the given tag and kind.
+    ///
+    /// # Panics
+    /// Panics if a node with the same tag already exists: the paper's
+    /// schema graphs identify element types by tag.
+    pub fn add_node(&mut self, tag: &str, kind: NodeKind) -> SchemaNodeId {
+        let label = self.interner.intern(tag);
+        assert!(
+            !self.by_tag.contains_key(&label),
+            "duplicate schema node tag: {tag}"
+        );
+        let id = SchemaNodeId(self.nodes.len() as u16);
+        self.nodes.push(SchemaNode { label, kind });
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.by_tag.insert(label, id);
+        id
+    }
+
+    /// Adds a schema edge.
+    pub fn add_edge(
+        &mut self,
+        from: SchemaNodeId,
+        to: SchemaNodeId,
+        kind: EdgeKind,
+        max_occurs: MaxOccurs,
+    ) -> SchemaEdgeId {
+        let id = SchemaEdgeId(self.edges.len() as u16);
+        self.edges.push(SchemaEdge {
+            from,
+            to,
+            kind,
+            max_occurs,
+        });
+        self.out[from.idx()].push(id);
+        self.inc[to.idx()].push(id);
+        id
+    }
+
+    /// Number of schema nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of schema edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All schema node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = SchemaNodeId> {
+        (0..self.nodes.len() as u16).map(SchemaNodeId)
+    }
+
+    /// All schema edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = SchemaEdgeId> {
+        (0..self.edges.len() as u16).map(SchemaEdgeId)
+    }
+
+    /// The node payload.
+    pub fn node(&self, id: SchemaNodeId) -> &SchemaNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// The edge payload.
+    pub fn edge(&self, id: SchemaEdgeId) -> &SchemaEdge {
+        &self.edges[id.idx()]
+    }
+
+    /// The tag string of a node.
+    pub fn tag(&self, id: SchemaNodeId) -> &str {
+        self.interner.resolve(self.nodes[id.idx()].label)
+    }
+
+    /// Looks up a schema node by its tag.
+    pub fn node_by_tag(&self, tag: &str) -> Option<SchemaNodeId> {
+        self.interner.get(tag).and_then(|l| self.by_tag.get(&l)).copied()
+    }
+
+    /// Outgoing edge ids of a node.
+    pub fn out_edges(&self, id: SchemaNodeId) -> &[SchemaEdgeId] {
+        &self.out[id.idx()]
+    }
+
+    /// Incoming edge ids of a node.
+    pub fn in_edges(&self, id: SchemaNodeId) -> &[SchemaEdgeId] {
+        &self.inc[id.idx()]
+    }
+
+    /// All edges incident to `id` as `(edge, outgoing?)`.
+    pub fn incident_edges(&self, id: SchemaNodeId) -> impl Iterator<Item = (SchemaEdgeId, bool)> + '_ {
+        self.out[id.idx()]
+            .iter()
+            .map(|&e| (e, true))
+            .chain(self.inc[id.idx()].iter().map(|&e| (e, false)))
+    }
+
+    /// Finds the schema edge `(from, to)` of the given kind, if any.
+    pub fn find_edge(
+        &self,
+        from: SchemaNodeId,
+        to: SchemaNodeId,
+        kind: EdgeKind,
+    ) -> Option<SchemaEdgeId> {
+        self.out[from.idx()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.idx()].to == to && self.edges[e.idx()].kind == kind)
+    }
+
+    /// Maps every node of `data` to its schema node by tag, or reports the
+    /// first unknown tag.
+    pub fn classify(&self, data: &XmlGraph) -> Result<Vec<SchemaNodeId>, ConformanceError> {
+        data.node_ids()
+            .map(|n| {
+                self.node_by_tag(data.tag(n))
+                    .ok_or_else(|| ConformanceError::UnknownTag {
+                        node: n,
+                        tag: data.tag(n).to_owned(),
+                    })
+            })
+            .collect()
+    }
+
+    /// Checks that `data` conforms to this schema (§3): every node's tag is
+    /// a schema node, every edge is licensed by a schema edge, containment
+    /// parents are unique, `maxOccurs = One` edges are not duplicated per
+    /// source, and *choice* nodes instantiate at most one alternative.
+    pub fn check_conformance(&self, data: &XmlGraph) -> Result<(), ConformanceError> {
+        let classes = self.classify(data)?;
+        for n in data.node_ids() {
+            let sn = classes[n.idx()];
+            if data.containment_parents(n).len() > 1 {
+                return Err(ConformanceError::MultipleContainmentParents { node: n });
+            }
+            // Group outgoing data edges by the schema edge that licenses
+            // them; fail on unlicensed edges.
+            let mut per_edge: HashMap<SchemaEdgeId, usize> = HashMap::new();
+            for (m, kind) in data.out_edges(n) {
+                let sm = classes[m.idx()];
+                let Some(se) = self.find_edge(sn, sm, kind) else {
+                    return Err(ConformanceError::UnlicensedEdge {
+                        from: n,
+                        to: m,
+                        kind,
+                    });
+                };
+                *per_edge.entry(se).or_insert(0) += 1;
+            }
+            for (&se, &count) in &per_edge {
+                if self.edge(se).max_occurs == MaxOccurs::One && count > 1 {
+                    return Err(ConformanceError::MaxOccursViolated { node: n, edge: se });
+                }
+            }
+            if self.node(sn).kind == NodeKind::Choice && per_edge.len() > 1 {
+                return Err(ConformanceError::ChoiceViolated { node: n });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Conformance failures reported by [`SchemaGraph::check_conformance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// A data node's tag has no schema node.
+    UnknownTag {
+        /// Offending data node.
+        node: NodeId,
+        /// Its tag.
+        tag: String,
+    },
+    /// A data edge has no licensing schema edge.
+    UnlicensedEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+        /// Edge kind.
+        kind: EdgeKind,
+    },
+    /// A node has more than one containment parent.
+    MultipleContainmentParents {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A `maxOccurs = One` edge instantiated more than once from a node.
+    MaxOccursViolated {
+        /// Offending source node.
+        node: NodeId,
+        /// The violated schema edge.
+        edge: SchemaEdgeId,
+    },
+    /// A choice node instantiated more than one alternative.
+    ChoiceViolated {
+        /// Offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTag { node, tag } => write!(f, "node {node} has unknown tag {tag:?}"),
+            Self::UnlicensedEdge { from, to, kind } => {
+                write!(f, "edge {from}->{to} ({kind:?}) not licensed by schema")
+            }
+            Self::MultipleContainmentParents { node } => {
+                write!(f, "node {node} has multiple containment parents")
+            }
+            Self::MaxOccursViolated { node, edge } => {
+                write!(f, "node {node} violates maxOccurs of schema edge {}", edge.0)
+            }
+            Self::ChoiceViolated { node } => {
+                write!(f, "choice node {node} instantiates multiple alternatives")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// person —contain→ name(one) ; person —contain→ order(many) ;
+    /// order —ref→ person ; order —contain→ pick, where pick is a choice
+    /// node with alternatives lineitem/note.
+    fn schema() -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        let person = s.add_node("person", NodeKind::All);
+        let name = s.add_node("name", NodeKind::All);
+        let order = s.add_node("order", NodeKind::All);
+        let pick = s.add_node("pick", NodeKind::Choice);
+        let line = s.add_node("lineitem", NodeKind::All);
+        let note = s.add_node("note", NodeKind::All);
+        s.add_edge(person, name, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(person, order, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(order, pick, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(pick, line, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(pick, note, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(order, person, EdgeKind::Reference, MaxOccurs::One);
+        s
+    }
+
+    #[test]
+    fn lookup_by_tag() {
+        let s = schema();
+        assert!(s.node_by_tag("person").is_some());
+        assert!(s.node_by_tag("ghost").is_none());
+        let p = s.node_by_tag("person").unwrap();
+        assert_eq!(s.tag(p), "person");
+        assert_eq!(s.out_edges(p).len(), 2);
+    }
+
+    #[test]
+    fn conforming_instance_passes() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        let p = g.add_node("person", None);
+        let n = g.add_node("name", Some("John"));
+        let o = g.add_node("order", None);
+        let pk = g.add_node("pick", None);
+        let l = g.add_node("lineitem", None);
+        g.add_edge(p, n, EdgeKind::Containment);
+        g.add_edge(p, o, EdgeKind::Containment);
+        g.add_edge(o, pk, EdgeKind::Containment);
+        g.add_edge(pk, l, EdgeKind::Containment);
+        g.add_edge(o, p, EdgeKind::Reference);
+        assert_eq!(s.check_conformance(&g), Ok(()));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        g.add_node("alien", None);
+        assert!(matches!(
+            s.check_conformance(&g),
+            Err(ConformanceError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unlicensed_edge_rejected() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        let n = g.add_node("name", None);
+        let o = g.add_node("order", None);
+        g.add_edge(n, o, EdgeKind::Containment);
+        assert!(matches!(
+            s.check_conformance(&g),
+            Err(ConformanceError::UnlicensedEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_occurs_one_enforced() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        let p = g.add_node("person", None);
+        let n1 = g.add_node("name", None);
+        let n2 = g.add_node("name", None);
+        g.add_edge(p, n1, EdgeKind::Containment);
+        g.add_edge(p, n2, EdgeKind::Containment);
+        assert!(matches!(
+            s.check_conformance(&g),
+            Err(ConformanceError::MaxOccursViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn choice_enforced() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        let o = g.add_node("pick", None);
+        let l = g.add_node("lineitem", None);
+        let t = g.add_node("note", None);
+        g.add_edge(o, l, EdgeKind::Containment);
+        g.add_edge(o, t, EdgeKind::Containment);
+        assert!(matches!(
+            s.check_conformance(&g),
+            Err(ConformanceError::ChoiceViolated { .. })
+        ));
+        // A single alternative, even many times, is fine.
+        let mut g2 = XmlGraph::new();
+        let o = g2.add_node("pick", None);
+        let l1 = g2.add_node("lineitem", None);
+        let l2 = g2.add_node("lineitem", None);
+        g2.add_edge(o, l1, EdgeKind::Containment);
+        g2.add_edge(o, l2, EdgeKind::Containment);
+        assert_eq!(s.check_conformance(&g2), Ok(()));
+    }
+
+    #[test]
+    fn multiple_containment_parents_rejected() {
+        let s = schema();
+        let mut g = XmlGraph::new();
+        let p1 = g.add_node("person", None);
+        let p2 = g.add_node("person", None);
+        let o = g.add_node("order", None);
+        g.add_edge(p1, o, EdgeKind::Containment);
+        g.add_edge(p2, o, EdgeKind::Containment);
+        assert!(matches!(
+            s.check_conformance(&g),
+            Err(ConformanceError::MultipleContainmentParents { .. })
+        ));
+    }
+}

@@ -1,0 +1,704 @@
+//! Target Schema Segment (TSS) graphs — §3.1 of the paper.
+//!
+//! A TSS graph is derived from a *partial mapping* of schema nodes: each
+//! schema node is either assigned to a target schema segment (a minimal
+//! self-contained information piece, e.g. `{person, name, nation}`) or is a
+//! *dummy* schema node that carries no information (e.g. `supplier`,
+//! `subpart`, `line`). An edge `(t, t')` exists in the TSS graph when
+//! schema nodes of `t` and `t'` are connected directly or through a path of
+//! dummy schema nodes. Each edge records:
+//!
+//! * the exact schema-edge path it was derived from (needed to reduce
+//!   candidate networks to candidate TSS networks),
+//! * its derived [`EdgeKind`] (reference if any path edge is a reference),
+//! * per-direction cardinalities (`forward_many` / `backward_many`) driving
+//!   the MVD analysis of §5,
+//! * two semantic descriptions ("placed" / "placed by") shown on
+//!   presentation graphs,
+//! * the choice points it passes through, driving the useless-fragment and
+//!   invalid-CN rules.
+//!
+//! The paper calls TSS graphs *uncycled*; its own examples (Part→Part
+//! subparts, Paper→Paper citations) contain reference self-edges, so we
+//! interpret the requirement as: **containment-kind TSS edges must form a
+//! forest** while reference-kind edges are unrestricted (they are exactly
+//! the edges the *unfolding* machinery of §5 is designed to repeat).
+
+use crate::graph::EdgeKind;
+use crate::schema::{MaxOccurs, NodeKind, SchemaEdgeId, SchemaGraph, SchemaNodeId};
+use crate::uncycled::is_uncycled;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A target schema segment id. Dense `u16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TssId(pub u16);
+
+impl TssId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TssId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A TSS-graph edge id. Dense `u16`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TssEdgeId(pub u16);
+
+impl TssEdgeId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A target schema segment: a named set of schema nodes.
+#[derive(Debug, Clone)]
+pub struct TssNode {
+    /// Display name, usually the most representative member's tag.
+    pub name: String,
+    /// Member schema nodes; the first is the representative.
+    pub members: Vec<SchemaNodeId>,
+}
+
+/// A derived TSS edge.
+#[derive(Debug, Clone)]
+pub struct TssEdge {
+    /// Source segment.
+    pub from: TssId,
+    /// Target segment.
+    pub to: TssId,
+    /// The schema-edge path from a member of `from` to a member of `to`;
+    /// all intermediate schema nodes are dummies.
+    pub path: Vec<SchemaEdgeId>,
+    /// Derived kind: reference if any path edge is a reference.
+    pub kind: EdgeKind,
+    /// Whether one source target object may connect to many targets.
+    pub forward_many: bool,
+    /// Whether one target object may be connected from many sources
+    /// (true exactly for reference-kind edges: containment parents are
+    /// unique).
+    pub backward_many: bool,
+    /// Semantic description in the edge direction ("placed").
+    pub forward_desc: String,
+    /// Semantic description against the edge direction ("placed by").
+    pub backward_desc: String,
+}
+
+/// Builder for a [`TssGraph`]: declare segments, then [`TssMapping::build`].
+#[derive(Debug)]
+pub struct TssMapping<'s> {
+    schema: &'s SchemaGraph,
+    nodes: Vec<TssNode>,
+    assigned: Vec<Option<TssId>>,
+}
+
+impl<'s> TssMapping<'s> {
+    /// Starts a mapping over `schema`; all schema nodes begin as dummies.
+    pub fn new(schema: &'s SchemaGraph) -> Self {
+        Self {
+            schema,
+            nodes: Vec::new(),
+            assigned: vec![None; schema.node_count()],
+        }
+    }
+
+    /// Declares a segment with the given display name and member tags.
+    ///
+    /// # Panics
+    /// Panics if a tag is unknown or already assigned to another segment.
+    pub fn tss(&mut self, name: &str, member_tags: &[&str]) -> TssId {
+        let id = TssId(self.nodes.len() as u16);
+        let members: Vec<SchemaNodeId> = member_tags
+            .iter()
+            .map(|t| {
+                self.schema
+                    .node_by_tag(t)
+                    .unwrap_or_else(|| panic!("unknown schema tag {t:?}"))
+            })
+            .collect();
+        for &m in &members {
+            assert!(
+                self.assigned[m.idx()].is_none(),
+                "schema node {:?} assigned to two segments",
+                self.schema.tag(m)
+            );
+            self.assigned[m.idx()] = Some(id);
+        }
+        self.nodes.push(TssNode {
+            name: name.to_owned(),
+            members,
+        });
+        id
+    }
+
+    /// Derives the TSS graph: discovers all inter-segment edges through
+    /// dummy paths and validates the result.
+    pub fn build(self) -> Result<TssGraph, TssError> {
+        TssGraph::derive(self.schema.clone(), self.nodes, self.assigned)
+    }
+}
+
+/// Errors from TSS graph derivation/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TssError {
+    /// A segment's members are not connected among themselves in the
+    /// schema graph, so it is not a self-contained piece.
+    DisconnectedSegment(String),
+    /// Containment-kind TSS edges contain an undirected cycle.
+    ContainmentCycle,
+    /// A segment has no members.
+    EmptySegment(String),
+}
+
+impl fmt::Display for TssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DisconnectedSegment(n) => write!(f, "segment {n:?} members are disconnected"),
+            Self::ContainmentCycle => write!(f, "containment TSS edges form an undirected cycle"),
+            Self::EmptySegment(n) => write!(f, "segment {n:?} has no members"),
+        }
+    }
+}
+
+impl std::error::Error for TssError {}
+
+/// The derived TSS graph. Owns a copy of its schema graph so downstream
+/// consumers need only one handle.
+#[derive(Debug, Clone)]
+pub struct TssGraph {
+    schema: SchemaGraph,
+    nodes: Vec<TssNode>,
+    edges: Vec<TssEdge>,
+    out: Vec<Vec<TssEdgeId>>,
+    inc: Vec<Vec<TssEdgeId>>,
+    assigned: Vec<Option<TssId>>,
+    by_path: HashMap<Vec<SchemaEdgeId>, TssEdgeId>,
+}
+
+impl TssGraph {
+    fn derive(
+        schema: SchemaGraph,
+        nodes: Vec<TssNode>,
+        assigned: Vec<Option<TssId>>,
+    ) -> Result<Self, TssError> {
+        for t in &nodes {
+            if t.members.is_empty() {
+                return Err(TssError::EmptySegment(t.name.clone()));
+            }
+            if !members_connected(&schema, &t.members) {
+                return Err(TssError::DisconnectedSegment(t.name.clone()));
+            }
+        }
+        let mut g = TssGraph {
+            out: vec![Vec::new(); nodes.len()],
+            inc: vec![Vec::new(); nodes.len()],
+            schema,
+            nodes,
+            edges: Vec::new(),
+            assigned,
+            by_path: HashMap::new(),
+        };
+        // DFS from every assigned schema node through dummy nodes only.
+        for start in g.schema.node_ids() {
+            let Some(from_tss) = g.assigned[start.idx()] else {
+                continue;
+            };
+            let mut path: Vec<SchemaEdgeId> = Vec::new();
+            g.explore(start, from_tss, &mut path);
+        }
+        if !is_uncycled(
+            g.edges
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Containment)
+                .map(|e| (e.from, e.to)),
+        ) {
+            return Err(TssError::ContainmentCycle);
+        }
+        Ok(g)
+    }
+
+    /// Recursive forward exploration collecting dummy paths. `path` holds
+    /// the schema edges walked so far, whose interior nodes are all dummy.
+    fn explore(&mut self, at: SchemaNodeId, from_tss: TssId, path: &mut Vec<SchemaEdgeId>) {
+        let out: Vec<SchemaEdgeId> = self.schema.out_edges(at).to_vec();
+        for se in out {
+            // Dummy chains are acyclic in sane schemas, but guard anyway:
+            // never revisit an edge within one path.
+            if path.contains(&se) {
+                continue;
+            }
+            let to = self.schema.edge(se).to;
+            path.push(se);
+            match self.assigned[to.idx()] {
+                Some(to_tss) => {
+                    // Inter-segment edge only when the path left the
+                    // source segment (a direct intra-segment edge is not a
+                    // TSS edge) — except self-edges through dummies or a
+                    // direct edge between two different segments.
+                    if to_tss != from_tss || path.len() > 1 || !same_segment_edge(self, se) {
+                        self.add_edge(from_tss, to_tss, path.clone());
+                    }
+                    // Do not continue through an assigned node.
+                }
+                None => {
+                    self.explore(to, from_tss, path);
+                }
+            }
+            path.pop();
+        }
+    }
+
+    fn add_edge(&mut self, from: TssId, to: TssId, path: Vec<SchemaEdgeId>) {
+        if self.by_path.contains_key(&path) {
+            return;
+        }
+        let kind = if path
+            .iter()
+            .any(|&e| self.schema.edge(e).kind == EdgeKind::Reference)
+        {
+            EdgeKind::Reference
+        } else {
+            EdgeKind::Containment
+        };
+        let forward_many = path
+            .iter()
+            .any(|&e| self.schema.edge(e).max_occurs == MaxOccurs::Many);
+        let backward_many = kind == EdgeKind::Reference;
+        let id = TssEdgeId(self.edges.len() as u16);
+        self.by_path.insert(path.clone(), id);
+        self.edges.push(TssEdge {
+            from,
+            to,
+            path,
+            kind,
+            forward_many,
+            backward_many,
+            forward_desc: default_desc(kind, true),
+            backward_desc: default_desc(kind, false),
+        });
+        self.out[from.idx()].push(id);
+        self.inc[to.idx()].push(id);
+    }
+
+    /// The underlying schema graph.
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// Number of segments.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of TSS edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All segment ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = TssId> {
+        (0..self.nodes.len() as u16).map(TssId)
+    }
+
+    /// All TSS edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = TssEdgeId> {
+        (0..self.edges.len() as u16).map(TssEdgeId)
+    }
+
+    /// The segment payload.
+    pub fn node(&self, id: TssId) -> &TssNode {
+        &self.nodes[id.idx()]
+    }
+
+    /// The edge payload.
+    pub fn edge(&self, id: TssEdgeId) -> &TssEdge {
+        &self.edges[id.idx()]
+    }
+
+    /// Outgoing TSS edges of a segment.
+    pub fn out_edges(&self, id: TssId) -> &[TssEdgeId] {
+        &self.out[id.idx()]
+    }
+
+    /// Incoming TSS edges of a segment.
+    pub fn in_edges(&self, id: TssId) -> &[TssEdgeId] {
+        &self.inc[id.idx()]
+    }
+
+    /// All incident edges of a segment as `(edge, outgoing?)`.
+    pub fn incident_edges(&self, id: TssId) -> impl Iterator<Item = (TssEdgeId, bool)> + '_ {
+        self.out[id.idx()]
+            .iter()
+            .map(|&e| (e, true))
+            .chain(self.inc[id.idx()].iter().map(|&e| (e, false)))
+    }
+
+    /// The segment a schema node belongs to, or `None` for dummy nodes.
+    pub fn tss_of(&self, s: SchemaNodeId) -> Option<TssId> {
+        self.assigned[s.idx()]
+    }
+
+    /// Whether a schema node is a dummy node.
+    pub fn is_dummy(&self, s: SchemaNodeId) -> bool {
+        self.assigned[s.idx()].is_none()
+    }
+
+    /// Looks up the TSS edge derived from exactly this schema-edge path.
+    pub fn edge_for_path(&self, path: &[SchemaEdgeId]) -> Option<TssEdgeId> {
+        self.by_path.get(path).copied()
+    }
+
+    /// Finds the first TSS edge between `from` and `to`, if any.
+    pub fn find_edge(&self, from: TssId, to: TssId) -> Option<TssEdgeId> {
+        self.out[from.idx()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.idx()].to == to)
+    }
+
+    /// Sets the semantic descriptions of the edge between `from` and `to`.
+    ///
+    /// # Panics
+    /// Panics if no such edge exists.
+    pub fn set_edge_desc(&mut self, from: TssId, to: TssId, forward: &str, backward: &str) {
+        let e = self
+            .find_edge(from, to)
+            .unwrap_or_else(|| panic!("no TSS edge {from}->{to}"));
+        self.edges[e.idx()].forward_desc = forward.to_owned();
+        self.edges[e.idx()].backward_desc = backward.to_owned();
+    }
+
+    /// A human-readable name for an edge: `From -(desc)-> To`.
+    pub fn edge_name(&self, id: TssEdgeId) -> String {
+        let e = self.edge(id);
+        format!(
+            "{} -({})-> {}",
+            self.node(e.from).name,
+            e.forward_desc,
+            self.node(e.to).name
+        )
+    }
+
+    /// Whether two *distinct* outgoing edge occurrences from the same
+    /// source target object are mutually exclusive because they diverge at
+    /// a choice schema node reached through `maxOccurs = One` edges.
+    ///
+    /// This drives useless-fragment rule 1 (§5) and the corresponding
+    /// candidate-network pruning: e.g. the two `Lineitem → {Part, Product}`
+    /// edges both pass through the single `line` choice child of a
+    /// lineitem, so no lineitem instance can take both.
+    pub fn choice_conflict(&self, a: TssEdgeId, b: TssEdgeId) -> bool {
+        let (pa, pb) = (&self.edge(a).path, &self.edge(b).path);
+        if self.edge(a).from != self.edge(b).from {
+            return false;
+        }
+        // Walk the shared prefix.
+        let mut i = 0;
+        while i < pa.len() && i < pb.len() && pa[i] == pb[i] {
+            i += 1;
+        }
+        if i >= pa.len() || i >= pb.len() {
+            // One path is a prefix of the other: no divergence point with
+            // two alternatives.
+            return false;
+        }
+        // The divergence node: the source of edge i (equal on both paths).
+        let div_node = self.schema.edge(pa[i]).from;
+        if self.schema.node(div_node).kind != NodeKind::Choice {
+            return false;
+        }
+        // The choice instance is shared only if the prefix is functional.
+        pa[..i]
+            .iter()
+            .all(|&e| self.schema.edge(e).max_occurs == MaxOccurs::One)
+    }
+
+    /// Whether a single source target object may instantiate edge `e`
+    /// more than once (e.g. a person placing many orders).
+    pub fn repeatable_from_source(&self, e: TssEdgeId) -> bool {
+        self.edge(e).forward_many
+    }
+}
+
+fn default_desc(kind: EdgeKind, forward: bool) -> String {
+    match (kind, forward) {
+        (EdgeKind::Containment, true) => "contains".to_owned(),
+        (EdgeKind::Containment, false) => "is contained in".to_owned(),
+        (EdgeKind::Reference, true) => "refers to".to_owned(),
+        (EdgeKind::Reference, false) => "is referred by".to_owned(),
+    }
+}
+
+/// Returns whether `se` is an *intra-segment* edge — a containment edge
+/// between two distinct member schema nodes of the same segment (e.g.
+/// `person → name` inside the Person segment). Such edges glue one target
+/// object together and are not TSS edges. A self-edge on a single schema
+/// node (e.g. `paper —cites→ paper`) connects two different instances and
+/// *is* a TSS edge, as are reference edges.
+fn same_segment_edge(g: &TssGraph, se: SchemaEdgeId) -> bool {
+    let e = g.schema.edge(se);
+    e.from != e.to
+        && e.kind == EdgeKind::Containment
+        && g.assigned[e.from.idx()].is_some()
+        && g.assigned[e.from.idx()] == g.assigned[e.to.idx()]
+}
+
+/// Whether the member set is connected in the undirected schema graph.
+fn members_connected(schema: &SchemaGraph, members: &[SchemaNodeId]) -> bool {
+    if members.len() <= 1 {
+        return true;
+    }
+    let set: std::collections::HashSet<_> = members.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![members[0]];
+    seen.insert(members[0]);
+    while let Some(n) = stack.pop() {
+        for (se, _) in schema.incident_edges(n) {
+            let e = schema.edge(se);
+            for m in [e.from, e.to] {
+                if set.contains(&m) && seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+    }
+    seen.len() == set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{MaxOccurs, NodeKind};
+
+    /// A miniature of the paper's TPC-H shape:
+    /// person{name} —order{}— lineitem{} —line(dummy,choice)→ part{pname} / product{}
+    /// lineitem —supplier(dummy)—ref→ person ; part —sub(dummy)—ref→ part.
+    fn mini() -> TssGraph {
+        let mut s = SchemaGraph::new();
+        let person = s.add_node("person", NodeKind::All);
+        let name = s.add_node("name", NodeKind::All);
+        let order = s.add_node("order", NodeKind::All);
+        let lineitem = s.add_node("lineitem", NodeKind::All);
+        let line = s.add_node("line", NodeKind::Choice);
+        let part = s.add_node("part", NodeKind::All);
+        let pname = s.add_node("pname", NodeKind::All);
+        let product = s.add_node("product", NodeKind::All);
+        let supplier = s.add_node("supplier", NodeKind::All);
+        let sub = s.add_node("sub", NodeKind::All);
+        s.add_edge(person, name, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(person, order, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(order, lineitem, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(lineitem, line, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(line, part, EdgeKind::Reference, MaxOccurs::One);
+        s.add_edge(line, product, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(part, pname, EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(lineitem, supplier, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(supplier, person, EdgeKind::Reference, MaxOccurs::One);
+        s.add_edge(part, sub, EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(sub, part, EdgeKind::Reference, MaxOccurs::One);
+
+        let mut m = TssMapping::new(&s);
+        m.tss("Person", &["person", "name"]);
+        m.tss("Order", &["order"]);
+        m.tss("Lineitem", &["lineitem"]);
+        m.tss("Part", &["part", "pname"]);
+        m.tss("Product", &["product"]);
+        m.build().unwrap()
+    }
+
+    fn by_name(g: &TssGraph, n: &str) -> TssId {
+        g.node_ids().find(|&t| g.node(t).name == n).unwrap()
+    }
+
+    #[test]
+    fn derives_expected_edges() {
+        let g = mini();
+        assert_eq!(g.node_count(), 5);
+        let person = by_name(&g, "Person");
+        let order = by_name(&g, "Order");
+        let li = by_name(&g, "Lineitem");
+        let part = by_name(&g, "Part");
+        let product = by_name(&g, "Product");
+        assert!(g.find_edge(person, order).is_some());
+        assert!(g.find_edge(order, li).is_some());
+        // Through dummies:
+        let lp = g.find_edge(li, part).expect("lineitem->part via line");
+        assert_eq!(g.edge(lp).kind, EdgeKind::Reference);
+        let lprod = g.find_edge(li, product).expect("lineitem->product via line");
+        assert_eq!(g.edge(lprod).kind, EdgeKind::Containment);
+        let lper = g.find_edge(li, person).expect("lineitem->person via supplier");
+        assert_eq!(g.edge(lper).kind, EdgeKind::Reference);
+        let pp = g.find_edge(part, part).expect("part->part via sub");
+        assert_eq!(g.edge(pp).kind, EdgeKind::Reference);
+    }
+
+    #[test]
+    fn cardinalities_follow_schema() {
+        let g = mini();
+        let person = by_name(&g, "Person");
+        let order = by_name(&g, "Order");
+        let po = g.find_edge(person, order).unwrap();
+        assert!(g.edge(po).forward_many); // a person places many orders
+        assert!(!g.edge(po).backward_many); // an order has one person
+        let li = by_name(&g, "Lineitem");
+        let part = by_name(&g, "Part");
+        let lp = g.find_edge(li, part).unwrap();
+        assert!(!g.edge(lp).forward_many); // one line, one part ref
+        assert!(g.edge(lp).backward_many); // many lineitems ref one part
+    }
+
+    #[test]
+    fn choice_conflict_detected() {
+        let g = mini();
+        let li = by_name(&g, "Lineitem");
+        let part = by_name(&g, "Part");
+        let product = by_name(&g, "Product");
+        let person = by_name(&g, "Person");
+        let lp = g.find_edge(li, part).unwrap();
+        let lprod = g.find_edge(li, product).unwrap();
+        let lper = g.find_edge(li, person).unwrap();
+        assert!(g.choice_conflict(lp, lprod));
+        assert!(!g.choice_conflict(lp, lper)); // supplier path is independent
+        assert!(!g.choice_conflict(lp, lp));
+    }
+
+    #[test]
+    fn dummy_classification() {
+        let g = mini();
+        let line = g.schema().node_by_tag("line").unwrap();
+        let part = g.schema().node_by_tag("part").unwrap();
+        assert!(g.is_dummy(line));
+        assert!(!g.is_dummy(part));
+        assert_eq!(g.tss_of(part), Some(by_name(&g, "Part")));
+    }
+
+    #[test]
+    fn path_lookup_round_trips() {
+        let g = mini();
+        for e in g.edge_ids() {
+            assert_eq!(g.edge_for_path(&g.edge(e).path), Some(e));
+        }
+    }
+
+    #[test]
+    fn disconnected_segment_rejected() {
+        let mut s = SchemaGraph::new();
+        s.add_node("a", NodeKind::All);
+        s.add_node("b", NodeKind::All);
+        let mut m = TssMapping::new(&s);
+        m.tss("AB", &["a", "b"]);
+        assert_eq!(
+            m.build().unwrap_err(),
+            TssError::DisconnectedSegment("AB".to_owned())
+        );
+    }
+
+    #[test]
+    fn repeatable_edges() {
+        let g = mini();
+        let person = by_name(&g, "Person");
+        let order = by_name(&g, "Order");
+        let li = by_name(&g, "Lineitem");
+        let part = by_name(&g, "Part");
+        assert!(g.repeatable_from_source(g.find_edge(person, order).unwrap()));
+        assert!(!g.repeatable_from_source(g.find_edge(li, part).unwrap()));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::schema::{MaxOccurs, NodeKind};
+
+    fn small() -> TssGraph {
+        let mut s = crate::schema::SchemaGraph::new();
+        let a = s.add_node("a", NodeKind::All);
+        let b = s.add_node("b", NodeKind::All);
+        s.add_edge(a, b, crate::EdgeKind::Containment, MaxOccurs::Many);
+        let mut m = TssMapping::new(&s);
+        m.tss("A", &["a"]);
+        m.tss("B", &["b"]);
+        m.build().unwrap()
+    }
+
+    #[test]
+    fn edge_descriptions_and_names() {
+        let mut g = small();
+        let a = g.node_ids().next().unwrap();
+        let b = g.node_ids().nth(1).unwrap();
+        // Defaults first.
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.edge(e).forward_desc, "contains");
+        g.set_edge_desc(a, b, "owns", "owned by");
+        assert_eq!(g.edge(e).forward_desc, "owns");
+        assert_eq!(g.edge(e).backward_desc, "owned by");
+        assert_eq!(g.edge_name(e), "A -(owns)-> B");
+    }
+
+    #[test]
+    #[should_panic(expected = "no TSS edge")]
+    fn set_edge_desc_panics_on_missing_edge() {
+        let mut g = small();
+        let a = g.node_ids().next().unwrap();
+        let b = g.node_ids().nth(1).unwrap();
+        g.set_edge_desc(b, a, "x", "y"); // reverse direction: no edge
+    }
+
+    #[test]
+    fn incident_edges_cover_both_directions() {
+        let g = small();
+        let a = g.node_ids().next().unwrap();
+        let b = g.node_ids().nth(1).unwrap();
+        let a_out: Vec<bool> = g.incident_edges(a).map(|(_, out)| out).collect();
+        let b_in: Vec<bool> = g.incident_edges(b).map(|(_, out)| out).collect();
+        assert_eq!(a_out, vec![true]);
+        assert_eq!(b_in, vec![false]);
+    }
+
+    #[test]
+    fn containment_cycle_rejected() {
+        let mut s = crate::schema::SchemaGraph::new();
+        let a = s.add_node("a", NodeKind::All);
+        let b = s.add_node("b", NodeKind::All);
+        // a contains b and b contains a: undirected cycle of containment
+        // TSS edges.
+        s.add_edge(a, b, crate::EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(b, a, crate::EdgeKind::Containment, MaxOccurs::Many);
+        let mut m = TssMapping::new(&s);
+        m.tss("A", &["a"]);
+        m.tss("B", &["b"]);
+        assert_eq!(m.build().unwrap_err(), TssError::ContainmentCycle);
+    }
+
+    #[test]
+    fn reference_cycles_allowed() {
+        let mut s = crate::schema::SchemaGraph::new();
+        let a = s.add_node("a", NodeKind::All);
+        let b = s.add_node("b", NodeKind::All);
+        s.add_edge(a, b, crate::EdgeKind::Reference, MaxOccurs::Many);
+        s.add_edge(b, a, crate::EdgeKind::Reference, MaxOccurs::Many);
+        let mut m = TssMapping::new(&s);
+        m.tss("A", &["a"]);
+        m.tss("B", &["b"]);
+        let g = m.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_segment_rejected() {
+        let s = crate::schema::SchemaGraph::new();
+        let mut m = TssMapping::new(&s);
+        // Constructing a segment with no members must fail at build.
+        m.tss("E", &[]);
+        assert_eq!(m.build().unwrap_err(), TssError::EmptySegment("E".into()));
+    }
+}

@@ -1,0 +1,136 @@
+//! Uncycled directed graphs (§3 of the paper).
+//!
+//! The paper: *"we define an uncycled directed graph G(V,E) to be a directed
+//! graph whose equivalent undirected graph Gu has no cycles"* — i.e. the
+//! shape of node networks and TSS graphs is a forest once directions are
+//! forgotten. This module provides the generic check used by MTNN
+//! validation, TSS-graph validation and fragment validation.
+//!
+//! Edges are given as index pairs `(u, v)`; parallel edges and self-loops
+//! count as undirected cycles (a self-loop is a cycle of length 1, a
+//! parallel pair a cycle of length 2), matching the paper's treatment where
+//! repeated traversal of the same TSS edge requires an *unfolded* graph.
+
+use std::collections::HashMap;
+
+/// Union-find over arbitrary hashable keys.
+#[derive(Debug, Default)]
+pub struct UnionFind<K: std::hash::Hash + Eq + Copy> {
+    parent: HashMap<K, K>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy> UnionFind<K> {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self {
+            parent: HashMap::new(),
+        }
+    }
+
+    /// Finds the representative of `k`, inserting it as a singleton if new.
+    pub fn find(&mut self, k: K) -> K {
+        let p = *self.parent.entry(k).or_insert(k);
+        if p == k {
+            return k;
+        }
+        let root = self.find(p);
+        self.parent.insert(k, root);
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns `false` if already joined
+    /// (i.e. the new edge closes a cycle).
+    pub fn union(&mut self, a: K, b: K) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.parent.insert(ra, rb);
+        true
+    }
+}
+
+/// Whether the directed edge multiset `edges` over any node universe forms
+/// an *uncycled* directed graph (undirected forest).
+pub fn is_uncycled<K, I>(edges: I) -> bool
+where
+    K: std::hash::Hash + Eq + Copy,
+    I: IntoIterator<Item = (K, K)>,
+{
+    let mut uf = UnionFind::new();
+    for (u, v) in edges {
+        if u == v || !uf.union(u, v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `edges` forms an uncycled graph that is also connected over
+/// `nodes` (i.e. an undirected tree spanning `nodes`).
+pub fn is_tree<K>(nodes: &[K], edges: &[(K, K)]) -> bool
+where
+    K: std::hash::Hash + Eq + Copy,
+{
+    if nodes.is_empty() {
+        return edges.is_empty();
+    }
+    if edges.len() != nodes.len() - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new();
+    for n in nodes {
+        uf.find(*n);
+    }
+    for &(u, v) in edges {
+        if u == v || !uf.union(u, v) {
+            return false;
+        }
+    }
+    // n-1 successful unions over n nodes ⇒ connected.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_uncycled() {
+        assert!(is_uncycled(Vec::<(u32, u32)>::new()));
+    }
+
+    #[test]
+    fn chain_is_uncycled() {
+        assert!(is_uncycled([(1u32, 2), (2, 3), (3, 4)]));
+    }
+
+    #[test]
+    fn directed_cycle_detected_undirectedly() {
+        // 1→2, 3→2, 1→3 is a DAG but its undirected version has a cycle.
+        assert!(!is_uncycled([(1u32, 2), (3, 2), (1, 3)]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        assert!(!is_uncycled([(1u32, 1)]));
+    }
+
+    #[test]
+    fn parallel_edges_are_a_cycle() {
+        assert!(!is_uncycled([(1u32, 2), (2, 1)]));
+        assert!(!is_uncycled([(1u32, 2), (1, 2)]));
+    }
+
+    #[test]
+    fn tree_checks_connectivity() {
+        assert!(is_tree(&[1u32, 2, 3], &[(1, 2), (2, 3)]));
+        // Right edge count but disconnected + cycle.
+        assert!(!is_tree(&[1u32, 2, 3, 4], &[(1, 2), (2, 1), (3, 4)]));
+        // Forest but not spanning tree.
+        assert!(!is_tree(&[1u32, 2, 3], &[(1, 2)]));
+        assert!(is_tree::<u32>(&[], &[]));
+        assert!(is_tree(&[7u32], &[]));
+    }
+}

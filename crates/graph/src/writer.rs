@@ -1,0 +1,163 @@
+//! Serializes an [`XmlGraph`] back to XML text.
+//!
+//! Containment edges become element nesting; reference edges become
+//! `idref` attributes pointing at generated `id` attributes, mirroring the
+//! conventions of [`crate::parser`] so that `parse(write(g))` yields an
+//! isomorphic graph. Used by the BLOB store to persist target-object
+//! fragments.
+
+use crate::graph::{NodeId, XmlGraph};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Serializes the whole graph (all roots, in order).
+pub fn write_graph(g: &XmlGraph) -> String {
+    let referenced: HashSet<NodeId> = g
+        .node_ids()
+        .filter(|&n| !g.reference_sources(n).is_empty())
+        .collect();
+    let mut out = String::new();
+    for root in g.roots() {
+        write_subtree_inner(g, root, &referenced, &mut out, 0);
+    }
+    out
+}
+
+/// Serializes the containment subtree rooted at `root`; reference edges
+/// inside the subtree are emitted as `idref` attributes.
+pub fn write_subtree(g: &XmlGraph, root: NodeId) -> String {
+    let referenced: HashSet<NodeId> = g
+        .node_ids()
+        .filter(|&n| !g.reference_sources(n).is_empty())
+        .collect();
+    let mut out = String::new();
+    write_subtree_inner(g, root, &referenced, &mut out, 0);
+    out
+}
+
+fn write_subtree_inner(
+    g: &XmlGraph,
+    n: NodeId,
+    referenced: &HashSet<NodeId>,
+    out: &mut String,
+    depth: usize,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let tag = g.tag(n);
+    let _ = write!(out, "<{tag}");
+    if referenced.contains(&n) {
+        let _ = write!(out, " id=\"{n}\"");
+    }
+    let targets = g.reference_targets(n);
+    if !targets.is_empty() {
+        let ids: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+        let _ = write!(out, " idref=\"{}\"", ids.join(" "));
+    }
+    let kids = g.containment_children(n);
+    let value = g.value(n);
+    if kids.is_empty() && value.is_none() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if let Some(v) = value {
+        out.push_str(&escape(v));
+    }
+    if kids.is_empty() {
+        let _ = writeln!(out, "</{tag}>");
+        return;
+    }
+    out.push('\n');
+    for &k in kids {
+        write_subtree_inner(g, k, referenced, out, depth + 1);
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "</{tag}>");
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::parser::parse;
+
+    fn isomorphic(a: &XmlGraph, b: &XmlGraph) -> bool {
+        // Cheap structural check: equal multisets of (tag, value,
+        // child-tags, ref-target-tags) signatures plus equal counts.
+        fn sigs(g: &XmlGraph) -> Vec<String> {
+            let mut v: Vec<String> = g
+                .node_ids()
+                .map(|n| {
+                    let mut kids: Vec<&str> =
+                        g.containment_children(n).iter().map(|&k| g.tag(k)).collect();
+                    kids.sort_unstable();
+                    let mut refs: Vec<&str> =
+                        g.reference_targets(n).iter().map(|&k| g.tag(k)).collect();
+                    refs.sort_unstable();
+                    format!("{}|{:?}|{:?}|{:?}", g.tag(n), g.value(n), kids, refs)
+                })
+                .collect();
+            v.sort();
+            v
+        }
+        sigs(a) == sigs(b)
+    }
+
+    #[test]
+    fn round_trip_tree() {
+        let src = "<person><name>John</name><order><lineitem><quantity>10</quantity></lineitem></order></person>";
+        let g = parse(src).unwrap();
+        let g2 = parse(&write_graph(&g)).unwrap();
+        assert!(isomorphic(&g, &g2));
+    }
+
+    #[test]
+    fn round_trip_references() {
+        let mut g = XmlGraph::new();
+        let db = g.add_node("db", None);
+        let p = g.add_node("part", None);
+        let l = g.add_node("line", None);
+        g.add_edge(db, p, EdgeKind::Containment);
+        g.add_edge(db, l, EdgeKind::Containment);
+        g.add_edge(l, p, EdgeKind::Reference);
+        let g2 = parse(&write_graph(&g)).unwrap();
+        assert!(isomorphic(&g, &g2));
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let mut g = XmlGraph::new();
+        g.add_node("d", Some("a < b & c"));
+        let text = write_graph(&g);
+        assert!(text.contains("a &lt; b &amp; c"));
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g2.value(g2.roots()[0]), Some("a < b & c"));
+    }
+
+    #[test]
+    fn write_subtree_scopes_to_root() {
+        let g = parse("<a><b/></a><c/>").unwrap();
+        let a = g.roots()[0];
+        let text = write_subtree(&g, a);
+        assert!(text.contains("<a>"));
+        assert!(!text.contains("<c"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The target-object BLOB store.
+//!
+//! §4: *"BLOBs of target objects, which given an object id instantly
+//! return the whole target object."* Target objects are serialized XML
+//! fragments; the presentation layer fetches them by id when rendering
+//! MTTONs. Backed by [`bytes::Bytes`] so fetches are zero-copy.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent id → BLOB map with fetch accounting.
+#[derive(Debug, Default)]
+pub struct BlobStore {
+    map: RwLock<HashMap<u32, Bytes>>,
+    fetches: AtomicU64,
+}
+
+impl BlobStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a BLOB under `id`, replacing any previous value.
+    pub fn put(&self, id: u32, data: impl Into<Bytes>) {
+        self.map.write().insert(id, data.into());
+    }
+
+    /// Fetches the BLOB for `id`, if present.
+    pub fn get(&self, id: u32) -> Option<Bytes> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.map.read().get(&id).cloned()
+    }
+
+    /// Number of stored BLOBs.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.map.read().values().map(Bytes::len).sum()
+    }
+
+    /// Number of fetches served so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let b = BlobStore::new();
+        b.put(7, "<part><pname>TV</pname></part>");
+        assert_eq!(
+            b.get(7).as_deref(),
+            Some("<part><pname>TV</pname></part>".as_bytes())
+        );
+        assert!(b.get(8).is_none());
+        assert_eq!(b.fetch_count(), 2);
+    }
+
+    #[test]
+    fn replace_and_sizes() {
+        let b = BlobStore::new();
+        b.put(1, "aa");
+        b.put(1, "bbbb");
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.total_bytes(), 4);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! A fixed-capacity LRU cache.
+//!
+//! §6: *"XKeyword uses a fixed size cache for each keyword query to store
+//! past results and if the cache gets full, the queries are re-sent to the
+//! DBMS."* This is that cache, generic so the execution engine can key it
+//! by (plan-node, anchor-id) pairs. Eviction is amortized O(1) via a
+//! timestamp queue with lazy invalidation.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// An LRU cache with at most `capacity` entries.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    queue: VecDeque<(K, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables caching (every get misses, puts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `k`, refreshing its recency.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(k) {
+            Some((_, stamp)) => {
+                *stamp = tick;
+                self.queue.push_back((k.clone(), tick));
+                self.hits += 1;
+                // Reborrow immutably for the return value.
+                Some(&self.map.get(k).unwrap().0)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `k → v`, evicting the least-recently-used entry if full.
+    pub fn put(&mut self, k: K, v: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.insert(k.clone(), (v, tick)).is_none() && self.map.len() > self.capacity {
+            self.evict_one();
+        }
+        self.queue.push_back((k, tick));
+    }
+
+    fn evict_one(&mut self) {
+        while let Some((k, stamp)) = self.queue.pop_front() {
+            match self.map.get(&k) {
+                Some((_, cur)) if *cur == stamp => {
+                    self.map.remove(&k);
+                    return;
+                }
+                _ => {} // stale queue entry
+            }
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_round_trip() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.get(&"a"); // refresh a
+        c.put("c", 3); // evicts b
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("a", 2);
+        c.put("b", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&2));
+        assert_eq!(c.get(&"b"), Some(&3));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let mut c = LruCache::new(8);
+        for i in 0..10_000u32 {
+            c.put(i % 64, i);
+            c.get(&(i % 16));
+        }
+        assert!(c.len() <= 8);
+    }
+}

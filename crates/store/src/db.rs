@@ -1,0 +1,159 @@
+//! The database façade bundling disk, buffer pool, catalog and BLOBs.
+
+use crate::blob::BlobStore;
+use crate::buffer::{BufferPool, IoSnapshot};
+use crate::page::Disk;
+use crate::table::{AccessPath, Id, PhysicalOptions, Row, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An embedded database instance: one simulated disk, one buffer pool, a
+/// catalog of immutable tables and a BLOB store. Cheap to share across
+/// threads behind an `Arc`.
+pub struct Db {
+    disk: Disk,
+    pool: BufferPool,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    blobs: BlobStore,
+}
+
+impl Db {
+    /// Creates a database whose buffer pool holds `pool_pages` pages.
+    pub fn new(pool_pages: usize) -> Self {
+        Self {
+            disk: Disk::new(),
+            pool: BufferPool::new(pool_pages),
+            tables: RwLock::new(HashMap::new()),
+            blobs: BlobStore::new(),
+        }
+    }
+
+    /// Bulk-loads a table into the catalog.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn create_table(
+        &self,
+        name: &str,
+        arity: usize,
+        rows: Vec<Row>,
+        options: PhysicalOptions,
+    ) -> Arc<Table> {
+        let table = Arc::new(Table::build(&self.disk, name, arity, rows, options));
+        let prev = self.tables.write().insert(name.to_owned(), table.clone());
+        assert!(prev.is_none(), "table {name:?} already exists");
+        table
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// All table names (sorted, for deterministic reporting).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Sequentially scans a table into a vector.
+    pub fn scan_all(&self, table: &Table) -> Vec<Row> {
+        table.scan(&self.disk, &self.pool).collect()
+    }
+
+    /// Probes a table: rows whose `cols` equal `key`, plus the access path
+    /// used.
+    pub fn probe(&self, table: &Table, cols: &[usize], key: &[Id]) -> (Vec<Row>, AccessPath) {
+        table.probe(&self.disk, &self.pool, cols, key)
+    }
+
+    /// The underlying disk (for iterator-based executors).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// The buffer pool (for iterator-based executors and I/O reporting).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The BLOB store.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// Current I/O counters.
+    pub fn io(&self) -> IoSnapshot {
+        self.pool.snapshot()
+    }
+
+    /// Total pages on disk across all tables.
+    pub fn disk_pages(&self) -> usize {
+        self.disk.page_count()
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("tables", &self.table_names())
+            .field("disk_pages", &self.disk_pages())
+            .field("io", &self.io())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_round_trip() {
+        let db = Db::new(16);
+        let rows: Vec<Row> = vec![vec![1, 2].into(), vec![3, 4].into()];
+        db.create_table("po", 2, rows.clone(), PhysicalOptions::heap());
+        let t = db.table("po").unwrap();
+        assert_eq!(db.scan_all(&t), rows);
+        assert!(db.table("missing").is_none());
+        assert_eq!(db.table_names(), vec!["po".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_table_panics() {
+        let db = Db::new(16);
+        db.create_table("t", 1, vec![], PhysicalOptions::heap());
+        db.create_table("t", 1, vec![], PhysicalOptions::heap());
+    }
+
+    #[test]
+    fn io_counters_move() {
+        let db = Db::new(16);
+        let rows: Vec<Row> = (0..100u32).map(|i| vec![i, i].into()).collect();
+        let t = db.create_table("t", 2, rows, PhysicalOptions::heap());
+        let before = db.io();
+        db.scan_all(&t);
+        assert!(db.io().since(before).logical() > 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let db = Arc::new(Db::new(16));
+        let rows: Vec<Row> = (0..1000u32).map(|i| vec![i % 10, i].into()).collect();
+        db.create_table("t", 2, rows, PhysicalOptions::indexed_all(2));
+        let mut handles = Vec::new();
+        for k in 0..4u32 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = db.table("t").unwrap();
+                let (rows, _) = db.probe(&t, &[0], &[k]);
+                rows.len()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100);
+        }
+    }
+}

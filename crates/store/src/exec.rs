@@ -1,0 +1,262 @@
+//! Volcano-style executors over tables.
+//!
+//! XKeyword evaluates candidate TSS networks in two regimes (§6/§7):
+//!
+//! * **top-k** — nested-loop joins where "the connection relations only
+//!   store IDs and have every single-attribute index, which makes the
+//!   joins index lookups": [`IndexNestedLoopJoin`].
+//! * **all results** — full evaluation, where "the full table scan and
+//!   the hash join is the fastest way to perform a join when the size of
+//!   the relations is small relative to main memory": [`HashJoin`] /
+//!   [`hash_join`].
+//!
+//! Iterators are boxed rows ([`RowIter`]) so plans compose dynamically.
+
+use crate::db::Db;
+use crate::table::{Id, Row, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dynamically-typed row stream.
+pub type RowIter<'a> = Box<dyn Iterator<Item = Row> + 'a>;
+
+/// Nested-loop join probing an inner table per outer row.
+///
+/// Output rows are the outer row concatenated with the inner row.
+pub struct IndexNestedLoopJoin<'a> {
+    db: &'a Db,
+    outer: RowIter<'a>,
+    inner: Arc<Table>,
+    /// Outer columns forming the probe key.
+    outer_cols: Vec<usize>,
+    /// Inner columns the key must equal.
+    inner_cols: Vec<usize>,
+    pending: std::vec::IntoIter<Row>,
+    current_outer: Option<Row>,
+}
+
+impl<'a> IndexNestedLoopJoin<'a> {
+    /// Creates the join.
+    pub fn new(
+        db: &'a Db,
+        outer: RowIter<'a>,
+        inner: Arc<Table>,
+        outer_cols: Vec<usize>,
+        inner_cols: Vec<usize>,
+    ) -> Self {
+        assert_eq!(outer_cols.len(), inner_cols.len());
+        Self {
+            db,
+            outer,
+            inner,
+            outer_cols,
+            inner_cols,
+            pending: Vec::new().into_iter(),
+            current_outer: None,
+        }
+    }
+}
+
+impl Iterator for IndexNestedLoopJoin<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(inner_row) = self.pending.next() {
+                let outer = self.current_outer.as_ref().unwrap();
+                let mut row = Vec::with_capacity(outer.len() + inner_row.len());
+                row.extend_from_slice(outer);
+                row.extend_from_slice(&inner_row);
+                return Some(row.into());
+            }
+            let outer = self.outer.next()?;
+            let key: Vec<Id> = self.outer_cols.iter().map(|&c| outer[c]).collect();
+            let (rows, _) = self.db.probe(&self.inner, &self.inner_cols, &key);
+            self.current_outer = Some(outer);
+            self.pending = rows.into_iter();
+        }
+    }
+}
+
+/// In-memory hash join of two row sets on equal-key columns.
+///
+/// Output rows are the left row concatenated with the right row.
+pub fn hash_join(
+    left: &[Row],
+    left_cols: &[usize],
+    right: &[Row],
+    right_cols: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_cols.len(), right_cols.len());
+    // Build on the smaller side.
+    if right.len() < left.len() {
+        return hash_join(right, right_cols, left, left_cols)
+            .into_iter()
+            .map(|r| {
+                // Swap the halves back into left ++ right order.
+                let right_width = right[0].len();
+                let (a, b) = r.split_at(right_width);
+                let mut row = Vec::with_capacity(r.len());
+                row.extend_from_slice(b);
+                row.extend_from_slice(a);
+                row.into()
+            })
+            .collect();
+    }
+    let mut table: HashMap<Vec<Id>, Vec<&Row>> = HashMap::with_capacity(left.len());
+    for r in left {
+        let key: Vec<Id> = left_cols.iter().map(|&c| r[c]).collect();
+        table.entry(key).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for r in right {
+        let key: Vec<Id> = right_cols.iter().map(|&c| r[c]).collect();
+        if let Some(matches) = table.get(&key) {
+            for l in matches {
+                let mut row = Vec::with_capacity(l.len() + r.len());
+                row.extend_from_slice(l);
+                row.extend_from_slice(r);
+                out.push(row.into());
+            }
+        }
+    }
+    out
+}
+
+/// Streaming hash join: builds on a materialized left side, probes with a
+/// right stream.
+pub struct HashJoin<'a> {
+    built: HashMap<Vec<Id>, Vec<Row>>,
+    right: RowIter<'a>,
+    right_cols: Vec<usize>,
+    pending: std::vec::IntoIter<Row>,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Builds the hash table from `left` keyed on `left_cols`.
+    pub fn new(left: Vec<Row>, left_cols: &[usize], right: RowIter<'a>, right_cols: Vec<usize>) -> Self {
+        assert_eq!(left_cols.len(), right_cols.len());
+        let mut built: HashMap<Vec<Id>, Vec<Row>> = HashMap::with_capacity(left.len());
+        for r in left {
+            let key: Vec<Id> = left_cols.iter().map(|&c| r[c]).collect();
+            built.entry(key).or_default().push(r);
+        }
+        Self {
+            built,
+            right,
+            right_cols,
+            pending: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Iterator for HashJoin<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(r) = self.pending.next() {
+                return Some(r);
+            }
+            let right = self.right.next()?;
+            let key: Vec<Id> = self.right_cols.iter().map(|&c| right[c]).collect();
+            if let Some(matches) = self.built.get(&key) {
+                let joined: Vec<Row> = matches
+                    .iter()
+                    .map(|l| {
+                        let mut row = Vec::with_capacity(l.len() + right.len());
+                        row.extend_from_slice(l);
+                        row.extend_from_slice(&right);
+                        row.into()
+                    })
+                    .collect();
+                self.pending = joined.into_iter();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PhysicalOptions;
+
+    fn rows(pairs: &[(Id, Id)]) -> Vec<Row> {
+        pairs.iter().map(|&(a, b)| vec![a, b].into()).collect()
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let left = rows(&[(1, 10), (2, 20), (2, 21)]);
+        let right = rows(&[(2, 200), (3, 300)]);
+        let mut out = hash_join(&left, &[0], &right, &[0]);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                Row::from(vec![2, 20, 2, 200]),
+                Row::from(vec![2, 21, 2, 200])
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_join_swaps_to_smaller_build_side() {
+        let left = rows(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        let right = rows(&[(2, 200)]);
+        let out = hash_join(&left, &[0], &right, &[0]);
+        assert_eq!(out, vec![Row::from(vec![2, 20, 2, 200])]);
+    }
+
+    #[test]
+    fn hash_join_empty_sides() {
+        assert!(hash_join(&[], &[0], &rows(&[(1, 1)]), &[0]).is_empty());
+        assert!(hash_join(&rows(&[(1, 1)]), &[0], &[], &[0]).is_empty());
+    }
+
+    #[test]
+    fn index_nested_loop_join() {
+        let db = Db::new(16);
+        let inner = db.create_table(
+            "inner",
+            2,
+            rows(&[(10, 100), (10, 101), (20, 200)]),
+            PhysicalOptions::indexed_all(2),
+        );
+        let outer_rows = rows(&[(1, 10), (2, 20), (3, 30)]);
+        let join = IndexNestedLoopJoin::new(
+            &db,
+            Box::new(outer_rows.into_iter()),
+            inner,
+            vec![1],
+            vec![0],
+        );
+        let mut got: Vec<Row> = join.collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                Row::from(vec![1, 10, 10, 100]),
+                Row::from(vec![1, 10, 10, 101]),
+                Row::from(vec![2, 20, 20, 200]),
+            ]
+        );
+    }
+
+    #[test]
+    fn streaming_hash_join_matches_batch() {
+        let left = rows(&[(1, 10), (2, 20), (2, 21)]);
+        let right = rows(&[(2, 200), (1, 100), (9, 900)]);
+        let mut batch = hash_join(&left, &[0], &right, &[0]);
+        let streaming = HashJoin::new(
+            left,
+            &[0],
+            Box::new(right.into_iter()),
+            vec![0],
+        );
+        let mut got: Vec<Row> = streaming.collect();
+        batch.sort();
+        got.sort();
+        assert_eq!(got, batch);
+    }
+}

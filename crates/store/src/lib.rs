@@ -1,0 +1,42 @@
+//! # xkw-store — an embedded relational storage engine
+//!
+//! XKeyword (ICDE 2003) stores its *connection relations* — generalized
+//! path indexes holding target-object ids — in a relational database and
+//! derives its performance guarantees from three physical knobs:
+//!
+//! 1. the **number of joins** needed per candidate network,
+//! 2. whether a relation is **clustered** (index-organized) in the
+//!    direction it is probed,
+//! 3. whether single-attribute **indexes** exist on its columns.
+//!
+//! The paper used Oracle 9i. This crate is a from-scratch substitute that
+//! exposes exactly those knobs: fixed-size pages over a simulated disk, an
+//! LRU buffer pool with hit/miss accounting, heap tables of fixed-arity
+//! integer tuples, B-tree secondary indexes (single and composite keys),
+//! index-organized (clustered) tables with sequential range scans, volcano
+//! style executors (scan / index lookup / nested-loop-with-index join /
+//! hash join), table statistics, an LRU result cache (the partial-result
+//! cache of §6) and a BLOB store for target objects.
+//!
+//! All reads go through the buffer pool, so every benchmark can report
+//! simulated logical/physical I/O next to wall time.
+
+pub mod blob;
+pub mod buffer;
+pub mod cache;
+pub mod db;
+pub mod exec;
+pub mod page;
+pub mod query;
+pub mod stats;
+pub mod table;
+
+pub use blob::BlobStore;
+pub use buffer::{BufferPool, IoSnapshot};
+pub use cache::LruCache;
+pub use db::Db;
+pub use exec::{hash_join, HashJoin, IndexNestedLoopJoin, RowIter};
+pub use page::{Disk, PageId, PAGE_U32S};
+pub use query::{Query, QueryError};
+pub use stats::TableStats;
+pub use table::{AccessPath, Id, PhysicalOptions, Row, Table};

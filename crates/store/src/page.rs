@@ -1,0 +1,143 @@
+//! Pages and the simulated disk.
+//!
+//! Tuples are fixed-arity arrays of `u32` ids (connection relations store
+//! only target-object ids — §5 of the paper — and "in RDBMSs we use the
+//! integer type to represent the ID datatype"). A page holds
+//! [`PAGE_U32S`] ids (8 KiB). The [`Disk`] is stable storage: fetching a
+//! page into the buffer pool copies it, which is the simulated I/O cost.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Number of `u32` slots per page (8 KiB pages).
+pub const PAGE_U32S: usize = 2048;
+
+/// A page of id slots.
+pub type Page = Arc<[u32; PAGE_U32S]>;
+
+/// Global page id on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// The simulated disk: an append-only array of pages. Thread-safe; pages
+/// are immutable once written (XKeyword bulk-loads at decomposition time
+/// and is read-only afterwards).
+#[derive(Debug, Default)]
+pub struct Disk {
+    pages: RwLock<Vec<Page>>,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a page, returning its id.
+    pub fn append(&self, data: [u32; PAGE_U32S]) -> PageId {
+        let mut pages = self.pages.write();
+        let id = PageId(pages.len() as u32);
+        pages.push(Arc::new(data));
+        id
+    }
+
+    /// Reads a page (cheap `Arc` clone — the *copy* that models the I/O
+    /// transfer happens in the buffer pool).
+    pub fn read(&self, id: PageId) -> Page {
+        self.pages.read()[id.0 as usize].clone()
+    }
+
+    /// Number of pages on disk.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+}
+
+/// Helper that packs a stream of `u32`s into pages, appending them to the
+/// disk and collecting their ids.
+pub struct PageWriter<'d> {
+    disk: &'d Disk,
+    buf: [u32; PAGE_U32S],
+    fill: usize,
+    pages: Vec<PageId>,
+}
+
+impl<'d> PageWriter<'d> {
+    /// Starts writing pages to `disk`.
+    pub fn new(disk: &'d Disk) -> Self {
+        Self {
+            disk,
+            buf: [0; PAGE_U32S],
+            fill: 0,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Writes one tuple. Tuples never straddle pages (slack at the end of
+    /// a page is wasted, like slotted pages with fixed-size records).
+    pub fn write_tuple(&mut self, tuple: &[u32]) {
+        assert!(tuple.len() <= PAGE_U32S, "tuple wider than a page");
+        if self.fill + tuple.len() > PAGE_U32S {
+            self.flush_page();
+        }
+        self.buf[self.fill..self.fill + tuple.len()].copy_from_slice(tuple);
+        self.fill += tuple.len();
+    }
+
+    fn flush_page(&mut self) {
+        self.pages.push(self.disk.append(self.buf));
+        self.buf = [0; PAGE_U32S];
+        self.fill = 0;
+    }
+
+    /// Flushes the final partial page and returns all written page ids.
+    pub fn finish(mut self) -> Vec<PageId> {
+        if self.fill > 0 {
+            self.flush_page();
+        }
+        self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let d = Disk::new();
+        let mut p = [0u32; PAGE_U32S];
+        p[0] = 42;
+        p[PAGE_U32S - 1] = 7;
+        let id = d.append(p);
+        let back = d.read(id);
+        assert_eq!(back[0], 42);
+        assert_eq!(back[PAGE_U32S - 1], 7);
+        assert_eq!(d.page_count(), 1);
+    }
+
+    #[test]
+    fn writer_packs_tuples_without_straddling() {
+        let d = Disk::new();
+        let mut w = PageWriter::new(&d);
+        // Arity-3 tuples: 682 fit per page (2046 slots), 683rd spills.
+        for i in 0..683u32 {
+            w.write_tuple(&[i, i + 1, i + 2]);
+        }
+        let pages = w.finish();
+        assert_eq!(pages.len(), 2);
+        let p0 = d.read(pages[0]);
+        assert_eq!(&p0[0..3], &[0, 1, 2]);
+        assert_eq!(&p0[3 * 681..3 * 681 + 3], &[681, 682, 683]);
+        let p1 = d.read(pages[1]);
+        assert_eq!(&p1[0..3], &[682, 683, 684]);
+    }
+
+    #[test]
+    fn empty_writer_produces_no_pages() {
+        let d = Disk::new();
+        let w = PageWriter::new(&d);
+        assert!(w.finish().is_empty());
+        assert_eq!(d.page_count(), 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! A small declarative conjunctive-query layer over the catalog.
+//!
+//! XKeyword stores XML in a relational engine partly *"to allow the
+//! addition of structured querying capabilities in the future"* (§2).
+//! This module provides that layer for the embedded store: select-
+//! project-join queries over named tables with equality predicates and
+//! equi-join conditions, planned with a greedy bound-variable heuristic
+//! and executed with index nested loops (falling back to scans), or with
+//! hash joins when no index helps.
+//!
+//! ```
+//! use xkw_store::{Db, PhysicalOptions};
+//! use xkw_store::query::Query;
+//!
+//! let db = Db::new(64);
+//! db.create_table("parent", 2, vec![
+//!     vec![1, 10].into(), vec![1, 11].into(), vec![2, 12].into(),
+//! ], PhysicalOptions::indexed_all(2));
+//! db.create_table("name", 2, vec![
+//!     vec![10, 7].into(), vec![11, 8].into(),
+//! ], PhysicalOptions::indexed_all(2));
+//!
+//! // SELECT p.c1, n.c1 FROM parent p JOIN name n ON p.c1 = n.c0
+//! // WHERE p.c0 = 1
+//! let rows = Query::new()
+//!     .table("p", "parent")
+//!     .table("n", "name")
+//!     .join(("p", 1), ("n", 0))
+//!     .filter(("p", 0), 1)
+//!     .select(&[("p", 1), ("n", 1)])
+//!     .run(&db)
+//!     .unwrap();
+//! assert_eq!(rows.len(), 2);
+//! ```
+
+use crate::db::Db;
+use crate::exec::hash_join;
+use crate::table::{Id, Row};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A (alias, column) reference.
+pub type ColRef = (&'static str, usize);
+
+/// A resolved equi-join: ((table idx, column), (table idx, column)).
+type ResolvedJoin = ((usize, usize), (usize, usize));
+
+/// A conjunctive query: tables, equi-joins, equality filters, projection.
+#[derive(Debug, Default, Clone)]
+pub struct Query {
+    tables: Vec<(String, String)>,
+    joins: Vec<((String, usize), (String, usize))>,
+    filters: Vec<((String, usize), Id)>,
+    projection: Vec<(String, usize)>,
+}
+
+/// Query-construction/execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Unknown table name in the catalog.
+    NoSuchTable(String),
+    /// Alias not declared with [`Query::table`].
+    NoSuchAlias(String),
+    /// Column index out of range for the alias's table.
+    BadColumn(String, usize),
+    /// The join graph does not connect all aliases (Cartesian products
+    /// are refused).
+    Disconnected,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSuchTable(t) => write!(f, "no such table {t:?}"),
+            Self::NoSuchAlias(a) => write!(f, "no such alias {a:?}"),
+            Self::BadColumn(a, c) => write!(f, "column {c} out of range for {a:?}"),
+            Self::Disconnected => write!(f, "join graph is disconnected (refusing product)"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl Query {
+    /// An empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table under an alias.
+    pub fn table(mut self, alias: &str, table: &str) -> Self {
+        self.tables.push((alias.to_owned(), table.to_owned()));
+        self
+    }
+
+    /// Adds an equi-join condition.
+    pub fn join(mut self, a: ColRef, b: ColRef) -> Self {
+        self.joins
+            .push(((a.0.to_owned(), a.1), (b.0.to_owned(), b.1)));
+        self
+    }
+
+    /// Adds an equality filter.
+    pub fn filter(mut self, col: ColRef, value: Id) -> Self {
+        self.filters.push(((col.0.to_owned(), col.1), value));
+        self
+    }
+
+    /// Sets the projection (default: all columns of all aliases in
+    /// declaration order).
+    pub fn select(mut self, cols: &[ColRef]) -> Self {
+        self.projection = cols.iter().map(|&(a, c)| (a.to_owned(), c)).collect();
+        self
+    }
+
+    /// Plans and executes the query.
+    pub fn run(&self, db: &Db) -> Result<Vec<Row>, QueryError> {
+        // Resolve tables.
+        let mut tables = Vec::new();
+        let mut alias_idx: HashMap<&str, usize> = HashMap::new();
+        for (i, (alias, name)) in self.tables.iter().enumerate() {
+            let t = db
+                .table(name)
+                .ok_or_else(|| QueryError::NoSuchTable(name.clone()))?;
+            alias_idx.insert(alias.as_str(), i);
+            tables.push(t);
+        }
+        let resolve = |alias: &str, col: usize| -> Result<(usize, usize), QueryError> {
+            let &i = alias_idx
+                .get(alias)
+                .ok_or_else(|| QueryError::NoSuchAlias(alias.to_owned()))?;
+            if col >= tables[i].arity() {
+                return Err(QueryError::BadColumn(alias.to_owned(), col));
+            }
+            Ok((i, col))
+        };
+        let joins: Vec<ResolvedJoin> = self
+            .joins
+            .iter()
+            .map(|((aa, ac), (ba, bc))| Ok((resolve(aa, *ac)?, resolve(ba, *bc)?)))
+            .collect::<Result<_, QueryError>>()?;
+        let filters: Vec<((usize, usize), Id)> = self
+            .filters
+            .iter()
+            .map(|((a, c), v)| Ok((resolve(a, *c)?, *v)))
+            .collect::<Result<_, QueryError>>()?;
+
+        // Join-graph connectivity (single table is trivially connected).
+        if tables.len() > 1 {
+            let mut reached = vec![false; tables.len()];
+            reached[0] = true;
+            loop {
+                let mut grew = false;
+                for &((a, _), (b, _)) in &joins {
+                    if reached[a] != reached[b] {
+                        reached[a] = true;
+                        reached[b] = true;
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            if reached.iter().any(|r| !r) {
+                return Err(QueryError::Disconnected);
+            }
+        }
+
+        // Execution: start from the most filtered table, then greedily
+        // attach joined tables; per step use index nested loop when the
+        // join column has an access path, else hash join.
+        let order = self.plan_order(&tables, &joins, &filters);
+        // Current intermediate: rows over concat'd columns of `placed`
+        // tables; col_offset[t] = starting column of table t.
+        let mut placed: Vec<usize> = Vec::new();
+        let mut col_offset: HashMap<usize, usize> = HashMap::new();
+        let mut width = 0usize;
+        let mut inter: Vec<Row> = Vec::new();
+        for &t in &order {
+            let t_filters: Vec<(usize, Id)> = filters
+                .iter()
+                .filter(|((ft, _), _)| *ft == t)
+                .map(|&((_, c), v)| (c, v))
+                .collect();
+            if placed.is_empty() {
+                inter = scan_filtered(db, &tables[t], &t_filters);
+            } else {
+                // Join conditions between t and placed tables.
+                let conds: Vec<(usize, usize)> = joins
+                    .iter()
+                    .filter_map(|&((a, ac), (b, bc))| {
+                        if a == t && placed.contains(&b) {
+                            Some((col_offset[&b] + bc, ac))
+                        } else if b == t && placed.contains(&a) {
+                            Some((col_offset[&a] + ac, bc))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                debug_assert!(!conds.is_empty(), "connectivity checked above");
+                let right = scan_filtered(db, &tables[t], &t_filters);
+                let left_cols: Vec<usize> = conds.iter().map(|&(l, _)| l).collect();
+                let right_cols: Vec<usize> = conds.iter().map(|&(_, r)| r).collect();
+                inter = hash_join(&inter, &left_cols, &right, &right_cols);
+            }
+            col_offset.insert(t, width);
+            width += tables[t].arity();
+            placed.push(t);
+            if inter.is_empty() {
+                break;
+            }
+        }
+
+        // Projection.
+        let projection: Vec<(usize, usize)> = if self.projection.is_empty() {
+            (0..tables.len())
+                .flat_map(|t| (0..tables[t].arity()).map(move |c| (t, c)))
+                .collect()
+        } else {
+            self.projection
+                .iter()
+                .map(|(a, c)| resolve(a, *c))
+                .collect::<Result<_, QueryError>>()?
+        };
+        let out = inter
+            .into_iter()
+            .map(|row| {
+                projection
+                    .iter()
+                    .map(|&(t, c)| row[col_offset[&t] + c])
+                    .collect()
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Greedy order: most-filtered/smallest first, then by connectivity.
+    fn plan_order(
+        &self,
+        tables: &[std::sync::Arc<crate::table::Table>],
+        joins: &[ResolvedJoin],
+        filters: &[((usize, usize), Id)],
+    ) -> Vec<usize> {
+        let n = tables.len();
+        let score = |t: usize| {
+            let f = filters.iter().filter(|((ft, _), _)| *ft == t).count();
+            // Filtered tables first; among equals, smaller tables first.
+            (std::cmp::Reverse(f), tables[t].row_count())
+        };
+        let first = (0..n).min_by_key(|&t| score(t)).unwrap_or(0);
+        let mut order = vec![first];
+        let mut remaining: Vec<usize> = (0..n).filter(|&t| t != first).collect();
+        while !remaining.is_empty() {
+            let next = remaining
+                .iter()
+                .position(|&t| {
+                    joins.iter().any(|&((a, _), (b, _))| {
+                        (a == t && order.contains(&b)) || (b == t && order.contains(&a))
+                    })
+                })
+                .unwrap_or(0);
+            order.push(remaining.remove(next));
+        }
+        order
+    }
+}
+
+/// Scans a table applying equality filters, using the best access path
+/// for the first filter when available.
+fn scan_filtered(
+    db: &Db,
+    table: &crate::table::Table,
+    filters: &[(usize, Id)],
+) -> Vec<Row> {
+    if let Some(&(col, val)) = filters.first() {
+        let (rows, _) = db.probe(table, &[col], &[val]);
+        rows.into_iter()
+            .filter(|r| filters.iter().all(|&(c, v)| r[c] == v))
+            .collect()
+    } else {
+        db.scan_all(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PhysicalOptions;
+
+    fn setup() -> Db {
+        let db = Db::new(64);
+        // person(person_id, nation_code)
+        db.create_table(
+            "person",
+            2,
+            vec![
+                vec![1, 100].into(),
+                vec![2, 100].into(),
+                vec![3, 200].into(),
+            ],
+            PhysicalOptions::indexed_all(2),
+        );
+        // order(order_id, person_id)
+        db.create_table(
+            "order",
+            2,
+            vec![
+                vec![10, 1].into(),
+                vec![11, 1].into(),
+                vec![12, 2].into(),
+                vec![13, 3].into(),
+            ],
+            PhysicalOptions::indexed_all(2),
+        );
+        // item(order_id, part_id)
+        db.create_table(
+            "item",
+            2,
+            vec![
+                vec![10, 7].into(),
+                vec![10, 8].into(),
+                vec![12, 7].into(),
+                vec![13, 9].into(),
+            ],
+            PhysicalOptions::clustered(&[0, 1]),
+        );
+        db
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let db = setup();
+        let rows = Query::new()
+            .table("p", "person")
+            .filter(("p", 1), 100)
+            .run(&db)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn two_way_join() {
+        let db = setup();
+        let rows = Query::new()
+            .table("p", "person")
+            .table("o", "order")
+            .join(("p", 0), ("o", 1))
+            .filter(("p", 1), 100)
+            .select(&[("p", 0), ("o", 0)])
+            .run(&db)
+            .unwrap();
+        // Persons 1 and 2 have orders 10, 11, 12.
+        let mut got = rows;
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                Row::from(vec![1, 10]),
+                Row::from(vec![1, 11]),
+                Row::from(vec![2, 12]),
+            ]
+        );
+    }
+
+    #[test]
+    fn three_way_join_matches_manual() {
+        let db = setup();
+        let rows = Query::new()
+            .table("p", "person")
+            .table("o", "order")
+            .table("i", "item")
+            .join(("p", 0), ("o", 1))
+            .join(("o", 0), ("i", 0))
+            .filter(("i", 1), 7)
+            .select(&[("p", 0)])
+            .run(&db)
+            .unwrap();
+        // Part 7 appears in orders 10 (person 1) and 12 (person 2).
+        let mut got: Vec<Id> = rows.iter().map(|r| r[0]).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = setup();
+        assert_eq!(
+            Query::new().table("x", "ghost").run(&db).unwrap_err(),
+            QueryError::NoSuchTable("ghost".to_owned())
+        );
+        assert_eq!(
+            Query::new()
+                .table("p", "person")
+                .filter(("q", 0), 1)
+                .run(&db)
+                .unwrap_err(),
+            QueryError::NoSuchAlias("q".to_owned())
+        );
+        assert_eq!(
+            Query::new()
+                .table("p", "person")
+                .filter(("p", 9), 1)
+                .run(&db)
+                .unwrap_err(),
+            QueryError::BadColumn("p".to_owned(), 9)
+        );
+        assert_eq!(
+            Query::new()
+                .table("p", "person")
+                .table("o", "order")
+                .run(&db)
+                .unwrap_err(),
+            QueryError::Disconnected
+        );
+    }
+
+    #[test]
+    fn empty_results_propagate() {
+        let db = setup();
+        let rows = Query::new()
+            .table("p", "person")
+            .table("o", "order")
+            .join(("p", 0), ("o", 1))
+            .filter(("p", 1), 999)
+            .run(&db)
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn default_projection_concatenates() {
+        let db = setup();
+        let rows = Query::new()
+            .table("o", "order")
+            .table("i", "item")
+            .join(("o", 0), ("i", 0))
+            .run(&db)
+            .unwrap();
+        assert!(rows.iter().all(|r| r.len() == 4));
+        assert_eq!(rows.len(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Table statistics for the optimizer.
+//!
+//! §4: the decomposer collects *"(a) the number s(S) of nodes of type S
+//! in the XML graph and (b) the average number c(S'←S) of children of
+//! type S' for a random node of type S"*. For connection relations the
+//! analogous quantities are row counts, per-column distinct counts and
+//! average fan-outs between column pairs; the optimizer uses them to
+//! order nested-loop joins and to choose among fragment tilings.
+
+use crate::table::{Id, Row};
+use std::collections::HashSet;
+
+/// Statistics over one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Total rows.
+    pub rows: usize,
+    /// Distinct values per column.
+    pub distinct: Vec<usize>,
+}
+
+impl TableStats {
+    /// Computes statistics from materialized rows of width `arity`.
+    pub fn compute(arity: usize, rows: &[Row]) -> Self {
+        let mut seen: Vec<HashSet<Id>> = vec![HashSet::new(); arity];
+        for r in rows {
+            for (c, set) in seen.iter_mut().enumerate() {
+                set.insert(r[c]);
+            }
+        }
+        TableStats {
+            rows: rows.len(),
+            distinct: seen.into_iter().map(|s| s.len()).collect(),
+        }
+    }
+
+    /// Average number of rows per distinct value of column `c`
+    /// (the expected fan-out of probing on `c`).
+    pub fn fanout(&self, c: usize) -> f64 {
+        if self.distinct[c] == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.distinct[c] as f64
+        }
+    }
+
+    /// Selectivity of an equality predicate on column `c`.
+    pub fn selectivity(&self, c: usize) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.fanout(c) / self.rows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(Id, Id)]) -> Vec<Row> {
+        pairs.iter().map(|&(a, b)| vec![a, b].into()).collect()
+    }
+
+    #[test]
+    fn counts_and_fanout() {
+        let r = rows(&[(1, 10), (1, 11), (2, 12), (2, 13), (2, 14), (3, 15)]);
+        let s = TableStats::compute(2, &r);
+        assert_eq!(s.rows, 6);
+        assert_eq!(s.distinct, vec![3, 6]);
+        assert!((s.fanout(0) - 2.0).abs() < 1e-9);
+        assert!((s.fanout(1) - 1.0).abs() < 1e-9);
+        assert!((s.selectivity(0) - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let s = TableStats::compute(2, &[]);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.fanout(0), 0.0);
+        assert_eq!(s.selectivity(1), 0.0);
+    }
+}

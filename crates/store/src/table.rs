@@ -1,0 +1,503 @@
+//! Heap tables, clustered (index-organized) tables and B-tree indexes.
+//!
+//! Connection relations are fixed-arity tuples of target-object ids. A
+//! [`Table`] is bulk-loaded once at decomposition time and read-only
+//! afterwards, matching XKeyword's load/query split. Physical design is
+//! chosen per relation via [`PhysicalOptions`]:
+//!
+//! * `clustered_on` — the relation is physically sorted on these columns
+//!   (Oracle's index-organized tables; the paper: *"performance is
+//!   dramatically improved when a connection relation R is clustered on
+//!   the direction that R is used"*). Prefix lookups become binary
+//!   searches plus sequential page reads.
+//! * `indexes` — secondary composite B-tree indexes; lookups return row
+//!   locations which are then fetched through the buffer pool (random
+//!   page probes).
+//!
+//! Without either, lookups degrade to full scans — the paper's
+//! `MinNClustNIndx` configuration.
+
+use crate::buffer::BufferPool;
+use crate::page::{Disk, Page, PageId, PageWriter, PAGE_U32S};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A target-object id (the only datatype connection relations store).
+pub type Id = u32;
+
+/// A materialized tuple.
+pub type Row = Box<[Id]>;
+
+/// Physical design options for a table.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalOptions {
+    /// Physical sort order; a lookup on a prefix of these columns is a
+    /// clustered range scan.
+    pub clustered_on: Option<Vec<usize>>,
+    /// Secondary composite indexes (each a column list).
+    pub indexes: Vec<Vec<usize>>,
+}
+
+impl PhysicalOptions {
+    /// No clustering, no indexes (pure heap — `MinNClustNIndx`).
+    pub fn heap() -> Self {
+        Self::default()
+    }
+
+    /// Clustered on the given columns.
+    pub fn clustered(cols: &[usize]) -> Self {
+        Self {
+            clustered_on: Some(cols.to_vec()),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Single-attribute secondary indexes on every column of an
+    /// `arity`-wide table (the paper's `MinNClustIndx`).
+    pub fn indexed_all(arity: usize) -> Self {
+        Self {
+            clustered_on: None,
+            indexes: (0..arity).map(|c| vec![c]).collect(),
+        }
+    }
+}
+
+/// Which access path served a lookup (exposed for tests and experiment
+/// reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Binary search on the cluster key + sequential page reads.
+    ClusteredRange,
+    /// Secondary B-tree probe + random row fetches.
+    SecondaryIndex,
+    /// Sequential scan with a filter.
+    FullScan,
+}
+
+/// A secondary B-tree index: key → row locations.
+type IndexMap = BTreeMap<Box<[Id]>, Vec<u32>>;
+
+/// An immutable, bulk-loaded relation.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    arity: usize,
+    rows_per_page: usize,
+    n_rows: usize,
+    pages: Vec<PageId>,
+    cluster_key: Option<Vec<usize>>,
+    /// First cluster-key value of each page, for binary search.
+    fences: Vec<Vec<Id>>,
+    indexes: Vec<(Vec<usize>, IndexMap)>,
+}
+
+impl Table {
+    /// Bulk-loads `rows` onto `disk` with the given physical options.
+    ///
+    /// # Panics
+    /// Panics if a row has the wrong arity or a column list is invalid.
+    pub fn build(
+        disk: &Disk,
+        name: &str,
+        arity: usize,
+        mut rows: Vec<Row>,
+        options: PhysicalOptions,
+    ) -> Table {
+        assert!(arity > 0 && arity <= PAGE_U32S, "bad arity {arity}");
+        for r in &rows {
+            assert_eq!(r.len(), arity, "row arity mismatch in table {name}");
+        }
+        if let Some(key) = &options.clustered_on {
+            assert!(key.iter().all(|&c| c < arity), "bad cluster column");
+            rows.sort_unstable_by(|a, b| {
+                key.iter()
+                    .map(|&c| a[c].cmp(&b[c]))
+                    .find(|o| o.is_ne())
+                    .unwrap_or_else(|| a.cmp(b))
+            });
+        }
+        let rows_per_page = PAGE_U32S / arity;
+        let mut writer = PageWriter::new(disk);
+        let mut fences = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            if let Some(key) = &options.clustered_on {
+                if i % rows_per_page == 0 {
+                    fences.push(key.iter().map(|&c| r[c]).collect());
+                }
+            }
+            writer.write_tuple(r);
+        }
+        let pages = writer.finish();
+        let mut indexes = Vec::new();
+        for cols in &options.indexes {
+            assert!(cols.iter().all(|&c| c < arity), "bad index column");
+            let mut map: IndexMap = BTreeMap::new();
+            for (i, r) in rows.iter().enumerate() {
+                let key: Box<[Id]> = cols.iter().map(|&c| r[c]).collect();
+                map.entry(key).or_default().push(i as u32);
+            }
+            indexes.push((cols.clone(), map));
+        }
+        Table {
+            name: name.to_owned(),
+            arity,
+            rows_per_page,
+            n_rows: rows.len(),
+            pages,
+            cluster_key: options.clustered_on,
+            fences,
+            indexes,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tuple width.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of pages occupied.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The cluster key, if index-organized.
+    pub fn cluster_key(&self) -> Option<&[usize]> {
+        self.cluster_key.as_deref()
+    }
+
+    /// Fetches row `i` through the buffer pool.
+    pub fn row(&self, disk: &Disk, pool: &BufferPool, i: u32) -> Row {
+        let i = i as usize;
+        assert!(i < self.n_rows, "row index out of range");
+        let page = self.pages[i / self.rows_per_page];
+        let data: Page = pool.fetch(disk, page);
+        let off = (i % self.rows_per_page) * self.arity;
+        data[off..off + self.arity].into()
+    }
+
+    /// Sequentially scans the whole table.
+    pub fn scan<'a>(&'a self, disk: &'a Disk, pool: &'a BufferPool) -> Scan<'a> {
+        Scan {
+            table: self,
+            disk,
+            pool,
+            next: 0,
+            end: self.n_rows as u32,
+            page: None,
+        }
+    }
+
+    /// Whether `cols` is a prefix of the cluster key.
+    pub fn is_cluster_prefix(&self, cols: &[usize]) -> bool {
+        self.cluster_key
+            .as_deref()
+            .is_some_and(|k| cols.len() <= k.len() && k[..cols.len()] == *cols)
+    }
+
+    /// Whether some secondary index has `cols` as a key prefix.
+    pub fn has_index_prefix(&self, cols: &[usize]) -> bool {
+        self.indexes
+            .iter()
+            .any(|(icols, _)| cols.len() <= icols.len() && icols[..cols.len()] == *cols)
+    }
+
+    /// Looks up all rows whose `cols` equal `key`, picking the best access
+    /// path; returns the rows and the path used.
+    pub fn probe(
+        &self,
+        disk: &Disk,
+        pool: &BufferPool,
+        cols: &[usize],
+        key: &[Id],
+    ) -> (Vec<Row>, AccessPath) {
+        assert_eq!(cols.len(), key.len());
+        if self.is_cluster_prefix(cols) {
+            return (self.clustered_range(disk, pool, cols, key), AccessPath::ClusteredRange);
+        }
+        if let Some((icols, map)) = self
+            .indexes
+            .iter()
+            .find(|(icols, _)| cols.len() <= icols.len() && icols[..cols.len()] == *cols)
+        {
+            let rows = if icols.len() == cols.len() {
+                map.get(key)
+                    .map(|locs| locs.iter().map(|&i| self.row(disk, pool, i)).collect())
+                    .unwrap_or_default()
+            } else {
+                prefix_range(map, key)
+                    .flat_map(|(_, locs)| locs.iter().map(|&i| self.row(disk, pool, i)))
+                    .collect()
+            };
+            return (rows, AccessPath::SecondaryIndex);
+        }
+        let rows = self
+            .scan(disk, pool)
+            .filter(|r| cols.iter().zip(key).all(|(&c, &v)| r[c] == v))
+            .collect();
+        (rows, AccessPath::FullScan)
+    }
+
+    /// Clustered prefix range scan: binary search for the first matching
+    /// row (fences narrow it to a two-page window), then read forward
+    /// sequentially while the prefix matches.
+    fn clustered_range(
+        &self,
+        disk: &Disk,
+        pool: &BufferPool,
+        cols: &[usize],
+        key: &[Id],
+    ) -> Vec<Row> {
+        // First page whose fence is >= key; the run may begin on the page
+        // before it, so step one page back.
+        let start_page = self
+            .fences
+            .partition_point(|f| f[..cols.len()].cmp(key) == std::cmp::Ordering::Less)
+            .saturating_sub(1);
+        let lo = start_page * self.rows_per_page;
+        let hi = ((start_page + 2) * self.rows_per_page).min(self.n_rows);
+        // Binary search within [lo, hi) for the first row >= key.
+        let (mut a, mut b) = (lo, hi);
+        while a < b {
+            let mid = (a + b) / 2;
+            let r = self.row(disk, pool, mid as u32);
+            let probe: Vec<Id> = cols.iter().map(|&c| r[c]).collect();
+            if probe.as_slice() < key {
+                a = mid + 1;
+            } else {
+                b = mid;
+            }
+        }
+        let mut out = Vec::new();
+        let mut i = a as u32;
+        while (i as usize) < self.n_rows {
+            let r = self.row(disk, pool, i);
+            let probe: Vec<Id> = cols.iter().map(|&c| r[c]).collect();
+            if probe.as_slice() == key {
+                out.push(r);
+            } else {
+                break;
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Range over a composite B-tree index by key prefix.
+fn prefix_range<'m>(
+    map: &'m IndexMap,
+    prefix: &[Id],
+) -> impl Iterator<Item = (&'m Box<[Id]>, &'m Vec<u32>)> {
+    let lower: Box<[Id]> = prefix.into();
+    let upper: Option<Box<[Id]>> = {
+        let mut v: Vec<Id> = prefix.to_vec();
+        match v.last_mut() {
+            Some(last) if *last < Id::MAX => {
+                *last += 1;
+                Some(v.into())
+            }
+            _ => None,
+        }
+    };
+    let prefix_owned: Box<[Id]> = prefix.into();
+    let bound = match upper {
+        Some(u) => (Bound::Included(lower), Bound::Excluded(u)),
+        None => (Bound::Included(lower), Bound::Unbounded),
+    };
+    map.range(bound)
+        .filter(move |(k, _)| k[..prefix_owned.len()] == *prefix_owned)
+}
+
+/// Sequential scan iterator.
+pub struct Scan<'a> {
+    table: &'a Table,
+    disk: &'a Disk,
+    pool: &'a BufferPool,
+    next: u32,
+    end: u32,
+    page: Option<(usize, Page)>,
+}
+
+impl Iterator for Scan<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        if self.next >= self.end {
+            return None;
+        }
+        let i = self.next as usize;
+        self.next += 1;
+        let page_no = i / self.table.rows_per_page;
+        let reuse = matches!(&self.page, Some((p, _)) if *p == page_no);
+        if !reuse {
+            let data = self.pool.fetch(self.disk, self.table.pages[page_no]);
+            self.page = Some((page_no, data));
+        }
+        let (_, data) = self.page.as_ref().unwrap();
+        let off = (i % self.table.rows_per_page) * self.table.arity;
+        Some(data[off..off + self.table.arity].into())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Scan<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(Id, Id)]) -> Vec<Row> {
+        pairs.iter().map(|&(a, b)| vec![a, b].into()).collect()
+    }
+
+    fn fixture() -> (Disk, BufferPool) {
+        (Disk::new(), BufferPool::new(8))
+    }
+
+    #[test]
+    fn scan_returns_all_rows() {
+        let (disk, pool) = fixture();
+        let data = rows(&[(1, 10), (2, 20), (3, 30)]);
+        let t = Table::build(&disk, "r", 2, data.clone(), PhysicalOptions::heap());
+        let got: Vec<Row> = t.scan(&disk, &pool).collect();
+        assert_eq!(got, data);
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn heap_probe_uses_full_scan() {
+        let (disk, pool) = fixture();
+        let t = Table::build(
+            &disk,
+            "r",
+            2,
+            rows(&[(1, 10), (2, 20), (1, 30)]),
+            PhysicalOptions::heap(),
+        );
+        let (got, path) = t.probe(&disk, &pool, &[0], &[1]);
+        assert_eq!(path, AccessPath::FullScan);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn secondary_index_probe() {
+        let (disk, pool) = fixture();
+        let t = Table::build(
+            &disk,
+            "r",
+            2,
+            rows(&[(1, 10), (2, 20), (1, 30)]),
+            PhysicalOptions::indexed_all(2),
+        );
+        let (got, path) = t.probe(&disk, &pool, &[0], &[1]);
+        assert_eq!(path, AccessPath::SecondaryIndex);
+        assert_eq!(got.len(), 2);
+        let (got, _) = t.probe(&disk, &pool, &[1], &[20]);
+        assert_eq!(got, rows(&[(2, 20)]));
+        let (got, _) = t.probe(&disk, &pool, &[1], &[99]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn clustered_probe_and_order() {
+        let (disk, pool) = fixture();
+        let t = Table::build(
+            &disk,
+            "r",
+            2,
+            rows(&[(3, 1), (1, 2), (2, 3), (1, 1), (3, 0)]),
+            PhysicalOptions::clustered(&[0, 1]),
+        );
+        // Physically sorted.
+        let got: Vec<Row> = t.scan(&disk, &pool).collect();
+        assert_eq!(got, rows(&[(1, 1), (1, 2), (2, 3), (3, 0), (3, 1)]));
+        let (hit, path) = t.probe(&disk, &pool, &[0], &[1]);
+        assert_eq!(path, AccessPath::ClusteredRange);
+        assert_eq!(hit, rows(&[(1, 1), (1, 2)]));
+        let (hit, _) = t.probe(&disk, &pool, &[0, 1], &[3, 1]);
+        assert_eq!(hit, rows(&[(3, 1)]));
+        // Non-prefix column falls back to scan.
+        let (_, path) = t.probe(&disk, &pool, &[1], &[1]);
+        assert_eq!(path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn clustered_range_spanning_pages() {
+        let (disk, pool) = fixture();
+        // 1024 rows/page at arity 2; make 3 pages with a big duplicate run
+        // crossing the first page boundary.
+        let mut data = Vec::new();
+        for i in 0..1500u32 {
+            data.push(vec![if i < 1200 { 7 } else { 8 }, i].into());
+        }
+        let t = Table::build(&disk, "big", 2, data, PhysicalOptions::clustered(&[0]));
+        assert!(t.page_count() >= 2);
+        let (hit, path) = t.probe(&disk, &pool, &[0], &[7]);
+        assert_eq!(path, AccessPath::ClusteredRange);
+        assert_eq!(hit.len(), 1200);
+        let (hit, _) = t.probe(&disk, &pool, &[0], &[8]);
+        assert_eq!(hit.len(), 300);
+        let (hit, _) = t.probe(&disk, &pool, &[0], &[9]);
+        assert!(hit.is_empty());
+    }
+
+    #[test]
+    fn composite_index_prefix_lookup() {
+        let (disk, pool) = fixture();
+        let t = Table::build(
+            &disk,
+            "r",
+            3,
+            vec![
+                vec![1, 5, 100].into(),
+                vec![1, 6, 101].into(),
+                vec![2, 5, 102].into(),
+            ],
+            PhysicalOptions {
+                clustered_on: None,
+                indexes: vec![vec![0, 1]],
+            },
+        );
+        let (got, path) = t.probe(&disk, &pool, &[0], &[1]);
+        assert_eq!(path, AccessPath::SecondaryIndex);
+        assert_eq!(got.len(), 2);
+        let (got, _) = t.probe(&disk, &pool, &[0, 1], &[2, 5]);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn scan_io_is_sequential() {
+        let (disk, _) = fixture();
+        let pool = BufferPool::new(2);
+        let data: Vec<Row> = (0..3000u32).map(|i| vec![i, i].into()).collect();
+        let t = Table::build(&disk, "r", 2, data, PhysicalOptions::heap());
+        let pages = t.page_count() as u64;
+        let n = t.scan(&disk, &pool).count();
+        assert_eq!(n, 3000);
+        // One miss per page even with a tiny pool.
+        assert_eq!(pool.snapshot().misses, pages);
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let (disk, pool) = fixture();
+        let t = Table::build(&disk, "e", 2, Vec::new(), PhysicalOptions::indexed_all(2));
+        assert_eq!(t.scan(&disk, &pool).count(), 0);
+        let (got, _) = t.probe(&disk, &pool, &[0], &[1]);
+        assert!(got.is_empty());
+    }
+}

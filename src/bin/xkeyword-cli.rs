@@ -1,0 +1,157 @@
+//! `xkeyword-cli` — keyword proximity search over an XML file.
+//!
+//! ```text
+//! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] [--explain]
+//! ```
+//!
+//! With a file: parses it, infers the schema and target segments, builds
+//! the XKeyword decomposition and answers queries. Without a file: loads
+//! the paper's Figure 1 document. Without `--query`: reads queries from
+//! stdin, one per line (an interactive loop in the spirit of the paper's
+//! web demo, Fig. 4).
+
+use std::io::BufRead;
+use xkeyword::core::exec::ExecMode;
+use xkeyword::core::prelude::*;
+use xkeyword::core::ranking::{rank, IdfWeights, RankingConfig};
+use xkeyword::core::xkeyword::DecompositionSpec;
+
+struct Args {
+    file: Option<String>,
+    query: Option<String>,
+    z: usize,
+    top: usize,
+    explain: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        file: None,
+        query: None,
+        z: 8,
+        top: 10,
+        explain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--query" => args.query = it.next(),
+            "--z" => args.z = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--top" => args.top = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            "--explain" => args.explain = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] [--explain]"
+                );
+                std::process::exit(0);
+            }
+            _ if !a.starts_with('-') => args.file = Some(a),
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let options = LoadOptions {
+        decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
+        ..LoadOptions::default()
+    };
+    let xk = match &args.file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            XKeyword::load_xml(&text, options).unwrap_or_else(|e| {
+                eprintln!("cannot load {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            eprintln!("(no file given — loading the paper's Figure 1 document)");
+            let (graph, _, _) = xkeyword::datagen::tpch::figure1();
+            XKeyword::load(graph, xkeyword::datagen::tpch::tss_graph(), options)
+                .expect("Figure 1 loads")
+        }
+    };
+    eprintln!(
+        "loaded: {} target objects, {} segments, {} connection relations, {} keywords",
+        xk.targets.len(),
+        xk.tss.node_count(),
+        xk.catalog.len(),
+        xk.master.keyword_count()
+    );
+
+    if let Some(q) = &args.query {
+        run_query(&xk, q, &args);
+        return;
+    }
+    eprintln!("enter keyword queries (one per line, ctrl-D to quit):");
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        run_query(&xk, line, &args);
+    }
+}
+
+fn run_query(xk: &XKeyword, query: &str, args: &Args) {
+    let keywords: Vec<&str> = query.split_whitespace().collect();
+    if keywords.is_empty() || keywords.len() > 16 {
+        eprintln!("need 1..=16 keywords");
+        return;
+    }
+    let t = std::time::Instant::now();
+    let plans = xk.plans(&keywords, args.z);
+    if plans.is_empty() {
+        println!("no candidate networks — some keyword does not occur");
+        return;
+    }
+    if args.explain {
+        for p in &plans {
+            print!("{}", p.explain(&xk.tss, &xk.catalog));
+        }
+    }
+    let res = xk.query_all(&keywords, args.z, ExecMode::Cached { capacity: 8192 });
+    let idf = IdfWeights::compute(&xk.master, &xk.targets, &keywords);
+    let ranked = rank(
+        res.rows.clone(),
+        &plans,
+        &xk.tss,
+        &idf,
+        &RankingConfig::default(),
+    );
+    println!(
+        "{} results ({} candidate networks, {} probes, {:?})",
+        ranked.len(),
+        plans.len(),
+        res.stats.probes,
+        t.elapsed()
+    );
+    let mut seen = std::collections::HashSet::new();
+    let mut shown = 0;
+    for r in &ranked {
+        let m = r.row.to_mtton();
+        if !seen.insert(m.clone()) {
+            continue;
+        }
+        let labels: Vec<String> = m.tos.iter().map(|&t| xk.label(t)).collect();
+        println!(
+            "  {:>5.2} size {:>2}: {}",
+            r.relevance,
+            r.row.score,
+            labels.join(" — ")
+        );
+        shown += 1;
+        if shown >= args.top {
+            break;
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Robustness of the hand-written XML parser: arbitrary input must never
+//! panic (only `Ok`/`Err`), structurally valid documents built from
+//! random trees must round-trip, and common malformations are rejected
+//! with positions.
+
+use proptest::prelude::*;
+use xkeyword::graph::{parse, writer, EdgeKind, XmlGraph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total function: random bytes-ish strings never panic the parser.
+    #[test]
+    fn never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    /// Random XML-ish soup built from the parser's own token vocabulary.
+    #[test]
+    fn never_panics_on_xmlish_soup(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "<a>", "</a>", "<b/>", "<!--x-->", "<![CDATA[y]]>", "&amp;",
+            "&#65;", "text", "<?pi?>", "<c id=\"i\">", "idref=\"i\"",
+            "<", ">", "\"", "&", "]]>", "--><",
+        ]),
+        0..30,
+    )) {
+        let s: String = parts.concat();
+        let _ = parse(&s);
+    }
+
+    /// Random labeled trees with values and references round-trip through
+    /// writer + parser with all counts preserved.
+    #[test]
+    fn random_trees_round_trip(
+        shape in prop::collection::vec((0usize..8, 0usize..5, any::<bool>()), 1..40),
+        refs in prop::collection::vec((0usize..40, 0usize..40), 0..10),
+    ) {
+        let tags = ["alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"];
+        let mut g = XmlGraph::new();
+        let mut nodes = Vec::new();
+        for (i, &(tag, parent, valued)) in shape.iter().enumerate() {
+            let value = valued.then(|| format!("v{i} text"));
+            let n = g.add_node(tags[tag], value.as_deref());
+            if i > 0 {
+                let p = nodes[parent % nodes.len()];
+                g.add_edge(p, n, EdgeKind::Containment);
+            }
+            nodes.push(n);
+        }
+        for &(a, b) in &refs {
+            let (a, b) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+            g.add_edge(a, b, EdgeKind::Reference);
+        }
+        let text = writer::write_graph(&g);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        // Value multiset preserved.
+        let values = |g: &XmlGraph| {
+            let mut v: Vec<String> = g
+                .node_ids()
+                .filter_map(|n| g.value(n).map(str::to_owned))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(values(&back), values(&g));
+    }
+}
+
+#[test]
+fn malformations_are_rejected_with_positions() {
+    for bad in [
+        "<a><b></a></b>",
+        "<a",
+        "<a attr></a>",
+        "<a>&unknown;</a>",
+        "<a idref=\"missing\"/>",
+        "<a><!-- unterminated</a>",
+        "<a><![CDATA[open</a>",
+    ] {
+        let err = parse(bad).expect_err(bad);
+        assert!(err.at <= bad.len(), "{bad}: position out of range");
+        assert!(!err.msg.is_empty());
+    }
+}

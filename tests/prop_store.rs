@@ -1,0 +1,111 @@
+//! Property tests for the substrates: storage access paths agree with
+//! each other, and the XML writer/parser round-trips generated data.
+
+use proptest::prelude::*;
+use xkeyword::datagen::tpch::TpchConfig;
+use xkeyword::graph::{parse, writer};
+use xkeyword::store::{hash_join, Db, PhysicalOptions, Row};
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    prop::collection::vec((0u32..40, 0u32..40, 0u32..1000), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clustered, indexed and heap tables answer every probe identically
+    /// (up to row order).
+    #[test]
+    fn access_paths_agree(data in rows_strategy(), probe_col in 0usize..2, key in 0u32..45) {
+        let rows: Vec<Row> = data.iter().map(|&(a, b, c)| vec![a, b, c].into()).collect();
+        let db = Db::new(32);
+        let clustered = db.create_table(
+            "c", 3, rows.clone(), PhysicalOptions::clustered(&[probe_col]),
+        );
+        let indexed = db.create_table("i", 3, rows.clone(), PhysicalOptions::indexed_all(3));
+        let heap = db.create_table("h", 3, rows.clone(), PhysicalOptions::heap());
+        let expect: Vec<Row> = {
+            let mut v: Vec<Row> = rows
+                .iter()
+                .filter(|r| r[probe_col] == key)
+                .cloned()
+                .collect();
+            v.sort();
+            v
+        };
+        for t in [&clustered, &indexed, &heap] {
+            let (mut got, _) = db.probe(t, &[probe_col], &[key]);
+            got.sort();
+            prop_assert_eq!(&got, &expect, "table {}", t.name());
+        }
+        // Scans return everything.
+        prop_assert_eq!(db.scan_all(&heap).len(), rows.len());
+        prop_assert_eq!(db.scan_all(&clustered).len(), rows.len());
+    }
+
+    /// hash_join equals the nested-loop definition of a join.
+    #[test]
+    fn hash_join_is_a_join(left in rows_strategy(), right in rows_strategy()) {
+        let l: Vec<Row> = left.iter().map(|&(a, b, c)| vec![a, b, c].into()).collect();
+        let r: Vec<Row> = right.iter().map(|&(a, b, c)| vec![a, b, c].into()).collect();
+        let mut got = hash_join(&l, &[0], &r, &[1]);
+        got.sort();
+        let mut want: Vec<Row> = Vec::new();
+        for x in &l {
+            for y in &r {
+                if x[0] == y[1] {
+                    let mut row = x.to_vec();
+                    row.extend_from_slice(y);
+                    want.push(row.into());
+                }
+            }
+        }
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Multi-column probes equal filter semantics.
+    #[test]
+    fn composite_probe_agrees(data in rows_strategy(), k0 in 0u32..45, k1 in 0u32..45) {
+        let rows: Vec<Row> = data.iter().map(|&(a, b, c)| vec![a, b, c].into()).collect();
+        let db = Db::new(32);
+        let t = db.create_table("t", 3, rows.clone(), PhysicalOptions::clustered(&[0, 1, 2]));
+        let (mut got, _) = db.probe(&t, &[0, 1], &[k0, k1]);
+        got.sort();
+        let mut want: Vec<Row> = rows
+            .iter()
+            .filter(|r| r[0] == k0 && r[1] == k1)
+            .cloned()
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Generated XML data survives a write→parse round trip with node and
+    /// edge counts intact.
+    #[test]
+    fn xml_round_trip(seed in 0u64..5000, persons in 2usize..6) {
+        let data = TpchConfig {
+            persons,
+            parts: 6,
+            orders_per_person: 2,
+            lineitems_per_order: 2,
+            subparts_per_part: 1,
+            product_line_pct: 50,
+            service_calls_per_person: 1,
+            seed,
+        }
+        .generate();
+        let text = writer::write_graph(&data.graph);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back.node_count(), data.graph.node_count());
+        prop_assert_eq!(back.edge_count(), data.graph.edge_count());
+        // Tag multiset preserved.
+        let tags = |g: &xkeyword::graph::XmlGraph| {
+            let mut v: Vec<String> = g.node_ids().map(|n| g.tag(n).to_owned()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(tags(&back), tags(&data.graph));
+    }
+}

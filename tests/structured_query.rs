@@ -1,0 +1,96 @@
+//! The declarative query layer over XKeyword's own connection relations:
+//! §2's "addition of structured querying capabilities in the future" —
+//! structured queries and keyword queries share one store.
+
+use xkeyword::core::prelude::*;
+use xkeyword::core::xkeyword::DecompositionSpec;
+use xkeyword::datagen::tpch;
+use xkeyword::store::Query;
+
+fn load() -> XKeyword {
+    let (graph, _, _) = tpch::figure1();
+    XKeyword::load(
+        graph,
+        tpch::tss_graph(),
+        LoadOptions {
+            decomposition: DecompositionSpec::Minimal,
+            ..LoadOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Finds the physical table name of the minimal fragment for a TSS edge
+/// between two named segments.
+fn edge_table(xk: &XKeyword, from: &str, to: &str) -> String {
+    let seg = |n: &str| {
+        xk.tss
+            .node_ids()
+            .find(|&i| xk.tss.node(i).name == n)
+            .unwrap()
+    };
+    let (f, t) = (seg(from), seg(to));
+    let idx = xk
+        .catalog
+        .decomposition
+        .fragments
+        .iter()
+        .position(|fr| fr.tree.roles == vec![f, t])
+        .unwrap_or_else(|| panic!("no fragment {from}->{to}"));
+    // Clustered policy stores copies named `cr.<frag>@c<i>`.
+    format!("cr.{}@c0", xk.catalog.decomposition.fragments[idx].name)
+}
+
+#[test]
+fn structured_join_over_connection_relations() {
+    let xk = load();
+    // "Which persons supplied a lineitem whose order was placed by
+    // Mike?" — a structured query over the Lineitem→Person (supplier)
+    // and Order→Lineitem and Person→Order relations.
+    let lp = edge_table(&xk, "Lineitem", "Person");
+    let ol = edge_table(&xk, "Order", "Lineitem");
+    let po = edge_table(&xk, "Person", "Order");
+    // Mike's person TO id:
+    let mike = xk
+        .master
+        .containing_list("mike")
+        .first()
+        .map(|p| p.to)
+        .unwrap();
+    let rows = Query::new()
+        .table("po", &po)
+        .table("ol", &ol)
+        .table("lp", &lp)
+        .join(("po", 1), ("ol", 0))
+        .join(("ol", 1), ("lp", 0))
+        .filter(("po", 0), mike)
+        .select(&[("lp", 1)])
+        .run(&xk.db)
+        .unwrap();
+    // Mike's order o1 has three lineitems, all supplied by John.
+    assert_eq!(rows.len(), 3);
+    let john = xk
+        .master
+        .containing_list("john")
+        .first()
+        .map(|p| p.to)
+        .unwrap();
+    assert!(rows.iter().all(|r| r[0] == john));
+}
+
+#[test]
+fn structured_count_matches_target_graph() {
+    let xk = load();
+    // The supplier relation has one row per lineitem.
+    let lp = edge_table(&xk, "Lineitem", "Person");
+    let rows = Query::new()
+        .table("lp", &lp)
+        .run(&xk.db)
+        .unwrap();
+    let li_seg = xk
+        .tss
+        .node_ids()
+        .find(|&i| xk.tss.node(i).name == "Lineitem")
+        .unwrap();
+    assert_eq!(rows.len(), xk.targets.tos_of(li_seg).len());
+}
