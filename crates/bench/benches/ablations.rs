@@ -3,7 +3,9 @@
 //! * partial-result cache capacity (the §6 fixed-size cache tradeoff);
 //! * cross-CN common-subexpression reuse (shared vs per-plan cache);
 //! * CN-generator pruning (leaf bound + distance bound vs distance only);
-//! * optimizer tiling search (cost-based vs first minimal tiling).
+//! * optimizer tiling search (cost-based vs first minimal tiling);
+//! * engine plan caching (cold CN-generation + tiling per prepare vs
+//!   skeleton-cache hit + instantiation only).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xkw_bench::workload::{self as w, Config};
@@ -71,7 +73,13 @@ fn cross_cn_reuse(c: &mut Criterion) {
                     let mut cache = PartialCache::new(8192);
                     let mut stats = exec::ExecStats::default();
                     let _ = exec::eval_plan(
-                        &xk.db, &xk.catalog, i, p, w::cached(), &mut cache, &mut stats,
+                        &xk.db,
+                        &xk.catalog,
+                        i,
+                        p,
+                        w::cached(),
+                        &mut cache,
+                        &mut stats,
                         &mut |r| {
                             std::hint::black_box(r.score);
                             std::ops::ControlFlow::Continue(())
@@ -106,5 +114,55 @@ fn cn_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cache_capacity, cross_cn_reuse, cn_generation);
+fn plan_cache(c: &mut Criterion) {
+    let mut data = w::bench_dblp_config();
+    data.papers_per_year = 15;
+    data.citations_per_paper = 4;
+    let xk = w::dblp_instance(Config::MinClust, &data);
+    let queries = w::pick_author_queries(&xk, 4, 7);
+    // Cold: a zero-capacity cache replans every prepare from scratch.
+    let cold_engine = QueryEngine::with_plan_cache_capacity(
+        xk.tss.clone(),
+        xk.targets.clone(),
+        xk.master.clone(),
+        xk.db.clone(),
+        xk.catalog.clone(),
+        0,
+    );
+    // Warm: the default engine, its cache pre-warmed with the query
+    // shape (every surname pair shares one schema partition).
+    let warm_engine = xk.engine();
+    for (a, b) in &queries {
+        warm_engine.prepare(&[a, b], w::Z).expect("warms the cache");
+    }
+    let mut group = c.benchmark_group("ablation_plan_cache");
+    group.sample_size(20);
+    group.bench_function("prepare_cold", |b| {
+        b.iter(|| {
+            for (a, b_) in &queries {
+                let p = cold_engine.prepare(&[a, b_], w::Z).unwrap();
+                assert!(!p.plan_cache_hit);
+                std::hint::black_box(p.plans.len());
+            }
+        })
+    });
+    group.bench_function("prepare_warm", |b| {
+        b.iter(|| {
+            for (a, b_) in &queries {
+                let p = warm_engine.prepare(&[a, b_], w::Z).unwrap();
+                assert!(p.plan_cache_hit);
+                std::hint::black_box(p.plans.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_capacity,
+    cross_cn_reuse,
+    cn_generation,
+    plan_cache
+);
 criterion_main!(benches);

@@ -21,19 +21,14 @@ fn bench(c: &mut Criterion) {
             .map(|(a, b)| w::plans_for(&xk, &[a, b], w::Z))
             .collect();
         for k in [1usize, 20, 100] {
-            group.bench_with_input(
-                BenchmarkId::new(cfg.name(), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        for plans in &plan_sets {
-                            let res =
-                                exec::topk(&xk.db, &xk.catalog, plans, w::cached(), k, 4);
-                            std::hint::black_box(res.rows.len());
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg.name(), k), &k, |b, &k| {
+                b.iter(|| {
+                    for plans in &plan_sets {
+                        let res = exec::topk(&xk.db, &xk.catalog, plans, w::cached(), k, 4);
+                        std::hint::black_box(res.rows.len());
+                    }
+                })
+            });
         }
     }
     group.finish();

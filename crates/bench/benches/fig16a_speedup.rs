@@ -19,19 +19,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for m in [2usize, 4, 5] {
         for (mode_name, mode) in [("naive", ExecMode::Naive), ("cached", w::cached())] {
-            group.bench_with_input(
-                BenchmarkId::new(mode_name, m),
-                &m,
-                |b, &m| {
-                    b.iter(|| {
-                        for plans in &plan_sets {
-                            let capped = w::cap_ctssn_size(plans, m);
-                            let res = exec::all_plans(&xk.db, &xk.catalog, &capped, mode);
-                            std::hint::black_box(res.rows.len());
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode_name, m), &m, |b, &m| {
+                b.iter(|| {
+                    for plans in &plan_sets {
+                        let capped = w::cap_ctssn_size(plans, m);
+                        let res = exec::all_plans(&xk.db, &xk.catalog, &capped, mode);
+                        std::hint::black_box(res.rows.len());
+                    }
+                })
+            });
         }
     }
     group.finish();

@@ -14,8 +14,14 @@ use xkw_core::tree::{TreeEdge, TssTree};
 /// Builds the Author ← Paper (→ Paper)* → Author CTSSN of the given size.
 fn author_chain_ctssn(xk: &XKeyword, size: usize) -> Ctssn {
     let tss = &xk.tss;
-    let paper = tss.node_ids().find(|&i| tss.node(i).name == "Paper").unwrap();
-    let author = tss.node_ids().find(|&i| tss.node(i).name == "Author").unwrap();
+    let paper = tss
+        .node_ids()
+        .find(|&i| tss.node(i).name == "Paper")
+        .unwrap();
+    let author = tss
+        .node_ids()
+        .find(|&i| tss.node(i).name == "Author")
+        .unwrap();
     let pa = tss.find_edge(paper, author).unwrap();
     let pp = tss.find_edge(paper, paper).unwrap();
     let aname = tss.schema().node_by_tag("aname").unwrap();
@@ -23,15 +29,37 @@ fn author_chain_ctssn(xk: &XKeyword, size: usize) -> Ctssn {
     let mut roles = vec![author];
     roles.extend(std::iter::repeat_n(paper, n_papers));
     roles.push(author);
-    let mut edges = vec![TreeEdge { a: 1, b: 0, edge: pa }];
+    let mut edges = vec![TreeEdge {
+        a: 1,
+        b: 0,
+        edge: pa,
+    }];
     for i in 1..n_papers {
-        edges.push(TreeEdge { a: i as u8, b: (i + 1) as u8, edge: pp });
+        edges.push(TreeEdge {
+            a: i as u8,
+            b: (i + 1) as u8,
+            edge: pp,
+        });
     }
-    edges.push(TreeEdge { a: n_papers as u8, b: (n_papers + 1) as u8, edge: pa });
+    edges.push(TreeEdge {
+        a: n_papers as u8,
+        b: (n_papers + 1) as u8,
+        edge: pa,
+    });
     let mut annotations = vec![Vec::new(); n_papers + 2];
-    annotations[0] = vec![KwRequirement { set: 0b01, schema_node: aname }];
-    annotations[n_papers + 1] = vec![KwRequirement { set: 0b10, schema_node: aname }];
-    Ctssn { tree: TssTree { roles, edges }, annotations, cn_size: size + 2 }
+    annotations[0] = vec![KwRequirement {
+        set: 0b01,
+        schema_node: aname,
+    }];
+    annotations[n_papers + 1] = vec![KwRequirement {
+        set: 0b10,
+        schema_node: aname,
+    }];
+    Ctssn {
+        tree: TssTree { roles, edges },
+        annotations,
+        cn_size: size + 2,
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -53,15 +81,20 @@ fn bench(c: &mut Criterion) {
             let mut setups = Vec::new();
             for (a, b) in &queries {
                 let keywords = [a.as_str(), b.as_str()];
-                let Some(plan) = build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)
-                else {
+                let Some(plan) = build_plan(&ctssn, &xk.catalog, &xk.master, &keywords) else {
                     continue;
                 };
                 let mut cache = PartialCache::new(8192);
                 let mut stats = exec::ExecStats::default();
                 let mut first = None;
                 let _ = exec::eval_plan(
-                    &xk.db, &xk.catalog, 0, &plan, w::cached(), &mut cache, &mut stats,
+                    &xk.db,
+                    &xk.catalog,
+                    0,
+                    &plan,
+                    w::cached(),
+                    &mut cache,
+                    &mut stats,
                     &mut |r| {
                         first = Some(r.assignment);
                         std::ops::ControlFlow::Break(())
@@ -69,14 +102,17 @@ fn bench(c: &mut Criterion) {
                 );
                 let Some(first) = first else { continue };
                 let anchored =
-                    build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1)
-                        .unwrap();
+                    build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1).unwrap();
                 setups.push((first, anchored));
             }
             if setups.is_empty() {
                 continue;
             }
-            let paper = xk.tss.node_ids().find(|&i| xk.tss.node(i).name == "Paper").unwrap();
+            let paper = xk
+                .tss
+                .node_ids()
+                .find(|&i| xk.tss.node(i).name == "Paper")
+                .unwrap();
             let universe = xk.targets.tos_of(paper).to_vec();
             group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
                 b.iter(|| {
@@ -84,8 +120,13 @@ fn bench(c: &mut Criterion) {
                         let mut pg = PresentationGraph::initial(0, first.clone());
                         let mut cache = PartialCache::new(8192);
                         let r = expand_on_demand(
-                            &xk.db, &xk.catalog, anchored, &mut pg, &universe,
-                            w::cached(), &mut cache,
+                            &xk.db,
+                            &xk.catalog,
+                            anchored,
+                            &mut pg,
+                            &universe,
+                            w::cached(),
+                            &mut cache,
                         );
                         std::hint::black_box(r.0);
                     }

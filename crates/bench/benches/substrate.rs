@@ -24,7 +24,11 @@ fn access_paths(c: &mut Criterion) {
     let indexed = db.create_table("i", 2, rows.clone(), PhysicalOptions::indexed_all(2));
     let heap = db.create_table("h", 2, rows, PhysicalOptions::heap());
     let mut group = c.benchmark_group("substrate_probe");
-    for (name, table) in [("clustered", &clustered), ("indexed", &indexed), ("heap", &heap)] {
+    for (name, table) in [
+        ("clustered", &clustered),
+        ("indexed", &indexed),
+        ("heap", &heap),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| {

@@ -26,9 +26,7 @@ use xkw_core::tree::{TreeEdge, TssTree};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| {
-        args.is_empty() || args.iter().any(|a| a == name || a == "all")
-    };
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     if want("decompose") {
         w::time_decompositions();
     }
@@ -82,7 +80,9 @@ fn space() {
 /// Fig. 15(a): top-K time vs K per decomposition.
 fn fig15a() {
     println!("\n== Figure 15(a): top-K execution time (ms) vs K ==");
-    println!("(disk-resident middleware scenario: 100us round trip, 128-page pool, 2ms miss penalty)");
+    println!(
+        "(disk-resident middleware scenario: 100us round trip, 128-page pool, 2ms miss penalty)"
+    );
     let data = w::bench_dblp_config();
     let ks = [1usize, 10, 20, 40, 60, 80, 100];
     print!("{:<16}", "decomposition");
@@ -265,7 +265,11 @@ fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Dur
     let mut roles = vec![author];
     roles.extend(std::iter::repeat_n(paper, n_papers));
     roles.push(author);
-    let mut edges = vec![TreeEdge { a: 1, b: 0, edge: pa }];
+    let mut edges = vec![TreeEdge {
+        a: 1,
+        b: 0,
+        edge: pa,
+    }];
     for i in 1..n_papers {
         edges.push(TreeEdge {
             a: i as u8,
@@ -294,8 +298,7 @@ fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Dur
         cn_size: size + 2,
     };
     let keywords = [kw_a, kw_b];
-    let plan =
-        xkw_core::optimizer::build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)?;
+    let plan = xkw_core::optimizer::build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)?;
 
     // PG0: first result.
     let mut cache = PartialCache::new(8192);

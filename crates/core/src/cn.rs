@@ -140,8 +140,17 @@ impl Cn {
             .filter(|&(i, _)| Some(i) != from_edge)
             .map(|(i, out)| {
                 let dir = if out { '>' } else { '<' };
-                let child = if out { self.edges[i].b } else { self.edges[i].a };
-                format!("{}e{}{}", dir, self.edges[i].edge.0, self.rooted_sig(child, Some(i)))
+                let child = if out {
+                    self.edges[i].b
+                } else {
+                    self.edges[i].a
+                };
+                format!(
+                    "{}e{}{}",
+                    dir,
+                    self.edges[i].edge.0,
+                    self.rooted_sig(child, Some(i))
+                )
             })
             .collect();
         kids.sort();
@@ -475,7 +484,11 @@ mod tests {
                         .filter(|&(_, out)| out)
                         .map(|(e, _)| cn.edges[e].edge)
                         .collect();
-                    assert!(distinct.len() <= 1, "choice violated: {}", cn.display(schema));
+                    assert!(
+                        distinct.len() <= 1,
+                        "choice violated: {}",
+                        cn.display(schema)
+                    );
                 }
             }
         }

@@ -140,7 +140,11 @@ impl Ctssn {
                 let te = tss
                     .edge_for_path(std::slice::from_ref(&e.edge))
                     .ok_or_else(|| ReduceError::NoTssEdge(vec![e.edge]))?;
-                edges.push(TreeEdge { a: ra, b: rb, edge: te });
+                edges.push(TreeEdge {
+                    a: ra,
+                    b: rb,
+                    edge: te,
+                });
             } else if from_member && !to_member {
                 // Start of a forward dummy chain: walk to the member end.
                 let ra = role_of_node(&mut comp, e.a as usize).expect("member role");
@@ -176,7 +180,11 @@ impl Ctssn {
                 let te = tss
                     .edge_for_path(&path)
                     .ok_or(ReduceError::NoTssEdge(path))?;
-                edges.push(TreeEdge { a: ra, b: rb, edge: te });
+                edges.push(TreeEdge {
+                    a: ra,
+                    b: rb,
+                    edge: te,
+                });
             }
             // !from_member: the chain is discovered from its member start.
         }
@@ -286,9 +294,7 @@ mod tests {
         let product = seg("Product");
         // Direct Part→Part with both annotated.
         assert!(cs.iter().any(|c| {
-            c.size() == 1
-                && c.tree.roles == vec![part, part]
-                && c.annotated_roles().count() == 2
+            c.size() == 1 && c.tree.roles == vec![part, part] && c.annotated_roles().count() == 2
         }));
         // Part ← Part → Part siblings.
         assert!(cs.iter().any(|c| {
@@ -394,15 +400,39 @@ mod error_tests {
         // CN: a → hub → b AND hub → c — the dummy chain branches.
         let cn = Cn {
             nodes: vec![
-                CnNode { schema: a, keywords: 0b01 },
-                CnNode { schema: hub, keywords: 0 },
-                CnNode { schema: b, keywords: 0b10 },
-                CnNode { schema: c, keywords: 0b100 },
+                CnNode {
+                    schema: a,
+                    keywords: 0b01,
+                },
+                CnNode {
+                    schema: hub,
+                    keywords: 0,
+                },
+                CnNode {
+                    schema: b,
+                    keywords: 0b10,
+                },
+                CnNode {
+                    schema: c,
+                    keywords: 0b100,
+                },
             ],
             edges: vec![
-                CnEdge { a: 0, b: 1, edge: e_ah },
-                CnEdge { a: 1, b: 2, edge: e_hb },
-                CnEdge { a: 1, b: 3, edge: e_hc },
+                CnEdge {
+                    a: 0,
+                    b: 1,
+                    edge: e_ah,
+                },
+                CnEdge {
+                    a: 1,
+                    b: 2,
+                    edge: e_hb,
+                },
+                CnEdge {
+                    a: 1,
+                    b: 3,
+                    edge: e_hc,
+                },
             ],
         };
         assert!(matches!(
@@ -419,10 +449,20 @@ mod error_tests {
         let e_ah = s.find_edge(a, hub, EdgeKind::Containment).unwrap();
         let cn = Cn {
             nodes: vec![
-                CnNode { schema: a, keywords: 0b1 },
-                CnNode { schema: hub, keywords: 0 },
+                CnNode {
+                    schema: a,
+                    keywords: 0b1,
+                },
+                CnNode {
+                    schema: hub,
+                    keywords: 0,
+                },
             ],
-            edges: vec![CnEdge { a: 0, b: 1, edge: e_ah }],
+            edges: vec![CnEdge {
+                a: 0,
+                b: 1,
+                edge: e_ah,
+            }],
         };
         assert!(matches!(
             Ctssn::from_cn(&cn, &tss),
@@ -434,6 +474,8 @@ mod error_tests {
     fn display_of_errors() {
         assert!(ReduceError::DummyBranch.to_string().contains("branches"));
         assert!(ReduceError::MixedDirection.to_string().contains("directed"));
-        assert!(ReduceError::NoTssEdge(vec![]).to_string().contains("TSS edge"));
+        assert!(ReduceError::NoTssEdge(vec![])
+            .to_string()
+            .contains("TSS edge"));
     }
 }

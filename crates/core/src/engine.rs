@@ -1,0 +1,535 @@
+//! The query engine: the shared query-stage core of Fig. 7.
+//!
+//! [`QueryEngine`] owns the query-processing stage — keyword discoverer →
+//! CN generator → CTSSN reduction → optimizer → execution → presentation
+//! — behind `Arc`s of the load-stage products (master index, TSS graph,
+//! store, connection-relation catalog), so one engine is safely shared
+//! across threads serving concurrent queries. On top of the bare pipeline
+//! it adds three cross-cutting concerns:
+//!
+//! * **Plan caching.** CN generation, CTSSN reduction and tiling
+//!   enumeration depend only on the *schema-level partition* of the
+//!   keywords — which schema nodes can contain which exact keyword
+//!   subsets — plus the keyword count and `z`, never on the keyword
+//!   strings. [`QueryEngine::prepare`] canonicalizes that partition into
+//!   a signature and consults an LRU cache of
+//!   [`PlanSkeleton`](crate::optimizer::PlanSkeleton) lists; a hit skips
+//!   straight to the cheap per-query
+//!   [`instantiate`](crate::optimizer::instantiate) step. Queries with
+//!   fresh keywords of a familiar *shape* (e.g. any two author surnames)
+//!   plan in microseconds.
+//! * **Typed errors.** All `query_*`/`prepare` paths return
+//!   `Result<_, `[`XkError`]`>`: empty or oversized queries, unknown
+//!   keywords, contradictory execution modes and plan/catalog mismatches
+//!   come back as values, never panics — a bad query cannot take down a
+//!   shared engine.
+//! * **Per-stage observability.** Every query reports a
+//!   [`QueryMetrics`]: wall time per stage (discover / plan / exec /
+//!   present), plan-cache and partial-result-cache traffic, and the
+//!   buffer-pool I/O attributable to *this* query (thread-local pool
+//!   counters, so the numbers stay correct under concurrency).
+//!   [`QueryEngine::stats`] aggregates them into a cumulative
+//!   [`EngineStats`].
+
+use crate::cn::CnGenerator;
+use crate::ctssn::Ctssn;
+use crate::error::{validate_keywords, XkError};
+use crate::exec::{self, ExecMode, QueryResults};
+use crate::master_index::MasterIndex;
+use crate::optimizer::{build_skeleton, instantiate, CtssnPlan, PlanSkeleton};
+use crate::relations::RelationCatalog;
+use crate::semantics::Mtton;
+use crate::target::TargetGraph;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xkw_graph::TssGraph;
+use xkw_store::{Db, LruCache};
+
+/// Default capacity of the plan cache, in distinct query shapes.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// The canonical plan-cache key: the sorted schema-level keyword
+/// partition (schema node → sorted achievable keyword bitsets), the
+/// keyword count and the CN size bound `z`. Everything the planning
+/// pipeline consumes up to (and including) tiling enumeration is a
+/// function of exactly these.
+type PlanKey = (Vec<(u16, Vec<u16>)>, usize, usize);
+
+/// Per-query, per-stage metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryMetrics {
+    /// Keyword discovery (containing-list lookups + exact-set partition).
+    pub discover: Duration,
+    /// Planning: CN generation through optimizer tiling, or plan-cache
+    /// lookup + instantiation on a hit.
+    pub plan: Duration,
+    /// Execution.
+    pub exec: Duration,
+    /// Presentation (MTTON dedup/sort).
+    pub present: Duration,
+    /// Whether planning hit the skeleton cache.
+    pub plan_cache_hit: bool,
+    /// Executable plans after instantiation.
+    pub plans: usize,
+    /// Partial-result cache hits during execution.
+    pub partial_cache_hits: u64,
+    /// Partial-result cache misses during execution.
+    pub partial_cache_misses: u64,
+    /// Buffer-pool hits attributable to this query.
+    pub io_hits: u64,
+    /// Buffer-pool misses attributable to this query.
+    pub io_misses: u64,
+}
+
+/// Cumulative engine statistics across all queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Queries that completed successfully.
+    pub queries: u64,
+    /// Queries rejected with an [`XkError`].
+    pub errors: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Partial-result cache hits across all queries.
+    pub partial_cache_hits: u64,
+    /// Partial-result cache misses across all queries.
+    pub partial_cache_misses: u64,
+    /// Buffer-pool hits attributed to queries.
+    pub io_hits: u64,
+    /// Buffer-pool misses attributed to queries.
+    pub io_misses: u64,
+    /// Total time in keyword discovery.
+    pub discover: Duration,
+    /// Total time in planning.
+    pub plan: Duration,
+    /// Total time in execution.
+    pub exec: Duration,
+    /// Total time in presentation.
+    pub present: Duration,
+}
+
+impl EngineStats {
+    fn absorb(&mut self, m: &QueryMetrics) {
+        self.queries += 1;
+        if m.plan_cache_hit {
+            self.plan_cache_hits += 1;
+        } else {
+            self.plan_cache_misses += 1;
+        }
+        self.partial_cache_hits += m.partial_cache_hits;
+        self.partial_cache_misses += m.partial_cache_misses;
+        self.io_hits += m.io_hits;
+        self.io_misses += m.io_misses;
+        self.discover += m.discover;
+        self.plan += m.plan;
+        self.exec += m.exec;
+        self.present += m.present;
+    }
+}
+
+/// A prepared query: instantiated plans plus discovery/planning metrics.
+#[derive(Debug)]
+pub struct Prepared {
+    /// Executable plans in CN-generation (score) order.
+    pub plans: Vec<CtssnPlan>,
+    /// Whether the skeleton list came out of the plan cache.
+    pub plan_cache_hit: bool,
+    /// Time in keyword discovery.
+    pub discover: Duration,
+    /// Time in planning (cache lookup/CN generation + instantiation).
+    pub plan: Duration,
+}
+
+/// A completed query: results, deduplicated MTTONs, per-stage metrics.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Raw result rows and execution statistics.
+    pub results: QueryResults,
+    /// Deduplicated MTTONs sorted by (score, target objects).
+    pub mttons: Vec<Mtton>,
+    /// Per-stage metrics for this query.
+    pub metrics: QueryMetrics,
+}
+
+/// The shared query-stage core. See the module docs.
+pub struct QueryEngine {
+    tss: Arc<TssGraph>,
+    targets: Arc<TargetGraph>,
+    master: Arc<MasterIndex>,
+    db: Arc<Db>,
+    catalog: Arc<RelationCatalog>,
+    plan_cache: Mutex<LruCache<PlanKey, Arc<Vec<PlanSkeleton>>>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl QueryEngine {
+    /// Builds an engine over the load stage's products, with the default
+    /// plan-cache capacity.
+    pub fn new(
+        tss: Arc<TssGraph>,
+        targets: Arc<TargetGraph>,
+        master: Arc<MasterIndex>,
+        db: Arc<Db>,
+        catalog: Arc<RelationCatalog>,
+    ) -> Self {
+        Self::with_plan_cache_capacity(
+            tss,
+            targets,
+            master,
+            db,
+            catalog,
+            DEFAULT_PLAN_CACHE_CAPACITY,
+        )
+    }
+
+    /// Builds an engine with an explicit plan-cache capacity (0 disables
+    /// plan caching — every query plans cold).
+    pub fn with_plan_cache_capacity(
+        tss: Arc<TssGraph>,
+        targets: Arc<TargetGraph>,
+        master: Arc<MasterIndex>,
+        db: Arc<Db>,
+        catalog: Arc<RelationCatalog>,
+        capacity: usize,
+    ) -> Self {
+        QueryEngine {
+            tss,
+            targets,
+            master,
+            db,
+            catalog,
+            plan_cache: Mutex::new(LruCache::new(capacity)),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The TSS graph.
+    pub fn tss(&self) -> &Arc<TssGraph> {
+        &self.tss
+    }
+
+    /// The target-object decomposition.
+    pub fn targets(&self) -> &Arc<TargetGraph> {
+        &self.targets
+    }
+
+    /// The master index.
+    pub fn master(&self) -> &Arc<MasterIndex> {
+        &self.master
+    }
+
+    /// The embedded store.
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// The connection-relation catalog.
+    pub fn catalog(&self) -> &Arc<RelationCatalog> {
+        &self.catalog
+    }
+
+    /// Cumulative statistics across all queries on this engine.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// Distinct query shapes currently in the plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().len()
+    }
+
+    /// The first stages of query processing: keyword discoverer → plan
+    /// cache (CN generator → CTSSN reduction → tiling enumeration on a
+    /// miss) → per-query instantiation.
+    ///
+    /// # Errors
+    /// [`XkError::EmptyQuery`], [`XkError::TooManyKeywords`] for
+    /// malformed queries; [`XkError::UnknownKeyword`] when a keyword
+    /// occurs nowhere in the data (so no result can exist).
+    pub fn prepare(&self, keywords: &[&str], z: usize) -> Result<Prepared, XkError> {
+        validate_keywords(keywords).inspect_err(|_| self.count_error())?;
+
+        // Discover: containing lists + the schema-level partition.
+        let t = Instant::now();
+        for kw in keywords {
+            if self.master.containing_list(kw).is_empty() {
+                self.count_error();
+                return Err(XkError::UnknownKeyword((*kw).to_owned()));
+            }
+        }
+        let achievable = self.master.achievable_sets(keywords);
+        let discover = t.elapsed();
+
+        // Plan: skeletons from the cache, or built cold and cached.
+        let t = Instant::now();
+        let key = plan_key(&achievable, keywords.len(), z);
+        let cached = self.plan_cache.lock().get(&key).cloned();
+        let (skeletons, plan_cache_hit) = match cached {
+            Some(s) => (s, true),
+            None => {
+                let gen = CnGenerator::new(self.tss.schema(), &achievable, keywords.len());
+                let skeletons: Arc<Vec<PlanSkeleton>> = Arc::new(
+                    gen.generate(z)
+                        .iter()
+                        .filter_map(|cn| Ctssn::from_cn(cn, &self.tss).ok())
+                        .filter_map(|c| build_skeleton(&c, &self.catalog))
+                        .collect(),
+                );
+                self.plan_cache.lock().put(key, skeletons.clone());
+                (skeletons, false)
+            }
+        };
+        let plans: Vec<CtssnPlan> = skeletons
+            .iter()
+            .filter_map(|s| instantiate(s, &self.catalog, &self.master, keywords, None))
+            .collect();
+        let plan = t.elapsed();
+
+        Ok(Prepared {
+            plans,
+            plan_cache_hit,
+            discover,
+            plan,
+        })
+    }
+
+    /// Evaluates every candidate network to completion with nested-loop
+    /// probes (naive or cached).
+    ///
+    /// # Errors
+    /// The [`QueryEngine::prepare`] errors plus [`XkError::BadMode`].
+    pub fn query_all(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+    ) -> Result<QueryOutcome, XkError> {
+        self.run(keywords, z, mode, |prepared| {
+            exec::try_all_plans(&self.db, &self.catalog, &prepared.plans, mode)
+        })
+    }
+
+    /// Top-k query (the web-search-engine presentation of §6): the first
+    /// `k` results across candidate networks, smallest CNs first,
+    /// evaluated by `threads` worker threads.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::prepare`] errors plus [`XkError::BadMode`].
+    pub fn query_topk(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: usize,
+        mode: ExecMode,
+        threads: usize,
+    ) -> Result<QueryOutcome, XkError> {
+        self.run(keywords, z, mode, |prepared| {
+            exec::try_topk(&self.db, &self.catalog, &prepared.plans, mode, k, threads)
+        })
+    }
+
+    /// Evaluates every candidate network via full scans + hash joins
+    /// (the "all results" regime of §7).
+    ///
+    /// # Errors
+    /// The [`QueryEngine::prepare`] errors.
+    pub fn query_all_hash(&self, keywords: &[&str], z: usize) -> Result<QueryOutcome, XkError> {
+        self.run(keywords, z, ExecMode::Naive, |prepared| {
+            exec::try_all_results(&self.db, &self.catalog, &prepared.plans)
+        })
+    }
+
+    /// Shared prepare → execute → present skeleton of the `query_*`
+    /// methods.
+    fn run(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+        execute: impl FnOnce(&Prepared) -> Result<QueryResults, XkError>,
+    ) -> Result<QueryOutcome, XkError> {
+        exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
+        let prepared = self.prepare(keywords, z)?;
+
+        let t = Instant::now();
+        let results = execute(&prepared).inspect_err(|_| self.count_error())?;
+        let exec_time = t.elapsed();
+
+        let t = Instant::now();
+        let mttons = results.mttons();
+        let present = t.elapsed();
+
+        let metrics = QueryMetrics {
+            discover: prepared.discover,
+            plan: prepared.plan,
+            exec: exec_time,
+            present,
+            plan_cache_hit: prepared.plan_cache_hit,
+            plans: prepared.plans.len(),
+            partial_cache_hits: results.stats.cache_hits,
+            partial_cache_misses: results.stats.cache_misses,
+            io_hits: results.stats.io_hits,
+            io_misses: results.stats.io_misses,
+        };
+        self.stats.lock().absorb(&metrics);
+        Ok(QueryOutcome {
+            results,
+            mttons,
+            metrics,
+        })
+    }
+
+    fn count_error(&self) {
+        self.stats.lock().errors += 1;
+    }
+}
+
+/// Canonicalizes the achievable-set partition into the plan-cache key:
+/// sorted `(schema node, sorted bitsets)` pairs.
+fn plan_key(
+    achievable: &std::collections::HashMap<xkw_graph::SchemaNodeId, std::collections::HashSet<u16>>,
+    nkeys: usize,
+    z: usize,
+) -> PlanKey {
+    let mut sig: Vec<(u16, Vec<u16>)> = achievable
+        .iter()
+        .map(|(sn, sets)| {
+            let mut v: Vec<u16> = sets.iter().copied().collect();
+            v.sort_unstable();
+            (sn.0, v)
+        })
+        .collect();
+    sig.sort_unstable();
+    (sig, nkeys, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+    use crate::relations::PhysicalPolicy;
+    use crate::target::ToId;
+    use xkw_datagen::tpch;
+
+    fn engine() -> QueryEngine {
+        let (graph, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let targets = TargetGraph::build(&graph, &tss).unwrap();
+        let master = MasterIndex::build(&graph, &targets);
+        let db = Arc::new(Db::new(256));
+        for id in 0..targets.len() as ToId {
+            db.blobs().put(id, targets.to_xml(&graph, id));
+        }
+        let catalog = Arc::new(RelationCatalog::materialize(
+            &db,
+            &targets,
+            decompose::minimal(&tss),
+            PhysicalPolicy::clustered(),
+            "eng",
+        ));
+        QueryEngine::new(Arc::new(tss), Arc::new(targets), master.into(), db, catalog)
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+    }
+
+    #[test]
+    fn query_all_reports_stage_metrics() {
+        let e = engine();
+        let out = e
+            .query_all(&["john", "vcr"], 8, ExecMode::Cached { capacity: 1024 })
+            .unwrap();
+        assert_eq!(out.mttons.iter().map(|m| m.score).min(), Some(6));
+        assert!(!out.metrics.plan_cache_hit, "first query plans cold");
+        assert!(out.metrics.plans > 0);
+        assert!(out.metrics.io_hits + out.metrics.io_misses > 0);
+        let s = e.stats();
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        let e = engine();
+        assert_eq!(e.prepare(&[], 8).unwrap_err(), XkError::EmptyQuery);
+        let many: Vec<&str> = vec!["john"; 17];
+        assert_eq!(
+            e.prepare(&many, 8).unwrap_err(),
+            XkError::TooManyKeywords { count: 17 }
+        );
+        assert_eq!(
+            e.prepare(&["john", "florp"], 8).unwrap_err(),
+            XkError::UnknownKeyword("florp".to_owned())
+        );
+        assert!(matches!(
+            e.query_all(&["john", "vcr"], 8, ExecMode::Cached { capacity: 0 }),
+            Err(XkError::BadMode(_))
+        ));
+        assert_eq!(e.stats().errors, 4);
+        assert_eq!(e.stats().queries, 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_same_shape() {
+        let e = engine();
+        // "tv" and "vcr" both live in part names (vcr also in a descr) —
+        // re-running the same keywords must hit; swapping their order
+        // keeps the partition (bitsets swap per node, but the pair of
+        // achievable sets per schema node differs) — so only assert the
+        // identical query hits.
+        let first = e.prepare(&["tv", "vcr"], 8).unwrap();
+        assert!(!first.plan_cache_hit);
+        let second = e.prepare(&["tv", "vcr"], 8).unwrap();
+        assert!(second.plan_cache_hit);
+        assert_eq!(first.plans.len(), second.plans.len());
+        // A different z is a different shape.
+        let other_z = e.prepare(&["tv", "vcr"], 4).unwrap();
+        assert!(!other_z.plan_cache_hit);
+        assert_eq!(e.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables_plan_cache() {
+        let (graph, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let targets = TargetGraph::build(&graph, &tss).unwrap();
+        let master = MasterIndex::build(&graph, &targets);
+        let db = Arc::new(Db::new(256));
+        let catalog = Arc::new(RelationCatalog::materialize(
+            &db,
+            &targets,
+            decompose::minimal(&tss),
+            PhysicalPolicy::clustered(),
+            "cold",
+        ));
+        let e = QueryEngine::with_plan_cache_capacity(
+            Arc::new(tss),
+            Arc::new(targets),
+            master.into(),
+            db,
+            catalog,
+            0,
+        );
+        assert!(!e.prepare(&["john", "vcr"], 8).unwrap().plan_cache_hit);
+        assert!(!e.prepare(&["john", "vcr"], 8).unwrap().plan_cache_hit);
+        assert_eq!(e.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn topk_and_hash_agree_with_all() {
+        let e = engine();
+        let all = e.query_all(&["us", "vcr"], 8, ExecMode::Naive).unwrap();
+        let hash = e.query_all_hash(&["us", "vcr"], 8).unwrap();
+        assert_eq!(all.mttons, hash.mttons);
+        let top = e
+            .query_topk(&["us", "vcr"], 8, 5, ExecMode::Cached { capacity: 1024 }, 2)
+            .unwrap();
+        assert_eq!(top.results.rows.len(), 5);
+    }
+}

@@ -25,6 +25,7 @@
 //! score) and report [`ExecStats`] (probe counts, rows, cache traffic) so
 //! experiments can report logical work next to wall time.
 
+use crate::error::XkError;
 use crate::optimizer::CtssnPlan;
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
@@ -83,6 +84,12 @@ pub struct ExecStats {
     pub cache_misses: u64,
     /// Results emitted.
     pub results: u64,
+    /// Buffer-pool hits attributable to this evaluation. Measured from
+    /// per-thread pool counters, so the numbers stay meaningful when
+    /// other queries run concurrently against the same pool.
+    pub io_hits: u64,
+    /// Buffer-pool misses attributable to this evaluation.
+    pub io_misses: u64,
 }
 
 impl ExecStats {
@@ -93,7 +100,19 @@ impl ExecStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.results += other.results;
+        self.io_hits += other.io_hits;
+        self.io_misses += other.io_misses;
     }
+}
+
+/// Adds the calling thread's buffer-pool delta since `before` to `stats`
+/// — the engines call this with a `db.local_io()` snapshot taken when
+/// they started working, attributing I/O per query even under
+/// concurrency.
+fn charge_local_io(stats: &mut ExecStats, db: &Db, before: xkw_store::IoSnapshot) {
+    let delta = db.local_io().since(before);
+    stats.io_hits += delta.hits;
+    stats.io_misses += delta.misses;
 }
 
 /// The partial-result cache: suffix signature + frontier bindings →
@@ -110,6 +129,23 @@ fn suffix_fresh_roles(plan: &CtssnPlan, i: usize) -> Vec<u8> {
 /// the evaluation early by returning [`ControlFlow::Break`].
 #[allow(clippy::too_many_arguments)]
 pub fn eval_plan(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan_idx: usize,
+    plan: &CtssnPlan,
+    mode: ExecMode,
+    cache: &mut PartialCache,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let io_before = db.local_io();
+    let flow = eval_plan_inner(db, catalog, plan_idx, plan, mode, cache, stats, emit);
+    charge_local_io(stats, db, io_before);
+    flow
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_plan_inner(
     db: &Db,
     catalog: &RelationCatalog,
     plan_idx: usize,
@@ -167,6 +203,23 @@ pub fn eval_plan(
 /// and searches for its connections.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_anchored(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan: &CtssnPlan,
+    to: ToId,
+    mode: ExecMode,
+    cache: &mut PartialCache,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let io_before = db.local_io();
+    let flow = eval_anchored_inner(db, catalog, plan, to, mode, cache, stats, emit);
+    charge_local_io(stats, db, io_before);
+    flow
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_anchored_inner(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
@@ -479,6 +532,7 @@ impl Iterator for ResultStream<'_> {
                 continue;
             };
             // Evaluate this one driver binding.
+            let io_before = self.db.local_io();
             let mut assignment: Vec<Option<ToId>> = vec![None; plan.role_count()];
             assignment[plan.driver as usize] = Some(to);
             let fresh = suffix_fresh_roles(plan, 0);
@@ -514,6 +568,7 @@ impl Iterator for ResultStream<'_> {
                     });
                 }
             }
+            charge_local_io(&mut self.stats, self.db, io_before);
         }
     }
 }
@@ -607,6 +662,7 @@ pub fn topk(
 /// (§7's "all results" regime). Keyword filters are applied during the
 /// scans; tiles are joined in plan order on their shared roles.
 pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> QueryResults {
+    let io_before = db.local_io();
     let mut out = QueryResults::default();
     // Scan memo: the same relation filtered by the same per-column
     // keyword requirements recurs across candidate networks; scan once.
@@ -671,10 +727,7 @@ pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> Q
             };
             if i == 0 {
                 bound_roles = tile.cols_to_roles.clone();
-                inter = scanned
-                    .iter()
-                    .map(|r| r.to_vec())
-                    .collect();
+                inter = scanned.iter().map(|r| r.to_vec()).collect();
                 continue;
             }
             // Join columns: roles shared between `bound_roles` and tile.
@@ -682,9 +735,7 @@ pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> Q
                 .cols_to_roles
                 .iter()
                 .enumerate()
-                .filter_map(|(c, role)| {
-                    bound_roles.iter().position(|r| r == role).map(|b| (b, c))
-                })
+                .filter_map(|(c, role)| bound_roles.iter().position(|r| r == role).map(|b| (b, c)))
                 .collect();
             use std::collections::HashMap;
             let mut built: HashMap<Vec<ToId>, Vec<usize>> = HashMap::new();
@@ -735,7 +786,97 @@ pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> Q
             });
         }
     }
+    charge_local_io(&mut out.stats, db, io_before);
     out
+}
+
+/// Validates an execution mode — the one inexpressible-but-representable
+/// configuration is a "cached" mode whose cache can hold nothing.
+///
+/// # Errors
+/// [`XkError::BadMode`] for `Cached { capacity: 0 }`.
+pub fn validate_mode(mode: ExecMode) -> Result<(), XkError> {
+    match mode {
+        ExecMode::Cached { capacity: 0 } => Err(XkError::BadMode(
+            "cached execution needs a nonzero cache capacity (use Naive instead)".to_owned(),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Validates that every plan only references connection relations the
+/// catalog holds, with column maps matching their arity.
+///
+/// # Errors
+/// [`XkError::MissingRelation`] or [`XkError::ArityMismatch`].
+pub fn validate_plans(catalog: &RelationCatalog, plans: &[CtssnPlan]) -> Result<(), XkError> {
+    for plan in plans {
+        for tile in &plan.tiles {
+            if tile.rel >= catalog.len() {
+                return Err(XkError::MissingRelation {
+                    index: tile.rel,
+                    len: catalog.len(),
+                });
+            }
+            let arity = catalog.relation(tile.rel).copies[0].arity();
+            if tile.cols_to_roles.len() != arity {
+                return Err(XkError::ArityMismatch {
+                    relation: tile.rel,
+                    expected: arity,
+                    got: tile.cols_to_roles.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validated [`all_plans`]: checks the mode and every plan's relation
+/// references before evaluating.
+///
+/// # Errors
+/// [`XkError::BadMode`], [`XkError::MissingRelation`] or
+/// [`XkError::ArityMismatch`]; nothing is evaluated on error.
+pub fn try_all_plans(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+) -> Result<QueryResults, XkError> {
+    validate_mode(mode)?;
+    validate_plans(catalog, plans)?;
+    Ok(all_plans(db, catalog, plans, mode))
+}
+
+/// Validated [`topk`].
+///
+/// # Errors
+/// Same as [`try_all_plans`].
+pub fn try_topk(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+) -> Result<QueryResults, XkError> {
+    validate_mode(mode)?;
+    validate_plans(catalog, plans)?;
+    Ok(topk(db, catalog, plans, mode, k, threads))
+}
+
+/// Validated [`all_results`].
+///
+/// # Errors
+/// Same as [`try_all_plans`] (hash joins take no mode, so only plan
+/// validation applies).
+pub fn try_all_results(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+) -> Result<QueryResults, XkError> {
+    validate_plans(catalog, plans)?;
+    Ok(all_results(db, catalog, plans))
 }
 
 #[cfg(test)]
@@ -962,8 +1103,7 @@ mod stream_tests {
         let (db, catalog, plans) = setup();
         let batch = all_plans(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 });
         let streamed: Vec<ResultRow> =
-            ResultStream::new(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 })
-                .collect();
+            ResultStream::new(&db, &catalog, &plans, ExecMode::Cached { capacity: 1024 }).collect();
         let mut a: Vec<Mtton> = batch.rows.iter().map(ResultRow::to_mtton).collect();
         let mut b: Vec<Mtton> = streamed.iter().map(ResultRow::to_mtton).collect();
         a.sort();
@@ -1007,6 +1147,7 @@ mod edge_case_tests {
     use crate::cn::CnGenerator;
     use crate::ctssn::Ctssn;
     use crate::decompose;
+    use crate::error::XkError;
     use crate::master_index::MasterIndex;
     use crate::optimizer::{build_plan, build_plan_anchored, CtssnPlan};
     use crate::relations::{PhysicalPolicy, RelationCatalog};
@@ -1098,12 +1239,66 @@ mod edge_case_tests {
     fn empty_plan_list_is_fine_everywhere() {
         let (db, catalog, _, _) = setup();
         let plans: Vec<CtssnPlan> = Vec::new();
-        assert!(all_plans(&db, &catalog, &plans, ExecMode::Naive).rows.is_empty());
+        assert!(all_plans(&db, &catalog, &plans, ExecMode::Naive)
+            .rows
+            .is_empty());
         assert!(all_results(&db, &catalog, &plans).rows.is_empty());
-        assert!(topk(&db, &catalog, &plans, ExecMode::Naive, 5, 2).rows.is_empty());
+        assert!(topk(&db, &catalog, &plans, ExecMode::Naive, 5, 2)
+            .rows
+            .is_empty());
         assert!(ResultStream::new(&db, &catalog, &plans, ExecMode::Naive)
             .next()
             .is_none());
+    }
+
+    #[test]
+    fn validated_entry_points_reject_bad_inputs() {
+        let (db, catalog, _, plans) = setup();
+        assert!(matches!(
+            try_all_plans(&db, &catalog, &plans, ExecMode::Cached { capacity: 0 }),
+            Err(XkError::BadMode(_))
+        ));
+        assert!(matches!(
+            try_topk(
+                &db,
+                &catalog,
+                &plans,
+                ExecMode::Cached { capacity: 0 },
+                3,
+                2
+            ),
+            Err(XkError::BadMode(_))
+        ));
+        // A plan referencing a relation beyond the catalog.
+        let mut broken = plans.clone();
+        if let Some(t) = broken.get_mut(0).and_then(|p| p.tiles.get_mut(0)) {
+            t.rel = 999;
+        }
+        assert!(matches!(
+            try_all_results(&db, &catalog, &broken),
+            Err(XkError::MissingRelation { index: 999, .. })
+        ));
+        // A plan whose column map does not match the relation's arity.
+        let mut wide = plans.clone();
+        if let Some(t) = wide.get_mut(0).and_then(|p| p.tiles.get_mut(0)) {
+            t.cols_to_roles.push(0);
+        }
+        assert!(matches!(
+            try_all_plans(&db, &catalog, &wide, ExecMode::Naive),
+            Err(XkError::ArityMismatch { .. })
+        ));
+        // Valid input still evaluates.
+        let ok = try_topk(&db, &catalog, &plans, ExecMode::Naive, 3, 2).unwrap();
+        assert_eq!(ok.rows.len(), 3);
+    }
+
+    #[test]
+    fn io_is_attributed_to_stats() {
+        let (db, catalog, _, plans) = setup();
+        let res = all_plans(&db, &catalog, &plans, ExecMode::Naive);
+        assert!(res.stats.io_hits + res.stats.io_misses > 0);
+        let hj = all_results(&db, &catalog, &plans);
+        assert!(hj.stats.io_hits + hj.stats.io_misses > 0);
     }
 
     #[test]

@@ -21,12 +21,14 @@
 pub mod cn;
 pub mod ctssn;
 pub mod decompose;
+pub mod engine;
+pub mod error;
 pub mod exec;
+pub mod master_index;
 pub mod optimizer;
 pub mod presentation;
 pub mod ranking;
 pub mod relations;
-pub mod master_index;
 pub mod semantics;
 pub mod target;
 pub mod tree;
@@ -37,6 +39,8 @@ pub mod prelude {
     pub use crate::cn::{Cn, CnGenerator};
     pub use crate::ctssn::Ctssn;
     pub use crate::decompose::{Decomposition, DecompositionKind, Fragment};
+    pub use crate::engine::{EngineStats, QueryEngine, QueryMetrics, QueryOutcome};
+    pub use crate::error::XkError;
     pub use crate::exec::{ExecMode, QueryResults};
     pub use crate::master_index::MasterIndex;
     pub use crate::presentation::PresentationGraph;

@@ -10,6 +10,7 @@
 //! interMedia Text; here it is an in-memory inverted index over the same
 //! triplets.
 
+use crate::error::{validate_keywords, XkError, MAX_KEYWORDS};
 use crate::target::{TargetGraph, ToId};
 use std::collections::{HashMap, HashSet};
 use xkw_graph::{graph::tokenize, NodeId, SchemaNodeId, XmlGraph};
@@ -85,7 +86,28 @@ impl MasterIndex {
     /// `(node → bitset, node → (to, schema_node))` restricted to nodes
     /// containing at least one query keyword.
     pub fn exact_sets(&self, keywords: &[&str]) -> HashMap<NodeId, (u16, Posting)> {
-        assert!(keywords.len() <= 16, "at most 16 query keywords");
+        assert!(
+            keywords.len() <= MAX_KEYWORDS,
+            "at most {MAX_KEYWORDS} query keywords"
+        );
+        self.exact_sets_unchecked(keywords)
+    }
+
+    /// [`MasterIndex::exact_sets`] with the shape constraints reported as
+    /// typed errors instead of a panic — the validated entry point the
+    /// query engine uses.
+    ///
+    /// # Errors
+    /// [`XkError::EmptyQuery`] or [`XkError::TooManyKeywords`].
+    pub fn try_exact_sets(
+        &self,
+        keywords: &[&str],
+    ) -> Result<HashMap<NodeId, (u16, Posting)>, XkError> {
+        validate_keywords(keywords)?;
+        Ok(self.exact_sets_unchecked(keywords))
+    }
+
+    fn exact_sets_unchecked(&self, keywords: &[&str]) -> HashMap<NodeId, (u16, Posting)> {
         let mut out: HashMap<NodeId, (u16, Posting)> = HashMap::new();
         for (i, kw) in keywords.iter().enumerate() {
             for p in self.containing_list(kw) {
@@ -206,11 +228,7 @@ mod tests {
     #[test]
     fn candidate_tos_respect_schema_node_and_set() {
         let (g, tg, idx) = fixture();
-        let pname = tg.class_of(
-            g.node_ids()
-                .find(|&n| g.tag(n) == "pname")
-                .unwrap(),
-        );
+        let pname = tg.class_of(g.node_ids().find(|&n| g.tag(n) == "pname").unwrap());
         let tos = idx.candidate_tos(&["vcr"], pname, 0b1);
         assert_eq!(tos.len(), 2); // the two VCR parts
         let tos_tv = idx.candidate_tos(&["tv"], pname, 0b1);
@@ -225,6 +243,19 @@ mod tests {
         // {dvd} (the "DVD error" service call descr is scdescr though).
         let has_union = a.values().any(|sets| sets.contains(&0b11));
         assert!(has_union);
+    }
+
+    #[test]
+    fn try_exact_sets_validates_shape() {
+        let (_, _, idx) = fixture();
+        assert_eq!(idx.try_exact_sets(&[]).unwrap_err(), XkError::EmptyQuery);
+        let many: Vec<&str> = vec!["john"; 17];
+        assert_eq!(
+            idx.try_exact_sets(&many).unwrap_err(),
+            XkError::TooManyKeywords { count: 17 }
+        );
+        let ok = idx.try_exact_sets(&["john", "vcr"]).unwrap();
+        assert_eq!(ok, idx.exact_sets(&["john", "vcr"]));
     }
 
     #[test]

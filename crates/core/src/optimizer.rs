@@ -146,6 +146,45 @@ impl CtssnPlan {
     }
 }
 
+/// The keyword-independent part of planning one CTSSN: the network plus
+/// its enumerated (unordered) fragment tilings.
+///
+/// Tiling enumeration is the expensive step of `build_plan` and depends
+/// only on the CTSSN's *structure* and the catalog — not on which
+/// keywords instantiated it. Two queries whose keywords partition the
+/// schema nodes the same way (same achievable keyword-sets per schema
+/// node) produce identical CTSSNs, so the engine caches skeleton lists
+/// per partition signature and replays [`instantiate`] — which computes
+/// the candidate sets, driver, tile order and cost — per query.
+#[derive(Debug, Clone)]
+pub struct PlanSkeleton {
+    /// The network being evaluated.
+    pub ctssn: Ctssn,
+    /// Every enumerated tiling, tiles unordered (ordering is driver- and
+    /// therefore keyword-dependent).
+    pub tilings: Vec<Vec<TilePlan>>,
+}
+
+/// Enumerates the keyword-independent skeleton for `ctssn`, or `None`
+/// when the catalog's fragments cannot tile the network.
+pub fn build_skeleton(ctssn: &Ctssn, catalog: &RelationCatalog) -> Option<PlanSkeleton> {
+    // Tiling search: enumerate up to TILING_CAP tilings. (The paper shows
+    // optimal connection-relation choice is NP-complete; the CTSSNs here
+    // have ≤ 16 edges, so a capped exhaustive search with a fanout-based
+    // cost model is both practical and near-optimal.)
+    let tilings = all_tilings(&ctssn.tree, &catalog.decomposition.fragments, TILING_CAP);
+    if tilings.is_empty() {
+        return None;
+    }
+    Some(PlanSkeleton {
+        ctssn: ctssn.clone(),
+        tilings: tilings
+            .iter()
+            .map(|tiling| tiling.iter().map(|t| tile_plan(catalog, t)).collect())
+            .collect(),
+    })
+}
+
 /// Builds the plan for `ctssn`, or `None` when a keyword role has no
 /// candidates (the network can produce no result on this data).
 pub fn build_plan(
@@ -154,7 +193,8 @@ pub fn build_plan(
     master: &MasterIndex,
     keywords: &[&str],
 ) -> Option<CtssnPlan> {
-    build_plan_inner(ctssn, catalog, master, keywords, None)
+    let skeleton = build_skeleton(ctssn, catalog)?;
+    instantiate(&skeleton, catalog, master, keywords, None)
 }
 
 /// Builds a plan whose outermost (driver) role is forced to `driver` —
@@ -168,16 +208,22 @@ pub fn build_plan_anchored(
     keywords: &[&str],
     driver: u8,
 ) -> Option<CtssnPlan> {
-    build_plan_inner(ctssn, catalog, master, keywords, Some(driver))
+    let skeleton = build_skeleton(ctssn, catalog)?;
+    instantiate(&skeleton, catalog, master, keywords, Some(driver))
 }
 
-fn build_plan_inner(
-    ctssn: &Ctssn,
+/// The keyword-specific half of planning: candidate sets from the master
+/// index, driver selection, tile ordering + cost over the skeleton's
+/// tilings, and cache-key bookkeeping. Returns `None` when a keyword
+/// role has no candidates.
+pub fn instantiate(
+    skeleton: &PlanSkeleton,
     catalog: &RelationCatalog,
     master: &MasterIndex,
     keywords: &[&str],
     forced_driver: Option<u8>,
 ) -> Option<CtssnPlan> {
+    let ctssn = &skeleton.ctssn;
     let nroles = ctssn.tree.roles.len();
     // Candidate sets per role.
     let mut candidates: Vec<Option<Arc<HashSet<ToId>>>> = vec![None; nroles];
@@ -210,19 +256,11 @@ fn build_plan_inner(
         }
     };
 
-    // Tiling search: enumerate up to TILING_CAP tilings, order each from
-    // the driver, estimate its nested-loop cost, keep the cheapest. (The
-    // paper shows optimal connection-relation choice is NP-complete; the
-    // CTSSNs here have ≤ 16 edges, so a capped exhaustive search with a
-    // fanout-based cost model is both practical and near-optimal.)
-    let tilings = all_tilings(&ctssn.tree, &catalog.decomposition.fragments, TILING_CAP);
-    if tilings.is_empty() {
-        return None;
-    }
+    // Order each enumerated tiling from the driver, estimate its
+    // nested-loop cost, keep the cheapest.
     let mut best: Option<(f64, Vec<TilePlan>)> = None;
-    for tiling in &tilings {
-        let tiles: Vec<TilePlan> = tiling.iter().map(|t| tile_plan(catalog, t)).collect();
-        let ordered = order_tiles(tiles, driver, &candidates, catalog);
+    for tiling in &skeleton.tilings {
+        let ordered = order_tiles(tiling.clone(), driver, &candidates, catalog);
         let cost = estimate_cost(&ordered, driver, &candidates, catalog);
         if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, ordered));
@@ -240,10 +278,7 @@ fn build_plan_inner(
             .iter()
             .flat_map(|t| t.cols_to_roles.iter().copied())
             .collect();
-        let mut keys: Vec<u8> = bound_before
-            .intersection(&suffix_roles)
-            .copied()
-            .collect();
+        let mut keys: Vec<u8> = bound_before.intersection(&suffix_roles).copied().collect();
         keys.sort_unstable();
         key_roles.push(keys);
         let mut fresh: Vec<u8> = ordered[i]
@@ -296,11 +331,7 @@ fn order_tiles(
             .iter()
             .enumerate()
             .max_by_key(|(_, t)| {
-                let overlap = t
-                    .cols_to_roles
-                    .iter()
-                    .filter(|r| bound.contains(r))
-                    .count();
+                let overlap = t.cols_to_roles.iter().filter(|r| bound.contains(r)).count();
                 let annotated = t
                     .cols_to_roles
                     .iter()
@@ -511,6 +542,46 @@ mod tests {
     }
 
     #[test]
+    fn skeleton_reuse_matches_direct_planning() {
+        // The same skeletons, instantiated for a different keyword pair
+        // with the same schema-node partition, give exactly the plans
+        // direct planning builds.
+        let f = fixture();
+        let achievable = f.master.achievable_sets(&["tv", "vcr"]);
+        let gen = CnGenerator::new(f.tss.schema(), &achievable, 2);
+        let ctssns: Vec<Ctssn> = gen
+            .generate(8)
+            .iter()
+            .map(|cn| Ctssn::from_cn(cn, &f.tss).unwrap())
+            .collect();
+        let skeletons: Vec<PlanSkeleton> = ctssns
+            .iter()
+            .filter_map(|c| build_skeleton(c, &f.catalog))
+            .collect();
+        assert_eq!(skeletons.len(), ctssns.len());
+        for kws in [["tv", "vcr"], ["vcr", "tv"]] {
+            let via_skeleton: Vec<CtssnPlan> = skeletons
+                .iter()
+                .filter_map(|s| instantiate(s, &f.catalog, &f.master, &kws, None))
+                .collect();
+            let direct: Vec<CtssnPlan> = ctssns
+                .iter()
+                .filter_map(|c| build_plan(c, &f.catalog, &f.master, &kws))
+                .collect();
+            assert_eq!(via_skeleton.len(), direct.len());
+            for (a, b) in via_skeleton.iter().zip(&direct) {
+                assert_eq!(a.driver, b.driver);
+                assert_eq!(a.step_sigs, b.step_sigs);
+                assert_eq!(a.candidates, b.candidates);
+                assert_eq!(
+                    a.tiles.iter().map(|t| t.rel).collect::<Vec<_>>(),
+                    b.tiles.iter().map(|t| t.rel).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn key_roles_do_not_include_dead_bindings() {
         let f = fixture();
         for p in plans(&f, &["tv", "vcr"], 8) {
@@ -564,10 +635,6 @@ mod explain_tests {
         let text = plan.explain(&tss, &catalog);
         assert!(text.contains("CN:"));
         assert!(text.contains("driver: role"));
-        assert_eq!(
-            text.matches("step ").count(),
-            plan.tiles.len(),
-            "{text}"
-        );
+        assert_eq!(text.matches("step ").count(), plan.tiles.len(), "{text}");
     }
 }

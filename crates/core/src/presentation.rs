@@ -111,10 +111,7 @@ impl PresentationGraph {
         // the MTTON containing it that adds the fewest new nodes.
         for &to in &required {
             let node = (role, to);
-            let already = self
-                .supported
-                .iter()
-                .any(|m| m[role as usize] == to);
+            let already = self.supported.iter().any(|m| m[role as usize] == to);
             if already && self.nodes.contains(&node) {
                 continue;
             }
@@ -163,11 +160,12 @@ impl PresentationGraph {
     /// displayed MTTON.
     pub fn invariant_holds(&self) -> bool {
         self.nodes.iter().all(|&(r, t)| {
-            self.supported
-                .iter()
-                .any(|m| m[r as usize] == t && m.iter().enumerate().all(|(r2, &t2)| {
-                    self.nodes.contains(&(r2 as u8, t2))
-                }))
+            self.supported.iter().any(|m| {
+                m[r as usize] == t
+                    && m.iter()
+                        .enumerate()
+                        .all(|(r2, &t2)| self.nodes.contains(&(r2 as u8, t2)))
+            })
         })
     }
 }
@@ -286,11 +284,11 @@ mod tests {
     use crate::cn::CnGenerator;
     use crate::ctssn::Ctssn;
     use crate::decompose;
+    use crate::exec::{all_plans, ExecMode};
     use crate::master_index::MasterIndex;
     use crate::optimizer::build_plan;
     use crate::relations::PhysicalPolicy;
     use crate::target::TargetGraph;
-    use crate::exec::{all_plans, ExecMode};
     use std::sync::Arc;
     use xkw_datagen::tpch;
 
@@ -349,7 +347,8 @@ mod tests {
             by_plan.entry(*p).or_default().push(a.clone());
         }
         let (plan, mttons) = by_plan
-            .into_iter().find(|(p, m)| f.plans[*p].ctssn.size() == 3 && m.len() == 4)
+            .into_iter()
+            .find(|(p, m)| f.plans[*p].ctssn.size() == 3 && m.len() == 4)
             .expect("the Figure 2 CN with 4 results");
         (plan, mttons)
     }
@@ -511,7 +510,10 @@ mod limit_tests {
         let res = all_plans(&db, &catalog, &plans, ExecMode::Naive);
         assert!(!res.rows.is_empty());
         // Pick a plan with a free Paper role and > 10 results.
-        let paper_seg = tss.node_ids().find(|&i| tss.node(i).name == "Paper").unwrap();
+        let paper_seg = tss
+            .node_ids()
+            .find(|&i| tss.node(i).name == "Paper")
+            .unwrap();
         let (pi, free_paper_role) = plans
             .iter()
             .enumerate()
@@ -526,14 +528,9 @@ mod limit_tests {
             .expect("a plan with a free Paper role and many results");
         let first = res.rows.iter().find(|r| r.plan == pi).unwrap();
         let mut pg = PresentationGraph::initial(pi, first.assignment.clone());
-        let anchored = build_plan_anchored(
-            &plans[pi].ctssn,
-            &catalog,
-            &master,
-            &kws,
-            free_paper_role,
-        )
-        .unwrap();
+        let anchored =
+            build_plan_anchored(&plans[pi].ctssn, &catalog, &master, &kws, free_paper_role)
+                .unwrap();
         let mut cache = PartialCache::new(1024);
         let universe = targets.tos_of(paper_seg).to_vec();
         expand_on_demand_limited(

@@ -38,11 +38,8 @@ impl IdfWeights {
         let weights = keywords
             .iter()
             .map(|k| {
-                let df: std::collections::HashSet<_> = master
-                    .containing_list(k)
-                    .iter()
-                    .map(|p| p.to)
-                    .collect();
+                let df: std::collections::HashSet<_> =
+                    master.containing_list(k).iter().map(|p| p.to).collect();
                 (1.0 + n / (df.len().max(1) as f64)).ln()
             })
             .collect();
@@ -90,11 +87,7 @@ pub struct RankedResult {
 
 /// Weighted size of a result: the CN size plus the reference penalty for
 /// every reference-kind TSS edge of its network.
-pub fn weighted_size(
-    plan: &CtssnPlan,
-    tss: &xkw_graph::TssGraph,
-    config: &RankingConfig,
-) -> f64 {
+pub fn weighted_size(plan: &CtssnPlan, tss: &xkw_graph::TssGraph, config: &RankingConfig) -> f64 {
     let ref_edges = plan
         .ctssn
         .tree
@@ -172,7 +165,13 @@ mod tests {
         let plans = xk.plans(&kws, 8);
         let res = xk.query_all(&kws, 8, ExecMode::Cached { capacity: 1024 });
         let idf = IdfWeights::compute(&xk.master, &xk.targets, &kws);
-        let ranked = rank(res.rows.clone(), &plans, &xk.tss, &idf, &RankingConfig::default());
+        let ranked = rank(
+            res.rows.clone(),
+            &plans,
+            &xk.tss,
+            &idf,
+            &RankingConfig::default(),
+        );
         assert_eq!(ranked.len(), res.rows.len());
         // With zero reference penalty, relevance is monotone in size.
         for w in ranked.windows(2) {

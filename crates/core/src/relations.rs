@@ -127,10 +127,7 @@ impl RelationCatalog {
     /// Enumerates the matches of a fragment in the target-object graph —
     /// the tuples of its connection relation. Roles of the same segment
     /// bind distinct target objects (tree-isomorphism semantics).
-    pub fn fragment_rows(
-        fragment: &crate::tree::TssTree,
-        targets: &TargetGraph,
-    ) -> Vec<Row> {
+    pub fn fragment_rows(fragment: &crate::tree::TssTree, targets: &TargetGraph) -> Vec<Row> {
         let mut out: Vec<Row> = Vec::new();
         let k = fragment.roles.len();
         if k == 0 {
@@ -202,9 +199,7 @@ impl RelationCatalog {
             to: Id,
         ) -> bool {
             assignment.iter().enumerate().all(|(r, a)| {
-                r == role
-                    || fragment.roles[r] != fragment.roles[role]
-                    || *a != Some(to)
+                r == role || fragment.roles[r] != fragment.roles[role] || *a != Some(to)
             })
         }
         for &start in targets.tos_of(fragment.roles[0]) {
@@ -303,13 +298,7 @@ impl RelationCatalog {
 
     /// Probes fragment `i` for rows whose `cols` equal `key`, choosing
     /// the best physical copy.
-    pub fn probe(
-        &self,
-        db: &Db,
-        i: usize,
-        cols: &[usize],
-        key: &[Id],
-    ) -> (Vec<Row>, AccessPath) {
+    pub fn probe(&self, db: &Db, i: usize, cols: &[usize], key: &[Id]) -> (Vec<Row>, AccessPath) {
         self.pay_roundtrip();
         let rel = &self.relations[i];
         let table = rel.pick_copy(cols);
@@ -404,9 +393,7 @@ mod tests {
             .decomposition
             .fragments
             .iter()
-            .position(|f| {
-                f.tree.roles == vec![li, person]
-            })
+            .position(|f| f.tree.roles == vec![li, person])
             .unwrap();
         let some_row = cat.scan(&db, lp_idx)[0].clone();
         let (rows, path) = cat.probe(&db, lp_idx, &[1], &[some_row[1]]);
@@ -418,13 +405,8 @@ mod tests {
     fn bare_policy_scans() {
         let (_, tss, tg) = fixture();
         let db = Db::new(64);
-        let cat = RelationCatalog::materialize(
-            &db,
-            &tg,
-            minimal(&tss),
-            PhysicalPolicy::bare(),
-            "bare",
-        );
+        let cat =
+            RelationCatalog::materialize(&db, &tg, minimal(&tss), PhysicalPolicy::bare(), "bare");
         let (_, path) = cat.probe(&db, 0, &[0], &[0]);
         assert_eq!(path, xkw_store::AccessPath::FullScan);
     }
@@ -433,13 +415,8 @@ mod tests {
     fn indexed_policy_uses_index() {
         let (_, tss, tg) = fixture();
         let db = Db::new(64);
-        let cat = RelationCatalog::materialize(
-            &db,
-            &tg,
-            minimal(&tss),
-            PhysicalPolicy::indexed(),
-            "idx",
-        );
+        let cat =
+            RelationCatalog::materialize(&db, &tg, minimal(&tss), PhysicalPolicy::indexed(), "idx");
         let (_, path) = cat.probe(&db, 0, &[1], &[0]);
         assert_eq!(path, xkw_store::AccessPath::SecondaryIndex);
     }
@@ -448,20 +425,10 @@ mod tests {
     fn space_grows_with_copies_and_fragments() {
         let (_, tss, tg) = fixture();
         let db = Db::new(64);
-        let min_bare = RelationCatalog::materialize(
-            &db,
-            &tg,
-            minimal(&tss),
-            PhysicalPolicy::bare(),
-            "a",
-        );
-        let min_clustered = RelationCatalog::materialize(
-            &db,
-            &tg,
-            minimal(&tss),
-            PhysicalPolicy::clustered(),
-            "b",
-        );
+        let min_bare =
+            RelationCatalog::materialize(&db, &tg, minimal(&tss), PhysicalPolicy::bare(), "a");
+        let min_clustered =
+            RelationCatalog::materialize(&db, &tg, minimal(&tss), PhysicalPolicy::clustered(), "b");
         let comp = RelationCatalog::materialize(
             &db,
             &tg,

@@ -63,7 +63,11 @@ impl TssTree {
         let edge = tss.edge(e);
         TssTree {
             roles: vec![edge.from, edge.to],
-            edges: vec![TreeEdge { a: 0, b: 1, edge: e }],
+            edges: vec![TreeEdge {
+                a: 0,
+                b: 1,
+                edge: e,
+            }],
         }
     }
 
@@ -127,11 +131,7 @@ impl TssTree {
         // Tree shape.
         if !xkw_graph::uncycled::is_tree(
             &(0..self.roles.len() as u8).collect::<Vec<_>>(),
-            &self
-                .edges
-                .iter()
-                .map(|e| (e.a, e.b))
-                .collect::<Vec<_>>(),
+            &self.edges.iter().map(|e| (e.a, e.b)).collect::<Vec<_>>(),
         ) {
             return Err(TreeInvalid::NotATree);
         }
@@ -199,7 +199,12 @@ impl TssTree {
             .unwrap_or_default()
     }
 
-    fn rooted_sig(&self, root: u8, from_edge: Option<usize>, extra: &impl Fn(u8) -> String) -> String {
+    fn rooted_sig(
+        &self,
+        root: u8,
+        from_edge: Option<usize>,
+        extra: &impl Fn(u8) -> String,
+    ) -> String {
         let mut kids: Vec<String> = self
             .incident(root)
             .filter(|&(i, _)| Some(i) != from_edge)
@@ -371,11 +376,21 @@ mod tests {
         let part = s.add_node("part", NodeKind::All);
         let product = s.add_node("product", NodeKind::All);
         let sub = s.add_node("sub", NodeKind::All);
-        s.add_edge(person, order, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
+        s.add_edge(
+            person,
+            order,
+            xkw_graph::EdgeKind::Containment,
+            MaxOccurs::Many,
+        );
         s.add_edge(order, li, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
         s.add_edge(li, line, xkw_graph::EdgeKind::Containment, MaxOccurs::One);
         s.add_edge(line, part, xkw_graph::EdgeKind::Reference, MaxOccurs::One);
-        s.add_edge(line, product, xkw_graph::EdgeKind::Containment, MaxOccurs::One);
+        s.add_edge(
+            line,
+            product,
+            xkw_graph::EdgeKind::Containment,
+            MaxOccurs::One,
+        );
         s.add_edge(part, sub, xkw_graph::EdgeKind::Containment, MaxOccurs::Many);
         s.add_edge(sub, part, xkw_graph::EdgeKind::Reference, MaxOccurs::One);
         let mut m = TssMapping::new(&s);
@@ -431,7 +446,9 @@ mod tests {
     fn choice_conflict_rejected() {
         let g = tss();
         let lpa = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Part")).unwrap();
-        let lpr = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Product")).unwrap();
+        let lpr = g
+            .find_edge(seg(&g, "Lineitem"), seg(&g, "Product"))
+            .unwrap();
         let t = TssTree::single(&g, lpa);
         let (t, _) = t.extend(&g, 0, lpr, true);
         assert_eq!(t.validate(&g), Err(TreeInvalid::ChoiceConflict));
@@ -483,8 +500,7 @@ mod tests {
         let single = TssTree::single(&g, papa);
         let embs = single.embeddings_into(&target);
         // The single edge embeds onto each of the two occurrences.
-        let masks: std::collections::HashSet<u16> =
-            embs.iter().map(|e| e.edge_mask).collect();
+        let masks: std::collections::HashSet<u16> = embs.iter().map(|e| e.edge_mask).collect();
         assert_eq!(masks, [0b01u16, 0b10].into_iter().collect());
         // The 2-edge pattern embeds onto the whole target (2 automorphic
         // mappings), covering both edges.
@@ -530,9 +546,13 @@ mod tests {
         // The invalid LPa+LPr combination is not enumerated.
         assert!(!size2.iter().any(|t| {
             let lpa = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Part")).unwrap();
-            let lpr = g.find_edge(seg(&g, "Lineitem"), seg(&g, "Product")).unwrap();
+            let lpr = g
+                .find_edge(seg(&g, "Lineitem"), seg(&g, "Product"))
+                .unwrap();
             let ids: Vec<TssEdgeId> = t.edges.iter().map(|e| e.edge).collect();
-            ids.contains(&lpa) && ids.contains(&lpr) && t.roles.len() == 3
+            ids.contains(&lpa)
+                && ids.contains(&lpr)
+                && t.roles.len() == 3
                 && t.edges[0].a == t.edges[1].a
         }));
     }

@@ -2,19 +2,23 @@
 //!
 //! [`XKeyword::load`] is the load stage — it builds the master index,
 //! statistics, target-object BLOBs and the connection relations of the
-//! chosen decomposition inside the embedded store. The query methods are
-//! the query-processing stage: keyword discoverer → CN generator →
-//! optimizer → execution → presentation.
+//! chosen decomposition inside the embedded store. The query methods
+//! delegate to an embedded [`QueryEngine`] (the query-processing stage:
+//! keyword discoverer → CN generator → optimizer → execution →
+//! presentation), keeping this façade's historical soft semantics:
+//! queries that cannot produce results — unknown keywords included —
+//! return empty [`QueryResults`] rather than errors. Use
+//! [`XKeyword::engine`] for typed errors, plan caching introspection and
+//! per-stage metrics.
 
-use crate::cn::CnGenerator;
-use crate::ctssn::Ctssn;
-use crate::decompose::{self, Decomposition};
+use crate::engine::QueryEngine;
 use crate::exec::{self, ExecMode, PartialCache, QueryResults};
 use crate::master_index::MasterIndex;
-use crate::optimizer::{build_plan, build_plan_anchored, CtssnPlan};
+use crate::optimizer::{build_plan_anchored, CtssnPlan};
 use crate::presentation::{expand_on_demand, PresentationGraph};
 use crate::relations::{PhysicalPolicy, RelationCatalog};
 use crate::target::{TargetGraph, ToId};
+use crate::{decompose, decompose::Decomposition};
 use std::sync::Arc;
 use xkw_graph::{TssGraph, XmlGraph};
 use xkw_store::Db;
@@ -109,6 +113,7 @@ pub struct XKeyword {
     pub db: Arc<Db>,
     /// The materialized connection relations.
     pub catalog: Arc<RelationCatalog>,
+    engine: QueryEngine,
 }
 
 impl XKeyword {
@@ -153,14 +158,28 @@ impl XKeyword {
                 decompose::xkeyword(&tss, m, b).union(&decompose::minimal(&tss), &tss)
             }
         };
-        let catalog = RelationCatalog::materialize(&db, &targets, decomposition, options.policy, "cr");
+        let catalog =
+            RelationCatalog::materialize(&db, &targets, decomposition, options.policy, "cr");
+        let tss = Arc::new(tss);
+        let targets = Arc::new(targets);
+        let master = Arc::new(master);
+        let db = Arc::new(db);
+        let catalog = Arc::new(catalog);
+        let engine = QueryEngine::new(
+            tss.clone(),
+            targets.clone(),
+            master.clone(),
+            db.clone(),
+            catalog.clone(),
+        );
         Ok(XKeyword {
             graph,
-            tss: Arc::new(tss),
-            targets: Arc::new(targets),
-            master: Arc::new(master),
-            db: Arc::new(db),
-            catalog: Arc::new(catalog),
+            tss,
+            targets,
+            master,
+            db,
+            catalog,
+            engine,
         })
     }
 
@@ -182,20 +201,23 @@ impl XKeyword {
         Self::load(graph, tss, options).map_err(LoadXmlError::Conformance)
     }
 
+    /// The shared query-stage engine behind this instance. It exposes the
+    /// typed-error `query_*`/`prepare` entry points, the plan cache and
+    /// per-stage [`crate::engine::QueryMetrics`]/[`crate::engine::EngineStats`];
+    /// being `Send + Sync`, `&engine` can be handed to worker threads.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
     /// The first stages of query processing: keyword discoverer → CN
     /// generator → CTSSN reduction → optimizer. Returns executable plans
-    /// in increasing score order.
+    /// in increasing score order; empty when the query cannot produce
+    /// results (unknown keywords included).
     pub fn plans(&self, keywords: &[&str], z: usize) -> Vec<CtssnPlan> {
-        let achievable = self.master.achievable_sets(keywords);
-        if achievable.is_empty() {
-            return Vec::new();
-        }
-        let gen = CnGenerator::new(self.tss.schema(), &achievable, keywords.len());
-        gen.generate(z)
-            .iter()
-            .filter_map(|cn| Ctssn::from_cn(cn, &self.tss).ok())
-            .filter_map(|c| build_plan(&c, &self.catalog, &self.master, keywords))
-            .collect()
+        self.engine
+            .prepare(keywords, z)
+            .map(|p| p.plans)
+            .unwrap_or_default()
     }
 
     /// Top-k query (the web-search-engine presentation of §6): returns
@@ -209,22 +231,28 @@ impl XKeyword {
         mode: ExecMode,
         threads: usize,
     ) -> QueryResults {
-        let plans = self.plans(keywords, z);
-        exec::topk(&self.db, &self.catalog, &plans, mode, k, threads)
+        self.engine
+            .query_topk(keywords, z, k, mode, threads)
+            .map(|o| o.results)
+            .unwrap_or_default()
     }
 
     /// Evaluates every candidate network to completion with nested-loop
     /// probes (naive or cached).
     pub fn query_all(&self, keywords: &[&str], z: usize, mode: ExecMode) -> QueryResults {
-        let plans = self.plans(keywords, z);
-        exec::all_plans(&self.db, &self.catalog, &plans, mode)
+        self.engine
+            .query_all(keywords, z, mode)
+            .map(|o| o.results)
+            .unwrap_or_default()
     }
 
     /// Evaluates every candidate network via full scans + hash joins
     /// (the "all results" regime of §7).
     pub fn query_all_hash(&self, keywords: &[&str], z: usize) -> QueryResults {
-        let plans = self.plans(keywords, z);
-        exec::all_results(&self.db, &self.catalog, &plans)
+        self.engine
+            .query_all_hash(keywords, z)
+            .map(|o| o.results)
+            .unwrap_or_default()
     }
 
     /// Streams results lazily over pre-built plans — the page-by-page
@@ -236,11 +264,7 @@ impl XKeyword {
     /// let mut stream = xk.stream(&plans, ExecMode::Cached { capacity: 1024 });
     /// let first_page = stream.page(10);
     /// ```
-    pub fn stream<'a>(
-        &'a self,
-        plans: &'a [CtssnPlan],
-        mode: ExecMode,
-    ) -> exec::ResultStream<'a> {
+    pub fn stream<'a>(&'a self, plans: &'a [CtssnPlan], mode: ExecMode) -> exec::ResultStream<'a> {
         exec::ResultStream::new(&self.db, &self.catalog, plans, mode)
     }
 
@@ -287,9 +311,7 @@ impl XKeyword {
         else {
             return exec::ExecStats::default();
         };
-        let universe = self
-            .targets
-            .tos_of(plan.ctssn.tree.roles[role as usize]);
+        let universe = self.targets.tos_of(plan.ctssn.tree.roles[role as usize]);
         let (_, stats) = expand_on_demand(
             &self.db,
             &self.catalog,
@@ -408,13 +430,7 @@ mod tests {
     #[test]
     fn topk_on_facade() {
         let xk = load(DecompositionSpec::Minimal, PhysicalPolicy::clustered());
-        let res = xk.query_topk(
-            &["us", "vcr"],
-            8,
-            5,
-            ExecMode::Cached { capacity: 1024 },
-            2,
-        );
+        let res = xk.query_topk(&["us", "vcr"], 8, 5, ExecMode::Cached { capacity: 1024 }, 2);
         assert_eq!(res.rows.len(), 5);
     }
 

@@ -161,14 +161,9 @@ impl DblpConfig {
                 for p in 0..self.papers_per_year {
                     let paper = g.add_node("paper", None);
                     let title = g.add_node("title", Some(&vocab.sentence(&mut rng, 6)));
-                    let pages = g.add_node(
-                        "pages",
-                        Some(&format!("{}-{}", p * 12 + 1, p * 12 + 12)),
-                    );
-                    let url = g.add_node(
-                        "url",
-                        Some(&format!("db/conf/c{c}/y{y}/p{p}.html")),
-                    );
+                    let pages =
+                        g.add_node("pages", Some(&format!("{}-{}", p * 12 + 1, p * 12 + 12)));
+                    let url = g.add_node("url", Some(&format!("db/conf/c{c}/y{y}/p{p}.html")));
                     g.add_edge(year, paper, EdgeKind::Containment);
                     g.add_edge(paper, title, EdgeKind::Containment);
                     g.add_edge(paper, pages, EdgeKind::Containment);

@@ -299,7 +299,10 @@ impl TpchConfig {
         for (pi, &p) in persons.iter().enumerate() {
             for oi in 0..self.orders_per_person {
                 let o = g.add_node("order", None);
-                let od = g.add_node("odate", Some(&format!("2002-{:02}-{:02}", 1 + oi % 12, 1 + pi % 28)));
+                let od = g.add_node(
+                    "odate",
+                    Some(&format!("2002-{:02}-{:02}", 1 + oi % 12, 1 + pi % 28)),
+                );
                 g.add_edge(p, o, EdgeKind::Containment);
                 g.add_edge(o, od, EdgeKind::Containment);
                 for _ in 0..rng.gen_range(1..=self.lineitems_per_order * 2 - 1) {
@@ -308,12 +311,17 @@ impl TpchConfig {
                         &mut g,
                         o,
                         &format!("{}", rng.gen_range(1..50)),
-                        &format!("2002-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29)),
+                        &format!(
+                            "2002-{:02}-{:02}",
+                            rng.gen_range(1..13),
+                            rng.gen_range(1..29)
+                        ),
                         supplier,
                     );
                     if rng.gen_range(0..100) < self.product_line_pct {
                         let prod = g.add_node("product", None);
-                        let pk = g.add_node("prodkey", Some(&format!("{}", rng.gen_range(2000..3000))));
+                        let pk =
+                            g.add_node("prodkey", Some(&format!("{}", rng.gen_range(2000..3000))));
                         let mut descr = vocab.sentence(&mut rng, 3);
                         descr.push(' ');
                         descr.push_str(PRODUCT_NOUNS[rng.gen_range(0..PRODUCT_NOUNS.len())]);

@@ -75,8 +75,22 @@ pub const NATIONS: &[&str] = &[
 /// Product/part nouns; the first few deliberately include the paper's
 /// examples (TV, VCR, DVD).
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "TV", "VCR", "DVD", "radio", "camera", "tuner", "amplifier", "antenna", "speaker", "remote",
-    "screen", "cable", "battery", "lens", "tripod", "recorder",
+    "TV",
+    "VCR",
+    "DVD",
+    "radio",
+    "camera",
+    "tuner",
+    "amplifier",
+    "antenna",
+    "speaker",
+    "remote",
+    "screen",
+    "cable",
+    "battery",
+    "lens",
+    "tripod",
+    "recorder",
 ];
 
 impl Vocabulary {

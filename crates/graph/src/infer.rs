@@ -208,7 +208,9 @@ mod tests {
         assert!(tss
             .find_edge(
                 person,
-                tss.node_ids().find(|&t| tss.node(t).name == "Order").unwrap()
+                tss.node_ids()
+                    .find(|&t| tss.node(t).name == "Order")
+                    .unwrap()
             )
             .is_some());
     }
@@ -241,8 +243,7 @@ mod tests {
         let data = crate::test_support::tpch_like_document();
         let s = infer_schema(&data);
         let tss = auto_mapping(&s, &data).unwrap();
-        let names: HashSet<String> =
-            tss.node_ids().map(|t| tss.node(t).name.clone()).collect();
+        let names: HashSet<String> = tss.node_ids().map(|t| tss.node(t).name.clone()).collect();
         for expected in ["Person", "Order", "Lineitem", "Part", "Product"] {
             assert!(names.contains(expected), "missing {expected}: {names:?}");
         }

@@ -31,13 +31,13 @@ pub mod uncycled;
 pub mod writer;
 
 pub use graph::{EdgeKind, NodeId, XmlGraph, XmlNode};
+pub use infer::{auto_mapping, infer_schema};
 pub use interner::{Interner, LabelId};
 pub use parser::{parse, ParseError};
 pub use schema::{
     ConformanceError, MaxOccurs, NodeKind, SchemaEdge, SchemaEdgeId, SchemaGraph, SchemaNode,
     SchemaNodeId,
 };
-pub use infer::{auto_mapping, infer_schema};
 pub use tss::{TssEdge, TssEdgeId, TssGraph, TssId, TssMapping, TssNode};
 
 /// Shared fixtures for this crate's unit tests.

@@ -172,7 +172,10 @@ impl SchemaGraph {
 
     /// Looks up a schema node by its tag.
     pub fn node_by_tag(&self, tag: &str) -> Option<SchemaNodeId> {
-        self.interner.get(tag).and_then(|l| self.by_tag.get(&l)).copied()
+        self.interner
+            .get(tag)
+            .and_then(|l| self.by_tag.get(&l))
+            .copied()
     }
 
     /// Outgoing edge ids of a node.
@@ -186,7 +189,10 @@ impl SchemaGraph {
     }
 
     /// All edges incident to `id` as `(edge, outgoing?)`.
-    pub fn incident_edges(&self, id: SchemaNodeId) -> impl Iterator<Item = (SchemaEdgeId, bool)> + '_ {
+    pub fn incident_edges(
+        &self,
+        id: SchemaNodeId,
+    ) -> impl Iterator<Item = (SchemaEdgeId, bool)> + '_ {
         self.out[id.idx()]
             .iter()
             .map(|&e| (e, true))
@@ -307,7 +313,11 @@ impl fmt::Display for ConformanceError {
                 write!(f, "node {node} has multiple containment parents")
             }
             Self::MaxOccursViolated { node, edge } => {
-                write!(f, "node {node} violates maxOccurs of schema edge {}", edge.0)
+                write!(
+                    f,
+                    "node {node} violates maxOccurs of schema edge {}",
+                    edge.0
+                )
             }
             Self::ChoiceViolated { node } => {
                 write!(f, "choice node {node} instantiates multiple alternatives")

@@ -533,9 +533,13 @@ mod tests {
         // Through dummies:
         let lp = g.find_edge(li, part).expect("lineitem->part via line");
         assert_eq!(g.edge(lp).kind, EdgeKind::Reference);
-        let lprod = g.find_edge(li, product).expect("lineitem->product via line");
+        let lprod = g
+            .find_edge(li, product)
+            .expect("lineitem->product via line");
         assert_eq!(g.edge(lprod).kind, EdgeKind::Containment);
-        let lper = g.find_edge(li, person).expect("lineitem->person via supplier");
+        let lper = g
+            .find_edge(li, person)
+            .expect("lineitem->person via supplier");
         assert_eq!(g.edge(lper).kind, EdgeKind::Reference);
         let pp = g.find_edge(part, part).expect("part->part via sub");
         assert_eq!(g.edge(pp).kind, EdgeKind::Reference);

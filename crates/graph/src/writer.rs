@@ -106,8 +106,11 @@ mod tests {
             let mut v: Vec<String> = g
                 .node_ids()
                 .map(|n| {
-                    let mut kids: Vec<&str> =
-                        g.containment_children(n).iter().map(|&k| g.tag(k)).collect();
+                    let mut kids: Vec<&str> = g
+                        .containment_children(n)
+                        .iter()
+                        .map(|&k| g.tag(k))
+                        .collect();
                     kids.sort_unstable();
                     let mut refs: Vec<&str> =
                         g.reference_targets(n).iter().map(|&k| g.tag(k)).collect();

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides an immutable, cheaply-cloneable [`Bytes`] buffer backed by
+//! `Arc<[u8]>` — the only part of the real crate's API this workspace
+//! uses (the BLOB store's zero-copy fetches).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; `clone` is O(1).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_cheap_clone() {
+        let b: Bytes = "hello".into();
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        let c = b.clone();
+        assert_eq!(&*c, b"hello");
+        assert_eq!(String::from_utf8_lossy(&c), "hello");
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        assert_eq!(&*Bytes::from(vec![1u8, 2]), &[1, 2]);
+        assert_eq!(&*Bytes::from(&[3u8][..]), &[3]);
+        assert!(Bytes::new().is_empty());
+    }
+}

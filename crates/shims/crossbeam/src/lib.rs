@@ -1,0 +1,112 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel::unbounded`] is used in this workspace (the top-k
+//! worker pool); it is backed by `std::sync::mpsc`, which provides the
+//! same unbounded MPSC semantics for that use.
+
+pub mod channel {
+    //! Multi-producer single-consumer unbounded channels.
+
+    use std::sync::mpsc;
+
+    /// The sending half; cloneable across worker threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half; iterable until all senders are dropped.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message, or `None`-equivalent error when
+        /// every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// A blocking iterator over incoming messages.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Error returned when the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_then_drain() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 40);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+}

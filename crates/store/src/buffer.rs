@@ -9,8 +9,19 @@
 
 use crate::page::{Disk, Page, PageId};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes pools for the thread-local counters below; never reused.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread (hits, misses) per pool id. Keyed by id rather than
+    /// address so a pool dropped and reallocated at the same address
+    /// cannot inherit a previous pool's counts.
+    static LOCAL_IO: RefCell<HashMap<u64, (u64, u64)>> = RefCell::new(HashMap::new());
+}
 
 /// A point-in-time copy of the I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +54,7 @@ struct Frames {
 
 /// An LRU buffer pool over a [`Disk`].
 pub struct BufferPool {
+    id: u64,
     capacity: usize,
     frames: Mutex<Frames>,
     hits: AtomicU64,
@@ -56,6 +68,7 @@ impl BufferPool {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         Self {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             capacity,
             frames: Mutex::new(Frames {
                 map: HashMap::with_capacity(capacity),
@@ -88,6 +101,7 @@ impl BufferPool {
             let page = page.clone();
             drop(f);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_local(true);
             return page;
         }
         // Miss: simulate the transfer with an actual page copy.
@@ -101,6 +115,7 @@ impl BufferPool {
         f.map.insert(id, (copied.clone(), tick));
         drop(f);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_local(false);
         let penalty = self.miss_penalty_ns.load(Ordering::Relaxed);
         if penalty > 0 {
             let start = std::time::Instant::now();
@@ -117,6 +132,31 @@ impl BufferPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    fn record_local(&self, hit: bool) {
+        LOCAL_IO.with(|m| {
+            let mut m = m.borrow_mut();
+            let entry = m.entry(self.id).or_default();
+            if hit {
+                entry.0 += 1;
+            } else {
+                entry.1 += 1;
+            }
+        });
+    }
+
+    /// The calling thread's cumulative hit/miss counts against this pool.
+    ///
+    /// Unlike [`BufferPool::snapshot`], which aggregates every thread,
+    /// deltas of this snapshot attribute I/O to the work the calling
+    /// thread actually performed — meaningful even while other queries
+    /// run concurrently on the same pool.
+    pub fn local_snapshot(&self) -> IoSnapshot {
+        LOCAL_IO.with(|m| {
+            let (hits, misses) = m.borrow().get(&self.id).copied().unwrap_or((0, 0));
+            IoSnapshot { hits, misses }
+        })
     }
 
     /// Empties the pool (e.g. between benchmark runs for a cold start).
@@ -193,6 +233,40 @@ mod tests {
         pool.fetch(&d, PageId(1));
         let delta = pool.snapshot().since(before);
         assert_eq!(delta, IoSnapshot { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn local_snapshot_is_per_thread() {
+        let d = disk_with(4);
+        let pool = BufferPool::new(4);
+        let before = pool.local_snapshot();
+        pool.fetch(&d, PageId(0)); // miss
+        pool.fetch(&d, PageId(0)); // hit
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Another thread's work: 2 misses, 1 hit — global only.
+                pool.fetch(&d, PageId(1));
+                pool.fetch(&d, PageId(2));
+                pool.fetch(&d, PageId(1));
+                let theirs = pool.local_snapshot();
+                assert_eq!(theirs, IoSnapshot { hits: 1, misses: 2 });
+            });
+        });
+        let mine = pool.local_snapshot().since(before);
+        assert_eq!(mine, IoSnapshot { hits: 1, misses: 1 });
+        assert_eq!(pool.snapshot(), IoSnapshot { hits: 2, misses: 3 });
+    }
+
+    #[test]
+    fn local_snapshot_distinguishes_pools() {
+        let d = disk_with(2);
+        let a = BufferPool::new(2);
+        let b = BufferPool::new(2);
+        a.fetch(&d, PageId(0));
+        a.fetch(&d, PageId(0));
+        b.fetch(&d, PageId(1));
+        assert_eq!(a.local_snapshot(), IoSnapshot { hits: 1, misses: 1 });
+        assert_eq!(b.local_snapshot(), IoSnapshot { hits: 0, misses: 1 });
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::blob::BlobStore;
 use crate::buffer::{BufferPool, IoSnapshot};
+use crate::error::StoreError;
 use crate::page::Disk;
 use crate::table::{AccessPath, Id, PhysicalOptions, Row, Table};
 use parking_lot::RwLock;
@@ -40,15 +41,44 @@ impl Db {
         rows: Vec<Row>,
         options: PhysicalOptions,
     ) -> Arc<Table> {
+        self.try_create_table(name, arity, rows, options)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Bulk-loads a table, reporting a duplicate name as an error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::DuplicateTable`] if the name is already taken; the
+    /// catalog is left unchanged.
+    pub fn try_create_table(
+        &self,
+        name: &str,
+        arity: usize,
+        rows: Vec<Row>,
+        options: PhysicalOptions,
+    ) -> Result<Arc<Table>, StoreError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(StoreError::DuplicateTable(name.to_owned()));
+        }
         let table = Arc::new(Table::build(&self.disk, name, arity, rows, options));
-        let prev = self.tables.write().insert(name.to_owned(), table.clone());
-        assert!(prev.is_none(), "table {name:?} already exists");
-        table
+        tables.insert(name.to_owned(), table.clone());
+        Ok(table)
     }
 
     /// Looks up a table by name.
     pub fn table(&self, name: &str) -> Option<Arc<Table>> {
         self.tables.read().get(name).cloned()
+    }
+
+    /// Looks up a table by name, reporting absence as a typed error.
+    ///
+    /// # Errors
+    /// [`StoreError::MissingTable`] if no table has that name.
+    pub fn require_table(&self, name: &str) -> Result<Arc<Table>, StoreError> {
+        self.table(name)
+            .ok_or_else(|| StoreError::MissingTable(name.to_owned()))
     }
 
     /// All table names (sorted, for deterministic reporting).
@@ -84,9 +114,15 @@ impl Db {
         &self.blobs
     }
 
-    /// Current I/O counters.
+    /// Current I/O counters (all threads).
     pub fn io(&self) -> IoSnapshot {
         self.pool.snapshot()
+    }
+
+    /// The calling thread's cumulative I/O against this database's pool
+    /// (see [`BufferPool::local_snapshot`]).
+    pub fn local_io(&self) -> IoSnapshot {
+        self.pool.local_snapshot()
     }
 
     /// Total pages on disk across all tables.
@@ -126,6 +162,30 @@ mod tests {
         let db = Db::new(16);
         db.create_table("t", 1, vec![], PhysicalOptions::heap());
         db.create_table("t", 1, vec![], PhysicalOptions::heap());
+    }
+
+    #[test]
+    fn try_create_reports_duplicates() {
+        let db = Db::new(16);
+        db.try_create_table("t", 1, vec![], PhysicalOptions::heap())
+            .unwrap();
+        let err = db
+            .try_create_table("t", 1, vec![], PhysicalOptions::heap())
+            .unwrap_err();
+        assert_eq!(err, StoreError::DuplicateTable("t".to_owned()));
+        // The original table is untouched.
+        assert!(db.table("t").is_some());
+    }
+
+    #[test]
+    fn require_table_reports_missing() {
+        let db = Db::new(16);
+        assert_eq!(
+            db.require_table("ghost").unwrap_err(),
+            StoreError::MissingTable("ghost".to_owned())
+        );
+        db.create_table("real", 1, vec![], PhysicalOptions::heap());
+        assert!(db.require_table("real").is_ok());
     }
 
     #[test]

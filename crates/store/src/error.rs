@@ -1,0 +1,66 @@
+//! Typed storage-layer errors.
+//!
+//! The store historically panicked on misuse (duplicate table names,
+//! probes against missing tables). The query engine needs those failures
+//! as values so a bad query degrades into an error result instead of
+//! tearing down a shared process; [`StoreError`] is that surface. The
+//! panicking entry points remain for load-stage code whose invariants
+//! make the failures genuine bugs.
+
+/// A typed storage-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// No table with this name exists in the catalog.
+    MissingTable(String),
+    /// A probe referenced a column index outside the table's arity.
+    ColumnOutOfRange {
+        /// The table being probed.
+        table: String,
+        /// The table's arity.
+        arity: usize,
+        /// The offending column index.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateTable(name) => write!(f, "table {name:?} already exists"),
+            Self::MissingTable(name) => write!(f, "no table named {name:?}"),
+            Self::ColumnOutOfRange {
+                table,
+                arity,
+                column,
+            } => write!(
+                f,
+                "column {column} out of range for table {table:?} (arity {arity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StoreError::DuplicateTable("t".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(StoreError::MissingTable("t".into())
+            .to_string()
+            .contains("no table"));
+        let e = StoreError::ColumnOutOfRange {
+            table: "t".into(),
+            arity: 2,
+            column: 5,
+        };
+        assert!(e.to_string().contains("column 5"));
+    }
+}

@@ -134,7 +134,12 @@ pub struct HashJoin<'a> {
 
 impl<'a> HashJoin<'a> {
     /// Builds the hash table from `left` keyed on `left_cols`.
-    pub fn new(left: Vec<Row>, left_cols: &[usize], right: RowIter<'a>, right_cols: Vec<usize>) -> Self {
+    pub fn new(
+        left: Vec<Row>,
+        left_cols: &[usize],
+        right: RowIter<'a>,
+        right_cols: Vec<usize>,
+    ) -> Self {
         assert_eq!(left_cols.len(), right_cols.len());
         let mut built: HashMap<Vec<Id>, Vec<Row>> = HashMap::with_capacity(left.len());
         for r in left {
@@ -248,12 +253,7 @@ mod tests {
         let left = rows(&[(1, 10), (2, 20), (2, 21)]);
         let right = rows(&[(2, 200), (1, 100), (9, 900)]);
         let mut batch = hash_join(&left, &[0], &right, &[0]);
-        let streaming = HashJoin::new(
-            left,
-            &[0],
-            Box::new(right.into_iter()),
-            vec![0],
-        );
+        let streaming = HashJoin::new(left, &[0], Box::new(right.into_iter()), vec![0]);
         let mut got: Vec<Row> = streaming.collect();
         batch.sort();
         got.sort();

@@ -25,6 +25,7 @@ pub mod blob;
 pub mod buffer;
 pub mod cache;
 pub mod db;
+pub mod error;
 pub mod exec;
 pub mod page;
 pub mod query;
@@ -35,6 +36,7 @@ pub use blob::BlobStore;
 pub use buffer::{BufferPool, IoSnapshot};
 pub use cache::LruCache;
 pub use db::Db;
+pub use error::StoreError;
 pub use exec::{hash_join, HashJoin, IndexNestedLoopJoin, RowIter};
 pub use page::{Disk, PageId, PAGE_U32S};
 pub use query::{Query, QueryError};

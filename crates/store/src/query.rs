@@ -269,11 +269,7 @@ impl Query {
 
 /// Scans a table applying equality filters, using the best access path
 /// for the first filter when available.
-fn scan_filtered(
-    db: &Db,
-    table: &crate::table::Table,
-    filters: &[(usize, Id)],
-) -> Vec<Row> {
+fn scan_filtered(db: &Db, table: &crate::table::Table, filters: &[(usize, Id)]) -> Vec<Row> {
     if let Some(&(col, val)) = filters.first() {
         let (rows, _) = db.probe(table, &[col], &[val]);
         rows.into_iter()

@@ -222,7 +222,10 @@ impl Table {
     ) -> (Vec<Row>, AccessPath) {
         assert_eq!(cols.len(), key.len());
         if self.is_cluster_prefix(cols) {
-            return (self.clustered_range(disk, pool, cols, key), AccessPath::ClusteredRange);
+            return (
+                self.clustered_range(disk, pool, cols, key),
+                AccessPath::ClusteredRange,
+            );
         }
         if let Some((icols, map)) = self
             .indexes

@@ -74,7 +74,11 @@ fn main() {
     let t = Instant::now();
     let k = 10;
     let res = xk.query_topk(&[&a, &b], 8, k, ExecMode::Cached { capacity: 8192 }, 4);
-    println!("top-{k} in {:?} ({} probes)\n", t.elapsed(), res.stats.probes);
+    println!(
+        "top-{k} in {:?} ({} probes)\n",
+        t.elapsed(),
+        res.stats.probes
+    );
 
     let mut rows = res.rows.clone();
     rows.sort_by_key(|r| r.score);

@@ -39,9 +39,21 @@ fn main() {
             DecompositionSpec::Complete { l: 2 },
             PhysicalPolicy::clustered(),
         ),
-        ("MinClust", DecompositionSpec::Minimal, PhysicalPolicy::clustered()),
-        ("MinNClustIndx", DecompositionSpec::Minimal, PhysicalPolicy::indexed()),
-        ("MinNClustNIndx", DecompositionSpec::Minimal, PhysicalPolicy::bare()),
+        (
+            "MinClust",
+            DecompositionSpec::Minimal,
+            PhysicalPolicy::clustered(),
+        ),
+        (
+            "MinNClustIndx",
+            DecompositionSpec::Minimal,
+            PhysicalPolicy::indexed(),
+        ),
+        (
+            "MinNClustNIndx",
+            DecompositionSpec::Minimal,
+            PhysicalPolicy::bare(),
+        ),
     ];
 
     println!(

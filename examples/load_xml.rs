@@ -38,11 +38,7 @@ fn main() {
     println!("Inferred design:");
     for t in xk.tss.node_ids() {
         let n = xk.tss.node(t);
-        let members: Vec<&str> = n
-            .members
-            .iter()
-            .map(|&m| xk.tss.schema().tag(m))
-            .collect();
+        let members: Vec<&str> = n.members.iter().map(|&m| xk.tss.schema().tag(m)).collect();
         println!("  segment {:<10} = {{{}}}", n.name, members.join(", "));
     }
     let dummies: Vec<&str> = xk

@@ -1,14 +1,17 @@
 //! `xkeyword-cli` — keyword proximity search over an XML file.
 //!
 //! ```text
-//! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] [--explain]
+//! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] [--explain] [--stats]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
 //! the XKeyword decomposition and answers queries. Without a file: loads
 //! the paper's Figure 1 document. Without `--query`: reads queries from
 //! stdin, one per line (an interactive loop in the spirit of the paper's
-//! web demo, Fig. 4).
+//! web demo, Fig. 4); `:stats` prints the engine's cumulative statistics.
+//! Every query reports its per-stage timings, plan-cache outcome and
+//! attributable buffer-pool I/O; `--stats` additionally prints the
+//! cumulative [`EngineStats`] after each query.
 
 use std::io::BufRead;
 use xkeyword::core::exec::ExecMode;
@@ -22,6 +25,7 @@ struct Args {
     z: usize,
     top: usize,
     explain: bool,
+    stats: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +35,7 @@ fn parse_args() -> Args {
         z: 8,
         top: 10,
         explain: false,
+        stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -39,9 +44,10 @@ fn parse_args() -> Args {
             "--z" => args.z = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
             "--top" => args.top = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
             "--explain" => args.explain = true,
+            "--stats" => args.stats = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] [--explain]"
+                    "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] [--explain] [--stats]"
                 );
                 std::process::exit(0);
             }
@@ -91,35 +97,62 @@ fn main() {
         run_query(&xk, q, &args);
         return;
     }
-    eprintln!("enter keyword queries (one per line, ctrl-D to quit):");
+    eprintln!("enter keyword queries (one per line, `:stats` for engine stats, ctrl-D to quit):");
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
+        if line == ":stats" {
+            print_stats(&xk.engine().stats());
+            continue;
+        }
         run_query(&xk, line, &args);
     }
 }
 
+fn print_stats(s: &EngineStats) {
+    println!(
+        "engine: {} queries, {} errors; plan cache {} hits / {} misses; \
+         partial cache {} hits / {} misses; io {} hits / {} misses",
+        s.queries,
+        s.errors,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+        s.partial_cache_hits,
+        s.partial_cache_misses,
+        s.io_hits,
+        s.io_misses
+    );
+    println!(
+        "  stage totals: discover {:?} | plan {:?} | exec {:?} | present {:?}",
+        s.discover, s.plan, s.exec, s.present
+    );
+}
+
 fn run_query(xk: &XKeyword, query: &str, args: &Args) {
     let keywords: Vec<&str> = query.split_whitespace().collect();
-    if keywords.is_empty() || keywords.len() > 16 {
-        eprintln!("need 1..=16 keywords");
-        return;
-    }
-    let t = std::time::Instant::now();
+    let engine = xk.engine();
+    let out = match engine.query_all(&keywords, args.z, ExecMode::Cached { capacity: 8192 }) {
+        Ok(out) => out,
+        Err(e) => {
+            println!("query error: {e}");
+            if args.stats {
+                print_stats(&engine.stats());
+            }
+            return;
+        }
+    };
+    // Re-planning for ranking/explain hits the plan cache the query just
+    // warmed, so this costs one instantiation pass.
     let plans = xk.plans(&keywords, args.z);
-    if plans.is_empty() {
-        println!("no candidate networks — some keyword does not occur");
-        return;
-    }
     if args.explain {
         for p in &plans {
             print!("{}", p.explain(&xk.tss, &xk.catalog));
         }
     }
-    let res = xk.query_all(&keywords, args.z, ExecMode::Cached { capacity: 8192 });
+    let res = &out.results;
     let idf = IdfWeights::compute(&xk.master, &xk.targets, &keywords);
     let ranked = rank(
         res.rows.clone(),
@@ -128,13 +161,30 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) {
         &idf,
         &RankingConfig::default(),
     );
+    let m = &out.metrics;
     println!(
-        "{} results ({} candidate networks, {} probes, {:?})",
+        "{} results ({} candidate networks, {} probes)",
         ranked.len(),
-        plans.len(),
+        m.plans,
         res.stats.probes,
-        t.elapsed()
     );
+    println!(
+        "  stages: discover {:?} | plan {:?} ({}) | exec {:?} | present {:?}; io {} hits / {} misses",
+        m.discover,
+        m.plan,
+        if m.plan_cache_hit {
+            "plan-cache hit"
+        } else {
+            "cold"
+        },
+        m.exec,
+        m.present,
+        m.io_hits,
+        m.io_misses
+    );
+    if args.stats {
+        print_stats(&engine.stats());
+    }
     let mut seen = std::collections::HashSet::new();
     let mut shown = 0;
     for r in &ranked {

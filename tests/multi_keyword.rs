@@ -167,7 +167,11 @@ fn oracle_agreement_on_random_data_three_keywords() {
     toks.sort();
     toks.dedup();
     assert!(toks.len() >= 3);
-    let kws = [toks[0].as_str(), toks[toks.len() / 2].as_str(), toks[toks.len() - 1].as_str()];
+    let kws = [
+        toks[0].as_str(),
+        toks[toks.len() / 2].as_str(),
+        toks[toks.len() - 1].as_str(),
+    ];
     let got = xk
         .query_all(&kws, 6, ExecMode::Cached { capacity: 4096 })
         .mttons();

@@ -177,11 +177,7 @@ fn tpch_fragments() {
 #[test]
 fn paper_fragment_classifications() {
     let tss = xkeyword::datagen::tpch::tss_graph();
-    let seg = |n: &str| {
-        tss.node_ids()
-            .find(|&i| tss.node(i).name == n)
-            .unwrap()
-    };
+    let seg = |n: &str| tss.node_ids().find(|&i| tss.node(i).name == n).unwrap();
     let person = seg("Person");
     let order = seg("Order");
     let li = seg("Lineitem");

@@ -40,8 +40,14 @@ fn john_vcr_sizes() {
     let best = res.mttons().into_iter().min_by_key(|m| m.score).unwrap();
     let labels: Vec<String> = best.tos.iter().map(|&t| xk.label(t)).collect();
     assert!(labels.iter().any(|l| l.contains("John")), "{labels:?}");
-    assert!(labels.iter().any(|l| l.starts_with("Lineitem")), "{labels:?}");
-    assert!(labels.iter().any(|l| l.starts_with("Product")), "{labels:?}");
+    assert!(
+        labels.iter().any(|l| l.starts_with("Lineitem")),
+        "{labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.starts_with("Product")),
+        "{labels:?}"
+    );
 }
 
 /// Figure 2: the keyword query "US, VCR" has exactly the four results
@@ -99,9 +105,9 @@ fn tv_vcr_ctssns() {
         .any(|p| p.ctssn.size() == 1 && p.ctssn.tree.roles == vec![part, part]));
     // Part ← Part → Part (edge followed twice — needs the unfolded
     // fragment of Example 5.2).
-    assert!(plans.iter().any(|p| {
-        p.ctssn.size() == 2 && p.ctssn.tree.roles.iter().all(|&r| r == part)
-    }));
+    assert!(plans
+        .iter()
+        .any(|p| { p.ctssn.size() == 2 && p.ctssn.tree.roles.iter().all(|&r| r == part) }));
     // Order-mediated: Part ← Lineitem ← Order → Lineitem → Part.
     assert!(plans
         .iter()
@@ -126,9 +132,7 @@ fn engine_equals_semantics_oracle() {
             let got = xk
                 .query_all(&kws, 8, ExecMode::Cached { capacity: 2048 })
                 .mttons();
-            let want = xkeyword::core::semantics::enumerate_mttons(
-                &xk.graph, &xk.targets, &kws, 8,
-            );
+            let want = xkeyword::core::semantics::enumerate_mttons(&xk.graph, &xk.targets, &kws, 8);
             assert_eq!(got, want, "{kws:?}");
         }
     }
@@ -178,9 +182,11 @@ fn figure2_presentation_graph_walkthrough() {
     assert_eq!(pg.len(), 6);
     // Contract on one of the VCR parts: back to a single-result view.
     let vcr_role = (0..plans[pi].role_count() as u8)
-        .find(|&r| pg.nodes_of_role(r).len() == 2 && {
-            let seg = plans[pi].ctssn.tree.roles[r as usize];
-            xk.tss.node(seg).name == "Part"
+        .find(|&r| {
+            pg.nodes_of_role(r).len() == 2 && {
+                let seg = plans[pi].ctssn.tree.roles[r as usize];
+                xk.tss.node(seg).name == "Part"
+            }
         })
         .expect("expanded VCR role");
     let keep = pg.nodes_of_role(vcr_role)[0];

@@ -54,7 +54,10 @@ fn load(cfg: &DblpConfig, spec: DecompositionSpec, policy: PhysicalPolicy) -> XK
 /// Picks a keyword pair with results: two surnames sharing a paper.
 fn coauthor_pair(xk: &XKeyword) -> (String, String) {
     let tss = &xk.tss;
-    let paper = tss.node_ids().find(|&i| tss.node(i).name == "Paper").unwrap();
+    let paper = tss
+        .node_ids()
+        .find(|&i| tss.node(i).name == "Paper")
+        .unwrap();
     for &p in xk.targets.tos_of(paper) {
         let authors: Vec<_> = xk
             .targets
@@ -110,7 +113,10 @@ fn all_decompositions_agree_on_medium_dblp() {
         (DecompositionSpec::Minimal, PhysicalPolicy::clustered()),
         (DecompositionSpec::Minimal, PhysicalPolicy::indexed()),
         (DecompositionSpec::Minimal, PhysicalPolicy::bare()),
-        (DecompositionSpec::Complete { l: 2 }, PhysicalPolicy::clustered()),
+        (
+            DecompositionSpec::Complete { l: 2 },
+            PhysicalPolicy::clustered(),
+        ),
         (
             DecompositionSpec::XKeyword { m: 5, b: 2 },
             PhysicalPolicy::clustered(),
@@ -155,8 +161,7 @@ fn topk_sanity() {
     let k = 10;
     let top = xk.query_topk(&kws, 7, k, ExecMode::Cached { capacity: 4096 }, 4);
     assert_eq!(top.rows.len(), k);
-    let valid: std::collections::HashSet<Mtton> =
-        all.rows.iter().map(|r| r.to_mtton()).collect();
+    let valid: std::collections::HashSet<Mtton> = all.rows.iter().map(|r| r.to_mtton()).collect();
     for r in &top.rows {
         assert!(valid.contains(&r.to_mtton()));
     }

@@ -8,9 +8,7 @@
 //! * **Unions** never lose coverage.
 
 use proptest::prelude::*;
-use xkeyword::core::decompose::{
-    self, all_tilings, fragment_size_bound, min_tiles,
-};
+use xkeyword::core::decompose::{self, all_tilings, fragment_size_bound, min_tiles};
 use xkeyword::core::tree::enumerate_trees;
 use xkeyword::graph::TssGraph;
 

@@ -83,10 +83,7 @@ fn structured_count_matches_target_graph() {
     let xk = load();
     // The supplier relation has one row per lineitem.
     let lp = edge_table(&xk, "Lineitem", "Person");
-    let rows = Query::new()
-        .table("lp", &lp)
-        .run(&xk.db)
-        .unwrap();
+    let rows = Query::new().table("lp", &lp).run(&xk.db).unwrap();
     let li_seg = xk
         .tss
         .node_ids()
