@@ -1,0 +1,132 @@
+//! Store-level buffer-pool contention: T threads hammering one pool,
+//! single-shard (the old single-mutex design) versus sharded.
+//!
+//! Two regimes:
+//! - `hits`: the whole working set is resident, so every fetch is a
+//!   hit-path lock acquire + page copy. This isolates pure lock-striping
+//!   overhead and contention.
+//! - `misses`: the pool is a fraction of the working set and misses pay a
+//!   parked penalty, so the run mixes eviction (CLOCK sweeps under the
+//!   shard lock) with out-of-lock disk reads and parking — the regime the
+//!   sharded design targets.
+//!
+//! Usage: `cargo bench --bench contention [-- --quick]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use xkw_store::{BufferPool, Disk, PageId, PAGE_U32S};
+
+fn mk_disk(pages: usize) -> (Disk, Vec<PageId>) {
+    let disk = Disk::new();
+    let ids: Vec<PageId> = (0..pages)
+        .map(|i| {
+            let mut data = [0u32; PAGE_U32S];
+            data[0] = i as u32;
+            disk.append(data)
+        })
+        .collect();
+    (disk, ids)
+}
+
+/// Per-thread xorshift so access order is deterministic per thread count.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn hammer(
+    pool: &BufferPool,
+    disk: &Disk,
+    ids: &[PageId],
+    threads: usize,
+    total_ops: usize,
+) -> Duration {
+    let next = AtomicUsize::new(0);
+    let chunk = 64usize;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let next = &next;
+            s.spawn(move || {
+                let mut seed = 0x9E37_79B9u64 ^ ((t as u64 + 1) << 32);
+                loop {
+                    let base = next.fetch_add(chunk, Ordering::Relaxed);
+                    if base >= total_ops {
+                        break;
+                    }
+                    for _ in 0..chunk.min(total_ops - base) {
+                        let id = ids[(xorshift(&mut seed) % ids.len() as u64) as usize];
+                        std::hint::black_box(pool.fetch(disk, id));
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn run_regime(
+    name: &str,
+    pool_pages: usize,
+    penalty: Duration,
+    disk: &Disk,
+    ids: &[PageId],
+    thread_counts: &[usize],
+    total_ops: usize,
+) {
+    for &shards in &[1usize, 16] {
+        for &t in thread_counts {
+            let pool = BufferPool::with_shards(pool_pages, shards);
+            // Untimed penalty-free pass to bring the pool to steady state.
+            for &id in ids {
+                std::hint::black_box(pool.fetch(disk, id));
+            }
+            let warm = pool.snapshot();
+            pool.set_miss_penalty(penalty);
+            let wall = hammer(&pool, disk, ids, t, total_ops);
+            let snap = pool.snapshot();
+            println!(
+                "{{\"regime\":\"{name}\",\"shards\":{shards},\"threads\":{t},\"ops\":{total_ops},\
+                 \"wall_ms\":{:.1},\"mops\":{:.3},\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                wall.as_secs_f64() * 1e3,
+                total_ops as f64 / wall.as_secs_f64() / 1e6,
+                snap.hits - warm.hits,
+                snap.misses - warm.misses,
+                pool.evictions()
+            );
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (disk, ids) = mk_disk(256);
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let hit_ops = if quick { 100_000 } else { 400_000 };
+    let miss_ops = if quick { 2_000 } else { 8_000 };
+
+    println!("contention: {} disk pages", ids.len());
+    // Hit regime: everything resident, zero penalty — pure locking cost.
+    run_regime(
+        "hits",
+        ids.len(),
+        Duration::from_nanos(0),
+        &disk,
+        &ids,
+        thread_counts,
+        hit_ops,
+    );
+    // Miss regime: pool is 1/8 of the working set, parked penalty — the
+    // eviction + overlapping-I/O path.
+    run_regime(
+        "misses",
+        ids.len() / 8,
+        Duration::from_micros(200),
+        &disk,
+        &ids,
+        thread_counts,
+        miss_ops,
+    );
+}

@@ -86,6 +86,7 @@ impl Config {
             policy,
             pool_pages: 2048,
             build_blobs: false,
+            ..LoadOptions::default()
         }
     }
 }

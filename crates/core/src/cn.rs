@@ -219,8 +219,15 @@ impl<'a> CnGenerator<'a> {
         let mut out = Vec::new();
         let mut frontier: Vec<Cn> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
-        // Seeds: single non-free nodes.
-        for (&s, sets) in &self.achievable {
+        // Seeds: single non-free nodes, in schema-node order so the
+        // generated CN sequence (and with it every downstream plan
+        // index) is identical across processes — `achievable` is a
+        // randomly-seeded HashMap, and iterating it directly leaks the
+        // per-process hash order into the output.
+        let mut seeds: Vec<SchemaNodeId> = self.achievable.keys().copied().collect();
+        seeds.sort_unstable_by_key(|s| s.idx());
+        for s in seeds {
+            let sets = &self.achievable[&s];
             for &k in sets {
                 let cn = Cn {
                     nodes: vec![CnNode {

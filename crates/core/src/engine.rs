@@ -41,6 +41,7 @@ use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::TargetGraph;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xkw_graph::TssGraph;
@@ -163,6 +164,9 @@ pub struct QueryEngine {
     catalog: Arc<RelationCatalog>,
     plan_cache: Mutex<LruCache<PlanKey, Arc<Vec<PlanSkeleton>>>>,
     stats: Mutex<EngineStats>,
+    /// Worker threads for full-evaluation queries (`query_all` /
+    /// `query_all_hash`); `query_topk` takes its thread count per call.
+    exec_threads: AtomicUsize,
 }
 
 impl QueryEngine {
@@ -203,7 +207,20 @@ impl QueryEngine {
             catalog,
             plan_cache: Mutex::new(LruCache::new(capacity)),
             stats: Mutex::new(EngineStats::default()),
+            exec_threads: AtomicUsize::new(1),
         }
+    }
+
+    /// Sets the worker-thread count used by `query_all`/`query_all_hash`
+    /// (clamped to at least 1). Results are identical for every setting;
+    /// only wall time changes.
+    pub fn set_exec_threads(&self, threads: usize) {
+        self.exec_threads.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// The current full-evaluation worker-thread count.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads.load(Ordering::Relaxed)
     }
 
     /// The TSS graph.
@@ -308,7 +325,13 @@ impl QueryEngine {
         mode: ExecMode,
     ) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, mode, |prepared| {
-            exec::try_all_plans(&self.db, &self.catalog, &prepared.plans, mode)
+            exec::try_all_plans_mt(
+                &self.db,
+                &self.catalog,
+                &prepared.plans,
+                mode,
+                self.exec_threads(),
+            )
         })
     }
 
@@ -338,7 +361,12 @@ impl QueryEngine {
     /// The [`QueryEngine::prepare`] errors.
     pub fn query_all_hash(&self, keywords: &[&str], z: usize) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, ExecMode::Naive, |prepared| {
-            exec::try_all_results(&self.db, &self.catalog, &prepared.plans)
+            exec::try_all_results_mt(
+                &self.db,
+                &self.catalog,
+                &prepared.plans,
+                self.exec_threads(),
+            )
         })
     }
 
@@ -527,9 +555,49 @@ mod tests {
         let all = e.query_all(&["us", "vcr"], 8, ExecMode::Naive).unwrap();
         let hash = e.query_all_hash(&["us", "vcr"], 8).unwrap();
         assert_eq!(all.mttons, hash.mttons);
-        let top = e
-            .query_topk(&["us", "vcr"], 8, 5, ExecMode::Cached { capacity: 1024 }, 2)
+        // Top-k contents: exactly the first k rows of the full result in
+        // (score, plan, assignment) order, for every thread count.
+        let mut expect = all.results.rows.clone();
+        expect.sort_by(|a, b| {
+            (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
+        });
+        expect.truncate(5);
+        for threads in [1, 2, 8] {
+            let top = e
+                .query_topk(
+                    &["us", "vcr"],
+                    8,
+                    5,
+                    ExecMode::Cached { capacity: 1024 },
+                    threads,
+                )
+                .unwrap();
+            assert_eq!(top.results.rows, expect, "threads={threads}");
+        }
+    }
+
+    /// `query_all`/`query_all_hash` return the same outcome for any
+    /// engine-level thread setting.
+    #[test]
+    fn exec_threads_setting_does_not_change_results() {
+        let e = engine();
+        let reference = e
+            .query_all(&["us", "vcr"], 8, ExecMode::Cached { capacity: 1024 })
             .unwrap();
-        assert_eq!(top.results.rows.len(), 5);
+        let hash_reference = e.query_all_hash(&["us", "vcr"], 8).unwrap();
+        assert_eq!(e.exec_threads(), 1);
+        for threads in [2, 4, 8] {
+            e.set_exec_threads(threads);
+            assert_eq!(e.exec_threads(), threads);
+            let got = e
+                .query_all(&["us", "vcr"], 8, ExecMode::Cached { capacity: 1024 })
+                .unwrap();
+            assert_eq!(got.results.rows, reference.results.rows);
+            assert_eq!(got.mttons, reference.mttons);
+            let hash = e.query_all_hash(&["us", "vcr"], 8).unwrap();
+            assert_eq!(hash.results.rows, hash_reference.results.rows);
+        }
+        e.set_exec_threads(0); // clamped, never zero workers
+        assert_eq!(e.exec_threads(), 1);
     }
 }

@@ -30,6 +30,9 @@ use crate::optimizer::CtssnPlan;
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::ToId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -115,10 +118,87 @@ fn charge_local_io(stats: &mut ExecStats, db: &Db, before: xkw_store::IoSnapshot
     stats.io_misses += delta.misses;
 }
 
+/// The partial-result cache key: suffix signature + frontier bindings.
+pub type PartialKey = (Arc<str>, Vec<ToId>);
+
 /// The partial-result cache: suffix signature + frontier bindings →
 /// completions (bindings of the suffix's fresh roles, in
 /// [`suffix_fresh_roles`] order).
-pub type PartialCache = LruCache<(Arc<str>, Vec<ToId>), Arc<Vec<Vec<ToId>>>>;
+pub type PartialCache = LruCache<PartialKey, Arc<Vec<Vec<ToId>>>>;
+
+/// What the cached evaluator needs from a partial-result cache. Lets
+/// [`eval_plan`] run against either a thread-private [`PartialCache`] or
+/// a [`SharedPartialCache`] striped across worker threads, without the
+/// hot path paying for dynamic dispatch.
+pub trait PartialCacheOps {
+    /// Looks up a suffix completion, refreshing its recency.
+    fn lookup(&mut self, key: &PartialKey) -> Option<Arc<Vec<Vec<ToId>>>>;
+    /// Stores a computed suffix completion.
+    fn store(&mut self, key: PartialKey, value: Arc<Vec<Vec<ToId>>>);
+}
+
+impl PartialCacheOps for PartialCache {
+    fn lookup(&mut self, key: &PartialKey) -> Option<Arc<Vec<Vec<ToId>>>> {
+        self.get(key).cloned()
+    }
+
+    fn store(&mut self, key: PartialKey, value: Arc<Vec<Vec<ToId>>>) {
+        self.put(key, value);
+    }
+}
+
+/// A lock-striped partial-result cache shared by the worker threads of
+/// one query, so the §6 DISCOVER-style suffix reuse crosses candidate
+/// networks even when those networks run on different threads: a suffix
+/// computed by one worker is a hit for every other worker evaluating a
+/// CN with the same structural suffix. Entries are `Arc`s of pure join
+/// results (no binding-dependent state), so sharing is coherent by
+/// construction — a racing recompute produces an identical value.
+pub struct SharedPartialCache {
+    shards: Vec<Mutex<PartialCache>>,
+}
+
+impl SharedPartialCache {
+    /// A cache of `capacity` total entries striped into enough shards
+    /// for `threads` workers (next power of two, capped at 32).
+    pub fn new(mode: ExecMode, threads: usize) -> Self {
+        let capacity = match mode {
+            ExecMode::Naive => 0,
+            ExecMode::Cached { capacity } => capacity,
+        };
+        let nshards = threads.clamp(1, 32).next_power_of_two();
+        let per_shard = capacity.div_ceil(nshards);
+        SharedPartialCache {
+            shards: (0..nshards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &PartialKey) -> &Mutex<PartialCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize & (self.shards.len() - 1)]
+    }
+
+    /// Aggregate `(hits, misses)` across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.lock().stats();
+            (h + sh, m + sm)
+        })
+    }
+}
+
+impl PartialCacheOps for &SharedPartialCache {
+    fn lookup(&mut self, key: &PartialKey) -> Option<Arc<Vec<Vec<ToId>>>> {
+        self.shard_of(key).lock().get(key).cloned()
+    }
+
+    fn store(&mut self, key: PartialKey, value: Arc<Vec<Vec<ToId>>>) {
+        self.shard_of(&key).lock().put(key, value);
+    }
+}
 
 /// Roles first bound anywhere in the suffix starting at step `i`.
 fn suffix_fresh_roles(plan: &CtssnPlan, i: usize) -> Vec<u8> {
@@ -128,13 +208,13 @@ fn suffix_fresh_roles(plan: &CtssnPlan, i: usize) -> Vec<u8> {
 /// Evaluates one plan, calling `emit` for each result. `emit` may stop
 /// the evaluation early by returning [`ControlFlow::Break`].
 #[allow(clippy::too_many_arguments)]
-pub fn eval_plan(
+pub fn eval_plan<C: PartialCacheOps>(
     db: &Db,
     catalog: &RelationCatalog,
     plan_idx: usize,
     plan: &CtssnPlan,
     mode: ExecMode,
-    cache: &mut PartialCache,
+    cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -145,13 +225,13 @@ pub fn eval_plan(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_plan_inner(
+fn eval_plan_inner<C: PartialCacheOps>(
     db: &Db,
     catalog: &RelationCatalog,
     plan_idx: usize,
     plan: &CtssnPlan,
     mode: ExecMode,
-    cache: &mut PartialCache,
+    cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -202,13 +282,13 @@ fn eval_plan_inner(
 /// presentation-graph expansion, which pins the expanded target object
 /// and searches for its connections.
 #[allow(clippy::too_many_arguments)]
-pub fn eval_anchored(
+pub fn eval_anchored<C: PartialCacheOps>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
     to: ToId,
     mode: ExecMode,
-    cache: &mut PartialCache,
+    cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -219,13 +299,13 @@ pub fn eval_anchored(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_anchored_inner(
+fn eval_anchored_inner<C: PartialCacheOps>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
     to: ToId,
     mode: ExecMode,
-    cache: &mut PartialCache,
+    cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -296,11 +376,11 @@ fn completions_naive(
 }
 
 /// Cached variant: memoized on (suffix signature, frontier bindings).
-fn completions_cached(
+fn completions_cached<C: PartialCacheOps>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
-    cache: &mut PartialCache,
+    cache: &mut C,
     stats: &mut ExecStats,
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
@@ -315,9 +395,9 @@ fn completions_cached(
             .map(|&r| assignment[r as usize].expect("key role bound"))
             .collect::<Vec<ToId>>(),
     );
-    if let Some(hit) = cache.get(&key) {
+    if let Some(hit) = cache.lookup(&key) {
         stats.cache_hits += 1;
-        return hit.clone();
+        return hit;
     }
     stats.cache_misses += 1;
     let mut out: Vec<Vec<ToId>> = Vec::new();
@@ -338,7 +418,7 @@ fn completions_cached(
         }
     }
     let arc = Arc::new(out);
-    cache.put(key, arc.clone());
+    cache.store(key, arc.clone());
     arc
 }
 
@@ -594,9 +674,85 @@ pub fn all_plans(
     out
 }
 
+/// Parallel [`all_plans`]: a pool of `threads` workers pulls candidate
+/// networks in score order and evaluates each to completion against a
+/// [`SharedPartialCache`], so the cross-CN suffix reuse of §6 survives
+/// the fan-out. Per-plan row blocks are reassembled in plan order, so
+/// the output rows are identical to the single-threaded [`all_plans`]
+/// for every thread count (statistics may attribute cache traffic
+/// differently, never probes or results).
+pub fn all_plans_mt(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    threads: usize,
+) -> QueryResults {
+    let threads = threads.max(1).min(plans.len().max(1));
+    if threads == 1 {
+        return all_plans(db, catalog, plans, mode);
+    }
+    let next_plan = AtomicUsize::new(0);
+    let shared = SharedPartialCache::new(mode, threads);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<ResultRow>, ExecStats)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next_plan, shared) = (&next_plan, &shared);
+            scope.spawn(move || {
+                let mut cache = shared;
+                loop {
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() {
+                        break;
+                    }
+                    let mut stats = ExecStats::default();
+                    let mut rows = Vec::new();
+                    let _ = eval_plan(
+                        db,
+                        catalog,
+                        pi,
+                        &plans[pi],
+                        mode,
+                        &mut cache,
+                        &mut stats,
+                        &mut |r| {
+                            rows.push(r);
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    let _ = tx.send((pi, rows, stats));
+                }
+            });
+        }
+        drop(tx);
+        let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
+        let mut out = QueryResults::default();
+        for (pi, rows, stats) in rx {
+            per_plan[pi] = Some(rows);
+            out.stats.merge(&stats);
+        }
+        for rows in per_plan.into_iter().flatten() {
+            out.rows.extend(rows);
+        }
+        out
+    })
+}
+
 /// Top-k evaluation with a thread pool (§6): threads pull candidate
-/// networks in score order; execution stops once `k` results have been
-/// produced across all threads.
+/// networks in score order, sharing one striped partial-result cache;
+/// workers stop claiming networks once `k` results exist overall, and
+/// the collected rows are sorted by `(score, plan, assignment)` before
+/// truncating to `k`.
+///
+/// The result set is identical for every thread count: plans are claimed
+/// in index (score) order; a claimed plan emits a deterministic prefix
+/// of its deterministic row sequence (capped at `k` rows per plan — one
+/// plan can satisfy the whole answer, so nothing past its first `k` rows
+/// can ever be needed); and because plans arrive sorted by score, rows
+/// of higher-indexed plans sort strictly after rows of lower-indexed
+/// ones, so the extra networks an eager thread picks up can never
+/// displace rows of the prefix a single-threaded run would evaluate.
 pub fn topk(
     db: &Arc<Db>,
     catalog: &Arc<RelationCatalog>,
@@ -605,25 +761,30 @@ pub fn topk(
     k: usize,
     threads: usize,
 ) -> QueryResults {
-    let emitted = Arc::new(AtomicUsize::new(0));
-    let next_plan = Arc::new(AtomicUsize::new(0));
+    let emitted = AtomicUsize::new(0);
+    let next_plan = AtomicUsize::new(0);
+    let threads = threads.max(1);
+    let shared = SharedPartialCache::new(mode, threads);
     let (tx, rx) = crossbeam::channel::unbounded::<Result<ResultRow, ExecStats>>();
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
+        for _ in 0..threads {
             let tx = tx.clone();
-            let emitted = emitted.clone();
-            let next_plan = next_plan.clone();
+            let (emitted, next_plan, shared) = (&emitted, &next_plan, &shared);
             let db = db.clone();
             let catalog = catalog.clone();
             scope.spawn(move || {
-                let mut cache = new_cache(mode);
+                let mut cache = shared;
                 loop {
+                    if emitted.load(Ordering::SeqCst) >= k {
+                        break;
+                    }
                     let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                    if pi >= plans.len() || emitted.load(Ordering::SeqCst) >= k {
+                    if pi >= plans.len() {
                         break;
                     }
                     let plan = &plans[pi];
                     let mut stats = ExecStats::default();
+                    let mut local = 0usize;
                     let _ = eval_plan(
                         &db,
                         &catalog,
@@ -633,12 +794,17 @@ pub fn topk(
                         &mut cache,
                         &mut stats,
                         &mut |r| {
-                            let n = emitted.fetch_add(1, Ordering::SeqCst);
-                            if n >= k {
-                                return ControlFlow::Break(());
-                            }
+                            local += 1;
+                            emitted.fetch_add(1, Ordering::SeqCst);
                             let _ = tx.send(Ok(r));
-                            ControlFlow::Continue(())
+                            // Cap per plan, never per pool: a global cut
+                            // would make the kept subset depend on
+                            // thread scheduling.
+                            if local >= k {
+                                ControlFlow::Break(())
+                            } else {
+                                ControlFlow::Continue(())
+                            }
                         },
                     );
                     let _ = tx.send(Err(stats));
@@ -653,141 +819,270 @@ pub fn topk(
                 Err(stats) => out.stats.merge(&stats),
             }
         }
+        out.rows.sort_by(|a, b| {
+            (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
+        });
         out.rows.truncate(k);
         out
     })
+}
+
+/// Memo key for filtered relation scans: (relation, per-column keyword
+/// requirement signature).
+type ScanKey = (usize, Vec<Option<String>>);
+
+/// What the hash-join evaluator needs from a scan memo: the same
+/// relation filtered the same way recurs across candidate networks, so
+/// it should be scanned once per query, not once per CN — within a
+/// thread (a plain map) or across worker threads (a striped map).
+trait ScanMemoOps {
+    fn lookup(&mut self, key: &ScanKey) -> Option<Arc<Vec<Row>>>;
+    /// Stores a scan, returning the canonical copy (an already-present
+    /// entry wins, so concurrent scanners converge on one allocation).
+    fn store(&mut self, key: ScanKey, rows: Arc<Vec<Row>>) -> Arc<Vec<Row>>;
+}
+
+/// The single-threaded scan memo.
+#[derive(Default)]
+struct LocalScanMemo(HashMap<ScanKey, Arc<Vec<Row>>>);
+
+impl ScanMemoOps for LocalScanMemo {
+    fn lookup(&mut self, key: &ScanKey) -> Option<Arc<Vec<Row>>> {
+        self.0.get(key).cloned()
+    }
+
+    fn store(&mut self, key: ScanKey, rows: Arc<Vec<Row>>) -> Arc<Vec<Row>> {
+        self.0.entry(key).or_insert(rows).clone()
+    }
+}
+
+/// A lock-striped scan memo shared by [`all_results_mt`] workers. Scans
+/// run outside the shard locks, so two workers may race on the same key
+/// and both pay the scan (each charges its own probe); the first stored
+/// copy wins and later plans hit it.
+struct SharedScanMemo {
+    shards: Vec<Mutex<HashMap<ScanKey, Arc<Vec<Row>>>>>,
+}
+
+impl SharedScanMemo {
+    fn new(threads: usize) -> Self {
+        SharedScanMemo {
+            shards: (0..threads.clamp(1, 32).next_power_of_two())
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &ScanKey) -> &Mutex<HashMap<ScanKey, Arc<Vec<Row>>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize & (self.shards.len() - 1)]
+    }
+}
+
+impl ScanMemoOps for &SharedScanMemo {
+    fn lookup(&mut self, key: &ScanKey) -> Option<Arc<Vec<Row>>> {
+        self.shard_of(key).lock().get(key).cloned()
+    }
+
+    fn store(&mut self, key: ScanKey, rows: Arc<Vec<Row>>) -> Arc<Vec<Row>> {
+        self.shard_of(&key)
+            .lock()
+            .entry(key)
+            .or_insert(rows)
+            .clone()
+    }
+}
+
+/// Evaluates one plan by hash joins, appending its rows/stats to `out`
+/// (including this plan's buffer-pool traffic on the calling thread).
+fn hash_join_plan<M: ScanMemoOps>(
+    db: &Db,
+    catalog: &RelationCatalog,
+    pi: usize,
+    plan: &CtssnPlan,
+    memo: &mut M,
+    out: &mut QueryResults,
+) {
+    let io_before = db.local_io();
+    let nroles = plan.role_count();
+    if plan.tiles.is_empty() {
+        // Single-role plan: candidates are the results.
+        if let Some(c) = &plan.candidates[plan.driver as usize] {
+            let mut tos: Vec<ToId> = c.iter().copied().collect();
+            tos.sort_unstable();
+            for to in tos {
+                out.stats.results += 1;
+                out.rows.push(ResultRow {
+                    plan: pi,
+                    assignment: vec![to],
+                    score: plan.score,
+                });
+            }
+        }
+        return;
+    }
+    // Intermediate result: rows of bound roles, tracked by role list.
+    let mut bound_roles: Vec<u8> = Vec::new();
+    let mut inter: Vec<Vec<ToId>> = Vec::new();
+    for (i, tile) in plan.tiles.iter().enumerate() {
+        // Scan + filter the tile relation (memoized per filter).
+        let filter_sig: Vec<Option<String>> = tile
+            .cols_to_roles
+            .iter()
+            .map(|&role| {
+                plan.candidates[role as usize].as_ref().map(|_| {
+                    let mut reqs: Vec<String> = plan.ctssn.annotations[role as usize]
+                        .iter()
+                        .map(|a| format!("k{}s{}", a.set, a.schema_node.0))
+                        .collect();
+                    reqs.sort();
+                    reqs.join(";")
+                })
+            })
+            .collect();
+        let key = (tile.rel, filter_sig);
+        let scanned: Arc<Vec<Row>> = match memo.lookup(&key) {
+            Some(hit) => hit,
+            None => {
+                out.stats.probes += 1;
+                let v: Vec<Row> = catalog
+                    .scan(db, tile.rel)
+                    .into_iter()
+                    .filter(|row| {
+                        tile.cols_to_roles.iter().enumerate().all(|(c, &role)| {
+                            plan.candidates[role as usize]
+                                .as_ref()
+                                .is_none_or(|cands| cands.contains(&row[c]))
+                        })
+                    })
+                    .collect();
+                out.stats.rows += v.len() as u64;
+                memo.store(key, Arc::new(v))
+            }
+        };
+        if i == 0 {
+            bound_roles = tile.cols_to_roles.clone();
+            inter = scanned.iter().map(|r| r.to_vec()).collect();
+            continue;
+        }
+        // Join columns: roles shared between `bound_roles` and tile.
+        let shared: Vec<(usize, usize)> = tile
+            .cols_to_roles
+            .iter()
+            .enumerate()
+            .filter_map(|(c, role)| bound_roles.iter().position(|r| r == role).map(|b| (b, c)))
+            .collect();
+        let mut built: HashMap<Vec<ToId>, Vec<usize>> = HashMap::new();
+        for (idx, row) in inter.iter().enumerate() {
+            let key: Vec<ToId> = shared.iter().map(|&(b, _)| row[b]).collect();
+            built.entry(key).or_default().push(idx);
+        }
+        let mut next_inter: Vec<Vec<ToId>> = Vec::new();
+        let new_cols: Vec<usize> = tile
+            .cols_to_roles
+            .iter()
+            .enumerate()
+            .filter(|(_, role)| !bound_roles.contains(role))
+            .map(|(c, _)| c)
+            .collect();
+        for row in scanned.iter() {
+            let key: Vec<ToId> = shared.iter().map(|&(_, c)| row[c]).collect();
+            if let Some(matches) = built.get(&key) {
+                for &mi in matches {
+                    let mut joined = inter[mi].clone();
+                    joined.extend(new_cols.iter().map(|&c| row[c]));
+                    next_inter.push(joined);
+                }
+            }
+        }
+        for &c in &new_cols {
+            bound_roles.push(tile.cols_to_roles[c]);
+        }
+        inter = next_inter;
+        if inter.is_empty() {
+            break;
+        }
+    }
+    // Project to role order, enforce distinctness, emit.
+    for row in inter {
+        let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
+        for (b, &role) in bound_roles.iter().enumerate() {
+            assignment[role as usize] = Some(row[b]);
+        }
+        if !check_distinct(plan, &assignment) {
+            continue;
+        }
+        out.stats.results += 1;
+        out.rows.push(ResultRow {
+            plan: pi,
+            assignment: assignment.iter().map(|a| a.unwrap()).collect(),
+            score: plan.score,
+        });
+    }
+    charge_local_io(&mut out.stats, db, io_before);
 }
 
 /// Full evaluation of every plan via hash joins over scanned relations
 /// (§7's "all results" regime). Keyword filters are applied during the
 /// scans; tiles are joined in plan order on their shared roles.
 pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> QueryResults {
-    let io_before = db.local_io();
     let mut out = QueryResults::default();
-    // Scan memo: the same relation filtered by the same per-column
-    // keyword requirements recurs across candidate networks; scan once.
-    type ScanKey = (usize, Vec<Option<String>>);
-    let mut scans: std::collections::HashMap<ScanKey, Arc<Vec<Row>>> =
-        std::collections::HashMap::new();
+    let mut memo = LocalScanMemo::default();
     for (pi, plan) in plans.iter().enumerate() {
-        let nroles = plan.role_count();
-        if plan.tiles.is_empty() {
-            // Single-role plan: candidates are the results.
-            if let Some(c) = &plan.candidates[plan.driver as usize] {
-                let mut tos: Vec<ToId> = c.iter().copied().collect();
-                tos.sort_unstable();
-                for to in tos {
-                    out.stats.results += 1;
-                    out.rows.push(ResultRow {
-                        plan: pi,
-                        assignment: vec![to],
-                        score: plan.score,
-                    });
-                }
-            }
-            continue;
-        }
-        // Intermediate result: rows of bound roles, tracked by role list.
-        let mut bound_roles: Vec<u8> = Vec::new();
-        let mut inter: Vec<Vec<ToId>> = Vec::new();
-        for (i, tile) in plan.tiles.iter().enumerate() {
-            // Scan + filter the tile relation (memoized per filter).
-            let filter_sig: Vec<Option<String>> = tile
-                .cols_to_roles
-                .iter()
-                .map(|&role| {
-                    plan.candidates[role as usize].as_ref().map(|_| {
-                        let mut reqs: Vec<String> = plan.ctssn.annotations[role as usize]
-                            .iter()
-                            .map(|a| format!("k{}s{}", a.set, a.schema_node.0))
-                            .collect();
-                        reqs.sort();
-                        reqs.join(";")
-                    })
-                })
-                .collect();
-            let scanned: Arc<Vec<Row>> = match scans.entry((tile.rel, filter_sig)) {
-                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    out.stats.probes += 1;
-                    let v: Vec<Row> = catalog
-                        .scan(db, tile.rel)
-                        .into_iter()
-                        .filter(|row| {
-                            tile.cols_to_roles.iter().enumerate().all(|(c, &role)| {
-                                plan.candidates[role as usize]
-                                    .as_ref()
-                                    .is_none_or(|cands| cands.contains(&row[c]))
-                            })
-                        })
-                        .collect();
-                    out.stats.rows += v.len() as u64;
-                    e.insert(Arc::new(v)).clone()
-                }
-            };
-            if i == 0 {
-                bound_roles = tile.cols_to_roles.clone();
-                inter = scanned.iter().map(|r| r.to_vec()).collect();
-                continue;
-            }
-            // Join columns: roles shared between `bound_roles` and tile.
-            let shared: Vec<(usize, usize)> = tile
-                .cols_to_roles
-                .iter()
-                .enumerate()
-                .filter_map(|(c, role)| bound_roles.iter().position(|r| r == role).map(|b| (b, c)))
-                .collect();
-            use std::collections::HashMap;
-            let mut built: HashMap<Vec<ToId>, Vec<usize>> = HashMap::new();
-            for (idx, row) in inter.iter().enumerate() {
-                let key: Vec<ToId> = shared.iter().map(|&(b, _)| row[b]).collect();
-                built.entry(key).or_default().push(idx);
-            }
-            let mut next_inter: Vec<Vec<ToId>> = Vec::new();
-            let new_cols: Vec<usize> = tile
-                .cols_to_roles
-                .iter()
-                .enumerate()
-                .filter(|(_, role)| !bound_roles.contains(role))
-                .map(|(c, _)| c)
-                .collect();
-            for row in scanned.iter() {
-                let key: Vec<ToId> = shared.iter().map(|&(_, c)| row[c]).collect();
-                if let Some(matches) = built.get(&key) {
-                    for &mi in matches {
-                        let mut joined = inter[mi].clone();
-                        joined.extend(new_cols.iter().map(|&c| row[c]));
-                        next_inter.push(joined);
+        hash_join_plan(db, catalog, pi, plan, &mut memo, &mut out);
+    }
+    out
+}
+
+/// Parallel [`all_results`]: workers pull plans in score order and share
+/// the scan memo, so a filtered scan computed by one worker serves every
+/// candidate network that needs it. Rows are reassembled in plan order
+/// — identical to the single-threaded output for every thread count
+/// (two workers racing on a scan may both be charged a probe, so probe
+/// counts can exceed the single-threaded count; rows never differ).
+pub fn all_results_mt(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    threads: usize,
+) -> QueryResults {
+    let threads = threads.max(1).min(plans.len().max(1));
+    if threads == 1 {
+        return all_results(db, catalog, plans);
+    }
+    let next_plan = AtomicUsize::new(0);
+    let memo = SharedScanMemo::new(threads);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, QueryResults)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next_plan, memo) = (&next_plan, &memo);
+            scope.spawn(move || {
+                let mut memo = memo;
+                loop {
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() {
+                        break;
                     }
+                    let mut part = QueryResults::default();
+                    hash_join_plan(db, catalog, pi, &plans[pi], &mut memo, &mut part);
+                    let _ = tx.send((pi, part));
                 }
-            }
-            for &c in &new_cols {
-                bound_roles.push(tile.cols_to_roles[c]);
-            }
-            inter = next_inter;
-            if inter.is_empty() {
-                break;
-            }
-        }
-        // Project to role order, enforce distinctness, emit.
-        for row in inter {
-            let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
-            for (b, &role) in bound_roles.iter().enumerate() {
-                assignment[role as usize] = Some(row[b]);
-            }
-            if !check_distinct(plan, &assignment) {
-                continue;
-            }
-            out.stats.results += 1;
-            out.rows.push(ResultRow {
-                plan: pi,
-                assignment: assignment.iter().map(|a| a.unwrap()).collect(),
-                score: plan.score,
             });
         }
-    }
-    charge_local_io(&mut out.stats, db, io_before);
-    out
+        drop(tx);
+        let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
+        let mut out = QueryResults::default();
+        for (pi, part) in rx {
+            per_plan[pi] = Some(part.rows);
+            out.stats.merge(&part.stats);
+        }
+        for rows in per_plan.into_iter().flatten() {
+            out.rows.extend(rows);
+        }
+        out
+    })
 }
 
 /// Validates an execution mode — the one inexpressible-but-representable
@@ -877,6 +1172,36 @@ pub fn try_all_results(
 ) -> Result<QueryResults, XkError> {
     validate_plans(catalog, plans)?;
     Ok(all_results(db, catalog, plans))
+}
+
+/// Validated [`all_plans_mt`].
+///
+/// # Errors
+/// Same as [`try_all_plans`].
+pub fn try_all_plans_mt(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    threads: usize,
+) -> Result<QueryResults, XkError> {
+    validate_mode(mode)?;
+    validate_plans(catalog, plans)?;
+    Ok(all_plans_mt(db, catalog, plans, mode, threads))
+}
+
+/// Validated [`all_results_mt`].
+///
+/// # Errors
+/// Same as [`try_all_results`].
+pub fn try_all_results_mt(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    threads: usize,
+) -> Result<QueryResults, XkError> {
+    validate_plans(catalog, plans)?;
+    Ok(all_results_mt(db, catalog, plans, threads))
 }
 
 #[cfg(test)]
@@ -1059,6 +1384,111 @@ mod tests {
         assert!(res.stats.probes > 0);
         assert!(res.stats.results as usize >= res.rows.len());
         assert_eq!(res.stats.cache_hits, 0);
+    }
+
+    /// Parallel full evaluation returns byte-identical rows to the
+    /// single-threaded path, in both execution modes, for every thread
+    /// count — the reassembly-in-plan-order contract.
+    #[test]
+    fn all_plans_mt_rows_identical_to_single_thread() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        for kws in [["us", "vcr"], ["john", "vcr"]] {
+            let plans = plans_for(&f, &kws, 8);
+            for mode in [ExecMode::Naive, ExecMode::Cached { capacity: 1024 }] {
+                let single = all_plans(&f.db, &f.catalog, &plans, mode);
+                for threads in [1, 2, 8] {
+                    let mt = all_plans_mt(&f.db, &f.catalog, &plans, mode, threads);
+                    assert_eq!(mt.rows, single.rows, "{kws:?} {mode:?} t={threads}");
+                    assert_eq!(mt.stats.results, single.stats.results);
+                }
+            }
+        }
+    }
+
+    /// Parallel hash-join evaluation (shared scan memo) matches the
+    /// single-threaded rows exactly.
+    #[test]
+    fn all_results_mt_rows_identical_to_single_thread() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::bare());
+        for kws in [["us", "vcr"], ["john", "vcr"]] {
+            let plans = plans_for(&f, &kws, 8);
+            let single = all_results(&f.db, &f.catalog, &plans);
+            for threads in [1, 2, 8] {
+                let mt = all_results_mt(&f.db, &f.catalog, &plans, threads);
+                assert_eq!(mt.rows, single.rows, "{kws:?} t={threads}");
+            }
+        }
+    }
+
+    /// The §6 top-k presentation is deterministic: identical result sets
+    /// for any worker count, rows sorted by (score, plan, assignment).
+    #[test]
+    fn topk_identical_across_thread_counts() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        for kws in [["us", "vcr"], ["john", "vcr"], ["tv", "vcr"]] {
+            let plans = plans_for(&f, &kws, 8);
+            for k in [1, 3, 5, 10_000] {
+                let reference = topk(
+                    &f.db,
+                    &f.catalog,
+                    &plans,
+                    ExecMode::Cached { capacity: 1024 },
+                    k,
+                    1,
+                );
+                assert!(reference.rows.windows(2).all(|w| (
+                    w[0].score,
+                    w[0].plan,
+                    &w[0].assignment
+                ) <= (
+                    w[1].score,
+                    w[1].plan,
+                    &w[1].assignment
+                )));
+                for threads in [2, 8] {
+                    let got = topk(
+                        &f.db,
+                        &f.catalog,
+                        &plans,
+                        ExecMode::Cached { capacity: 1024 },
+                        k,
+                        threads,
+                    );
+                    assert_eq!(got.rows, reference.rows, "{kws:?} k={k} t={threads}");
+                }
+                // Mode must not change the answer either.
+                let naive = topk(&f.db, &f.catalog, &plans, ExecMode::Naive, k, 4);
+                assert_eq!(naive.rows, reference.rows, "{kws:?} k={k} naive");
+            }
+        }
+    }
+
+    /// The shared striped cache sees cross-thread suffix reuse: with
+    /// enough plans over the same schema suffixes, workers hit entries
+    /// they did not store themselves.
+    #[test]
+    fn shared_partial_cache_reuses_across_workers() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let plans = plans_for(&f, &["us", "vcr"], 8);
+        let res = all_plans_mt(
+            &f.db,
+            &f.catalog,
+            &plans,
+            ExecMode::Cached { capacity: 4096 },
+            4,
+        );
+        assert!(res.stats.cache_hits > 0, "suffixes recur across CNs");
+        let single = all_plans(
+            &f.db,
+            &f.catalog,
+            &plans,
+            ExecMode::Cached { capacity: 4096 },
+        );
+        assert_eq!(res.mttons(), single.mttons());
     }
 }
 

@@ -60,6 +60,12 @@ pub struct LoadOptions {
     pub policy: PhysicalPolicy,
     /// Buffer-pool size in pages.
     pub pool_pages: usize,
+    /// Buffer-pool lock shards (`0` = pick from `pool_pages`; see
+    /// [`xkw_store::BufferPool::with_shards`]).
+    pub pool_shards: usize,
+    /// Worker threads for `query_all`/`query_all_hash` plan evaluation
+    /// (clamped to ≥ 1; `query_topk` takes its thread count per call).
+    pub exec_threads: usize,
     /// Whether to serialize target-object BLOBs.
     pub build_blobs: bool,
 }
@@ -70,6 +76,8 @@ impl Default for LoadOptions {
             decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
             policy: PhysicalPolicy::clustered(),
             pool_pages: 1024,
+            pool_shards: 0,
+            exec_threads: 1,
             build_blobs: true,
         }
     }
@@ -144,7 +152,7 @@ impl XKeyword {
     ) -> Result<Self, xkw_graph::ConformanceError> {
         let targets = TargetGraph::build(&graph, &tss)?;
         let master = MasterIndex::build(&graph, &targets);
-        let db = Db::new(options.pool_pages);
+        let db = Db::with_pool_shards(options.pool_pages, options.pool_shards);
         if options.build_blobs {
             for id in 0..targets.len() as ToId {
                 db.blobs().put(id, targets.to_xml(&graph, id));
@@ -172,6 +180,7 @@ impl XKeyword {
             db.clone(),
             catalog.clone(),
         );
+        engine.set_exec_threads(options.exec_threads);
         Ok(XKeyword {
             graph,
             tss,
@@ -395,7 +404,7 @@ mod tests {
                 decomposition: spec,
                 policy,
                 pool_pages: 256,
-                build_blobs: true,
+                ..LoadOptions::default()
             },
         )
         .unwrap()

@@ -20,11 +20,26 @@ pub struct Db {
 }
 
 impl Db {
-    /// Creates a database whose buffer pool holds `pool_pages` pages.
+    /// Creates a database whose buffer pool holds `pool_pages` pages,
+    /// with the pool's default shard count.
     pub fn new(pool_pages: usize) -> Self {
+        Self::with_pool(BufferPool::new(pool_pages))
+    }
+
+    /// Creates a database with an explicit buffer-pool shard count
+    /// (`0` = pick from capacity; see [`BufferPool::with_shards`]).
+    pub fn with_pool_shards(pool_pages: usize, shards: usize) -> Self {
+        Self::with_pool(if shards == 0 {
+            BufferPool::new(pool_pages)
+        } else {
+            BufferPool::with_shards(pool_pages, shards)
+        })
+    }
+
+    fn with_pool(pool: BufferPool) -> Self {
         Self {
             disk: Disk::new(),
-            pool: BufferPool::new(pool_pages),
+            pool,
             tables: RwLock::new(HashMap::new()),
             blobs: BlobStore::new(),
         }

@@ -70,6 +70,7 @@ fn main() {
                 policy,
                 pool_pages: 1024,
                 build_blobs: false,
+                ..LoadOptions::default()
             },
         )
         .unwrap();

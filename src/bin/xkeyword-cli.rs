@@ -1,7 +1,8 @@
 //! `xkeyword-cli` — keyword proximity search over an XML file.
 //!
 //! ```text
-//! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] [--explain] [--stats]
+//! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
+//!              [--threads N] [--pool-shards N] [--explain] [--stats]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
@@ -24,6 +25,8 @@ struct Args {
     query: Option<String>,
     z: usize,
     top: usize,
+    threads: usize,
+    pool_shards: usize,
     explain: bool,
     stats: bool,
 }
@@ -34,6 +37,8 @@ fn parse_args() -> Args {
         query: None,
         z: 8,
         top: 10,
+        threads: 1,
+        pool_shards: 0,
         explain: false,
         stats: false,
     };
@@ -43,11 +48,16 @@ fn parse_args() -> Args {
             "--query" => args.query = it.next(),
             "--z" => args.z = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
             "--top" => args.top = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--pool-shards" => {
+                args.pool_shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            }
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] [--explain] [--stats]"
+                    "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
+                     [--threads N] [--pool-shards N] [--explain] [--stats]"
                 );
                 std::process::exit(0);
             }
@@ -65,6 +75,8 @@ fn main() {
     let args = parse_args();
     let options = LoadOptions {
         decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
+        pool_shards: args.pool_shards,
+        exec_threads: args.threads,
         ..LoadOptions::default()
     };
     let xk = match &args.file {

@@ -32,7 +32,7 @@ fn load() -> XKeyword {
             decomposition: DecompositionSpec::XKeyword { m: 4, b: 2 },
             policy: PhysicalPolicy::clustered(),
             pool_pages: 512,
-            build_blobs: true,
+            ..LoadOptions::default()
         },
     )
     .unwrap()

@@ -45,7 +45,7 @@ fn load(cfg: &DblpConfig, spec: DecompositionSpec, policy: PhysicalPolicy) -> XK
             decomposition: spec,
             policy,
             pool_pages: 512,
-            build_blobs: true,
+            ..LoadOptions::default()
         },
     )
     .unwrap()
