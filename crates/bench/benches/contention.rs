@@ -12,6 +12,7 @@
 //!
 //! Usage: `cargo bench --bench contention [-- --quick]`
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use xkw_store::{BufferPool, Disk, PageId, PAGE_U32S};

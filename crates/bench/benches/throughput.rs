@@ -16,6 +16,7 @@
 //! Each configuration prints one `{"threads":..}` JSON line for easy
 //! harvesting.
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use xkw_bench::workload::{self as w};
@@ -70,8 +71,10 @@ fn main() {
         total_queries
     );
 
+    let registry = xkw_obs::Registry::new();
     let mut qps_by_threads: Vec<(usize, f64)> = Vec::new();
     for &t in thread_counts {
+        let latency = registry.histogram(&format!("bench_query_latency_ns{{threads=\"{t}\"}}"));
         let next = AtomicUsize::new(0);
         let io_before = xk.db.io();
         let start = Instant::now();
@@ -83,7 +86,9 @@ fn main() {
                         break;
                     }
                     let (a, b) = &queries[i % queries.len()];
+                    let q0 = Instant::now();
                     let out = engine.query_all_hash(&[a, b], w::Z).expect("bench query");
+                    latency.observe_duration(q0.elapsed());
                     std::hint::black_box(out.results.rows.len());
                 });
             }
@@ -92,12 +97,18 @@ fn main() {
         let qps = total_queries as f64 / wall.as_secs_f64();
         qps_by_threads.push((t, qps));
         let io = xk.db.io().since(io_before);
+        let lat = latency.summary();
         println!(
             "{{\"threads\":{t},\"queries\":{total_queries},\"wall_ms\":{:.1},\"qps\":{qps:.2},\
-             \"io_hits\":{},\"io_misses\":{}}}",
+             \"io_hits\":{},\"io_misses\":{},\
+             \"latency_ms\":{{\"p50\":{:.2},\"p95\":{:.2},\"p99\":{:.2},\"max\":{:.2}}}}}",
             wall.as_secs_f64() * 1e3,
             io.hits,
-            io.misses
+            io.misses,
+            lat.p50 as f64 / 1e6,
+            lat.p95 as f64 / 1e6,
+            lat.p99 as f64 / 1e6,
+            lat.max as f64 / 1e6,
         );
     }
 

@@ -1,7 +1,8 @@
 //! Regenerates the series of the paper's evaluation figures (§7).
 //!
 //! ```text
-//! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] [all]
+//! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
+//!             [explain] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -15,6 +16,7 @@
 //!   minimal / combination decompositions;
 //! * **space** — decomposition space accounting (id cells, disk pages).
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::time::{Duration, Instant};
 use xkw_bench::workload::{self as w, Config};
 use xkw_core::ctssn::{Ctssn, KwRequirement};
@@ -48,6 +50,31 @@ fn main() {
     if want("tpch") {
         tpch_section();
     }
+    if want("explain") {
+        explain_section();
+    }
+}
+
+/// EXPLAIN ANALYZE profile of one Fig. 16 author query — the
+/// per-operator evidence behind the figure's probe/IO aggregates
+/// (reproduced in EXPERIMENTS.md §"EXPLAIN ANALYZE").
+fn explain_section() {
+    println!("\n== EXPLAIN ANALYZE: one Fig. 16 author query (MinClust) ==");
+    let data = w::bench_dblp_config();
+    let xk = w::dblp_instance(Config::MinClust, &data);
+    let (a, b) = w::pick_author_queries(&xk, 1, SEED).remove(0);
+    println!("query: \"{a} {b}\", Z = {}", w::Z);
+    let report = xk
+        .engine()
+        .explain(&[&a, &b], w::Z, w::cached())
+        .expect("explain");
+    print!("{}", report.render());
+    let m = &report.outcome.metrics;
+    assert_eq!(
+        report.io_total(),
+        m.io_hits + m.io_misses,
+        "per-operator I/O must decompose the query total"
+    );
 }
 
 const QUERIES: usize = 5;

@@ -2,6 +2,7 @@
 //! configuration — fragment shapes, row counts and MVD classification
 //! (a quick look at what Fig. 12 actually builds).
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 fn main() {
     let data = xkw_bench::workload::bench_dblp_config();
     let xk = xkw_bench::workload::dblp_instance(xkw_bench::workload::Config::XKeyword, &data);

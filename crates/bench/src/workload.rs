@@ -173,6 +173,7 @@ pub fn cached() -> ExecMode {
 
 /// Times the decomposition algorithms on the DBLP TSS graph (sanity
 /// probe used by `experiments decompose`).
+#[allow(clippy::disallowed_macros)] // this probe's job is printing timings
 pub fn time_decompositions() {
     use std::time::Instant;
     let tss = dblp::tss_graph();

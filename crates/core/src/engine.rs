@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xkw_graph::TssGraph;
+use xkw_obs::{OpProfile, PlanProfile};
 use xkw_store::{Db, LruCache};
 
 /// Default capacity of the plan cache, in distinct query shapes.
@@ -271,6 +272,7 @@ impl QueryEngine {
 
         // Discover: containing lists + the schema-level partition.
         let t = Instant::now();
+        let discover_span = xkw_obs::span!("query.discover", keywords = keywords.len());
         for kw in keywords {
             if self.master.containing_list(kw).is_empty() {
                 self.count_error();
@@ -278,10 +280,12 @@ impl QueryEngine {
             }
         }
         let achievable = self.master.achievable_sets(keywords);
+        drop(discover_span);
         let discover = t.elapsed();
 
         // Plan: skeletons from the cache, or built cold and cached.
         let t = Instant::now();
+        let mut plan_span = xkw_obs::span!("query.plan", z = z);
         let key = plan_key(&achievable, keywords.len(), z);
         let cached = self.plan_cache.lock().get(&key).cloned();
         let (skeletons, plan_cache_hit) = match cached {
@@ -303,6 +307,9 @@ impl QueryEngine {
             .iter()
             .filter_map(|s| instantiate(s, &self.catalog, &self.master, keywords, None))
             .collect();
+        plan_span.record("cache_hit", plan_cache_hit);
+        plan_span.record("plans", plans.len());
+        drop(plan_span);
         let plan = t.elapsed();
 
         Ok(Prepared {
@@ -379,15 +386,20 @@ impl QueryEngine {
         mode: ExecMode,
         execute: impl FnOnce(&Prepared) -> Result<QueryResults, XkError>,
     ) -> Result<QueryOutcome, XkError> {
+        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
         let prepared = self.prepare(keywords, z)?;
 
         let t = Instant::now();
+        let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len());
         let results = execute(&prepared).inspect_err(|_| self.count_error())?;
+        drop(exec_span);
         let exec_time = t.elapsed();
 
         let t = Instant::now();
+        let present_span = xkw_obs::span!("query.present", rows = results.rows.len());
         let mttons = results.mttons();
+        drop(present_span);
         let present = t.elapsed();
 
         let metrics = QueryMetrics {
@@ -403,6 +415,7 @@ impl QueryEngine {
             io_misses: results.stats.io_misses,
         };
         self.stats.lock().absorb(&metrics);
+        publish_query_metrics(&metrics, &results);
         Ok(QueryOutcome {
             results,
             mttons,
@@ -410,9 +423,207 @@ impl QueryEngine {
         })
     }
 
+    /// EXPLAIN ANALYZE: prepares the query as usual, then evaluates every
+    /// plan single-threaded with per-probe measurement attached, and
+    /// returns the outcome plus one operator-tree [`PlanProfile`] per
+    /// plan. Summing attributed I/O over the profile trees reproduces the
+    /// outcome's [`QueryMetrics`] I/O totals exactly — the profiles are a
+    /// decomposition of the query's accounting, not an estimate.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::prepare`] errors plus [`XkError::BadMode`].
+    pub fn explain(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+    ) -> Result<ExplainReport, XkError> {
+        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
+        exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
+        let prepared = self.prepare(keywords, z)?;
+        exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
+
+        let t = Instant::now();
+        let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len(), explain = true);
+        let (results, raw) = exec::profile_plans(&self.db, &self.catalog, &prepared.plans, mode);
+        drop(exec_span);
+        let exec_time = t.elapsed();
+
+        let t = Instant::now();
+        let present_span = xkw_obs::span!("query.present", rows = results.rows.len());
+        let mttons = results.mttons();
+        drop(present_span);
+        let present = t.elapsed();
+
+        let metrics = QueryMetrics {
+            discover: prepared.discover,
+            plan: prepared.plan,
+            exec: exec_time,
+            present,
+            plan_cache_hit: prepared.plan_cache_hit,
+            plans: prepared.plans.len(),
+            partial_cache_hits: results.stats.cache_hits,
+            partial_cache_misses: results.stats.cache_misses,
+            io_hits: results.stats.io_hits,
+            io_misses: results.stats.io_misses,
+        };
+        self.stats.lock().absorb(&metrics);
+        publish_query_metrics(&metrics, &results);
+        let profiles = raw
+            .iter()
+            .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+            .collect();
+        Ok(ExplainReport {
+            outcome: QueryOutcome {
+                results,
+                mttons,
+                metrics,
+            },
+            profiles,
+        })
+    }
+
+    /// Dresses one plan's raw measurements in catalog/TSS names.
+    fn plan_profile(&self, plan: &CtssnPlan, raw: &exec::PlanExecProfile) -> PlanProfile {
+        let role_name = |r: u8| {
+            self.tss
+                .node(plan.ctssn.tree.roles[r as usize])
+                .name
+                .clone()
+        };
+        let children: Vec<OpProfile> = plan
+            .tiles
+            .iter()
+            .zip(&raw.steps)
+            .enumerate()
+            .map(|(i, (tile, step))| {
+                let frag = &self.catalog.decomposition.fragments[tile.rel];
+                let binds: Vec<String> = plan.new_roles[i].iter().map(|&r| role_name(r)).collect();
+                OpProfile {
+                    label: format!("probe {} binding [{}]", frag.name, binds.join(", ")),
+                    invocations: step.probes,
+                    rows_in: step.probes,
+                    rows_out: step.rows,
+                    io_hits: step.io_hits,
+                    io_misses: step.io_misses,
+                    elapsed_ns: step.nanos,
+                    children: Vec::new(),
+                }
+            })
+            .collect();
+        // Any I/O the steps did not claim stays on the root, so the tree
+        // always sums exactly to the plan's attributed totals.
+        let step_hits: u64 = raw.steps.iter().map(|s| s.io_hits).sum();
+        let step_misses: u64 = raw.steps.iter().map(|s| s.io_misses).sum();
+        PlanProfile {
+            plan: raw.plan,
+            name: plan.ctssn.display(&self.tss),
+            score: raw.score,
+            rows_out: raw.rows_out,
+            elapsed_ns: raw.elapsed_ns,
+            root: OpProfile {
+                label: format!(
+                    "drive {} ({} candidate target objects)",
+                    role_name(plan.driver),
+                    raw.drivers
+                ),
+                invocations: 1,
+                rows_in: raw.drivers,
+                rows_out: raw.rows_out,
+                io_hits: raw.stats.io_hits.saturating_sub(step_hits),
+                io_misses: raw.stats.io_misses.saturating_sub(step_misses),
+                elapsed_ns: raw.elapsed_ns,
+                children,
+            },
+        }
+    }
+
     fn count_error(&self) {
         self.stats.lock().errors += 1;
+        if xkw_obs::enabled() {
+            xkw_obs::global().counter("xkw_query_errors_total").inc();
+        }
     }
+}
+
+/// A full EXPLAIN ANALYZE report: the ordinary query outcome plus one
+/// operator-tree profile per executed plan.
+#[derive(Debug)]
+pub struct ExplainReport {
+    /// Results, MTTONs and per-stage metrics, exactly as a plain query
+    /// would have produced (modulo single-threaded profiled execution).
+    pub outcome: QueryOutcome,
+    /// Per-plan operator profiles, in plan (score) order.
+    pub profiles: Vec<PlanProfile>,
+}
+
+impl ExplainReport {
+    /// Attributed logical I/O summed over every profile tree. Equals
+    /// `outcome.metrics.io_hits + outcome.metrics.io_misses`.
+    pub fn io_total(&self) -> u64 {
+        self.profiles.iter().map(PlanProfile::io_total).sum()
+    }
+
+    /// The full EXPLAIN ANALYZE text: every plan's operator tree plus a
+    /// stage-latency footer.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.profiles {
+            out.push_str(&p.render());
+        }
+        let m = &self.outcome.metrics;
+        let _ = writeln!(
+            out,
+            "stages: discover={:?} plan={:?} exec={:?} present={:?}",
+            m.discover, m.plan, m.exec, m.present
+        );
+        let _ = writeln!(
+            out,
+            "totals: plans={} results={} io={}h+{}m partial_cache={}h/{}m plan_cache_hit={}",
+            m.plans,
+            self.outcome.results.rows.len(),
+            m.io_hits,
+            m.io_misses,
+            m.partial_cache_hits,
+            m.partial_cache_misses,
+            m.plan_cache_hit
+        );
+        out
+    }
+}
+
+/// Feeds one query's metrics into the global `xkw-obs` registry. A no-op
+/// (single relaxed atomic load) unless observability is enabled.
+fn publish_query_metrics(m: &QueryMetrics, results: &QueryResults) {
+    if !xkw_obs::enabled() {
+        return;
+    }
+    let reg = xkw_obs::global();
+    reg.counter("xkw_queries_total").inc();
+    if m.plan_cache_hit {
+        reg.counter("xkw_plan_cache_hits_total").inc();
+    } else {
+        reg.counter("xkw_plan_cache_misses_total").inc();
+    }
+    let total = m.discover + m.plan + m.exec + m.present;
+    reg.histogram("xkw_query_latency_ns")
+        .observe(total.as_nanos() as u64);
+    reg.histogram("xkw_stage_discover_ns")
+        .observe(m.discover.as_nanos() as u64);
+    reg.histogram("xkw_stage_plan_ns")
+        .observe(m.plan.as_nanos() as u64);
+    reg.histogram("xkw_stage_exec_ns")
+        .observe(m.exec.as_nanos() as u64);
+    reg.histogram("xkw_stage_present_ns")
+        .observe(m.present.as_nanos() as u64);
+    reg.histogram("xkw_query_plans").observe(m.plans as u64);
+    reg.histogram("xkw_query_probe_rows")
+        .observe(results.stats.rows);
+    reg.histogram("xkw_query_results")
+        .observe(results.rows.len() as u64);
+    reg.histogram("xkw_query_io")
+        .observe(m.io_hits + m.io_misses);
 }
 
 /// Canonicalizes the achievable-set partition into the plan-cache key:
@@ -480,6 +691,27 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.queries, 1);
         assert_eq!(s.plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn explain_io_decomposes_query_total() {
+        let e = engine();
+        let mode = ExecMode::Cached { capacity: 1024 };
+        let report = e.explain(&["john", "vcr"], 8, mode).unwrap();
+        let m = &report.outcome.metrics;
+        // Summed per-operator attributed I/O equals the query's own total.
+        assert_eq!(report.io_total(), m.io_hits + m.io_misses);
+        assert!(report.io_total() > 0);
+        assert_eq!(report.profiles.len(), m.plans);
+        // The profiled run produces the same answers as a plain query.
+        let plain = e.query_all(&["john", "vcr"], 8, mode).unwrap();
+        assert_eq!(report.outcome.mttons, plain.mttons);
+        // And the rendering names both operator kinds plus the stage line.
+        let text = report.render();
+        assert!(text.contains("drive "), "{text}");
+        assert!(text.contains("probe "), "{text}");
+        assert!(text.contains("stages:"), "{text}");
+        assert_eq!(e.stats().queries, 2, "explain counts as a query");
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub enum XkError {
     /// A contradictory execution mode (cached execution with a zero
     /// capacity cache).
     BadMode(String),
+    /// A worker thread panicked during multi-threaded plan evaluation;
+    /// carries the panic payload (if it was a string).
+    WorkerPanic(String),
     /// A storage-layer failure.
     Store(StoreError),
 }
@@ -72,6 +75,9 @@ impl std::fmt::Display for XkError {
                 "relation {relation} arity mismatch: has {expected} columns, plan binds {got}"
             ),
             Self::BadMode(why) => write!(f, "bad execution mode: {why}"),
+            Self::WorkerPanic(payload) => {
+                write!(f, "worker thread panicked during execution: {payload}")
+            }
             Self::Store(e) => write!(f, "store error: {e}"),
         }
     }

@@ -34,9 +34,11 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use xkw_store::{Db, LruCache, Row};
+use std::time::Instant;
+use xkw_store::{Db, IoSnapshot, LruCache, Row};
 
 /// Execution mode for the nested-loop engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +118,91 @@ fn charge_local_io(stats: &mut ExecStats, db: &Db, before: xkw_store::IoSnapshot
     let delta = db.local_io().since(before);
     stats.io_hits += delta.hits;
     stats.io_misses += delta.misses;
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_owned(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
+/// Runs `f`, converting a panic into [`XkError::WorkerPanic`] — the
+/// single-threaded counterpart of the worker-thread panic capture, so
+/// `try_*` entry points report a typed error at every thread count.
+fn catch_worker<T>(f: impl FnOnce() -> T) -> Result<T, XkError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| XkError::WorkerPanic(panic_message(p)))
+}
+
+/// Observes individual store probes during nested-loop evaluation — the
+/// hook EXPLAIN ANALYZE hangs off. The production paths pass
+/// [`NoProbeObs`], a ZST whose methods compile to nothing, so the hot
+/// loop pays for instrumentation only in profiled runs.
+pub trait ProbeObserver {
+    /// Whether probes should be measured (lets [`eval_plan`] skip the
+    /// per-probe I/O snapshots and clock reads entirely).
+    fn active(&self) -> bool {
+        false
+    }
+    /// One store probe: plan step, rows returned, attributed buffer-pool
+    /// delta and elapsed wall time.
+    fn record(&mut self, _step: usize, _rows: u64, _io: IoSnapshot, _nanos: u64) {}
+}
+
+/// The no-op observer of the production execution paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbeObs;
+
+impl ProbeObserver for NoProbeObs {}
+
+/// Per-step probe totals accumulated by [`StepProbeObs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepProbe {
+    /// Probes sent for this tile step.
+    pub probes: u64,
+    /// Rows those probes returned.
+    pub rows: u64,
+    /// Buffer-pool hits attributed to the step.
+    pub io_hits: u64,
+    /// Buffer-pool misses attributed to the step.
+    pub io_misses: u64,
+    /// Wall time inside the store, nanoseconds.
+    pub nanos: u64,
+}
+
+/// Collects per-tile-step probe totals for EXPLAIN ANALYZE runs.
+#[derive(Debug, Clone, Default)]
+pub struct StepProbeObs {
+    /// One accumulator per tile step of the plan under evaluation.
+    pub steps: Vec<StepProbe>,
+}
+
+impl StepProbeObs {
+    /// An observer sized for a plan with `n` tile steps.
+    pub fn for_steps(n: usize) -> Self {
+        StepProbeObs {
+            steps: vec![StepProbe::default(); n],
+        }
+    }
+}
+
+impl ProbeObserver for StepProbeObs {
+    fn active(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, step: usize, rows: u64, io: IoSnapshot, nanos: u64) {
+        let s = &mut self.steps[step];
+        s.probes += 1;
+        s.rows += rows;
+        s.io_hits += io.hits;
+        s.io_misses += io.misses;
+        s.nanos += nanos;
+    }
 }
 
 /// The partial-result cache key: suffix signature + frontier bindings.
@@ -218,14 +305,22 @@ pub fn eval_plan<C: PartialCacheOps>(
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
-    let io_before = db.local_io();
-    let flow = eval_plan_inner(db, catalog, plan_idx, plan, mode, cache, stats, emit);
-    charge_local_io(stats, db, io_before);
-    flow
+    eval_plan_obs(
+        db,
+        catalog,
+        plan_idx,
+        plan,
+        mode,
+        cache,
+        stats,
+        emit,
+        &mut NoProbeObs,
+    )
 }
 
+/// [`eval_plan`] with a [`ProbeObserver`] — the EXPLAIN ANALYZE entry.
 #[allow(clippy::too_many_arguments)]
-fn eval_plan_inner<C: PartialCacheOps>(
+pub fn eval_plan_obs<C: PartialCacheOps, O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
     plan_idx: usize,
@@ -234,6 +329,31 @@ fn eval_plan_inner<C: PartialCacheOps>(
     cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+    obs: &mut O,
+) -> ControlFlow<()> {
+    let _span = xkw_obs::span!(
+        "exec.plan",
+        plan = plan_idx,
+        score = plan.score,
+        tiles = plan.tiles.len()
+    );
+    let io_before = db.local_io();
+    let flow = eval_plan_inner(db, catalog, plan_idx, plan, mode, cache, stats, emit, obs);
+    charge_local_io(stats, db, io_before);
+    flow
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan_idx: usize,
+    plan: &CtssnPlan,
+    mode: ExecMode,
+    cache: &mut C,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+    obs: &mut O,
 ) -> ControlFlow<()> {
     let nroles = plan.role_count();
     let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
@@ -247,9 +367,9 @@ fn eval_plan_inner<C: PartialCacheOps>(
     for to in drivers {
         assignment[plan.driver as usize] = Some(to);
         let subs = match mode {
-            ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment),
+            ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment, obs),
             ExecMode::Cached { .. } => {
-                completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment)
+                completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment, obs)
             }
         };
         for sub in subs.iter() {
@@ -293,13 +413,23 @@ pub fn eval_anchored<C: PartialCacheOps>(
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     let io_before = db.local_io();
-    let flow = eval_anchored_inner(db, catalog, plan, to, mode, cache, stats, emit);
+    let flow = eval_anchored_inner(
+        db,
+        catalog,
+        plan,
+        to,
+        mode,
+        cache,
+        stats,
+        emit,
+        &mut NoProbeObs,
+    );
     charge_local_io(stats, db, io_before);
     flow
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_anchored_inner<C: PartialCacheOps>(
+fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
@@ -308,6 +438,7 @@ fn eval_anchored_inner<C: PartialCacheOps>(
     cache: &mut C,
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+    obs: &mut O,
 ) -> ControlFlow<()> {
     if let Some(c) = &plan.candidates[plan.driver as usize] {
         if !c.contains(&to) {
@@ -318,9 +449,9 @@ fn eval_anchored_inner<C: PartialCacheOps>(
     assignment[plan.driver as usize] = Some(to);
     let fresh = suffix_fresh_roles(plan, 0);
     let subs = match mode {
-        ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment),
+        ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment, obs),
         ExecMode::Cached { .. } => {
-            completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment)
+            completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment, obs)
         }
     };
     for sub in subs.iter() {
@@ -344,26 +475,27 @@ fn eval_anchored_inner<C: PartialCacheOps>(
 
 /// All completions of the suffix `i..`: bindings for
 /// `suffix_fresh_roles(plan, i)`, computed by probing (naive mode).
-fn completions_naive(
+fn completions_naive<O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
     stats: &mut ExecStats,
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
+    obs: &mut O,
 ) -> Arc<Vec<Vec<ToId>>> {
     if i == plan.tiles.len() {
         return Arc::new(vec![Vec::new()]);
     }
     let mut out: Vec<Vec<ToId>> = Vec::new();
-    let rows = probe_tile(db, catalog, plan, i, assignment, stats);
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs);
     for row in rows {
         if bind_row(plan, i, &row, assignment) {
             let local: Vec<ToId> = plan.new_roles[i]
                 .iter()
                 .map(|&r| assignment[r as usize].expect("bound"))
                 .collect();
-            let subs = completions_naive(db, catalog, plan, stats, i + 1, assignment);
+            let subs = completions_naive(db, catalog, plan, stats, i + 1, assignment, obs);
             for sub in subs.iter() {
                 let mut c = local.clone();
                 c.extend_from_slice(sub);
@@ -376,7 +508,8 @@ fn completions_naive(
 }
 
 /// Cached variant: memoized on (suffix signature, frontier bindings).
-fn completions_cached<C: PartialCacheOps>(
+#[allow(clippy::too_many_arguments)]
+fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
@@ -384,6 +517,7 @@ fn completions_cached<C: PartialCacheOps>(
     stats: &mut ExecStats,
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
+    obs: &mut O,
 ) -> Arc<Vec<Vec<ToId>>> {
     if i == plan.tiles.len() {
         return Arc::new(vec![Vec::new()]);
@@ -401,14 +535,14 @@ fn completions_cached<C: PartialCacheOps>(
     }
     stats.cache_misses += 1;
     let mut out: Vec<Vec<ToId>> = Vec::new();
-    let rows = probe_tile(db, catalog, plan, i, assignment, stats);
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs);
     for row in rows {
         if bind_row(plan, i, &row, assignment) {
             let local: Vec<ToId> = plan.new_roles[i]
                 .iter()
                 .map(|&r| assignment[r as usize].expect("bound"))
                 .collect();
-            let subs = completions_cached(db, catalog, plan, cache, stats, i + 1, assignment);
+            let subs = completions_cached(db, catalog, plan, cache, stats, i + 1, assignment, obs);
             for sub in subs.iter() {
                 let mut c = local.clone();
                 c.extend_from_slice(sub);
@@ -423,13 +557,14 @@ fn completions_cached<C: PartialCacheOps>(
 }
 
 /// Probes tile `i`'s relation on its currently-bound columns.
-fn probe_tile(
+fn probe_tile<O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
     plan: &CtssnPlan,
     i: usize,
     assignment: &[Option<ToId>],
     stats: &mut ExecStats,
+    obs: &mut O,
 ) -> Vec<Row> {
     let tile = &plan.tiles[i];
     let mut cols: Vec<usize> = Vec::new();
@@ -441,7 +576,21 @@ fn probe_tile(
         }
     }
     stats.probes += 1;
-    let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+    let rows = if obs.active() {
+        let io_before = db.local_io();
+        let t0 = Instant::now();
+        let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+        obs.record(
+            i,
+            rows.len() as u64,
+            db.local_io().since(io_before),
+            t0.elapsed().as_nanos() as u64,
+        );
+        rows
+    } else {
+        let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+        rows
+    };
     stats.rows += rows.len() as u64;
     rows
 }
@@ -624,6 +773,7 @@ impl Iterator for ResultStream<'_> {
                     &mut self.stats,
                     0,
                     &mut assignment,
+                    &mut NoProbeObs,
                 ),
                 ExecMode::Cached { .. } => completions_cached(
                     self.db,
@@ -633,6 +783,7 @@ impl Iterator for ResultStream<'_> {
                     &mut self.stats,
                     0,
                     &mut assignment,
+                    &mut NoProbeObs,
                 ),
             };
             for sub in subs.iter() {
@@ -674,6 +825,83 @@ pub fn all_plans(
     out
 }
 
+/// One plan's raw EXPLAIN ANALYZE measurements, as produced by
+/// [`profile_plans`]. Engine-level code turns these into presentable
+/// `xkw_obs::PlanProfile` trees (it has the names; this layer has the
+/// numbers).
+#[derive(Debug, Clone, Default)]
+pub struct PlanExecProfile {
+    /// Plan index in score order.
+    pub plan: usize,
+    /// The plan's score (CN size).
+    pub score: usize,
+    /// Driver bindings iterated.
+    pub drivers: u64,
+    /// Result rows the plan emitted.
+    pub rows_out: u64,
+    /// Wall time for the whole plan, nanoseconds.
+    pub elapsed_ns: u64,
+    /// The plan's merged statistics (probes, rows, cache traffic,
+    /// attributed I/O).
+    pub stats: ExecStats,
+    /// Per-tile-step probe totals. Summing `io_hits`/`io_misses` over
+    /// the steps reproduces `stats.io_hits`/`stats.io_misses` exactly:
+    /// every buffer-pool request this executor issues flows through
+    /// [`eval_plan`]'s tile probes.
+    pub steps: Vec<StepProbe>,
+}
+
+/// Profiled [`all_plans`]: evaluates every plan single-threaded with a
+/// [`StepProbeObs`] attached, returning the results plus one
+/// [`PlanExecProfile`] per plan. Single-threaded on purpose — per-thread
+/// I/O attribution then decomposes the query's total exactly, which is
+/// the EXPLAIN ANALYZE accounting invariant.
+pub fn profile_plans(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+) -> (QueryResults, Vec<PlanExecProfile>) {
+    let mut cache = new_cache(mode);
+    let mut out = QueryResults::default();
+    let mut profiles = Vec::with_capacity(plans.len());
+    for (i, p) in plans.iter().enumerate() {
+        let mut stats = ExecStats::default();
+        let mut obs = StepProbeObs::for_steps(p.tiles.len());
+        let rows_before = out.rows.len();
+        let t0 = Instant::now();
+        let _ = eval_plan_obs(
+            db,
+            catalog,
+            i,
+            p,
+            mode,
+            &mut cache,
+            &mut stats,
+            &mut |r| {
+                out.rows.push(r);
+                ControlFlow::Continue(())
+            },
+            &mut obs,
+        );
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let drivers = p.candidates[p.driver as usize]
+            .as_ref()
+            .map_or(0, |c| c.len() as u64);
+        profiles.push(PlanExecProfile {
+            plan: i,
+            score: p.score,
+            drivers,
+            rows_out: (out.rows.len() - rows_before) as u64,
+            elapsed_ns,
+            stats,
+            steps: obs.steps,
+        });
+        out.stats.merge(&stats);
+    }
+    (out, profiles)
+}
+
 /// Parallel [`all_plans`]: a pool of `threads` workers pulls candidate
 /// networks in score order and evaluates each to completion against a
 /// [`SharedPartialCache`], so the cross-CN suffix reuse of §6 survives
@@ -688,54 +916,81 @@ pub fn all_plans_mt(
     mode: ExecMode,
     threads: usize,
 ) -> QueryResults {
+    all_plans_mt_result(db, catalog, plans, mode, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`all_plans_mt`] reporting worker-thread panics as
+/// [`XkError::WorkerPanic`] instead of silently dropping them (a worker
+/// that dies mid-plan would otherwise just contribute nothing).
+///
+/// # Errors
+/// [`XkError::WorkerPanic`] if any worker panicked.
+pub(crate) fn all_plans_mt_result(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    threads: usize,
+) -> Result<QueryResults, XkError> {
     let threads = threads.max(1).min(plans.len().max(1));
     if threads == 1 {
-        return all_plans(db, catalog, plans, mode);
+        return catch_worker(|| all_plans(db, catalog, plans, mode));
     }
     let next_plan = AtomicUsize::new(0);
     let shared = SharedPartialCache::new(mode, threads);
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<ResultRow>, ExecStats)>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
+            let panic_tx = panic_tx.clone();
             let (next_plan, shared) = (&next_plan, &shared);
             scope.spawn(move || {
-                let mut cache = shared;
-                loop {
-                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                    if pi >= plans.len() {
-                        break;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut cache = shared;
+                    loop {
+                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                        if pi >= plans.len() {
+                            break;
+                        }
+                        let mut stats = ExecStats::default();
+                        let mut rows = Vec::new();
+                        let _ = eval_plan(
+                            db,
+                            catalog,
+                            pi,
+                            &plans[pi],
+                            mode,
+                            &mut cache,
+                            &mut stats,
+                            &mut |r| {
+                                rows.push(r);
+                                ControlFlow::Continue(())
+                            },
+                        );
+                        let _ = tx.send((pi, rows, stats));
                     }
-                    let mut stats = ExecStats::default();
-                    let mut rows = Vec::new();
-                    let _ = eval_plan(
-                        db,
-                        catalog,
-                        pi,
-                        &plans[pi],
-                        mode,
-                        &mut cache,
-                        &mut stats,
-                        &mut |r| {
-                            rows.push(r);
-                            ControlFlow::Continue(())
-                        },
-                    );
-                    let _ = tx.send((pi, rows, stats));
+                }));
+                if let Err(p) = caught {
+                    let _ = panic_tx.send(panic_message(p));
                 }
             });
         }
         drop(tx);
+        drop(panic_tx);
         let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
         let mut out = QueryResults::default();
         for (pi, rows, stats) in rx {
             per_plan[pi] = Some(rows);
             out.stats.merge(&stats);
         }
+        if let Ok(msg) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic(msg));
+        }
         for rows in per_plan.into_iter().flatten() {
             out.rows.extend(rows);
         }
-        out
+        Ok(out)
     })
 }
 
@@ -761,57 +1016,80 @@ pub fn topk(
     k: usize,
     threads: usize,
 ) -> QueryResults {
+    topk_result(db, catalog, plans, mode, k, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`topk`] reporting worker-thread panics as [`XkError::WorkerPanic`].
+///
+/// # Errors
+/// [`XkError::WorkerPanic`] if any worker panicked.
+pub(crate) fn topk_result(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+) -> Result<QueryResults, XkError> {
     let emitted = AtomicUsize::new(0);
     let next_plan = AtomicUsize::new(0);
     let threads = threads.max(1);
     let shared = SharedPartialCache::new(mode, threads);
     let (tx, rx) = crossbeam::channel::unbounded::<Result<ResultRow, ExecStats>>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
+            let panic_tx = panic_tx.clone();
             let (emitted, next_plan, shared) = (&emitted, &next_plan, &shared);
             let db = db.clone();
             let catalog = catalog.clone();
             scope.spawn(move || {
-                let mut cache = shared;
-                loop {
-                    if emitted.load(Ordering::SeqCst) >= k {
-                        break;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut cache = shared;
+                    loop {
+                        if emitted.load(Ordering::SeqCst) >= k {
+                            break;
+                        }
+                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                        if pi >= plans.len() {
+                            break;
+                        }
+                        let plan = &plans[pi];
+                        let mut stats = ExecStats::default();
+                        let mut local = 0usize;
+                        let _ = eval_plan(
+                            &db,
+                            &catalog,
+                            pi,
+                            plan,
+                            mode,
+                            &mut cache,
+                            &mut stats,
+                            &mut |r| {
+                                local += 1;
+                                emitted.fetch_add(1, Ordering::SeqCst);
+                                let _ = tx.send(Ok(r));
+                                // Cap per plan, never per pool: a global cut
+                                // would make the kept subset depend on
+                                // thread scheduling.
+                                if local >= k {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            },
+                        );
+                        let _ = tx.send(Err(stats));
                     }
-                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                    if pi >= plans.len() {
-                        break;
-                    }
-                    let plan = &plans[pi];
-                    let mut stats = ExecStats::default();
-                    let mut local = 0usize;
-                    let _ = eval_plan(
-                        &db,
-                        &catalog,
-                        pi,
-                        plan,
-                        mode,
-                        &mut cache,
-                        &mut stats,
-                        &mut |r| {
-                            local += 1;
-                            emitted.fetch_add(1, Ordering::SeqCst);
-                            let _ = tx.send(Ok(r));
-                            // Cap per plan, never per pool: a global cut
-                            // would make the kept subset depend on
-                            // thread scheduling.
-                            if local >= k {
-                                ControlFlow::Break(())
-                            } else {
-                                ControlFlow::Continue(())
-                            }
-                        },
-                    );
-                    let _ = tx.send(Err(stats));
+                }));
+                if let Err(p) = caught {
+                    let _ = panic_tx.send(panic_message(p));
                 }
             });
         }
         drop(tx);
+        drop(panic_tx);
         let mut out = QueryResults::default();
         for msg in rx {
             match msg {
@@ -819,11 +1097,14 @@ pub fn topk(
                 Err(stats) => out.stats.merge(&stats),
             }
         }
+        if let Ok(msg) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic(msg));
+        }
         out.rows.sort_by(|a, b| {
             (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
         });
         out.rows.truncate(k);
-        out
+        Ok(out)
     })
 }
 
@@ -904,6 +1185,12 @@ fn hash_join_plan<M: ScanMemoOps>(
     memo: &mut M,
     out: &mut QueryResults,
 ) {
+    let _span = xkw_obs::span!(
+        "exec.hash_plan",
+        plan = pi,
+        score = plan.score,
+        tiles = plan.tiles.len()
+    );
     let io_before = db.local_io();
     let nroles = plan.role_count();
     if plan.tiles.is_empty() {
@@ -945,6 +1232,7 @@ fn hash_join_plan<M: ScanMemoOps>(
         let scanned: Arc<Vec<Row>> = match memo.lookup(&key) {
             Some(hit) => hit,
             None => {
+                let _scan_span = xkw_obs::span!("exec.scan", plan = pi, step = i, rel = tile.rel);
                 out.stats.probes += 1;
                 let v: Vec<Row> = catalog
                     .scan(db, tile.rel)
@@ -966,6 +1254,14 @@ fn hash_join_plan<M: ScanMemoOps>(
             inter = scanned.iter().map(|r| r.to_vec()).collect();
             continue;
         }
+        let _join_span = xkw_obs::span!(
+            "exec.join",
+            plan = pi,
+            step = i,
+            rel = tile.rel,
+            left_rows = inter.len(),
+            right_rows = scanned.len()
+        );
         // Join columns: roles shared between `bound_roles` and tile.
         let shared: Vec<(usize, usize)> = tile
             .cols_to_roles
@@ -1047,41 +1343,66 @@ pub fn all_results_mt(
     plans: &[CtssnPlan],
     threads: usize,
 ) -> QueryResults {
+    all_results_mt_result(db, catalog, plans, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`all_results_mt`] reporting worker-thread panics as
+/// [`XkError::WorkerPanic`].
+///
+/// # Errors
+/// [`XkError::WorkerPanic`] if any worker panicked.
+pub(crate) fn all_results_mt_result(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    threads: usize,
+) -> Result<QueryResults, XkError> {
     let threads = threads.max(1).min(plans.len().max(1));
     if threads == 1 {
-        return all_results(db, catalog, plans);
+        return catch_worker(|| all_results(db, catalog, plans));
     }
     let next_plan = AtomicUsize::new(0);
     let memo = SharedScanMemo::new(threads);
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, QueryResults)>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
+            let panic_tx = panic_tx.clone();
             let (next_plan, memo) = (&next_plan, &memo);
             scope.spawn(move || {
-                let mut memo = memo;
-                loop {
-                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                    if pi >= plans.len() {
-                        break;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut memo = memo;
+                    loop {
+                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                        if pi >= plans.len() {
+                            break;
+                        }
+                        let mut part = QueryResults::default();
+                        hash_join_plan(db, catalog, pi, &plans[pi], &mut memo, &mut part);
+                        let _ = tx.send((pi, part));
                     }
-                    let mut part = QueryResults::default();
-                    hash_join_plan(db, catalog, pi, &plans[pi], &mut memo, &mut part);
-                    let _ = tx.send((pi, part));
+                }));
+                if let Err(p) = caught {
+                    let _ = panic_tx.send(panic_message(p));
                 }
             });
         }
         drop(tx);
+        drop(panic_tx);
         let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
         let mut out = QueryResults::default();
         for (pi, part) in rx {
             per_plan[pi] = Some(part.rows);
             out.stats.merge(&part.stats);
         }
+        if let Ok(msg) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic(msg));
+        }
         for rows in per_plan.into_iter().flatten() {
             out.rows.extend(rows);
         }
-        out
+        Ok(out)
     })
 }
 
@@ -1146,7 +1467,8 @@ pub fn try_all_plans(
 /// Validated [`topk`].
 ///
 /// # Errors
-/// Same as [`try_all_plans`].
+/// Same as [`try_all_plans`], plus [`XkError::WorkerPanic`] if a worker
+/// thread panicked during evaluation.
 pub fn try_topk(
     db: &Arc<Db>,
     catalog: &Arc<RelationCatalog>,
@@ -1157,7 +1479,7 @@ pub fn try_topk(
 ) -> Result<QueryResults, XkError> {
     validate_mode(mode)?;
     validate_plans(catalog, plans)?;
-    Ok(topk(db, catalog, plans, mode, k, threads))
+    topk_result(db, catalog, plans, mode, k, threads)
 }
 
 /// Validated [`all_results`].
@@ -1177,7 +1499,8 @@ pub fn try_all_results(
 /// Validated [`all_plans_mt`].
 ///
 /// # Errors
-/// Same as [`try_all_plans`].
+/// Same as [`try_all_plans`], plus [`XkError::WorkerPanic`] if a worker
+/// thread panicked during evaluation.
 pub fn try_all_plans_mt(
     db: &Db,
     catalog: &RelationCatalog,
@@ -1187,13 +1510,14 @@ pub fn try_all_plans_mt(
 ) -> Result<QueryResults, XkError> {
     validate_mode(mode)?;
     validate_plans(catalog, plans)?;
-    Ok(all_plans_mt(db, catalog, plans, mode, threads))
+    all_plans_mt_result(db, catalog, plans, mode, threads)
 }
 
 /// Validated [`all_results_mt`].
 ///
 /// # Errors
-/// Same as [`try_all_results`].
+/// Same as [`try_all_results`], plus [`XkError::WorkerPanic`] if a
+/// worker thread panicked during evaluation.
 pub fn try_all_results_mt(
     db: &Db,
     catalog: &RelationCatalog,
@@ -1201,7 +1525,7 @@ pub fn try_all_results_mt(
     threads: usize,
 ) -> Result<QueryResults, XkError> {
     validate_plans(catalog, plans)?;
-    Ok(all_results_mt(db, catalog, plans, threads))
+    all_results_mt_result(db, catalog, plans, threads)
 }
 
 #[cfg(test)]
@@ -1343,6 +1667,82 @@ mod tests {
         for r in &top.rows {
             assert!(all.contains(&r.to_mtton()));
         }
+    }
+
+    #[test]
+    fn profile_decomposes_plan_io_exactly() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let plans = plans_for(&f, &["us", "vcr"], 8);
+        for mode in [ExecMode::Naive, ExecMode::Cached { capacity: 1024 }] {
+            let plain = all_plans(&f.db, &f.catalog, &plans, mode);
+            let (profiled, profs) = profile_plans(&f.db, &f.catalog, &plans, mode);
+            assert_eq!(plain.rows, profiled.rows, "{mode:?}");
+            assert_eq!(profs.len(), plans.len());
+            for p in &profs {
+                let step_h: u64 = p.steps.iter().map(|s| s.io_hits).sum();
+                let step_m: u64 = p.steps.iter().map(|s| s.io_misses).sum();
+                assert_eq!(
+                    (step_h, step_m),
+                    (p.stats.io_hits, p.stats.io_misses),
+                    "plan {} under {mode:?}",
+                    p.plan
+                );
+            }
+            let io: u64 = profs
+                .iter()
+                .map(|p| p.stats.io_hits + p.stats.io_misses)
+                .sum();
+            assert_eq!(io, profiled.stats.io_hits + profiled.stats.io_misses);
+            assert!(io > 0);
+        }
+    }
+
+    #[test]
+    fn worker_panics_become_typed_errors() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::clustered());
+        let mut plans = plans_for(&f, &["us", "vcr"], 8);
+        assert!(plans.len() >= 2, "need several plans to exercise workers");
+        // Sabotage the last plan: no driver candidates — the evaluator
+        // asserts on this invariant.
+        let last = plans.len() - 1;
+        let d = plans[last].driver as usize;
+        plans[last].candidates[d] = None;
+        let err = try_all_plans_mt(&f.db, &f.catalog, &plans, ExecMode::Naive, 2).unwrap_err();
+        assert!(matches!(err, XkError::WorkerPanic(_)), "{err:?}");
+        assert!(err.to_string().contains("worker thread panicked"));
+        // The single-threaded fallback reports the same typed error.
+        let err1 = all_plans_mt_result(&f.db, &f.catalog, &plans, ExecMode::Naive, 1).unwrap_err();
+        assert!(matches!(err1, XkError::WorkerPanic(_)), "{err1:?}");
+        // topk workers propagate too (k large enough to reach the
+        // sabotaged plan).
+        let err2 = try_topk(
+            &f.db,
+            &f.catalog,
+            &plans,
+            ExecMode::Cached { capacity: 64 },
+            100_000,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err2, XkError::WorkerPanic(_)), "{err2:?}");
+    }
+
+    #[test]
+    fn hash_worker_panics_become_typed_errors() {
+        let tss = tpch::tss_graph();
+        let f = fixture(decompose::minimal(&tss), PhysicalPolicy::bare());
+        let mut plans = plans_for(&f, &["us", "vcr"], 8);
+        let target = plans
+            .iter()
+            .rposition(|p| !p.tiles.is_empty())
+            .expect("a joining plan");
+        // Out-of-range relation: the catalog indexes with it and panics.
+        // (try_* would catch this in validation, so call the raw path.)
+        plans[target].tiles[0].rel = 9999;
+        let err = all_results_mt_result(&f.db, &f.catalog, &plans, 2).unwrap_err();
+        assert!(matches!(err, XkError::WorkerPanic(_)), "{err:?}");
     }
 
     #[test]

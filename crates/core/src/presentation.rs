@@ -218,6 +218,11 @@ pub fn expand_on_demand_limited(
     limit: usize,
 ) -> (usize, ExecStats) {
     let role = anchored_plan.driver;
+    let _span = xkw_obs::span!(
+        "present.expand",
+        role = role as u64,
+        universe = universe.len()
+    );
     let mut stats = ExecStats::default();
     let before = pg.len();
     let mut shown = pg.nodes_of_role(role).len();

@@ -150,14 +150,22 @@ impl XKeyword {
         tss: TssGraph,
         options: LoadOptions,
     ) -> Result<Self, xkw_graph::ConformanceError> {
+        let _load_span = xkw_obs::span!("load", pool_pages = options.pool_pages);
+        let targets_span = xkw_obs::span!("load.targets");
         let targets = TargetGraph::build(&graph, &tss)?;
+        drop(targets_span);
+        let mut master_span = xkw_obs::span!("load.master");
         let master = MasterIndex::build(&graph, &targets);
+        master_span.record("targets", targets.len());
+        drop(master_span);
         let db = Db::with_pool_shards(options.pool_pages, options.pool_shards);
         if options.build_blobs {
+            let _blobs_span = xkw_obs::span!("load.blobs", count = targets.len());
             for id in 0..targets.len() as ToId {
                 db.blobs().put(id, targets.to_xml(&graph, id));
             }
         }
+        let catalog_span = xkw_obs::span!("load.catalog");
         let decomposition: Decomposition = match options.decomposition {
             DecompositionSpec::Minimal => decompose::minimal(&tss),
             DecompositionSpec::Complete { l } => decompose::complete(&tss, l),
@@ -168,6 +176,7 @@ impl XKeyword {
         };
         let catalog =
             RelationCatalog::materialize(&db, &targets, decomposition, options.policy, "cr");
+        drop(catalog_span);
         let tss = Arc::new(tss);
         let targets = Arc::new(targets);
         let master = Arc::new(master);

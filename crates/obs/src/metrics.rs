@@ -1,0 +1,486 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! log-scale histograms with quantile summaries.
+//!
+//! Instruments are handed out as `Arc`s by a [`Registry`] (usually the
+//! process-global [`global()`]) and updated with relaxed atomics — no
+//! lock is taken on the update path. Histograms use [`BUCKETS`]
+//! power-of-two buckets (bucket *i* covers `[2^i, 2^(i+1))`
+//! nanoseconds/units), so an observation is a `leading_zeros` plus two
+//! `fetch_add`s; quantiles are read back as the upper bound of the
+//! bucket where the cumulative count crosses the rank, clamped to the
+//! exact observed min/max. With ~5 µs p50 query latencies and buckets
+//! doubling, the worst-case quantile error is 2× — the right trade for
+//! a fixed-size, allocation-free, contention-free instrument.
+//!
+//! Exports: [`Registry::render_prometheus`] (text exposition format,
+//! histograms as cumulative `_bucket{le=...}` series) and
+//! [`Registry::render_json`] (a serde-free dump with p50/p95/p99).
+//!
+//! Metric names may carry Prometheus-style labels inline:
+//! `pool_shard_hits{shard="3"}` is one instrument whose name is the
+//! whole string; the exporters merge extra labels (`le`) correctly.
+
+use crate::push_json_str;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log2 histogram buckets; bucket `BUCKETS - 1` absorbs
+/// everything at or above 2^39 (~9.1 minutes in nanoseconds).
+pub const BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the log2 bucket covering `v`.
+fn bucket_of(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound reported for bucket `i` (`2^(i+1) - 1`).
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A fixed-bucket log-scale histogram. Observations are any u64 unit
+/// (the engine feeds nanoseconds and row counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time digest of a histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median estimate (bucket upper bound, clamped to min/max).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-time observation in nanoseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos() as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the
+    /// bucket where the cumulative count reaches `ceil(q * count)`,
+    /// clamped to the exact observed extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let lo = self.min.load(Ordering::Relaxed);
+        let hi = self.max.load(Ordering::Relaxed);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_bound(i).clamp(lo.min(hi), hi);
+            }
+        }
+        hi
+    }
+
+    /// Snapshot of count/sum/extremes and the standard percentiles.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Per-bucket counts (for exporters).
+    fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of instruments. Lookup/creation takes a mutex; callers
+/// hold the returned `Arc` and update it lock-free.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.histograms.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Drops every instrument (benchmarks isolate runs with this;
+    /// outstanding `Arc`s keep updating their orphaned instrument).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        *inner = Instruments::default();
+    }
+
+    /// Prometheus text exposition format. Histogram values are emitted
+    /// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`;
+    /// only non-empty buckets below the final `+Inf` are listed.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
+            out.push_str(&format!("{name} {}\n", c.get()));
+        }
+        for (name, g) in &inner.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n", base_name(name)));
+            out.push_str(&format!("{name} {}\n", g.get()));
+        }
+        for (name, h) in &inner.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", base_name(name)));
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, n) in counts.iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    with_label(name, "_bucket", "le", &bucket_bound(i).to_string())
+                ));
+            }
+            out.push_str(&format!(
+                "{} {cumulative}\n",
+                with_label(name, "_bucket", "le", "+Inf")
+            ));
+            let s = h.summary();
+            out.push_str(&format!("{} {}\n", suffixed(name, "_sum"), s.sum));
+            out.push_str(&format!("{} {}\n", suffixed(name, "_count"), s.count));
+        }
+        out
+    }
+
+    /// A serde-free JSON dump: counters and gauges as numbers,
+    /// histograms as `{count, sum, min, max, p50, p95, p99}` objects.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(&mut out, &inner.counters, |c| c.get().to_string());
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, &inner.gauges, |g| g.get().to_string());
+        out.push_str("},\n  \"histograms\": {");
+        push_map(&mut out, &inner.histograms, |h| {
+            let s = h.summary();
+            format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99
+            )
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_map<T>(out: &mut String, map: &BTreeMap<String, Arc<T>>, render: impl Fn(&T) -> String) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_str(out, name);
+        out.push_str(": ");
+        out.push_str(&render(v));
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// The metric name without any inline `{label="..."}` part.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// `name` + `suffix`, keeping any inline labels after the suffix:
+/// `pool_hits{shard="3"}` + `_sum` → `pool_hits_sum{shard="3"}`.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.split_once('{') {
+        Some((base, labels)) => format!("{base}{suffix}{{{labels}"),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+/// `name` + `suffix` with one more label merged into the label set.
+fn with_label(name: &str, suffix: &str, key: &str, value: &str) -> String {
+    match name.split_once('{') {
+        Some((base, labels)) => {
+            let labels = labels.trim_end_matches('}');
+            format!("{base}{suffix}{{{labels},{key}=\"{value}\"}}")
+        }
+        None => format!("{name}{suffix}{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// The process-global registry every instrumented crate feeds.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("xkw_queries_total").add(3);
+        r.counter("xkw_queries_total").inc();
+        r.gauge("xkw_pool_resident").set(17);
+        assert_eq!(r.counter("xkw_queries_total").get(), 4);
+        assert_eq!(r.gauge("xkw_pool_resident").get(), 17);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(9), 1023);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_truth() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // The estimate is the bucket's upper bound: never below the true
+        // quantile, never more than 2× above it (log2 buckets).
+        assert!(s.p50 >= 500 && s.p50 <= 1000, "p50={}", s.p50);
+        assert!(s.p95 >= 950 && s.p95 <= 1000, "p95={}", s.p95);
+        assert!(s.p99 >= 990 && s.p99 <= 1000, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn histogram_single_value_is_exact() {
+        let h = Histogram::default();
+        h.observe(42);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (42, 42));
+        assert_eq!(s.p50, 42, "clamping to max makes lone values exact");
+        assert_eq!(s.p99, 42);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn same_name_same_instrument() {
+        let r = Registry::new();
+        let a = r.histogram("lat");
+        let b = r.histogram("lat");
+        a.observe(5);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("xkw_queries_total").add(2);
+        r.gauge("xkw_pool_shard_hits{shard=\"3\"}").set(9);
+        let h = r.histogram("xkw_query_latency_ns");
+        h.observe(100);
+        h.observe(3000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE xkw_queries_total counter"));
+        assert!(text.contains("xkw_queries_total 2"));
+        assert!(text.contains("xkw_pool_shard_hits{shard=\"3\"} 9"));
+        assert!(text.contains("# TYPE xkw_query_latency_ns histogram"));
+        assert!(text.contains("xkw_query_latency_ns_bucket{le=\"127\"} 1"));
+        assert!(text.contains("xkw_query_latency_ns_bucket{le=\"4095\"} 2"));
+        assert!(text.contains("xkw_query_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("xkw_query_latency_ns_sum 3100"));
+        assert!(text.contains("xkw_query_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn labeled_histogram_suffixes_merge() {
+        assert_eq!(
+            with_label("io{table=\"t\"}", "_bucket", "le", "7"),
+            "io_bucket{table=\"t\",le=\"7\"}"
+        );
+        assert_eq!(suffixed("io{table=\"t\"}", "_sum"), "io_sum{table=\"t\"}");
+        assert_eq!(suffixed("io", "_count"), "io_count");
+    }
+
+    #[test]
+    fn json_dump_shape() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.histogram("h").observe(7);
+        let json = r.render_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"c\": 1"));
+        assert!(json.contains("\"h\": {\"count\":1,\"sum\":7,"));
+        // Balanced braces — cheap structural sanity for the serde-free dump.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_instruments() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.reset();
+        assert_eq!(r.counter("c").get(), 0);
+    }
+
+    #[test]
+    fn concurrent_observations_all_land() {
+        let r = Registry::new();
+        let h = r.histogram("mt");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.summary().max, 999);
+    }
+}

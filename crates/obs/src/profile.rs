@@ -1,0 +1,184 @@
+//! EXPLAIN ANALYZE plan profiles: the per-operator tree an instrumented
+//! execution reports.
+//!
+//! An [`OpProfile`] is one operator's measured behavior — invocations,
+//! rows in/out, attributed buffer-pool I/O, wall time — with child
+//! operators nested below it; a [`PlanProfile`] wraps one executed plan
+//! (one candidate network). The structs are engine-agnostic: `xkw-core`
+//! fills them from its nested-loop executor and the CLI renders them
+//! with [`PlanProfile::render`].
+//!
+//! The accounting invariant callers rely on (and the observability test
+//! suite asserts): summing [`OpProfile::io_hits`]/[`OpProfile::io_misses`]
+//! over a plan's operator tree yields exactly the buffer-pool I/O the
+//! engine's `QueryMetrics` attributes to that plan's evaluation — the
+//! per-operator numbers are a *decomposition* of the query total, not an
+//! independent estimate.
+
+use crate::trace::fmt_ns;
+
+/// One operator's measured behavior in an EXPLAIN ANALYZE run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Human-readable operator description (e.g.
+    /// `probe R_paper.f0@c1 [cols 0]`).
+    pub label: String,
+    /// Times the operator ran (probe/scan calls sent to the store).
+    pub invocations: u64,
+    /// Tuples fed into the operator across all invocations.
+    pub rows_in: u64,
+    /// Tuples the operator produced.
+    pub rows_out: u64,
+    /// Buffer-pool hits attributed to this operator.
+    pub io_hits: u64,
+    /// Buffer-pool misses attributed to this operator.
+    pub io_misses: u64,
+    /// Wall time spent inside the operator, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Nested operators.
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// Total attributed logical I/O (hits + misses) over this operator
+    /// and everything below it.
+    pub fn io_total(&self) -> u64 {
+        self.io_hits + self.io_misses + self.children.iter().map(OpProfile::io_total).sum::<u64>()
+    }
+
+    /// Hits/misses summed over the subtree.
+    pub fn io_breakdown(&self) -> (u64, u64) {
+        self.children
+            .iter()
+            .map(OpProfile::io_breakdown)
+            .fold((self.io_hits, self.io_misses), |(h, m), (ch, cm)| {
+                (h + ch, m + cm)
+            })
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        if depth > 0 {
+            out.push_str("-> ");
+        }
+        out.push_str(&format!(
+            "{}  (calls={} rows in={} out={} io={}h+{}m time={})\n",
+            self.label,
+            self.invocations,
+            self.rows_in,
+            self.rows_out,
+            self.io_hits,
+            self.io_misses,
+            fmt_ns(self.elapsed_ns),
+        ));
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// One executed plan's profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// Index of the plan in score order.
+    pub plan: usize,
+    /// The candidate network, as the optimizer displays it.
+    pub name: String,
+    /// The plan's score (CN size).
+    pub score: usize,
+    /// Result rows the plan emitted.
+    pub rows_out: u64,
+    /// Wall time for the whole plan, nanoseconds.
+    pub elapsed_ns: u64,
+    /// The operator tree (driver iteration at the root).
+    pub root: OpProfile,
+}
+
+impl PlanProfile {
+    /// Attributed logical I/O summed over the operator tree.
+    pub fn io_total(&self) -> u64 {
+        self.root.io_total()
+    }
+
+    /// EXPLAIN ANALYZE text rendering of this plan.
+    pub fn render(&self) -> String {
+        let (h, m) = self.root.io_breakdown();
+        let mut out = format!(
+            "plan {}: {}  (score={} rows={} io={}h+{}m time={})\n",
+            self.plan,
+            self.name,
+            self.score,
+            self.rows_out,
+            h,
+            m,
+            fmt_ns(self.elapsed_ns),
+        );
+        self.root.render_into(1, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanProfile {
+        PlanProfile {
+            plan: 2,
+            name: "AUTHOR{k0}-PA-PAPER{k1}".into(),
+            score: 3,
+            rows_out: 4,
+            elapsed_ns: 1_500_000,
+            root: OpProfile {
+                label: "drive AUTHOR".into(),
+                invocations: 1,
+                rows_in: 0,
+                rows_out: 7,
+                io_hits: 2,
+                io_misses: 1,
+                elapsed_ns: 1_400_000,
+                children: vec![
+                    OpProfile {
+                        label: "probe R_pa.f0".into(),
+                        invocations: 7,
+                        rows_in: 7,
+                        rows_out: 12,
+                        io_hits: 10,
+                        io_misses: 4,
+                        elapsed_ns: 900_000,
+                        children: Vec::new(),
+                    },
+                    OpProfile {
+                        label: "probe R_paper.f0".into(),
+                        invocations: 12,
+                        rows_in: 12,
+                        rows_out: 4,
+                        io_hits: 20,
+                        io_misses: 0,
+                        elapsed_ns: 300_000,
+                        children: Vec::new(),
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn io_sums_over_the_tree() {
+        let p = sample();
+        assert_eq!(p.io_total(), 2 + 1 + 10 + 4 + 20);
+        assert_eq!(p.root.io_breakdown(), (32, 5));
+    }
+
+    #[test]
+    fn render_shows_every_operator() {
+        let text = sample().render();
+        assert!(text.starts_with("plan 2: AUTHOR{k0}-PA-PAPER{k1}"));
+        assert!(text.contains("io=32h+5m"));
+        assert!(text.contains("  -> drive AUTHOR  (calls=1"));
+        assert!(text.contains("    -> probe R_pa.f0  (calls=7 rows in=7 out=12"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,501 @@
+//! Structured tracing: spans with enter/exit timestamps, parent links,
+//! and a lock-striped global collector.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed by
+//! dropping the returned [`SpanGuard`] (RAII). Parentage is the innermost
+//! span still open *on the same thread* at open time, tracked by a
+//! thread-local stack, so nested calls produce a tree per thread with no
+//! synchronization on the enter path. Finished spans are appended to one
+//! of [`STRIPES`] mutex-striped vectors picked by thread id, so worker
+//! threads finishing spans concurrently almost never contend.
+//!
+//! Exports: [`chrome_trace_json`] renders a drained batch as a Chrome
+//! `trace_event` JSON array (complete events, `"ph":"X"`, loadable in
+//! `about:tracing` / Perfetto); [`render_tree`] renders it as an
+//! indented text tree for terminals.
+//!
+//! When collection is disabled (the default) the macro returns an inert
+//! guard after a single relaxed atomic load; no field value is built, no
+//! clock is read, no allocation happens.
+
+use crate::push_json_str;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Borrowed string (field names and most labels are literals).
+    Str(&'static str),
+    /// Owned string (e.g. a relation name built at runtime).
+    Owned(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Str(if v { "true" } else { "false" })
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Owned(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Owned(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A finished span as stored in the collector.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (monotonic across the process).
+    pub id: u64,
+    /// Id of the span that was open on this thread when this one opened.
+    pub parent: Option<u64>,
+    /// The span name (a `"stage.operation"` literal; see the taxonomy in
+    /// DESIGN.md §observability).
+    pub name: &'static str,
+    /// Named fields recorded at open time or via [`SpanGuard::record`].
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Open timestamp, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall time between open and drop, nanoseconds.
+    pub dur_ns: u64,
+    /// Dense per-process id of the thread the span ran on.
+    pub tid: u64,
+}
+
+/// Opens a span. Checks the global enable flag *before* evaluating any
+/// field expression; disabled, it costs one relaxed atomic load.
+///
+/// ```
+/// let _guard = xkw_obs::span!("exec.join", cn = 3usize, rows = 42u64);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::trace::start_span(
+                $name,
+                ::std::vec![$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            )
+        } else {
+            $crate::trace::SpanGuard::inert()
+        }
+    };
+}
+
+/// Stripe count of the collector; thread ids map onto stripes round-robin.
+const STRIPES: usize = 16;
+
+static COLLECTOR: [Mutex<Vec<SpanRecord>>; STRIPES] = [const { Mutex::new(Vec::new()) }; STRIPES];
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Dense thread id, assigned on first span.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Ids of the spans currently open on this thread, outermost first.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Nanoseconds since the trace epoch (set on first use).
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+    start_ns: u64,
+}
+
+/// An RAII guard: the span closes (and is recorded) when this drops.
+/// Inert guards (tracing disabled) record nothing.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// The no-op guard the [`span!`](crate::span!) macro returns while
+    /// collection is disabled.
+    #[inline(always)]
+    pub const fn inert() -> Self {
+        SpanGuard { active: None }
+    }
+
+    /// Attaches another field after the span opened (e.g. a row count
+    /// known only at the end). No-op on inert guards.
+    pub fn record<V: Into<FieldValue>>(&mut self, key: &'static str, value: V) {
+        if let Some(a) = &mut self.active {
+            a.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_ns = now_ns().saturating_sub(a.start_ns);
+        OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            // Guards normally drop innermost-first; `retain` keeps the
+            // stack sane even if a caller reorders drops.
+            if open.last() == Some(&a.id) {
+                open.pop();
+            } else {
+                open.retain(|&id| id != a.id);
+            }
+        });
+        let tid = TID.with(|t| *t);
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            fields: a.fields,
+            start_ns: a.start_ns,
+            dur_ns,
+            tid,
+        };
+        COLLECTOR[(tid as usize) % STRIPES]
+            .lock()
+            .expect("span stripe poisoned")
+            .push(record);
+    }
+}
+
+/// Opens a span unconditionally. Use the [`span!`](crate::span!) macro
+/// instead, which checks the enable flag first.
+pub fn start_span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = OPEN.with(|open| {
+        let mut open = open.borrow_mut();
+        let parent = open.last().copied();
+        open.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            fields,
+            start_ns: now_ns(),
+        }),
+    }
+}
+
+/// Drains every stripe, returning all finished spans sorted by start
+/// time. Spans recorded after the drain begins land in the next drain.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut all: Vec<SpanRecord> = Vec::new();
+    for stripe in &COLLECTOR {
+        all.append(&mut stripe.lock().expect("span stripe poisoned"));
+    }
+    all.sort_by_key(|s| (s.start_ns, s.id));
+    all
+}
+
+/// Discards all finished spans.
+pub fn clear_spans() {
+    for stripe in &COLLECTOR {
+        stripe.lock().expect("span stripe poisoned").clear();
+    }
+}
+
+/// Renders spans as a Chrome `trace_event` JSON array of complete
+/// events (`"ph":"X"`, timestamps in microseconds), loadable in
+/// `about:tracing` or Perfetto. Fields become `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96 + 2);
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\":");
+        push_json_str(&mut out, s.name);
+        out.push_str(",\"cat\":\"xkw\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        out.push_str(&format!(
+            ",\"ts\":{:.3},\"dur\":{:.3}",
+            s.start_ns as f64 / 1000.0,
+            s.dur_ns as f64 / 1000.0
+        ));
+        out.push_str(",\"args\":{\"span_id\":");
+        out.push_str(&s.id.to_string());
+        if let Some(p) = s.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&p.to_string());
+        }
+        for (k, v) in &s.fields {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                FieldValue::U64(n) => out.push_str(&n.to_string()),
+                FieldValue::I64(n) => out.push_str(&n.to_string()),
+                FieldValue::F64(n) if n.is_finite() => out.push_str(&n.to_string()),
+                FieldValue::F64(_) => out.push_str("null"),
+                FieldValue::Str(t) => push_json_str(&mut out, t),
+                FieldValue::Owned(t) => push_json_str(&mut out, t),
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Formats a nanosecond duration for humans (`871 ns`, `14.3 µs`,
+/// `2.08 ms`, `1.45 s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders spans as an indented text tree, one tree per thread, children
+/// ordered by start time. Spans whose parent is absent from the batch
+/// (still open, or drained earlier) are treated as roots.
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let mut by_start: Vec<&SpanRecord> = spans.iter().collect();
+    by_start.sort_by_key(|s| (s.start_ns, s.id));
+    let present: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::HashMap<u64, Vec<&SpanRecord>> =
+        std::collections::HashMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in &by_start {
+        match s.parent.filter(|p| present.contains(p)) {
+            Some(p) => children.entry(p).or_default().push(s),
+            None => roots.push(s),
+        }
+    }
+    let mut out = String::new();
+    let tids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+    let many_threads = tids.len() > 1;
+    let mut last_tid: Option<u64> = None;
+    for root in roots {
+        if many_threads && last_tid != Some(root.tid) {
+            out.push_str(&format!("thread {}\n", root.tid));
+            last_tid = Some(root.tid);
+        }
+        render_node(root, &children, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    s: &SpanRecord,
+    children: &std::collections::HashMap<u64, Vec<&SpanRecord>>,
+    depth: usize,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(s.name);
+    out.push_str(&format!("  {}", fmt_ns(s.dur_ns)));
+    for (k, v) in &s.fields {
+        out.push_str(&format!("  {k}={v}"));
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&s.id) {
+        for kid in kids {
+            render_node(kid, children, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests here share the global flag and collector; serialize them.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _g = crate::test_lock();
+        clear_spans();
+        crate::set_enabled(true);
+        let r = f();
+        crate::set_enabled(false);
+        clear_spans();
+        r
+    }
+
+    #[test]
+    fn disabled_macro_records_nothing() {
+        let _g = crate::test_lock();
+        assert!(!crate::enabled());
+        {
+            let _s = crate::span!("noop.test", n = 1u64);
+        }
+        assert!(take_spans().iter().all(|s| s.name != "noop.test"));
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let spans = with_tracing(|| {
+            {
+                let _outer = crate::span!("t.outer", z = 8usize);
+                let _inner = crate::span!("t.inner");
+            }
+            take_spans()
+        });
+        let outer = spans.iter().find(|s| s.name == "t.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "t.inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert_eq!(outer.fields, vec![("z", FieldValue::U64(8))]);
+        assert_eq!(outer.tid, inner.tid);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let spans = with_tracing(|| {
+            {
+                let _root = crate::span!("t.root");
+                let _a = crate::span!("t.a");
+                drop(_a);
+                let _b = crate::span!("t.b");
+            }
+            take_spans()
+        });
+        let root = spans.iter().find(|s| s.name == "t.root").unwrap();
+        assert!(spans
+            .iter()
+            .filter(|s| s.name == "t.a" || s.name == "t.b")
+            .all(|s| s.parent == Some(root.id)));
+    }
+
+    #[test]
+    fn record_appends_fields() {
+        let spans = with_tracing(|| {
+            {
+                let mut g = crate::span!("t.rec");
+                g.record("rows", 7u64);
+                g.record("rel", "R_x".to_string());
+            }
+            take_spans()
+        });
+        let s = spans.iter().find(|s| s.name == "t.rec").unwrap();
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0], ("rows", FieldValue::U64(7)));
+    }
+
+    #[test]
+    fn spans_cross_threads_with_distinct_tids() {
+        let spans = with_tracing(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _g = crate::span!("t.worker");
+                    });
+                }
+            });
+            take_spans()
+        });
+        let tids: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == "t.worker")
+            .map(|s| s.tid)
+            .collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let spans = with_tracing(|| {
+            {
+                let _g = crate::span!("t.chrome", rel = "R_\"q\"".to_string(), n = 3u64);
+            }
+            take_spans()
+        });
+        let json = chrome_trace_json(&spans);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"t.chrome\""));
+        assert!(json.contains("\"rel\":\"R_\\\"q\\\"\""));
+        assert!(json.contains("\"n\":3"));
+    }
+
+    #[test]
+    fn tree_render_indents_children() {
+        let spans = with_tracing(|| {
+            {
+                let _o = crate::span!("t.parent");
+                let _i = crate::span!("t.child", step = 1usize);
+            }
+            take_spans()
+        });
+        let tree = render_tree(&spans);
+        let parent_line = tree.lines().find(|l| l.contains("t.parent")).unwrap();
+        let child_line = tree.lines().find(|l| l.contains("t.child")).unwrap();
+        assert!(!parent_line.starts_with(' '));
+        assert!(child_line.starts_with("  "));
+        assert!(child_line.contains("step=1"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(871), "871 ns");
+        assert_eq!(fmt_ns(14_300), "14.3 µs");
+        assert_eq!(fmt_ns(2_080_000), "2.08 ms");
+        assert_eq!(fmt_ns(1_450_000_000), "1.45 s");
+    }
+}

@@ -10,6 +10,7 @@
 //! comparable across runs on the same machine, which is all the Fig.
 //! 15/16 and ablation series need.
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box.

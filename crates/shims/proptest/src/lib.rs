@@ -12,6 +12,7 @@
 //! `m..=n`). Both are fine for the tests in this repository, which only
 //! need deterministic randomized coverage.
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 pub mod test_runner {
     //! The deterministic RNG driving case generation.
 
@@ -321,6 +322,9 @@ macro_rules! proptest {
     (@run ($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$attr])*
+            // The failure report below prints from the expansion site, so
+            // the exemption must ride along with the generated test.
+            #[allow(clippy::disallowed_macros)]
             fn $name() {
                 let config: $crate::config::ProptestConfig = $cfg;
                 let mut rng =

@@ -14,12 +14,19 @@
 //! Benchmarks read [`BufferPool::snapshot`] to report logical I/O next to
 //! wall time, which is how we compare decompositions the way the paper
 //! compares them on Oracle.
+//!
+//! Telemetry is kept *per shard* (hits/misses/evictions live next to each
+//! shard's mutex): [`BufferPool::snapshot`] sums them, and
+//! [`BufferPool::shard_stats`] exposes the per-shard breakdown — shard
+//! occupancy and traffic skew are exactly what the CLI `:stats` view and
+//! the metrics registry ([`BufferPool::export_metrics`]) report.
 
 use crate::page::{Disk, Page, PageId};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use xkw_obs::Registry;
 
 /// Distinguishes pools for the thread-local counters below; never reused.
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
@@ -139,15 +146,49 @@ impl Shard {
     }
 }
 
+/// One lock stripe: a shard's frames plus its telemetry. Counters sit
+/// beside the mutex they describe so a fetch only ever touches one
+/// cache-line neighborhood, and per-shard traffic can be reported
+/// without summing thread-locals.
+struct ShardCell {
+    frames: Mutex<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardCell {
+    fn new(capacity: usize) -> Self {
+        ShardCell {
+            frames: Mutex::new(Shard::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Pages this shard served from memory.
+    pub hits: u64,
+    /// Pages this shard read through to disk.
+    pub misses: u64,
+    /// Frames this shard evicted.
+    pub evictions: u64,
+    /// Pages currently resident in this shard.
+    pub resident: usize,
+    /// Frame budget of this shard.
+    pub capacity: usize,
+}
+
 /// A sharded CLOCK buffer pool over a [`Disk`].
 pub struct BufferPool {
     id: u64,
     capacity: usize,
     /// Power-of-two length; a page maps to a shard by hash.
-    shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    shards: Vec<ShardCell>,
     /// Simulated per-miss transfer latency in nanoseconds (0 = off).
     miss_penalty_ns: AtomicU64,
 }
@@ -171,12 +212,7 @@ impl BufferPool {
         Self {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             capacity,
-            shards: (0..nshards)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
-                .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            shards: (0..nshards).map(|_| ShardCell::new(per_shard)).collect(),
             miss_penalty_ns: AtomicU64::new(0),
         }
     }
@@ -194,7 +230,7 @@ impl BufferPool {
     }
 
     #[inline]
-    fn shard_of(&self, id: PageId) -> &Mutex<Shard> {
+    fn shard_of(&self, id: PageId) -> &ShardCell {
         // Fibonacci multiplicative hash; shard count is a power of two.
         let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
         &self.shards[h as usize & (self.shards.len() - 1)]
@@ -204,12 +240,12 @@ impl BufferPool {
     pub fn fetch(&self, disk: &Disk, id: PageId) -> Page {
         let shard = self.shard_of(id);
         {
-            let mut f = shard.lock();
+            let mut f = shard.frames.lock();
             if let Some(&slot) = f.map.get(&id) {
                 f.slots[slot].referenced = true;
                 let page = f.slots[slot].page.clone();
                 drop(f);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 self.record_local(true);
                 return page;
             }
@@ -219,15 +255,15 @@ impl BufferPool {
         let from_disk = disk.read(id);
         let copied: Page = std::sync::Arc::new(*from_disk);
         {
-            let mut f = shard.lock();
+            let mut f = shard.frames.lock();
             // A racing fetch of the same page may have installed it
             // while we copied; both fetches did a real transfer, so both
             // count as misses, but only one frame is kept.
             if !f.map.contains_key(&id) && f.insert(id, copied.clone()) {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         self.record_local(false);
         simulate_latency(self.miss_penalty_ns.load(Ordering::Relaxed));
         copied
@@ -235,16 +271,70 @@ impl BufferPool {
 
     /// Current counters, aggregated over every shard and thread.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        self.shards
+            .iter()
+            .fold(IoSnapshot::default(), |s, c| IoSnapshot {
+                hits: s.hits + c.hits.load(Ordering::Relaxed),
+                misses: s.misses + c.misses.load(Ordering::Relaxed),
+            })
     }
 
     /// Frames evicted since the pool was created (survives
     /// [`BufferPool::clear`], like the hit/miss counters).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|c| c.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard telemetry, in shard order: traffic counters plus the
+    /// current occupancy against the shard's frame budget.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|c| {
+                let f = c.frames.lock();
+                ShardStats {
+                    hits: c.hits.load(Ordering::Relaxed),
+                    misses: c.misses.load(Ordering::Relaxed),
+                    evictions: c.evictions.load(Ordering::Relaxed),
+                    resident: f.slots.len(),
+                    capacity: f.capacity,
+                }
+            })
+            .collect()
+    }
+
+    /// Publishes the pool's state into `registry` as gauges:
+    /// `xkw_pool_{capacity,resident,hits,misses,evictions}` plus
+    /// per-shard `xkw_pool_shard_*{shard="i"}` series. Pull-based — call
+    /// it when exporting; nothing on the fetch path touches the registry.
+    pub fn export_metrics(&self, registry: &Registry) {
+        let snap = self.snapshot();
+        registry
+            .gauge("xkw_pool_capacity")
+            .set(self.capacity as u64);
+        registry
+            .gauge("xkw_pool_resident")
+            .set(self.resident() as u64);
+        registry.gauge("xkw_pool_hits").set(snap.hits);
+        registry.gauge("xkw_pool_misses").set(snap.misses);
+        registry.gauge("xkw_pool_evictions").set(self.evictions());
+        for (i, s) in self.shard_stats().iter().enumerate() {
+            registry
+                .gauge(&format!("xkw_pool_shard_hits{{shard=\"{i}\"}}"))
+                .set(s.hits);
+            registry
+                .gauge(&format!("xkw_pool_shard_misses{{shard=\"{i}\"}}"))
+                .set(s.misses);
+            registry
+                .gauge(&format!("xkw_pool_shard_evictions{{shard=\"{i}\"}}"))
+                .set(s.evictions);
+            registry
+                .gauge(&format!("xkw_pool_shard_resident{{shard=\"{i}\"}}"))
+                .set(s.resident as u64);
+        }
     }
 
     fn record_local(&self, hit: bool) {
@@ -280,7 +370,7 @@ impl BufferPool {
     /// diff [`BufferPool::snapshot`] around each run instead.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut f = shard.lock();
+            let mut f = shard.frames.lock();
             f.map.clear();
             f.slots.clear();
             f.hand = 0;
@@ -299,7 +389,10 @@ impl BufferPool {
 
     /// Pages currently resident, summed across shards.
     pub fn resident(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().slots.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.frames.lock().slots.len())
+            .sum()
     }
 }
 
@@ -477,6 +570,52 @@ mod tests {
             }
         });
         assert_eq!(pool.snapshot().logical(), THREADS * FETCHES);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_pool_totals() {
+        let d = disk_with(64);
+        let pool = BufferPool::with_shards(16, 4);
+        for pass in 0..2 {
+            for i in 0..64u32 {
+                assert_eq!(pool.fetch(&d, PageId(i))[0], i, "pass {pass}");
+            }
+        }
+        let shards = pool.shard_stats();
+        assert_eq!(shards.len(), pool.shard_count());
+        let hits: u64 = shards.iter().map(|s| s.hits).sum();
+        let misses: u64 = shards.iter().map(|s| s.misses).sum();
+        let evictions: u64 = shards.iter().map(|s| s.evictions).sum();
+        let resident: usize = shards.iter().map(|s| s.resident).sum();
+        assert_eq!(
+            (hits, misses),
+            (pool.snapshot().hits, pool.snapshot().misses)
+        );
+        assert_eq!(evictions, pool.evictions());
+        assert_eq!(resident, pool.resident());
+        assert!(shards.iter().all(|s| s.resident <= s.capacity));
+    }
+
+    #[test]
+    fn export_metrics_publishes_gauges() {
+        let d = disk_with(8);
+        let pool = BufferPool::with_shards(4, 2);
+        for i in 0..8u32 {
+            pool.fetch(&d, PageId(i));
+        }
+        let registry = xkw_obs::Registry::new();
+        pool.export_metrics(&registry);
+        assert_eq!(registry.gauge("xkw_pool_capacity").get(), 4);
+        assert_eq!(registry.gauge("xkw_pool_misses").get(), 8);
+        let shard_hits: u64 = (0..pool.shard_count())
+            .map(|i| {
+                registry
+                    .gauge(&format!("xkw_pool_shard_hits{{shard=\"{i}\"}}"))
+                    .get()
+            })
+            .sum();
+        assert_eq!(shard_hits, pool.snapshot().hits);
+        assert!(registry.render_prometheus().contains("xkw_pool_evictions"));
     }
 
     #[test]

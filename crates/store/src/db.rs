@@ -144,6 +144,19 @@ impl Db {
     pub fn disk_pages(&self) -> usize {
         self.disk.page_count()
     }
+
+    /// Publishes the store's current counters into `registry`: pool-wide
+    /// and per-shard gauges (see [`BufferPool::export_metrics`]) plus one
+    /// `xkw_table_logical_io{table="…"}` gauge per table. Pull-based so
+    /// the fetch hot path never touches the registry.
+    pub fn export_metrics(&self, registry: &xkw_obs::Registry) {
+        self.pool.export_metrics(registry);
+        for (name, table) in self.tables.read().iter() {
+            registry
+                .gauge(&format!("xkw_table_logical_io{{table=\"{name}\"}}"))
+                .set(table.logical_io());
+        }
+    }
 }
 
 impl std::fmt::Debug for Db {
@@ -211,6 +224,24 @@ mod tests {
         let before = db.io();
         db.scan_all(&t);
         assert!(db.io().since(before).logical() > 0);
+    }
+
+    #[test]
+    fn table_logical_io_tracks_fetches() {
+        let db = Db::new(16);
+        let rows: Vec<Row> = (0..100u32).map(|i| vec![i, i].into()).collect();
+        let t = db.create_table("t", 2, rows, PhysicalOptions::heap());
+        assert_eq!(t.logical_io(), 0);
+        let before = db.io();
+        db.scan_all(&t);
+        assert_eq!(t.logical_io(), db.io().since(before).logical());
+
+        let registry = xkw_obs::Registry::new();
+        db.export_metrics(&registry);
+        assert_eq!(
+            registry.gauge("xkw_table_logical_io{table=\"t\"}").get(),
+            t.logical_io()
+        );
     }
 
     #[test]

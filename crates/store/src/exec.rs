@@ -88,6 +88,11 @@ pub fn hash_join(
     right_cols: &[usize],
 ) -> Vec<Row> {
     assert_eq!(left_cols.len(), right_cols.len());
+    let _span = xkw_obs::span!(
+        "store.hash_join",
+        left_rows = left.len(),
+        right_rows = right.len()
+    );
     // Build on the smaller side.
     if right.len() < left.len() {
         return hash_join(right, right_cols, left, left_cols)

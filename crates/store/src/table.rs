@@ -21,6 +21,7 @@ use crate::buffer::BufferPool;
 use crate::page::{Disk, Page, PageId, PageWriter, PAGE_U32S};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A target-object id (the only datatype connection relations store).
 pub type Id = u32;
@@ -89,6 +90,9 @@ pub struct Table {
     /// First cluster-key value of each page, for binary search.
     fences: Vec<Vec<Id>>,
     indexes: Vec<(Vec<usize>, IndexMap)>,
+    /// Cumulative buffer-pool requests issued on behalf of this table
+    /// (every `pool.fetch` the table performs, hit or miss).
+    logical: AtomicU64,
 }
 
 impl Table {
@@ -147,6 +151,7 @@ impl Table {
             cluster_key: options.clustered_on,
             fences,
             indexes,
+            logical: AtomicU64::new(0),
         }
     }
 
@@ -175,11 +180,17 @@ impl Table {
         self.cluster_key.as_deref()
     }
 
+    /// Cumulative logical I/O (buffer-pool requests) this table has issued.
+    pub fn logical_io(&self) -> u64 {
+        self.logical.load(Ordering::Relaxed)
+    }
+
     /// Fetches row `i` through the buffer pool.
     pub fn row(&self, disk: &Disk, pool: &BufferPool, i: u32) -> Row {
         let i = i as usize;
         assert!(i < self.n_rows, "row index out of range");
         let page = self.pages[i / self.rows_per_page];
+        self.logical.fetch_add(1, Ordering::Relaxed);
         let data: Page = pool.fetch(disk, page);
         let off = (i % self.rows_per_page) * self.arity;
         data[off..off + self.arity].into()
@@ -343,6 +354,7 @@ impl Iterator for Scan<'_> {
         let page_no = i / self.table.rows_per_page;
         let reuse = matches!(&self.page, Some((p, _)) if *p == page_no);
         if !reuse {
+            self.table.logical.fetch_add(1, Ordering::Relaxed);
             let data = self.pool.fetch(self.disk, self.table.pages[page_no]);
             self.page = Some((page_no, data));
         }

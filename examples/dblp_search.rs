@@ -6,6 +6,7 @@
 //! cargo run --release --example dblp_search [surname1 surname2]
 //! ```
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::time::Instant;
 use xkeyword::core::exec::ExecMode;
 use xkeyword::core::prelude::*;

@@ -9,6 +9,7 @@
 //! cargo run --release --example decomposition_lab
 //! ```
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use xkeyword::core::decompose::has_mvd;
 use xkeyword::core::exec::{self, ExecMode};
 use xkeyword::core::prelude::*;

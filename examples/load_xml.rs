@@ -5,6 +5,7 @@
 //! cargo run --example load_xml
 //! ```
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use xkeyword::core::exec::ExecMode;
 use xkeyword::core::prelude::*;
 

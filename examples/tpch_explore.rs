@@ -9,6 +9,7 @@
 //! cargo run --example tpch_explore
 //! ```
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use xkeyword::core::exec::{ExecMode, PartialCache};
 use xkeyword::core::prelude::*;
 use xkeyword::core::xkeyword::DecompositionSpec;

@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
-//!              [--threads N] [--pool-shards N] [--explain] [--stats]
+//!              [--threads N] [--pool-shards N] [--explain] [--stats] \
+//!              [--trace-out FILE]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
 //! the XKeyword decomposition and answers queries. Without a file: loads
 //! the paper's Figure 1 document. Without `--query`: reads queries from
 //! stdin, one per line (an interactive loop in the spirit of the paper's
-//! web demo, Fig. 4); `:stats` prints the engine's cumulative statistics.
+//! web demo, Fig. 4); `:stats` prints the engine's cumulative statistics
+//! plus buffer-pool occupancy per shard, `:metrics` dumps the metrics
+//! registry in Prometheus text format, and `:explain <kw...>` runs the
+//! query in EXPLAIN ANALYZE mode, printing every plan's per-operator
+//! profile (rows in/out, probe counts, attributed buffer-pool I/O).
 //! Every query reports its per-stage timings, plan-cache outcome and
 //! attributable buffer-pool I/O; `--stats` additionally prints the
-//! cumulative [`EngineStats`] after each query.
+//! cumulative [`EngineStats`] after each query. `--explain` runs the
+//! one-shot `--query` in EXPLAIN ANALYZE mode; `--trace-out FILE`
+//! enables tracing and writes every recorded span as Chrome
+//! `trace_event` JSON (load it in `about:tracing` / Perfetto) on exit.
 
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::io::BufRead;
 use xkeyword::core::exec::ExecMode;
 use xkeyword::core::prelude::*;
@@ -29,6 +38,7 @@ struct Args {
     pool_shards: usize,
     explain: bool,
     stats: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +51,7 @@ fn parse_args() -> Args {
         pool_shards: 0,
         explain: false,
         stats: false,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,10 +65,11 @@ fn parse_args() -> Args {
             }
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
+            "--trace-out" => args.trace_out = it.next(),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
-                     [--threads N] [--pool-shards N] [--explain] [--stats]"
+                     [--threads N] [--pool-shards N] [--explain] [--stats] [--trace-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -73,6 +85,11 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.trace_out.is_some() {
+        // Turn tracing + metrics on before the load stage so its spans
+        // (load.targets, load.master, ...) land in the trace too.
+        xkeyword::obs::set_enabled(true);
+    }
     let options = LoadOptions {
         decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
         pool_shards: args.pool_shards,
@@ -106,10 +123,18 @@ fn main() {
     );
 
     if let Some(q) = &args.query {
-        run_query(&xk, q, &args);
+        if args.explain {
+            run_explain(&xk, q, &args);
+        } else {
+            run_query(&xk, q, &args);
+        }
+        write_trace(&args);
         return;
     }
-    eprintln!("enter keyword queries (one per line, `:stats` for engine stats, ctrl-D to quit):");
+    eprintln!(
+        "enter keyword queries (one per line; `:stats` engine + pool stats, \
+         `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, ctrl-D to quit):"
+    );
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         let line = line.trim();
@@ -117,14 +142,46 @@ fn main() {
             continue;
         }
         if line == ":stats" {
-            print_stats(&xk.engine().stats());
+            print_stats(&xk);
+            continue;
+        }
+        if line == ":metrics" {
+            print_metrics(&xk);
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":explain ") {
+            run_explain(&xk, q, &args);
             continue;
         }
         run_query(&xk, line, &args);
     }
+    write_trace(&args);
 }
 
-fn print_stats(s: &EngineStats) {
+/// Dumps every span recorded so far as Chrome `trace_event` JSON.
+fn write_trace(args: &Args) {
+    let Some(path) = &args.trace_out else { return };
+    let spans = xkeyword::obs::trace::take_spans();
+    let json = xkeyword::obs::trace::chrome_trace_json(&spans);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {} spans to {path}", spans.len()),
+        Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+    }
+}
+
+/// Publishes the store's pull-based gauges and dumps the registry.
+fn print_metrics(xk: &XKeyword) {
+    if !xkeyword::obs::enabled() {
+        println!("(observability disabled — run with --trace-out to enable collection)");
+        return;
+    }
+    let registry = xkeyword::obs::global();
+    xk.db.export_metrics(registry);
+    print!("{}", registry.render_prometheus());
+}
+
+fn print_stats(xk: &XKeyword) {
+    let s = xk.engine().stats();
     println!(
         "engine: {} queries, {} errors; plan cache {} hits / {} misses; \
          partial cache {} hits / {} misses; io {} hits / {} misses",
@@ -141,6 +198,38 @@ fn print_stats(s: &EngineStats) {
         "  stage totals: discover {:?} | plan {:?} | exec {:?} | present {:?}",
         s.discover, s.plan, s.exec, s.present
     );
+    let pool = xk.db.pool();
+    let shards = pool.shard_stats();
+    let evictions: u64 = shards.iter().map(|sh| sh.evictions).sum();
+    println!(
+        "pool: {} shards, {} / {} pages resident, {} evictions",
+        shards.len(),
+        shards.iter().map(|sh| sh.resident).sum::<usize>(),
+        pool.capacity(),
+        evictions
+    );
+    for (i, sh) in shards.iter().enumerate() {
+        println!(
+            "  shard {i}: {:>4}/{:<4} resident | {} hits / {} misses / {} evictions",
+            sh.resident, sh.capacity, sh.hits, sh.misses, sh.evictions
+        );
+    }
+}
+
+/// Runs one query in EXPLAIN ANALYZE mode and prints the per-operator
+/// profile of every candidate-network plan.
+fn run_explain(xk: &XKeyword, query: &str, args: &Args) {
+    let keywords: Vec<&str> = query.split_whitespace().collect();
+    let engine = xk.engine();
+    match engine.explain(&keywords, args.z, ExecMode::Cached { capacity: 8192 }) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if args.stats {
+                print_stats(xk);
+            }
+        }
+        Err(e) => println!("query error: {e}"),
+    }
 }
 
 fn run_query(xk: &XKeyword, query: &str, args: &Args) {
@@ -151,19 +240,14 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) {
         Err(e) => {
             println!("query error: {e}");
             if args.stats {
-                print_stats(&engine.stats());
+                print_stats(xk);
             }
             return;
         }
     };
-    // Re-planning for ranking/explain hits the plan cache the query just
-    // warmed, so this costs one instantiation pass.
+    // Re-planning for ranking hits the plan cache the query just warmed,
+    // so this costs one instantiation pass.
     let plans = xk.plans(&keywords, args.z);
-    if args.explain {
-        for p in &plans {
-            print!("{}", p.explain(&xk.tss, &xk.catalog));
-        }
-    }
     let res = &out.results;
     let idf = IdfWeights::compute(&xk.master, &xk.targets, &keywords);
     let ranked = rank(
@@ -195,7 +279,7 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) {
         m.io_misses
     );
     if args.stats {
-        print_stats(&engine.stats());
+        print_stats(xk);
     }
     let mut seen = std::collections::HashSet::new();
     let mut shown = 0;
