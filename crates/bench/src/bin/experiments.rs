@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
-//!             [explain] [all]
+//!             [explain] [faults] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -52,6 +52,66 @@ fn main() {
     }
     if want("explain") {
         explain_section();
+    }
+    if want("faults") {
+        faults_section();
+    }
+}
+
+/// Scripted fault run: degraded-vs-complete result counts when slow
+/// pages and transient read errors meet a tight query deadline
+/// (reproduced in EXPERIMENTS.md §"Fault injection").
+fn faults_section() {
+    use xkw_store::{FaultKind, FaultSpec, FaultTarget};
+    println!("\n== Fault injection: degraded vs complete results (XKeyword, DBLP) ==");
+    let data = w::bench_dblp_config();
+    let d = data.generate();
+    let mut opts = Config::XKeyword.load_options();
+    // A pool this small misses constantly, so every fault rule on the
+    // read path actually fires.
+    opts.pool_pages = 8;
+    let xk = XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms");
+    let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+    let spec = FaultSpec::new(0xA5A5)
+        .slow(FaultTarget::All, 1.0, 2_000_000)
+        .rule(FaultKind::TransientRead, FaultTarget::All, 0.2);
+    let deadline = Duration::from_millis(150);
+    println!(
+        "(8-page pool; seed=0xA5A5, 2ms slow pages p=1, transient reads p=0.2; 150ms deadline)"
+    );
+    println!(
+        "{:<24}{:>10}{:>10}{:>9}{:>9}{:>9}",
+        "query", "complete", "degraded", "skipped", "incompl", "retries"
+    );
+    for (a, b) in &queries {
+        let complete = xk
+            .engine()
+            .query_all(&[a, b], w::Z, w::cached())
+            .expect("fault-free query completes")
+            .results
+            .rows
+            .len();
+        xk.db.install_faults(spec.clone());
+        let bounded = xk
+            .engine()
+            .query_all_within(&[a, b], w::Z, w::cached(), Some(deadline));
+        xk.db.faults().clear();
+        let label = format!("{a} {b}");
+        match bounded {
+            Ok(out) => {
+                let deg = &out.results.degradation;
+                println!(
+                    "{:<24}{:>10}{:>10}{:>9}{:>9}{:>9}",
+                    label,
+                    complete,
+                    out.results.rows.len(),
+                    deg.plans_skipped,
+                    deg.plans_incomplete,
+                    deg.retries
+                );
+            }
+            Err(e) => println!("{label:<24}{complete:>10}{:>10}  ({e})", 0),
+        }
     }
 }
 

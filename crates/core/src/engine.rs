@@ -331,13 +331,33 @@ impl QueryEngine {
         z: usize,
         mode: ExecMode,
     ) -> Result<QueryOutcome, XkError> {
+        self.query_all_within(keywords, z, mode, None)
+    }
+
+    /// [`QueryEngine::query_all`] with an optional evaluation deadline.
+    /// On deadline or unrecoverable store faults the query degrades
+    /// gracefully: rows found in time come back with a populated
+    /// [`exec::Degradation`] report instead of being thrown away.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::query_all`] errors plus
+    /// [`XkError::DeadlineExceeded`] / [`XkError::Store`] when the query
+    /// degraded before producing any result.
+    pub fn query_all_within(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, mode, |prepared| {
-            exec::try_all_plans_mt(
+            exec::try_all_plans_mt_within(
                 &self.db,
                 &self.catalog,
                 &prepared.plans,
                 mode,
                 self.exec_threads(),
+                deadline,
             )
         })
     }
@@ -356,8 +376,38 @@ impl QueryEngine {
         mode: ExecMode,
         threads: usize,
     ) -> Result<QueryOutcome, XkError> {
+        self.query_topk_within(keywords, z, k, mode, threads, None)
+    }
+
+    /// [`QueryEngine::query_topk`] with an optional evaluation deadline
+    /// (see [`QueryEngine::query_all_within`] for the degradation
+    /// contract) — the paper's interactive presentation made robust: a
+    /// slow store returns the best partial top-k found in time.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::query_topk`] errors plus
+    /// [`XkError::DeadlineExceeded`] / [`XkError::Store`] when the query
+    /// degraded before producing any result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_topk_within(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: usize,
+        mode: ExecMode,
+        threads: usize,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, mode, |prepared| {
-            exec::try_topk(&self.db, &self.catalog, &prepared.plans, mode, k, threads)
+            exec::try_topk_within(
+                &self.db,
+                &self.catalog,
+                &prepared.plans,
+                mode,
+                k,
+                threads,
+                deadline,
+            )
         })
     }
 
@@ -367,12 +417,30 @@ impl QueryEngine {
     /// # Errors
     /// The [`QueryEngine::prepare`] errors.
     pub fn query_all_hash(&self, keywords: &[&str], z: usize) -> Result<QueryOutcome, XkError> {
+        self.query_all_hash_within(keywords, z, None)
+    }
+
+    /// [`QueryEngine::query_all_hash`] with an optional evaluation
+    /// deadline (see [`QueryEngine::query_all_within`] for the
+    /// degradation contract).
+    ///
+    /// # Errors
+    /// The [`QueryEngine::query_all_hash`] errors plus
+    /// [`XkError::DeadlineExceeded`] / [`XkError::Store`] when the query
+    /// degraded before producing any result.
+    pub fn query_all_hash_within(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, ExecMode::Naive, |prepared| {
-            exec::try_all_results_mt(
+            exec::try_all_results_mt_within(
                 &self.db,
                 &self.catalog,
                 &prepared.plans,
                 self.exec_threads(),
+                deadline,
             )
         })
     }
@@ -392,7 +460,11 @@ impl QueryEngine {
 
         let t = Instant::now();
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len());
-        let results = execute(&prepared).inspect_err(|_| self.count_error())?;
+        // Worker-panic errors get the keyword set attached here: the
+        // executor sees plans, only the engine knows the query.
+        let results = execute(&prepared)
+            .map_err(|e| e.with_keywords(keywords))
+            .inspect_err(|_| self.count_error())?;
         drop(exec_span);
         let exec_time = t.elapsed();
 
@@ -624,6 +696,16 @@ fn publish_query_metrics(m: &QueryMetrics, results: &QueryResults) {
         .observe(results.rows.len() as u64);
     reg.histogram("xkw_query_io")
         .observe(m.io_hits + m.io_misses);
+    let deg = &results.degradation;
+    if deg.is_degraded() {
+        reg.counter("xkw_queries_degraded_total").inc();
+        reg.counter("xkw_plans_skipped_total")
+            .add(deg.plans_skipped as u64);
+        reg.counter("xkw_plans_incomplete_total")
+            .add(deg.plans_incomplete as u64);
+        reg.counter("xkw_query_faults_total")
+            .add(deg.faults.len() as u64);
+    }
 }
 
 /// Canonicalizes the achievable-set partition into the plan-cache key:

@@ -46,11 +46,33 @@ pub enum XkError {
     /// A contradictory execution mode (cached execution with a zero
     /// capacity cache).
     BadMode(String),
-    /// A worker thread panicked during multi-threaded plan evaluation;
-    /// carries the panic payload (if it was a string).
-    WorkerPanic(String),
+    /// A worker thread panicked during multi-threaded plan evaluation.
+    WorkerPanic {
+        /// The panic payload (if it was a string).
+        message: String,
+        /// Index of the plan the worker was evaluating when it panicked
+        /// (`None` if the panic happened outside any plan).
+        plan: Option<usize>,
+        /// The query's keywords, when known (decorated by the engine;
+        /// bare `exec::` entry points see plans, not keywords).
+        keywords: Vec<String>,
+    },
+    /// The query's deadline elapsed before any result was produced.
+    DeadlineExceeded,
     /// A storage-layer failure.
     Store(StoreError),
+}
+
+impl XkError {
+    /// Decorates worker-panic errors with the query's keyword set (the
+    /// engine knows the keywords; the executor only knows plans).
+    #[must_use]
+    pub fn with_keywords(mut self, kws: &[&str]) -> Self {
+        if let XkError::WorkerPanic { keywords, .. } = &mut self {
+            *keywords = kws.iter().map(|k| (*k).to_owned()).collect();
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for XkError {
@@ -75,8 +97,22 @@ impl std::fmt::Display for XkError {
                 "relation {relation} arity mismatch: has {expected} columns, plan binds {got}"
             ),
             Self::BadMode(why) => write!(f, "bad execution mode: {why}"),
-            Self::WorkerPanic(payload) => {
-                write!(f, "worker thread panicked during execution: {payload}")
+            Self::WorkerPanic {
+                message,
+                plan,
+                keywords,
+            } => {
+                write!(f, "worker thread panicked during execution: {message}")?;
+                if let Some(p) = plan {
+                    write!(f, " (plan {p})")?;
+                }
+                if !keywords.is_empty() {
+                    write!(f, " (keywords: {})", keywords.join(", "))?;
+                }
+                Ok(())
+            }
+            Self::DeadlineExceeded => {
+                write!(f, "query deadline elapsed before any result was produced")
             }
             Self::Store(e) => write!(f, "store error: {e}"),
         }
@@ -138,5 +174,26 @@ mod tests {
         let s = XkError::from(StoreError::MissingTable("t".into()));
         assert!(s.to_string().contains("store error"));
         assert!(s.source().is_some());
+        assert!(XkError::DeadlineExceeded.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn worker_panic_names_plan_and_keywords() {
+        let e = XkError::WorkerPanic {
+            message: "boom".into(),
+            plan: Some(3),
+            keywords: Vec::new(),
+        }
+        .with_keywords(&["john", "vcr"]);
+        let text = e.to_string();
+        assert!(text.contains("worker thread panicked"));
+        assert!(text.contains("boom"));
+        assert!(text.contains("plan 3"));
+        assert!(text.contains("john, vcr"));
+        // Decoration leaves other variants untouched.
+        assert_eq!(
+            XkError::EmptyQuery.with_keywords(&["x"]),
+            XkError::EmptyQuery
+        );
     }
 }

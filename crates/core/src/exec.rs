@@ -35,10 +35,10 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-use xkw_store::{Db, IoSnapshot, LruCache, Row};
+use std::time::{Duration, Instant};
+use xkw_store::{Db, IoSnapshot, LruCache, Row, StoreError};
 
 /// Execution mode for the nested-loop engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +110,122 @@ impl ExecStats {
     }
 }
 
+/// Cooperative cancellation for query evaluation: a deadline plus a
+/// sticky stop flag, shared by every worker thread of one query. Workers
+/// poll [`ExecCtl::should_stop`] at plan claims and probe boundaries —
+/// the store never blocks indefinitely, so polling at I/O granularity
+/// bounds overshoot by one probe. Once any poll observes the deadline,
+/// the flag latches and every other worker sees it on its next poll
+/// without reading the clock.
+#[derive(Debug, Default)]
+pub struct ExecCtl {
+    deadline: Option<Instant>,
+    stop: AtomicBool,
+}
+
+impl ExecCtl {
+    /// A control block that never stops evaluation (the default for all
+    /// legacy entry points).
+    pub fn unbounded() -> Self {
+        ExecCtl::default()
+    }
+
+    /// A control block that stops evaluation `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        ExecCtl {
+            deadline: Instant::now().checked_add(budget),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// A control block with an optional budget (`None` = unbounded).
+    pub fn within(budget: Option<Duration>) -> Self {
+        match budget {
+            Some(d) => ExecCtl::with_deadline(d),
+            None => ExecCtl::unbounded(),
+        }
+    }
+
+    /// Whether evaluation should stop. Unbounded control blocks pay one
+    /// relaxed load; bounded ones read the clock until the deadline
+    /// latches.
+    pub fn should_stop(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.stop.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the deadline ever latched (distinguishes "stopped because
+    /// out of time" from "ran to completion").
+    pub fn timed_out(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Why an evaluation stopped before completing a plan (internal to the
+/// executors; surfaced as [`Degradation`] / [`XkError`]).
+pub(crate) enum EvalAbort {
+    /// The query deadline elapsed.
+    Deadline,
+    /// The store reported an unrecoverable page fault.
+    Fault(StoreError),
+}
+
+impl std::fmt::Display for EvalAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalAbort::Deadline => write!(f, "query deadline exceeded"),
+            EvalAbort::Fault(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Unwraps an evaluator result on the legacy infallible paths, turning
+/// an abort into a panic (unbounded control blocks never produce
+/// [`EvalAbort::Deadline`], so this only fires on store faults — the
+/// same behavior the panicking store accessors had).
+fn unwrap_abort<T>(r: Result<T, EvalAbort>) -> T {
+    r.unwrap_or_else(|a| panic!("{a}"))
+}
+
+/// How a degraded query fell short of a complete answer. Attached to
+/// every [`QueryResults`]; a default (all-zero) report means the answer
+/// is complete. Every row in a degraded result is still a genuine MTTON
+/// — degradation means *incomplete*, never *wrong*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// The deadline elapsed during evaluation.
+    pub deadline_exceeded: bool,
+    /// Plans never started because evaluation stopped first.
+    pub plans_skipped: usize,
+    /// Plans started but aborted mid-evaluation (deadline or fault);
+    /// their emitted rows are kept.
+    pub plans_incomplete: usize,
+    /// Unrecoverable store faults hit, as `(plan index, error)`, sorted
+    /// by plan index.
+    pub faults: Vec<(usize, StoreError)>,
+    /// Read retries the store spent during this query (from the fault
+    /// layer's global counters; approximate under concurrent queries).
+    pub retries: u64,
+}
+
+impl Degradation {
+    /// Whether the result fell short of a complete answer.
+    pub fn is_degraded(&self) -> bool {
+        self.deadline_exceeded
+            || self.plans_skipped > 0
+            || self.plans_incomplete > 0
+            || !self.faults.is_empty()
+    }
+}
+
 /// Adds the calling thread's buffer-pool delta since `before` to `stats`
 /// — the engines call this with a `db.local_io()` snapshot taken when
 /// they started working, attributing I/O per query even under
@@ -131,11 +247,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs `f`, converting a panic into [`XkError::WorkerPanic`] — the
-/// single-threaded counterpart of the worker-thread panic capture, so
-/// `try_*` entry points report a typed error at every thread count.
-fn catch_worker<T>(f: impl FnOnce() -> T) -> Result<T, XkError> {
-    catch_unwind(AssertUnwindSafe(f)).map_err(|p| XkError::WorkerPanic(panic_message(p)))
+/// Builds the typed error for a worker panic caught while evaluating
+/// plan `pi` (keywords are decorated higher up, by the engine).
+fn worker_panic(pi: usize, payload: Box<dyn std::any::Any + Send>) -> XkError {
+    XkError::WorkerPanic {
+        message: panic_message(payload),
+        plan: Some(pi),
+        keywords: Vec::new(),
+    }
 }
 
 /// Observes individual store probes during nested-loop evaluation — the
@@ -331,6 +450,29 @@ pub fn eval_plan_obs<C: PartialCacheOps, O: ProbeObserver>(
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
     obs: &mut O,
 ) -> ControlFlow<()> {
+    let ctl = ExecCtl::unbounded();
+    unwrap_abort(eval_plan_bounded(
+        db, catalog, plan_idx, plan, mode, cache, stats, emit, obs, &ctl,
+    ))
+}
+
+/// The fault- and deadline-aware core of [`eval_plan`]: stops at the
+/// control block's deadline and propagates unrecoverable store faults as
+/// typed aborts instead of panicking. Buffer-pool traffic is charged to
+/// `stats` even when the evaluation aborts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_plan_bounded<C: PartialCacheOps, O: ProbeObserver>(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plan_idx: usize,
+    plan: &CtssnPlan,
+    mode: ExecMode,
+    cache: &mut C,
+    stats: &mut ExecStats,
+    emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
+    obs: &mut O,
+    ctl: &ExecCtl,
+) -> Result<ControlFlow<()>, EvalAbort> {
     let _span = xkw_obs::span!(
         "exec.plan",
         plan = plan_idx,
@@ -338,7 +480,9 @@ pub fn eval_plan_obs<C: PartialCacheOps, O: ProbeObserver>(
         tiles = plan.tiles.len()
     );
     let io_before = db.local_io();
-    let flow = eval_plan_inner(db, catalog, plan_idx, plan, mode, cache, stats, emit, obs);
+    let flow = eval_plan_inner(
+        db, catalog, plan_idx, plan, mode, cache, stats, emit, obs, ctl,
+    );
     charge_local_io(stats, db, io_before);
     flow
 }
@@ -354,7 +498,8 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
     obs: &mut O,
-) -> ControlFlow<()> {
+    ctl: &ExecCtl,
+) -> Result<ControlFlow<()>, EvalAbort> {
     let nroles = plan.role_count();
     let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
     let driver_cands = plan.candidates[plan.driver as usize]
@@ -367,10 +512,20 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
     for to in drivers {
         assignment[plan.driver as usize] = Some(to);
         let subs = match mode {
-            ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment, obs),
-            ExecMode::Cached { .. } => {
-                completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment, obs)
+            ExecMode::Naive => {
+                completions_naive(db, catalog, plan, stats, 0, &mut assignment, obs, ctl)?
             }
+            ExecMode::Cached { .. } => completions_cached(
+                db,
+                catalog,
+                plan,
+                cache,
+                stats,
+                0,
+                &mut assignment,
+                obs,
+                ctl,
+            )?,
         };
         for sub in subs.iter() {
             for (r, v) in fresh.iter().zip(sub) {
@@ -384,7 +539,7 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
                     score: plan.score,
                 });
                 if flow.is_break() {
-                    return ControlFlow::Break(());
+                    return Ok(ControlFlow::Break(()));
                 }
             }
         }
@@ -393,7 +548,7 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
         }
         assignment[plan.driver as usize] = None;
     }
-    ControlFlow::Continue(())
+    Ok(ControlFlow::Continue(()))
 }
 
 /// Evaluates a plan anchored at a single driver binding `to` (the
@@ -448,11 +603,29 @@ fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
     let mut assignment: Vec<Option<ToId>> = vec![None; plan.role_count()];
     assignment[plan.driver as usize] = Some(to);
     let fresh = suffix_fresh_roles(plan, 0);
+    let ctl = ExecCtl::unbounded();
     let subs = match mode {
-        ExecMode::Naive => completions_naive(db, catalog, plan, stats, 0, &mut assignment, obs),
-        ExecMode::Cached { .. } => {
-            completions_cached(db, catalog, plan, cache, stats, 0, &mut assignment, obs)
-        }
+        ExecMode::Naive => unwrap_abort(completions_naive(
+            db,
+            catalog,
+            plan,
+            stats,
+            0,
+            &mut assignment,
+            obs,
+            &ctl,
+        )),
+        ExecMode::Cached { .. } => unwrap_abort(completions_cached(
+            db,
+            catalog,
+            plan,
+            cache,
+            stats,
+            0,
+            &mut assignment,
+            obs,
+            &ctl,
+        )),
     };
     for sub in subs.iter() {
         for (r, v) in fresh.iter().zip(sub) {
@@ -475,6 +648,7 @@ fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
 
 /// All completions of the suffix `i..`: bindings for
 /// `suffix_fresh_roles(plan, i)`, computed by probing (naive mode).
+#[allow(clippy::too_many_arguments)]
 fn completions_naive<O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
@@ -483,19 +657,27 @@ fn completions_naive<O: ProbeObserver>(
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
     obs: &mut O,
-) -> Arc<Vec<Vec<ToId>>> {
+    ctl: &ExecCtl,
+) -> Result<Arc<Vec<Vec<ToId>>>, EvalAbort> {
     if i == plan.tiles.len() {
-        return Arc::new(vec![Vec::new()]);
+        return Ok(Arc::new(vec![Vec::new()]));
     }
     let mut out: Vec<Vec<ToId>> = Vec::new();
-    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs);
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs, ctl)?;
     for row in rows {
         if bind_row(plan, i, &row, assignment) {
             let local: Vec<ToId> = plan.new_roles[i]
                 .iter()
                 .map(|&r| assignment[r as usize].expect("bound"))
                 .collect();
-            let subs = completions_naive(db, catalog, plan, stats, i + 1, assignment, obs);
+            let subs = completions_naive(db, catalog, plan, stats, i + 1, assignment, obs, ctl);
+            let subs = match subs {
+                Ok(s) => s,
+                Err(a) => {
+                    unbind_row(plan, i, assignment);
+                    return Err(a);
+                }
+            };
             for sub in subs.iter() {
                 let mut c = local.clone();
                 c.extend_from_slice(sub);
@@ -504,10 +686,12 @@ fn completions_naive<O: ProbeObserver>(
             unbind_row(plan, i, assignment);
         }
     }
-    Arc::new(out)
+    Ok(Arc::new(out))
 }
 
 /// Cached variant: memoized on (suffix signature, frontier bindings).
+/// Aborted computations are **never** stored — a partial completion in
+/// the cache would silently truncate every later query that hits it.
 #[allow(clippy::too_many_arguments)]
 fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     db: &Db,
@@ -518,9 +702,10 @@ fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
     obs: &mut O,
-) -> Arc<Vec<Vec<ToId>>> {
+    ctl: &ExecCtl,
+) -> Result<Arc<Vec<Vec<ToId>>>, EvalAbort> {
     if i == plan.tiles.len() {
-        return Arc::new(vec![Vec::new()]);
+        return Ok(Arc::new(vec![Vec::new()]));
     }
     let key = (
         plan.step_sigs[i].clone(),
@@ -531,18 +716,26 @@ fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     );
     if let Some(hit) = cache.lookup(&key) {
         stats.cache_hits += 1;
-        return hit;
+        return Ok(hit);
     }
     stats.cache_misses += 1;
     let mut out: Vec<Vec<ToId>> = Vec::new();
-    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs);
+    let rows = probe_tile(db, catalog, plan, i, assignment, stats, obs, ctl)?;
     for row in rows {
         if bind_row(plan, i, &row, assignment) {
             let local: Vec<ToId> = plan.new_roles[i]
                 .iter()
                 .map(|&r| assignment[r as usize].expect("bound"))
                 .collect();
-            let subs = completions_cached(db, catalog, plan, cache, stats, i + 1, assignment, obs);
+            let subs =
+                completions_cached(db, catalog, plan, cache, stats, i + 1, assignment, obs, ctl);
+            let subs = match subs {
+                Ok(s) => s,
+                Err(a) => {
+                    unbind_row(plan, i, assignment);
+                    return Err(a);
+                }
+            };
             for sub in subs.iter() {
                 let mut c = local.clone();
                 c.extend_from_slice(sub);
@@ -553,10 +746,13 @@ fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     }
     let arc = Arc::new(out);
     cache.store(key, arc.clone());
-    arc
+    Ok(arc)
 }
 
-/// Probes tile `i`'s relation on its currently-bound columns.
+/// Probes tile `i`'s relation on its currently-bound columns. Checks the
+/// control block first (the probe boundary is the cancellation point)
+/// and reports unrecoverable store faults as aborts.
+#[allow(clippy::too_many_arguments)]
 fn probe_tile<O: ProbeObserver>(
     db: &Db,
     catalog: &RelationCatalog,
@@ -565,7 +761,11 @@ fn probe_tile<O: ProbeObserver>(
     assignment: &[Option<ToId>],
     stats: &mut ExecStats,
     obs: &mut O,
-) -> Vec<Row> {
+    ctl: &ExecCtl,
+) -> Result<Vec<Row>, EvalAbort> {
+    if ctl.should_stop() {
+        return Err(EvalAbort::Deadline);
+    }
     let tile = &plan.tiles[i];
     let mut cols: Vec<usize> = Vec::new();
     let mut key: Vec<ToId> = Vec::new();
@@ -579,7 +779,9 @@ fn probe_tile<O: ProbeObserver>(
     let rows = if obs.active() {
         let io_before = db.local_io();
         let t0 = Instant::now();
-        let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+        let (rows, _) = catalog
+            .try_probe(db, tile.rel, &cols, &key)
+            .map_err(EvalAbort::Fault)?;
         obs.record(
             i,
             rows.len() as u64,
@@ -588,11 +790,13 @@ fn probe_tile<O: ProbeObserver>(
         );
         rows
     } else {
-        let (rows, _) = catalog.probe(db, tile.rel, &cols, &key);
+        let (rows, _) = catalog
+            .try_probe(db, tile.rel, &cols, &key)
+            .map_err(EvalAbort::Fault)?;
         rows
     };
     stats.rows += rows.len() as u64;
-    rows
+    Ok(rows)
 }
 
 /// Binds a probed row into the assignment; `false` when it conflicts
@@ -663,6 +867,9 @@ pub struct QueryResults {
     pub rows: Vec<ResultRow>,
     /// Merged statistics.
     pub stats: ExecStats,
+    /// How (if at all) the answer fell short of completeness — deadline
+    /// or store-fault degradation. Default means complete.
+    pub degradation: Degradation,
 }
 
 impl QueryResults {
@@ -765,8 +972,9 @@ impl Iterator for ResultStream<'_> {
             let mut assignment: Vec<Option<ToId>> = vec![None; plan.role_count()];
             assignment[plan.driver as usize] = Some(to);
             let fresh = suffix_fresh_roles(plan, 0);
+            let ctl = ExecCtl::unbounded();
             let subs = match self.mode {
-                ExecMode::Naive => completions_naive(
+                ExecMode::Naive => unwrap_abort(completions_naive(
                     self.db,
                     self.catalog,
                     plan,
@@ -774,8 +982,9 @@ impl Iterator for ResultStream<'_> {
                     0,
                     &mut assignment,
                     &mut NoProbeObs,
-                ),
-                ExecMode::Cached { .. } => completions_cached(
+                    &ctl,
+                )),
+                ExecMode::Cached { .. } => unwrap_abort(completions_cached(
                     self.db,
                     self.catalog,
                     plan,
@@ -784,7 +993,8 @@ impl Iterator for ResultStream<'_> {
                     0,
                     &mut assignment,
                     &mut NoProbeObs,
-                ),
+                    &ctl,
+                )),
             };
             for sub in subs.iter() {
                 for (r, v) in fresh.iter().zip(sub) {
@@ -812,17 +1022,61 @@ pub fn all_plans(
     plans: &[CtssnPlan],
     mode: ExecMode,
 ) -> QueryResults {
+    all_plans_ctl(db, catalog, plans, mode, &ExecCtl::unbounded()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The deadline-, fault- and panic-aware core of [`all_plans`] (also the
+/// single-thread fallback of [`all_plans_mt`]): each plan is evaluated
+/// under `catch_unwind` so a panic names the plan, an abort keeps the
+/// rows emitted so far, and remaining plans are counted as skipped once
+/// the control block stops evaluation.
+fn all_plans_ctl(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    ctl: &ExecCtl,
+) -> Result<QueryResults, XkError> {
     let mut cache = new_cache(mode);
     let mut out = QueryResults::default();
     for (i, p) in plans.iter().enumerate() {
+        if ctl.should_stop() {
+            out.degradation.plans_skipped = plans.len() - i;
+            break;
+        }
         let mut stats = ExecStats::default();
-        let _ = eval_plan(db, catalog, i, p, mode, &mut cache, &mut stats, &mut |r| {
-            out.rows.push(r);
-            ControlFlow::Continue(())
-        });
+        let mut rows: Vec<ResultRow> = Vec::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            eval_plan_bounded(
+                db,
+                catalog,
+                i,
+                p,
+                mode,
+                &mut cache,
+                &mut stats,
+                &mut |r| {
+                    rows.push(r);
+                    ControlFlow::Continue(())
+                },
+                &mut NoProbeObs,
+                ctl,
+            )
+        }));
         out.stats.merge(&stats);
+        out.rows.append(&mut rows);
+        match caught {
+            Ok(Ok(_)) => {}
+            Ok(Err(EvalAbort::Deadline)) => out.degradation.plans_incomplete += 1,
+            Ok(Err(EvalAbort::Fault(e))) => {
+                out.degradation.plans_incomplete += 1;
+                out.degradation.faults.push((i, e));
+            }
+            Err(payload) => return Err(worker_panic(i, payload)),
+        }
     }
-    out
+    out.degradation.deadline_exceeded = ctl.timed_out();
+    Ok(out)
 }
 
 /// One plan's raw EXPLAIN ANALYZE measurements, as produced by
@@ -932,30 +1186,70 @@ pub(crate) fn all_plans_mt_result(
     mode: ExecMode,
     threads: usize,
 ) -> Result<QueryResults, XkError> {
+    all_plans_mt_ctl(db, catalog, plans, mode, threads, &ExecCtl::unbounded())
+}
+
+/// How a worker finished one claimed plan.
+enum PlanOutcome {
+    /// Ran to completion.
+    Done,
+    /// Aborted on the deadline; emitted rows are kept.
+    Incomplete,
+    /// Aborted on an unrecoverable store fault; emitted rows are kept.
+    Fault(StoreError),
+}
+
+/// Folds one plan's outcome into the degradation report.
+fn absorb_outcome(deg: &mut Degradation, pi: usize, outcome: PlanOutcome) {
+    match outcome {
+        PlanOutcome::Done => {}
+        PlanOutcome::Incomplete => deg.plans_incomplete += 1,
+        PlanOutcome::Fault(e) => {
+            deg.plans_incomplete += 1;
+            deg.faults.push((pi, e));
+        }
+    }
+}
+
+/// [`all_plans_mt_result`] under a control block: workers stop claiming
+/// plans once it trips, and each claimed plan runs under its own
+/// `catch_unwind` so a panic names the plan that died.
+pub(crate) fn all_plans_mt_ctl(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    threads: usize,
+    ctl: &ExecCtl,
+) -> Result<QueryResults, XkError> {
     let threads = threads.max(1).min(plans.len().max(1));
     if threads == 1 {
-        return catch_worker(|| all_plans(db, catalog, plans, mode));
+        return all_plans_ctl(db, catalog, plans, mode, ctl);
     }
     let next_plan = AtomicUsize::new(0);
     let shared = SharedPartialCache::new(mode, threads);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<ResultRow>, ExecStats)>();
-    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
+    type PlanMsg = (usize, Vec<ResultRow>, ExecStats, PlanOutcome);
+    let (tx, rx) = crossbeam::channel::unbounded::<PlanMsg>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<(usize, String)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let panic_tx = panic_tx.clone();
             let (next_plan, shared) = (&next_plan, &shared);
             scope.spawn(move || {
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    let mut cache = shared;
-                    loop {
-                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                        if pi >= plans.len() {
-                            break;
-                        }
-                        let mut stats = ExecStats::default();
-                        let mut rows = Vec::new();
-                        let _ = eval_plan(
+                let mut cache = shared;
+                loop {
+                    if ctl.should_stop() {
+                        break;
+                    }
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() {
+                        break;
+                    }
+                    let mut stats = ExecStats::default();
+                    let mut rows = Vec::new();
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        eval_plan_bounded(
                             db,
                             catalog,
                             pi,
@@ -967,12 +1261,20 @@ pub(crate) fn all_plans_mt_result(
                                 rows.push(r);
                                 ControlFlow::Continue(())
                             },
-                        );
-                        let _ = tx.send((pi, rows, stats));
-                    }
-                }));
-                if let Err(p) = caught {
-                    let _ = panic_tx.send(panic_message(p));
+                            &mut NoProbeObs,
+                            ctl,
+                        )
+                    }));
+                    let outcome = match caught {
+                        Ok(Ok(_)) => PlanOutcome::Done,
+                        Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
+                        Err(payload) => {
+                            let _ = panic_tx.send((pi, panic_message(payload)));
+                            return;
+                        }
+                    };
+                    let _ = tx.send((pi, rows, stats, outcome));
                 }
             });
         }
@@ -980,16 +1282,26 @@ pub(crate) fn all_plans_mt_result(
         drop(panic_tx);
         let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
         let mut out = QueryResults::default();
-        for (pi, rows, stats) in rx {
+        let mut delivered = 0usize;
+        for (pi, rows, stats, outcome) in rx {
             per_plan[pi] = Some(rows);
             out.stats.merge(&stats);
+            absorb_outcome(&mut out.degradation, pi, outcome);
+            delivered += 1;
         }
-        if let Ok(msg) = panic_rx.recv() {
-            return Err(XkError::WorkerPanic(msg));
+        if let Ok((pi, msg)) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic {
+                message: msg,
+                plan: Some(pi),
+                keywords: Vec::new(),
+            });
         }
         for rows in per_plan.into_iter().flatten() {
             out.rows.extend(rows);
         }
+        out.degradation.plans_skipped = plans.len() - delivered;
+        out.degradation.faults.sort_by_key(|(pi, _)| *pi);
+        out.degradation.deadline_exceeded = ctl.timed_out();
         Ok(out)
     })
 }
@@ -1031,12 +1343,33 @@ pub(crate) fn topk_result(
     k: usize,
     threads: usize,
 ) -> Result<QueryResults, XkError> {
+    topk_ctl(db, catalog, plans, mode, k, threads, &ExecCtl::unbounded())
+}
+
+/// [`topk_result`] under a control block: workers stop claiming plans
+/// once it trips; rows emitted before the trip are kept (each one is a
+/// genuine MTTON), so a deadline yields a degraded partial top-k rather
+/// than nothing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn topk_ctl(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+    ctl: &ExecCtl,
+) -> Result<QueryResults, XkError> {
     let emitted = AtomicUsize::new(0);
     let next_plan = AtomicUsize::new(0);
     let threads = threads.max(1);
     let shared = SharedPartialCache::new(mode, threads);
-    let (tx, rx) = crossbeam::channel::unbounded::<Result<ResultRow, ExecStats>>();
-    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
+    enum TopkMsg {
+        Row(ResultRow),
+        PlanDone(usize, ExecStats, PlanOutcome),
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<TopkMsg>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<(usize, String)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -1045,20 +1378,20 @@ pub(crate) fn topk_result(
             let db = db.clone();
             let catalog = catalog.clone();
             scope.spawn(move || {
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    let mut cache = shared;
-                    loop {
-                        if emitted.load(Ordering::SeqCst) >= k {
-                            break;
-                        }
-                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                        if pi >= plans.len() {
-                            break;
-                        }
-                        let plan = &plans[pi];
-                        let mut stats = ExecStats::default();
-                        let mut local = 0usize;
-                        let _ = eval_plan(
+                let mut cache = shared;
+                loop {
+                    if emitted.load(Ordering::SeqCst) >= k || ctl.should_stop() {
+                        break;
+                    }
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() {
+                        break;
+                    }
+                    let plan = &plans[pi];
+                    let mut stats = ExecStats::default();
+                    let mut local = 0usize;
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        eval_plan_bounded(
                             &db,
                             &catalog,
                             pi,
@@ -1069,7 +1402,7 @@ pub(crate) fn topk_result(
                             &mut |r| {
                                 local += 1;
                                 emitted.fetch_add(1, Ordering::SeqCst);
-                                let _ = tx.send(Ok(r));
+                                let _ = tx.send(TopkMsg::Row(r));
                                 // Cap per plan, never per pool: a global cut
                                 // would make the kept subset depend on
                                 // thread scheduling.
@@ -1079,31 +1412,56 @@ pub(crate) fn topk_result(
                                     ControlFlow::Continue(())
                                 }
                             },
-                        );
-                        let _ = tx.send(Err(stats));
-                    }
-                }));
-                if let Err(p) = caught {
-                    let _ = panic_tx.send(panic_message(p));
+                            &mut NoProbeObs,
+                            ctl,
+                        )
+                    }));
+                    let outcome = match caught {
+                        Ok(Ok(_)) => PlanOutcome::Done,
+                        Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
+                        Err(payload) => {
+                            let _ = panic_tx.send((pi, panic_message(payload)));
+                            return;
+                        }
+                    };
+                    let _ = tx.send(TopkMsg::PlanDone(pi, stats, outcome));
                 }
             });
         }
         drop(tx);
         drop(panic_tx);
         let mut out = QueryResults::default();
+        let mut started = 0usize;
         for msg in rx {
             match msg {
-                Ok(row) => out.rows.push(row),
-                Err(stats) => out.stats.merge(&stats),
+                TopkMsg::Row(row) => out.rows.push(row),
+                TopkMsg::PlanDone(pi, stats, outcome) => {
+                    out.stats.merge(&stats);
+                    absorb_outcome(&mut out.degradation, pi, outcome);
+                    started += 1;
+                }
             }
         }
-        if let Ok(msg) = panic_rx.recv() {
-            return Err(XkError::WorkerPanic(msg));
+        if let Ok((pi, msg)) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic {
+                message: msg,
+                plan: Some(pi),
+                keywords: Vec::new(),
+            });
         }
         out.rows.sort_by(|a, b| {
             (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
         });
         out.rows.truncate(k);
+        out.degradation.faults.sort_by_key(|(pi, _)| *pi);
+        out.degradation.deadline_exceeded = ctl.timed_out();
+        // Top-k legitimately leaves plans unstarted once it has k
+        // results; unstarted plans count as skipped only when the
+        // deadline (not success) stopped the claiming.
+        if ctl.timed_out() {
+            out.degradation.plans_skipped = plans.len().saturating_sub(started);
+        }
         Ok(out)
     })
 }
@@ -1177,6 +1535,8 @@ impl ScanMemoOps for &SharedScanMemo {
 
 /// Evaluates one plan by hash joins, appending its rows/stats to `out`
 /// (including this plan's buffer-pool traffic on the calling thread).
+/// Checks the control block at every tile boundary; scans that fail on
+/// unrecoverable store faults abort the plan (and are never memoized).
 fn hash_join_plan<M: ScanMemoOps>(
     db: &Db,
     catalog: &RelationCatalog,
@@ -1184,7 +1544,8 @@ fn hash_join_plan<M: ScanMemoOps>(
     plan: &CtssnPlan,
     memo: &mut M,
     out: &mut QueryResults,
-) {
+    ctl: &ExecCtl,
+) -> Result<(), EvalAbort> {
     let _span = xkw_obs::span!(
         "exec.hash_plan",
         plan = pi,
@@ -1192,6 +1553,20 @@ fn hash_join_plan<M: ScanMemoOps>(
         tiles = plan.tiles.len()
     );
     let io_before = db.local_io();
+    let r = hash_join_plan_inner(db, catalog, pi, plan, memo, out, ctl);
+    charge_local_io(&mut out.stats, db, io_before);
+    r
+}
+
+fn hash_join_plan_inner<M: ScanMemoOps>(
+    db: &Db,
+    catalog: &RelationCatalog,
+    pi: usize,
+    plan: &CtssnPlan,
+    memo: &mut M,
+    out: &mut QueryResults,
+    ctl: &ExecCtl,
+) -> Result<(), EvalAbort> {
     let nroles = plan.role_count();
     if plan.tiles.is_empty() {
         // Single-role plan: candidates are the results.
@@ -1207,12 +1582,17 @@ fn hash_join_plan<M: ScanMemoOps>(
                 });
             }
         }
-        return;
+        return Ok(());
     }
     // Intermediate result: rows of bound roles, tracked by role list.
     let mut bound_roles: Vec<u8> = Vec::new();
     let mut inter: Vec<Vec<ToId>> = Vec::new();
     for (i, tile) in plan.tiles.iter().enumerate() {
+        // The tile boundary is the cancellation point: scans and joins
+        // are the units of work here.
+        if ctl.should_stop() {
+            return Err(EvalAbort::Deadline);
+        }
         // Scan + filter the tile relation (memoized per filter).
         let filter_sig: Vec<Option<String>> = tile
             .cols_to_roles
@@ -1235,7 +1615,8 @@ fn hash_join_plan<M: ScanMemoOps>(
                 let _scan_span = xkw_obs::span!("exec.scan", plan = pi, step = i, rel = tile.rel);
                 out.stats.probes += 1;
                 let v: Vec<Row> = catalog
-                    .scan(db, tile.rel)
+                    .try_scan(db, tile.rel)
+                    .map_err(EvalAbort::Fault)?
                     .into_iter()
                     .filter(|row| {
                         tile.cols_to_roles.iter().enumerate().all(|(c, &role)| {
@@ -1316,19 +1697,46 @@ fn hash_join_plan<M: ScanMemoOps>(
             score: plan.score,
         });
     }
-    charge_local_io(&mut out.stats, db, io_before);
+    Ok(())
 }
 
 /// Full evaluation of every plan via hash joins over scanned relations
 /// (§7's "all results" regime). Keyword filters are applied during the
 /// scans; tiles are joined in plan order on their shared roles.
 pub fn all_results(db: &Db, catalog: &RelationCatalog, plans: &[CtssnPlan]) -> QueryResults {
+    all_results_ctl(db, catalog, plans, &ExecCtl::unbounded()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The deadline-, fault- and panic-aware core of [`all_results`] (also
+/// the single-thread fallback of [`all_results_mt`]).
+fn all_results_ctl(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    ctl: &ExecCtl,
+) -> Result<QueryResults, XkError> {
     let mut out = QueryResults::default();
     let mut memo = LocalScanMemo::default();
     for (pi, plan) in plans.iter().enumerate() {
-        hash_join_plan(db, catalog, pi, plan, &mut memo, &mut out);
+        if ctl.should_stop() {
+            out.degradation.plans_skipped = plans.len() - pi;
+            break;
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            hash_join_plan(db, catalog, pi, plan, &mut memo, &mut out, ctl)
+        }));
+        match caught {
+            Ok(Ok(())) => {}
+            Ok(Err(EvalAbort::Deadline)) => out.degradation.plans_incomplete += 1,
+            Ok(Err(EvalAbort::Fault(e))) => {
+                out.degradation.plans_incomplete += 1;
+                out.degradation.faults.push((pi, e));
+            }
+            Err(payload) => return Err(worker_panic(pi, payload)),
+        }
     }
-    out
+    out.degradation.deadline_exceeded = ctl.timed_out();
+    Ok(out)
 }
 
 /// Parallel [`all_results`]: workers pull plans in score order and share
@@ -1357,34 +1765,55 @@ pub(crate) fn all_results_mt_result(
     plans: &[CtssnPlan],
     threads: usize,
 ) -> Result<QueryResults, XkError> {
+    all_results_mt_ctl(db, catalog, plans, threads, &ExecCtl::unbounded())
+}
+
+/// [`all_results_mt_result`] under a control block.
+pub(crate) fn all_results_mt_ctl(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    threads: usize,
+    ctl: &ExecCtl,
+) -> Result<QueryResults, XkError> {
     let threads = threads.max(1).min(plans.len().max(1));
     if threads == 1 {
-        return catch_worker(|| all_results(db, catalog, plans));
+        return all_results_ctl(db, catalog, plans, ctl);
     }
     let next_plan = AtomicUsize::new(0);
     let memo = SharedScanMemo::new(threads);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, QueryResults)>();
-    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<String>();
+    type PlanMsg = (usize, QueryResults, PlanOutcome);
+    let (tx, rx) = crossbeam::channel::unbounded::<PlanMsg>();
+    let (panic_tx, panic_rx) = crossbeam::channel::unbounded::<(usize, String)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let panic_tx = panic_tx.clone();
             let (next_plan, memo) = (&next_plan, &memo);
             scope.spawn(move || {
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    let mut memo = memo;
-                    loop {
-                        let pi = next_plan.fetch_add(1, Ordering::SeqCst);
-                        if pi >= plans.len() {
-                            break;
-                        }
-                        let mut part = QueryResults::default();
-                        hash_join_plan(db, catalog, pi, &plans[pi], &mut memo, &mut part);
-                        let _ = tx.send((pi, part));
+                let mut memo = memo;
+                loop {
+                    if ctl.should_stop() {
+                        break;
                     }
-                }));
-                if let Err(p) = caught {
-                    let _ = panic_tx.send(panic_message(p));
+                    let pi = next_plan.fetch_add(1, Ordering::SeqCst);
+                    if pi >= plans.len() {
+                        break;
+                    }
+                    let mut part = QueryResults::default();
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        hash_join_plan(db, catalog, pi, &plans[pi], &mut memo, &mut part, ctl)
+                    }));
+                    let outcome = match caught {
+                        Ok(Ok(())) => PlanOutcome::Done,
+                        Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
+                        Err(payload) => {
+                            let _ = panic_tx.send((pi, panic_message(payload)));
+                            return;
+                        }
+                    };
+                    let _ = tx.send((pi, part, outcome));
                 }
             });
         }
@@ -1392,16 +1821,26 @@ pub(crate) fn all_results_mt_result(
         drop(panic_tx);
         let mut per_plan: Vec<Option<Vec<ResultRow>>> = (0..plans.len()).map(|_| None).collect();
         let mut out = QueryResults::default();
-        for (pi, part) in rx {
+        let mut delivered = 0usize;
+        for (pi, part, outcome) in rx {
             per_plan[pi] = Some(part.rows);
             out.stats.merge(&part.stats);
+            absorb_outcome(&mut out.degradation, pi, outcome);
+            delivered += 1;
         }
-        if let Ok(msg) = panic_rx.recv() {
-            return Err(XkError::WorkerPanic(msg));
+        if let Ok((pi, msg)) = panic_rx.recv() {
+            return Err(XkError::WorkerPanic {
+                message: msg,
+                plan: Some(pi),
+                keywords: Vec::new(),
+            });
         }
         for rows in per_plan.into_iter().flatten() {
             out.rows.extend(rows);
         }
+        out.degradation.plans_skipped = plans.len() - delivered;
+        out.degradation.faults.sort_by_key(|(pi, _)| *pi);
+        out.degradation.deadline_exceeded = ctl.timed_out();
         Ok(out)
     })
 }
@@ -1526,6 +1965,105 @@ pub fn try_all_results_mt(
 ) -> Result<QueryResults, XkError> {
     validate_plans(catalog, plans)?;
     all_results_mt_result(db, catalog, plans, threads)
+}
+
+/// Finishes a bounded evaluation: attributes the fault layer's retry
+/// delta since `before` to the degradation report, and maps the
+/// nothing-produced degraded cases to typed errors — a deadline or
+/// fault that still yielded rows is a degraded `Ok`, one that yielded
+/// nothing is an `Err`.
+fn finish_bounded(
+    db: &Db,
+    before: xkw_store::FaultSnapshot,
+    res: Result<QueryResults, XkError>,
+) -> Result<QueryResults, XkError> {
+    let mut r = res?;
+    r.degradation.retries = db.faults().snapshot().since(before).retries;
+    if r.rows.is_empty() {
+        if r.degradation.deadline_exceeded {
+            return Err(XkError::DeadlineExceeded);
+        }
+        if let Some((_, e)) = r.degradation.faults.first() {
+            return Err(XkError::Store(e.clone()));
+        }
+    }
+    Ok(r)
+}
+
+/// [`try_all_plans_mt`] with an optional evaluation deadline. On
+/// deadline or unrecoverable store faults the evaluation degrades
+/// gracefully: rows produced so far come back tagged with a
+/// [`Degradation`] report instead of being thrown away.
+///
+/// # Errors
+/// Same as [`try_all_plans_mt`], plus [`XkError::DeadlineExceeded`] /
+/// [`XkError::Store`] when the query degraded before producing any row.
+pub fn try_all_plans_mt_within(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    threads: usize,
+    deadline: Option<Duration>,
+) -> Result<QueryResults, XkError> {
+    validate_mode(mode)?;
+    validate_plans(catalog, plans)?;
+    let ctl = ExecCtl::within(deadline);
+    let before = db.faults().snapshot();
+    finish_bounded(
+        db,
+        before,
+        all_plans_mt_ctl(db, catalog, plans, mode, threads, &ctl),
+    )
+}
+
+/// [`try_topk`] with an optional evaluation deadline (see
+/// [`try_all_plans_mt_within`] for the degradation contract).
+///
+/// # Errors
+/// Same as [`try_topk`], plus [`XkError::DeadlineExceeded`] /
+/// [`XkError::Store`] when the query degraded before producing any row.
+pub fn try_topk_within(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+    deadline: Option<Duration>,
+) -> Result<QueryResults, XkError> {
+    validate_mode(mode)?;
+    validate_plans(catalog, plans)?;
+    let ctl = ExecCtl::within(deadline);
+    let before = db.faults().snapshot();
+    finish_bounded(
+        db,
+        before,
+        topk_ctl(db, catalog, plans, mode, k, threads, &ctl),
+    )
+}
+
+/// [`try_all_results_mt`] with an optional evaluation deadline (see
+/// [`try_all_plans_mt_within`] for the degradation contract).
+///
+/// # Errors
+/// Same as [`try_all_results_mt`], plus [`XkError::DeadlineExceeded`] /
+/// [`XkError::Store`] when the query degraded before producing any row.
+pub fn try_all_results_mt_within(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    threads: usize,
+    deadline: Option<Duration>,
+) -> Result<QueryResults, XkError> {
+    validate_plans(catalog, plans)?;
+    let ctl = ExecCtl::within(deadline);
+    let before = db.faults().snapshot();
+    finish_bounded(
+        db,
+        before,
+        all_results_mt_ctl(db, catalog, plans, threads, &ctl),
+    )
 }
 
 #[cfg(test)]
@@ -1710,11 +2248,19 @@ mod tests {
         let d = plans[last].driver as usize;
         plans[last].candidates[d] = None;
         let err = try_all_plans_mt(&f.db, &f.catalog, &plans, ExecMode::Naive, 2).unwrap_err();
-        assert!(matches!(err, XkError::WorkerPanic(_)), "{err:?}");
+        assert!(
+            matches!(err, XkError::WorkerPanic { plan: Some(p), .. } if p == last),
+            "{err:?}"
+        );
         assert!(err.to_string().contains("worker thread panicked"));
-        // The single-threaded fallback reports the same typed error.
+        assert!(err.to_string().contains(&format!("plan {last}")));
+        // The single-threaded fallback reports the same typed error,
+        // naming the same plan.
         let err1 = all_plans_mt_result(&f.db, &f.catalog, &plans, ExecMode::Naive, 1).unwrap_err();
-        assert!(matches!(err1, XkError::WorkerPanic(_)), "{err1:?}");
+        assert!(
+            matches!(err1, XkError::WorkerPanic { plan: Some(p), .. } if p == last),
+            "{err1:?}"
+        );
         // topk workers propagate too (k large enough to reach the
         // sabotaged plan).
         let err2 = try_topk(
@@ -1726,7 +2272,10 @@ mod tests {
             2,
         )
         .unwrap_err();
-        assert!(matches!(err2, XkError::WorkerPanic(_)), "{err2:?}");
+        assert!(
+            matches!(err2, XkError::WorkerPanic { plan: Some(p), .. } if p == last),
+            "{err2:?}"
+        );
     }
 
     #[test]
@@ -1742,7 +2291,10 @@ mod tests {
         // (try_* would catch this in validation, so call the raw path.)
         plans[target].tiles[0].rel = 9999;
         let err = all_results_mt_result(&f.db, &f.catalog, &plans, 2).unwrap_err();
-        assert!(matches!(err, XkError::WorkerPanic(_)), "{err:?}");
+        assert!(
+            matches!(err, XkError::WorkerPanic { plan: Some(p), .. } if p == target),
+            "{err:?}"
+        );
     }
 
     #[test]

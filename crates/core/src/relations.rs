@@ -305,10 +305,38 @@ impl RelationCatalog {
         db.probe(table, cols, key)
     }
 
+    /// [`RelationCatalog::probe`] reporting unreadable pages as typed
+    /// errors instead of panicking — the fault-tolerant executor path.
+    ///
+    /// # Errors
+    /// [`xkw_store::StoreError::CorruptPage`] for unreadable pages.
+    pub fn try_probe(
+        &self,
+        db: &Db,
+        i: usize,
+        cols: &[usize],
+        key: &[Id],
+    ) -> Result<(Vec<Row>, AccessPath), xkw_store::StoreError> {
+        self.pay_roundtrip();
+        let rel = &self.relations[i];
+        let table = rel.pick_copy(cols);
+        db.try_probe(table, cols, key)
+    }
+
     /// Scans the logical relation of fragment `i`.
     pub fn scan(&self, db: &Db, i: usize) -> Vec<Row> {
         self.pay_roundtrip();
         db.scan_all(&self.relations[i].copies[0])
+    }
+
+    /// [`RelationCatalog::scan`] reporting unreadable pages as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    /// [`xkw_store::StoreError::CorruptPage`] for unreadable pages.
+    pub fn try_scan(&self, db: &Db, i: usize) -> Result<Vec<Row>, xkw_store::StoreError> {
+        self.pay_roundtrip();
+        db.try_scan_all(&self.relations[i].copies[0])
     }
 
     /// Total stored id cells across all physical copies (space cost of

@@ -68,6 +68,13 @@ pub struct LoadOptions {
     pub exec_threads: usize,
     /// Whether to serialize target-object BLOBs.
     pub build_blobs: bool,
+    /// Fault-injection plan for the simulated disk, installed before any
+    /// table is built so load-time writes are subject to torn-write
+    /// rules too. All randomness comes from the spec's explicit seed —
+    /// runs are reproducible by construction. `None` (the default)
+    /// leaves the fault layer disarmed: reads skip checksum verification
+    /// and pay a single relaxed atomic load.
+    pub faults: Option<xkw_store::FaultSpec>,
 }
 
 impl Default for LoadOptions {
@@ -79,6 +86,7 @@ impl Default for LoadOptions {
             pool_shards: 0,
             exec_threads: 1,
             build_blobs: true,
+            faults: None,
         }
     }
 }
@@ -159,6 +167,9 @@ impl XKeyword {
         master_span.record("targets", targets.len());
         drop(master_span);
         let db = Db::with_pool_shards(options.pool_pages, options.pool_shards);
+        if let Some(spec) = options.faults.clone() {
+            db.install_faults(spec);
+        }
         if options.build_blobs {
             let _blobs_span = xkw_obs::span!("load.blobs", count = targets.len());
             for id in 0..targets.len() as ToId {

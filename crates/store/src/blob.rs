@@ -5,6 +5,7 @@
 //! fragments; the presentation layer fetches them by id when rendering
 //! MTTONs. Backed by [`bytes::Bytes`] so fetches are zero-copy.
 
+use crate::error::StoreError;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -32,6 +33,16 @@ impl BlobStore {
     pub fn get(&self, id: u32) -> Option<Bytes> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         self.map.read().get(&id).cloned()
+    }
+
+    /// Fetches the BLOB for `id`, reporting absence as a typed error —
+    /// the fault-tolerant presentation path, where a missing target
+    /// object is a data defect to surface, never a panic.
+    ///
+    /// # Errors
+    /// [`StoreError::MissingBlob`] when no BLOB is stored under `id`.
+    pub fn try_get(&self, id: u32) -> Result<Bytes, StoreError> {
+        self.get(id).ok_or(StoreError::MissingBlob(id))
     }
 
     /// Number of stored BLOBs.
@@ -69,6 +80,14 @@ mod tests {
         );
         assert!(b.get(8).is_none());
         assert_eq!(b.fetch_count(), 2);
+    }
+
+    #[test]
+    fn try_get_reports_missing_ids_as_typed_errors() {
+        let b = BlobStore::new();
+        b.put(1, "x");
+        assert_eq!(b.try_get(1).unwrap().as_ref(), b"x");
+        assert_eq!(b.try_get(2).unwrap_err(), StoreError::MissingBlob(2));
     }
 
     #[test]

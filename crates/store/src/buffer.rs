@@ -21,6 +21,7 @@
 //! occupancy and traffic skew are exactly what the CLI `:stats` view and
 //! the metrics registry ([`BufferPool::export_metrics`]) report.
 
+use crate::fault::{MAX_READ_ATTEMPTS, RETRY_BACKOFF_BASE_NS};
 use crate::page::{Disk, Page, PageId};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -32,10 +33,10 @@ use xkw_obs::Registry;
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    /// Per-thread (hits, misses) per pool id. Keyed by id rather than
-    /// address so a pool dropped and reallocated at the same address
+    /// Per-thread (hits, misses, retries) per pool id. Keyed by id rather
+    /// than address so a pool dropped and reallocated at the same address
     /// cannot inherit a previous pool's counts.
-    static LOCAL_IO: RefCell<HashMap<u64, (u64, u64)>> = RefCell::new(HashMap::new());
+    static LOCAL_IO: RefCell<HashMap<u64, (u64, u64, u64)>> = RefCell::new(HashMap::new());
 }
 
 /// Simulated latencies at or above this park the thread instead of
@@ -60,6 +61,35 @@ pub fn simulate_latency(ns: u64) {
         }
     }
 }
+
+/// A page the pool could not produce: every physical read attempt failed
+/// verification (or the page was already quarantined). Carries the page
+/// id and the attempts spent; the table layer decorates it with the
+/// table name into [`crate::StoreError::CorruptPage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFaultError {
+    /// The unreadable page.
+    pub page: u32,
+    /// Physical read attempts spent before giving up (0 = the page was
+    /// already quarantined and the fetch failed fast).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for PageFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.attempts == 0 {
+            write!(f, "page {} is quarantined", self.page)
+        } else {
+            write!(
+                f,
+                "page {} failed verification after {} read attempts",
+                self.page, self.attempts
+            )
+        }
+    }
+}
+
+impl std::error::Error for PageFaultError {}
 
 /// A point-in-time copy of the I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -237,7 +267,30 @@ impl BufferPool {
     }
 
     /// Fetches a page, reading through to `disk` on a miss.
+    ///
+    /// # Panics
+    /// Panics if the page is unreadable (corruption that survived every
+    /// retry). Fault-tolerant callers use [`BufferPool::try_fetch`].
     pub fn fetch(&self, disk: &Disk, id: PageId) -> Page {
+        self.try_fetch(disk, id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fetches a page, reading through to `disk` on a miss, with bounded
+    /// retry against the disk's fault layer.
+    ///
+    /// The miss path makes up to [`MAX_READ_ATTEMPTS`] physical read
+    /// attempts. Failed attempts (transient faults, checksum mismatches)
+    /// back off exponentially with deterministic seeded jitter; the
+    /// backoff is sleep-parked like the miss penalty, so retrying threads
+    /// overlap their waits instead of serializing. A page that exhausts
+    /// its attempts is quarantined — later fetches fail fast without
+    /// re-paying the backoff.
+    ///
+    /// # Errors
+    /// [`PageFaultError`] when every attempt failed verification or the
+    /// page is quarantined. With a disarmed fault layer this never
+    /// errors, and the extra cost is one relaxed atomic load per miss.
+    pub fn try_fetch(&self, disk: &Disk, id: PageId) -> Result<Page, PageFaultError> {
         let shard = self.shard_of(id);
         {
             let mut f = shard.frames.lock();
@@ -247,13 +300,49 @@ impl BufferPool {
                 drop(f);
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 self.record_local(true);
-                return page;
+                return Ok(page);
             }
         }
         // Miss: the transfer (disk read + page copy) happens outside the
         // shard lock, so it never blocks hits on other resident pages.
-        let from_disk = disk.read(id);
-        let copied: Page = std::sync::Arc::new(*from_disk);
+        let faults = disk.faults();
+        if faults.is_quarantined(id.0) {
+            return Err(PageFaultError {
+                page: id.0,
+                attempts: 0,
+            });
+        }
+        let mut attempt = 0u32;
+        let (copied, extra_ns) = loop {
+            match disk.read_checked(id, attempt) {
+                Ok((from_disk, extra_ns)) => {
+                    break (std::sync::Arc::new(*from_disk) as Page, extra_ns);
+                }
+                Err(_) => {
+                    attempt += 1;
+                    if attempt >= MAX_READ_ATTEMPTS {
+                        faults.quarantine(id.0);
+                        return Err(PageFaultError {
+                            page: id.0,
+                            attempts: attempt,
+                        });
+                    }
+                    faults.count_retry();
+                    self.record_local_retry();
+                    // Exponential backoff with seeded jitter, floored at
+                    // the park threshold so waiting threads sleep.
+                    let base = RETRY_BACKOFF_BASE_NS << (attempt - 1);
+                    let backoff = ((base as f64 * faults.jitter(id.0, attempt)) as u64)
+                        .max(PARK_THRESHOLD_NS);
+                    if xkw_obs::enabled() {
+                        xkw_obs::global()
+                            .histogram("xkw_retry_backoff_ns")
+                            .observe(backoff);
+                    }
+                    simulate_latency(backoff);
+                }
+            }
+        };
         {
             let mut f = shard.frames.lock();
             // A racing fetch of the same page may have installed it
@@ -265,8 +354,8 @@ impl BufferPool {
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.record_local(false);
-        simulate_latency(self.miss_penalty_ns.load(Ordering::Relaxed));
-        copied
+        simulate_latency(self.miss_penalty_ns.load(Ordering::Relaxed) + extra_ns);
+        Ok(copied)
     }
 
     /// Current counters, aggregated over every shard and thread.
@@ -349,6 +438,12 @@ impl BufferPool {
         });
     }
 
+    fn record_local_retry(&self) {
+        LOCAL_IO.with(|m| {
+            m.borrow_mut().entry(self.id).or_default().2 += 1;
+        });
+    }
+
     /// The calling thread's cumulative hit/miss counts against this pool.
     ///
     /// Unlike [`BufferPool::snapshot`], which aggregates every thread,
@@ -357,9 +452,16 @@ impl BufferPool {
     /// run concurrently on the same pool.
     pub fn local_snapshot(&self) -> IoSnapshot {
         LOCAL_IO.with(|m| {
-            let (hits, misses) = m.borrow().get(&self.id).copied().unwrap_or((0, 0));
+            let (hits, misses, _) = m.borrow().get(&self.id).copied().unwrap_or((0, 0, 0));
             IoSnapshot { hits, misses }
         })
+    }
+
+    /// The calling thread's cumulative failed-read-attempt retries
+    /// against this pool (kept separate from [`IoSnapshot`]: retries are
+    /// fault-recovery work, not logical I/O).
+    pub fn local_retries(&self) -> u64 {
+        LOCAL_IO.with(|m| m.borrow().get(&self.id).map_or(0, |e| e.2))
     }
 
     /// Empties the pool (e.g. between benchmark runs for a cold start),
@@ -625,6 +727,117 @@ mod tests {
         assert_eq!(BufferPool::with_shards(1024, 5).shard_count(), 8);
         assert_eq!(BufferPool::new(2048).shard_count(), 16);
         assert_eq!(BufferPool::new(16).shard_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultSpec, FaultTarget};
+    use crate::page::PAGE_U32S;
+
+    fn disk_with(n: usize) -> Disk {
+        let d = Disk::new();
+        for i in 0..n {
+            let mut p = [0u32; PAGE_U32S];
+            p[0] = i as u32;
+            d.append(p);
+        }
+        d
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retries() {
+        let d = disk_with(4);
+        d.faults().install(FaultSpec::new(42).rule(
+            FaultKind::TransientRead,
+            FaultTarget::All,
+            1.0,
+        ));
+        let pool = BufferPool::new(4);
+        for i in 0..4u32 {
+            assert_eq!(pool.try_fetch(&d, PageId(i)).unwrap()[0], i);
+        }
+        // p=1 transient: every miss retried MAX_READ_ATTEMPTS-1 times.
+        let expected = 4 * u64::from(MAX_READ_ATTEMPTS - 1);
+        assert_eq!(d.faults().snapshot().retries, expected);
+        assert_eq!(pool.local_retries(), expected);
+        // Hits pay no retries.
+        pool.try_fetch(&d, PageId(0)).unwrap();
+        assert_eq!(pool.local_retries(), expected);
+        assert_eq!(pool.snapshot(), IoSnapshot { hits: 1, misses: 4 });
+    }
+
+    #[test]
+    fn corrupt_pages_quarantine_and_fail_fast() {
+        let d = disk_with(2);
+        d.corrupt_page(PageId(1));
+        let pool = BufferPool::new(4);
+        assert_eq!(pool.try_fetch(&d, PageId(0)).unwrap()[0], 0);
+        let err = pool.try_fetch(&d, PageId(1)).unwrap_err();
+        assert_eq!(err.page, 1);
+        assert_eq!(err.attempts, MAX_READ_ATTEMPTS);
+        assert!(err.to_string().contains("page 1"));
+        assert_eq!(d.faults().snapshot().quarantined, 1);
+        // Second fetch fails fast without re-paying retries.
+        let before = d.faults().snapshot().retries;
+        let err = pool.try_fetch(&d, PageId(1)).unwrap_err();
+        assert_eq!(err.attempts, 0);
+        assert_eq!(d.faults().snapshot().retries, before);
+        // Failed fetches never count as logical I/O.
+        assert_eq!(pool.snapshot().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed verification")]
+    fn infallible_fetch_panics_on_corruption() {
+        let d = disk_with(1);
+        d.corrupt_page(PageId(0));
+        let pool = BufferPool::new(2);
+        pool.fetch(&d, PageId(0));
+    }
+
+    #[test]
+    fn faulty_reads_are_deterministic_across_thread_counts() {
+        for threads in [1usize, 2, 8] {
+            let d = disk_with(16);
+            d.faults().install(FaultSpec::new(7).rule(
+                FaultKind::TransientRead,
+                FaultTarget::All,
+                0.5,
+            ));
+            let pool = BufferPool::new(16);
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let (pool, d) = (&pool, &d);
+                    s.spawn(move || {
+                        for i in (t..16).step_by(threads) {
+                            assert_eq!(pool.try_fetch(d, PageId(i as u32)).unwrap()[0], i as u32);
+                        }
+                    });
+                }
+            });
+            // Injection decisions are per (seed, page, attempt): the
+            // total retry count is identical for every interleaving.
+            let retries = d.faults().snapshot().retries;
+            assert_eq!(
+                retries,
+                {
+                    let d2 = disk_with(16);
+                    d2.faults().install(FaultSpec::new(7).rule(
+                        FaultKind::TransientRead,
+                        FaultTarget::All,
+                        0.5,
+                    ));
+                    let p2 = BufferPool::new(16);
+                    for i in 0..16u32 {
+                        p2.try_fetch(&d2, PageId(i)).unwrap();
+                    }
+                    d2.faults().snapshot().retries
+                },
+                "threads={threads}"
+            );
+        }
     }
 }
 

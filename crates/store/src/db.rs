@@ -78,8 +78,34 @@ impl Db {
             return Err(StoreError::DuplicateTable(name.to_owned()));
         }
         let table = Arc::new(Table::build(&self.disk, name, arity, rows, options));
+        if let Some(first) = table.first_page() {
+            // Table-targeted fault rules resolve to the fresh page run.
+            self.disk
+                .faults()
+                .resolve_table(name, first.0, table.page_count() as u32);
+        }
         tables.insert(name.to_owned(), table.clone());
         Ok(table)
+    }
+
+    /// Installs a fault-injection plan on this database's disk, arming
+    /// checksum verification. Rules targeting tables that already exist
+    /// resolve immediately; rules naming future tables resolve as those
+    /// tables are created (so load-time torn writes can fire).
+    pub fn install_faults(&self, spec: crate::fault::FaultSpec) {
+        self.disk.faults().install(spec);
+        for table in self.tables.read().values() {
+            if let Some(first) = table.first_page() {
+                self.disk
+                    .faults()
+                    .resolve_table(table.name(), first.0, table.page_count() as u32);
+            }
+        }
+    }
+
+    /// The disk's fault layer (stats, quarantine, clearing).
+    pub fn faults(&self) -> &crate::fault::FaultLayer {
+        self.disk.faults()
     }
 
     /// Looks up a table by name.
@@ -108,10 +134,33 @@ impl Db {
         table.scan(&self.disk, &self.pool).collect()
     }
 
+    /// Sequentially scans a table, reporting unreadable pages as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::CorruptPage`] for unreadable pages.
+    pub fn try_scan_all(&self, table: &Table) -> Result<Vec<Row>, StoreError> {
+        table.try_scan_all(&self.disk, &self.pool)
+    }
+
     /// Probes a table: rows whose `cols` equal `key`, plus the access path
     /// used.
     pub fn probe(&self, table: &Table, cols: &[usize], key: &[Id]) -> (Vec<Row>, AccessPath) {
         table.probe(&self.disk, &self.pool, cols, key)
+    }
+
+    /// Probes a table, reporting unreadable pages as typed errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::CorruptPage`] for unreadable pages.
+    pub fn try_probe(
+        &self,
+        table: &Table,
+        cols: &[usize],
+        key: &[Id],
+    ) -> Result<(Vec<Row>, AccessPath), StoreError> {
+        table.try_probe(&self.disk, &self.pool, cols, key)
     }
 
     /// The underlying disk (for iterator-based executors).
@@ -151,6 +200,7 @@ impl Db {
     /// the fetch hot path never touches the registry.
     pub fn export_metrics(&self, registry: &xkw_obs::Registry) {
         self.pool.export_metrics(registry);
+        self.disk.faults().export_metrics(registry);
         for (name, table) in self.tables.read().iter() {
             registry
                 .gauge(&format!("xkw_table_logical_io{{table=\"{name}\"}}"))

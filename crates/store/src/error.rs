@@ -23,6 +23,27 @@ pub enum StoreError {
         /// The offending column index.
         column: usize,
     },
+    /// A page of the table failed checksum verification on every read
+    /// attempt (or was already quarantined). The data cannot be served —
+    /// corruption is surfaced, never silently returned as wrong rows.
+    CorruptPage {
+        /// The table the page belongs to.
+        table: String,
+        /// The global id of the unreadable page.
+        page: u32,
+    },
+    /// No BLOB is stored under this target-object id.
+    MissingBlob(u32),
+}
+
+impl StoreError {
+    /// Decorates a pool-level page fault with the owning table's name.
+    pub fn from_page_fault(table: &str, fault: crate::buffer::PageFaultError) -> Self {
+        StoreError::CorruptPage {
+            table: table.to_owned(),
+            page: fault.page,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -38,6 +59,11 @@ impl std::fmt::Display for StoreError {
                 f,
                 "column {column} out of range for table {table:?} (arity {arity})"
             ),
+            Self::CorruptPage { table, page } => write!(
+                f,
+                "page {page} of table {table:?} is corrupt (checksum verification failed)"
+            ),
+            Self::MissingBlob(id) => write!(f, "no blob stored for target object {id}"),
         }
     }
 }
@@ -62,5 +88,27 @@ mod tests {
             column: 5,
         };
         assert!(e.to_string().contains("column 5"));
+        let e = StoreError::CorruptPage {
+            table: "t".into(),
+            page: 9,
+        };
+        assert!(e.to_string().contains("page 9"));
+        assert!(e.to_string().contains("corrupt"));
+        assert!(StoreError::MissingBlob(4).to_string().contains("4"));
+    }
+
+    #[test]
+    fn page_faults_decorate_with_table_name() {
+        let fault = crate::buffer::PageFaultError {
+            page: 17,
+            attempts: 4,
+        };
+        assert_eq!(
+            StoreError::from_page_fault("cr.PL@c0", fault),
+            StoreError::CorruptPage {
+                table: "cr.PL@c0".into(),
+                page: 17,
+            }
+        );
     }
 }

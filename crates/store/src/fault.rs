@@ -1,0 +1,691 @@
+//! Deterministic, seedable fault injection for the simulated disk.
+//!
+//! The paper's engine ran on Oracle 9i — storage that can stall, corrupt
+//! and time out. Our simulated disk is infallible by construction, so
+//! this module adds a scriptable fault layer: a [`FaultSpec`] names a
+//! seed plus a list of [`FaultRule`]s (fault kind × target pages ×
+//! probability), and the disk consults the installed plan on every
+//! append and physical read.
+//!
+//! # Determinism
+//!
+//! Every injection decision is a *pure function* of
+//! `(seed, rule, page, attempt)` — a splitmix64-style hash, never a
+//! shared sequential RNG — so outcomes are independent of thread
+//! interleaving: the same plan produces byte-identical behaviour at any
+//! worker-thread count. The shimmed `rand` has no OS entropy, so seeds
+//! are always explicit (see `LoadOptions` in `xkw-core`).
+//!
+//! # Fault taxonomy
+//!
+//! * [`FaultKind::TransientRead`] — the read attempt fails but the page
+//!   is intact; a retry (with backoff) succeeds. By construction a
+//!   transient rule **never** fires on the final retry attempt
+//!   ([`MAX_READ_ATTEMPTS`]` - 1`), so transient-only plans cannot
+//!   degrade results — they only cost latency.
+//! * [`FaultKind::SlowPage`] — the read succeeds but pays extra
+//!   simulated latency (sleep-parked, like the miss penalty).
+//! * [`FaultKind::BitFlip`] — the read returns a copy with one bit
+//!   flipped; the page checksum catches it. At probability < 1 a retry
+//!   may rescue the read; at 1.0 retries exhaust and the page is
+//!   quarantined.
+//! * [`FaultKind::TornWrite`] — the append stores corrupted data under
+//!   the pristine checksum; every subsequent read of that page fails
+//!   verification (permanent corruption).
+//!
+//! When the layer is disarmed (the default), the only cost on the read
+//! path is one relaxed atomic load — the same discipline as `xkw-obs`.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Maximum physical read attempts per buffer-pool miss (1 initial try +
+/// retries). Transient faults never fire on the final attempt.
+pub const MAX_READ_ATTEMPTS: u32 = 4;
+
+/// Base backoff before the first retry, in simulated nanoseconds. At or
+/// above the pool's park threshold, so retrying threads sleep and
+/// overlap instead of spinning.
+pub const RETRY_BACKOFF_BASE_NS: u64 = 100_000;
+
+/// The kind of fault a rule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Read attempt fails; the page is intact and a retry succeeds.
+    TransientRead,
+    /// Read succeeds after extra sleep-parked latency.
+    SlowPage,
+    /// Read returns a copy with one bit flipped (checksum catches it).
+    BitFlip,
+    /// Append persists corrupted data under the pristine checksum.
+    TornWrite,
+}
+
+impl FaultKind {
+    fn salt(self) -> u64 {
+        match self {
+            FaultKind::TransientRead => 0x7261_6e73,
+            FaultKind::SlowPage => 0x736c_6f77,
+            FaultKind::BitFlip => 0x666c_6970,
+            FaultKind::TornWrite => 0x746f_726e,
+        }
+    }
+}
+
+/// Which pages a rule applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every page on the disk.
+    All,
+    /// A half-open page-id range `[start, end)`.
+    Pages {
+        /// First page id covered.
+        start: u32,
+        /// One past the last page id covered.
+        end: u32,
+    },
+    /// All pages of the named table (resolved when the table is built;
+    /// a rule naming a table that never materializes stays inert).
+    Table(String),
+}
+
+/// One scripted fault: kind × target × per-(page, attempt) probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Where to inject it.
+    pub target: FaultTarget,
+    /// Probability in `[0, 1]` that the rule fires for a given
+    /// `(page, attempt)` pair (or `(page,)` for torn writes).
+    pub probability: f64,
+    /// Extra simulated latency for [`FaultKind::SlowPage`], ns.
+    pub slow_ns: u64,
+}
+
+/// A complete fault script: explicit seed plus rules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Seed every injection decision (and retry jitter) derives from.
+    pub seed: u64,
+    /// The scripted rules.
+    pub rules: Vec<FaultRule>,
+}
+
+/// A malformed fault-spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecParseError(pub String);
+
+impl std::fmt::Display for FaultSpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecParseError {}
+
+impl FaultSpec {
+    /// An empty spec with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Builder: appends a rule.
+    #[must_use]
+    pub fn rule(mut self, kind: FaultKind, target: FaultTarget, probability: f64) -> Self {
+        self.rules.push(FaultRule {
+            kind,
+            target,
+            probability,
+            slow_ns: 4 * RETRY_BACKOFF_BASE_NS,
+        });
+        self
+    }
+
+    /// Builder: appends a slow-page rule with explicit latency.
+    #[must_use]
+    pub fn slow(mut self, target: FaultTarget, probability: f64, slow_ns: u64) -> Self {
+        self.rules.push(FaultRule {
+            kind: FaultKind::SlowPage,
+            target,
+            probability,
+            slow_ns,
+        });
+        self
+    }
+
+    /// Parses the CLI grammar: semicolon-separated clauses, each either
+    /// `seed=N` or `<kind>[:key=val[,key=val…]]` with kinds `transient` /
+    /// `slow` / `bitflip` / `torn` and keys `p=<0..1>` (default 1),
+    /// `pages=<a>..<b>`, `table=<name>`, `ns=<latency>` (slow only).
+    ///
+    /// Example: `seed=42;transient:p=0.2;slow:table=cr.PL@c0,ns=500000`.
+    ///
+    /// # Errors
+    /// [`FaultSpecParseError`] naming the offending clause.
+    pub fn parse(s: &str) -> Result<Self, FaultSpecParseError> {
+        let mut spec = FaultSpec::default();
+        for clause in s.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(v) = clause.strip_prefix("seed=") {
+                spec.seed = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| FaultSpecParseError(format!("bad seed in {clause:?}")))?;
+                continue;
+            }
+            let (kind_str, args) = clause.split_once(':').unwrap_or((clause, ""));
+            let kind = match kind_str.trim() {
+                "transient" => FaultKind::TransientRead,
+                "slow" => FaultKind::SlowPage,
+                "bitflip" => FaultKind::BitFlip,
+                "torn" => FaultKind::TornWrite,
+                other => {
+                    return Err(FaultSpecParseError(format!("unknown fault kind {other:?}")));
+                }
+            };
+            let mut rule = FaultRule {
+                kind,
+                target: FaultTarget::All,
+                probability: 1.0,
+                slow_ns: 4 * RETRY_BACKOFF_BASE_NS,
+            };
+            for kv in args.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| FaultSpecParseError(format!("expected key=value in {kv:?}")))?;
+                match k.trim() {
+                    "p" => {
+                        rule.probability = v.trim().parse().map_err(|_| {
+                            FaultSpecParseError(format!("bad probability in {kv:?}"))
+                        })?;
+                    }
+                    "ns" => {
+                        rule.slow_ns = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| FaultSpecParseError(format!("bad latency in {kv:?}")))?;
+                    }
+                    "table" => rule.target = FaultTarget::Table(v.trim().to_owned()),
+                    "pages" => {
+                        let (a, b) = v.trim().split_once("..").ok_or_else(|| {
+                            FaultSpecParseError(format!("expected a..b range in {kv:?}"))
+                        })?;
+                        let start = a.parse().map_err(|_| {
+                            FaultSpecParseError(format!("bad range start in {kv:?}"))
+                        })?;
+                        let end = b
+                            .parse()
+                            .map_err(|_| FaultSpecParseError(format!("bad range end in {kv:?}")))?;
+                        rule.target = FaultTarget::Pages { start, end };
+                    }
+                    other => {
+                        return Err(FaultSpecParseError(format!("unknown key {other:?}")));
+                    }
+                }
+            }
+            if !(0.0..=1.0).contains(&rule.probability) {
+                return Err(FaultSpecParseError(format!(
+                    "probability out of [0,1] in {clause:?}"
+                )));
+            }
+            spec.rules.push(rule);
+        }
+        Ok(spec)
+    }
+
+    /// Whether every rule is transient or slow — i.e. the plan can cost
+    /// latency but can never corrupt or lose data.
+    pub fn is_transient_only(&self) -> bool {
+        self.rules
+            .iter()
+            .all(|r| matches!(r.kind, FaultKind::TransientRead | FaultKind::SlowPage))
+    }
+}
+
+/// Cumulative fault-layer counters (all relaxed atomics).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    transient: AtomicU64,
+    slow: AtomicU64,
+    bit_flips: AtomicU64,
+    torn_writes: AtomicU64,
+    checksum_failures: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Transient read errors injected.
+    pub transient: u64,
+    /// Slow-page stalls injected.
+    pub slow: u64,
+    /// Bit flips injected on the read path.
+    pub bit_flips: u64,
+    /// Torn writes injected on the append path.
+    pub torn_writes: u64,
+    /// Checksum verification failures observed.
+    pub checksum_failures: u64,
+    /// Retry attempts spent by the buffer pool.
+    pub retries: u64,
+    /// Pages quarantined after exhausting retries.
+    pub quarantined: u64,
+}
+
+impl FaultSnapshot {
+    /// Counter-wise difference since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: FaultSnapshot) -> FaultSnapshot {
+        FaultSnapshot {
+            transient: self.transient - earlier.transient,
+            slow: self.slow - earlier.slow,
+            bit_flips: self.bit_flips - earlier.bit_flips,
+            torn_writes: self.torn_writes - earlier.torn_writes,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
+            retries: self.retries - earlier.retries,
+            quarantined: self.quarantined - earlier.quarantined,
+        }
+    }
+}
+
+/// A rule with its target resolved to a concrete page range.
+#[derive(Debug, Clone)]
+struct ResolvedRule {
+    kind: FaultKind,
+    probability: f64,
+    slow_ns: u64,
+    /// Half-open page range; `None` = all pages.
+    range: Option<(u32, u32)>,
+    /// Stable salt so distinct rules decorrelate.
+    salt: u64,
+}
+
+impl ResolvedRule {
+    fn covers(&self, page: u32) -> bool {
+        match self.range {
+            None => true,
+            Some((start, end)) => (start..end).contains(&page),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    seed: u64,
+    resolved: Vec<ResolvedRule>,
+    /// Table-targeted rules awaiting materialization: (rule, salt).
+    pending: Vec<(FaultRule, u64)>,
+    quarantined: HashSet<u32>,
+}
+
+/// What one physical read attempt encounters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The attempt failed but the page is intact; retry.
+    Transient,
+    /// The data fails checksum verification.
+    Corrupt,
+}
+
+/// The fault layer a [`crate::page::Disk`] consults. Disarmed by default:
+/// the read path then costs one relaxed atomic load.
+#[derive(Debug, Default)]
+pub struct FaultLayer {
+    armed: AtomicBool,
+    state: RwLock<FaultState>,
+    stats: FaultStats,
+}
+
+impl FaultLayer {
+    /// Whether any fault plan (or corruption check) is active.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Installs a fault plan, arming the layer. Table-targeted rules
+    /// resolve as their tables materialize.
+    pub fn install(&self, spec: FaultSpec) {
+        let mut state = self.state.write();
+        state.seed = spec.seed;
+        state.resolved.clear();
+        state.pending.clear();
+        for (i, rule) in spec.rules.into_iter().enumerate() {
+            let salt = rule.kind.salt() ^ ((i as u64) << 40);
+            match rule.target {
+                FaultTarget::All => state.resolved.push(ResolvedRule {
+                    kind: rule.kind,
+                    probability: rule.probability,
+                    slow_ns: rule.slow_ns,
+                    range: None,
+                    salt,
+                }),
+                FaultTarget::Pages { start, end } => state.resolved.push(ResolvedRule {
+                    kind: rule.kind,
+                    probability: rule.probability,
+                    slow_ns: rule.slow_ns,
+                    range: Some((start, end)),
+                    salt,
+                }),
+                FaultTarget::Table(_) => state.pending.push((rule, salt)),
+            }
+        }
+        drop(state);
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms checksum verification without any scripted rules (used after
+    /// out-of-band corruption such as [`crate::page::Disk::corrupt_page`]).
+    pub fn arm_checks(&self) {
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms the layer and forgets the plan and quarantine set.
+    pub fn clear(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+        let mut state = self.state.write();
+        state.resolved.clear();
+        state.pending.clear();
+        state.quarantined.clear();
+    }
+
+    /// Resolves pending table-targeted rules against a freshly built
+    /// table's contiguous page range (builds are sequential, so a table's
+    /// pages form one run).
+    pub fn resolve_table(&self, name: &str, first_page: u32, page_count: u32) {
+        if !self.armed() {
+            return;
+        }
+        let mut state = self.state.write();
+        let mut resolved = Vec::new();
+        for (rule, salt) in &state.pending {
+            if matches!(&rule.target, FaultTarget::Table(t) if t == name) {
+                resolved.push(ResolvedRule {
+                    kind: rule.kind,
+                    probability: rule.probability,
+                    slow_ns: rule.slow_ns,
+                    range: Some((first_page, first_page + page_count)),
+                    salt: *salt,
+                });
+            }
+        }
+        state.resolved.extend(resolved);
+    }
+
+    /// Consults torn-write rules for a page about to be appended. When a
+    /// rule fires, corrupts `data` in place (the checksum of the pristine
+    /// data has already been taken) and returns `true`.
+    pub fn on_append(&self, page: u32, data: &mut [u32]) -> bool {
+        if !self.armed() {
+            return false;
+        }
+        let state = self.state.read();
+        for rule in &state.resolved {
+            if rule.kind == FaultKind::TornWrite
+                && rule.covers(page)
+                && fires(state.seed, rule.salt, page, 0, rule.probability)
+            {
+                // Tear the tail of the page: zero the last quarter, as if
+                // the write stopped partway.
+                let cut = data.len() - data.len() / 4;
+                for w in &mut data[cut..] {
+                    *w = !*w;
+                }
+                self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consults read-path rules for `(page, attempt)`. Returns either the
+    /// extra latency to pay (slow pages) or a [`ReadFault`]. `corrupt_out`
+    /// is set when a bit-flip rule fires so the disk can flip a bit in
+    /// the returned copy.
+    pub fn on_read(&self, page: u32, attempt: u32) -> ReadDecision {
+        let state = self.state.read();
+        let mut decision = ReadDecision::default();
+        for rule in &state.resolved {
+            if !rule.covers(page) {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::TransientRead => {
+                    // Never fire on the final attempt: transient faults
+                    // are retry-recoverable by construction.
+                    if attempt + 1 < MAX_READ_ATTEMPTS
+                        && fires(state.seed, rule.salt, page, attempt, rule.probability)
+                    {
+                        self.stats.transient.fetch_add(1, Ordering::Relaxed);
+                        decision.fault = Some(ReadFault::Transient);
+                        return decision;
+                    }
+                }
+                FaultKind::SlowPage => {
+                    if fires(state.seed, rule.salt, page, attempt, rule.probability) {
+                        self.stats.slow.fetch_add(1, Ordering::Relaxed);
+                        decision.extra_ns += rule.slow_ns;
+                    }
+                }
+                FaultKind::BitFlip => {
+                    if fires(state.seed, rule.salt, page, attempt, rule.probability) {
+                        self.stats.bit_flips.fetch_add(1, Ordering::Relaxed);
+                        decision.flip_bit =
+                            Some(splitmix(state.seed ^ rule.salt ^ u64::from(page)));
+                    }
+                }
+                FaultKind::TornWrite => {}
+            }
+        }
+        decision
+    }
+
+    /// Deterministic retry-backoff jitter factor for `(page, attempt)`,
+    /// in `[0.75, 1.25)`, derived from the installed seed.
+    pub fn jitter(&self, page: u32, attempt: u32) -> f64 {
+        let state = self.state.read();
+        let h = splitmix(state.seed ^ 0x6a69_7474 ^ (u64::from(page) << 32) ^ u64::from(attempt));
+        0.75 + (h >> 11) as f64 / (1u64 << 53) as f64 / 2.0
+    }
+
+    /// Marks a page as persistently failing; later fetches fail fast.
+    pub fn quarantine(&self, page: u32) {
+        if self.state.write().quarantined.insert(page) {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a page is quarantined.
+    pub fn is_quarantined(&self, page: u32) -> bool {
+        self.armed() && self.state.read().quarantined.contains(&page)
+    }
+
+    /// Records one retry attempt (called by the buffer pool).
+    pub fn count_retry(&self) {
+        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one checksum verification failure.
+    pub fn count_checksum_failure(&self) {
+        self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            transient: self.stats.transient.load(Ordering::Relaxed),
+            slow: self.stats.slow.load(Ordering::Relaxed),
+            bit_flips: self.stats.bit_flips.load(Ordering::Relaxed),
+            torn_writes: self.stats.torn_writes.load(Ordering::Relaxed),
+            checksum_failures: self.stats.checksum_failures.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes the counters as gauges into an `xkw-obs` registry.
+    pub fn export_metrics(&self, registry: &xkw_obs::Registry) {
+        let s = self.snapshot();
+        registry.gauge("xkw_faults_transient").set(s.transient);
+        registry.gauge("xkw_faults_slow").set(s.slow);
+        registry.gauge("xkw_faults_bit_flips").set(s.bit_flips);
+        registry.gauge("xkw_faults_torn_writes").set(s.torn_writes);
+        registry
+            .gauge("xkw_faults_checksum_failures")
+            .set(s.checksum_failures);
+        registry.gauge("xkw_fault_retries").set(s.retries);
+        registry.gauge("xkw_pages_quarantined").set(s.quarantined);
+    }
+}
+
+/// The outcome of consulting read-path rules for one attempt.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReadDecision {
+    /// Extra simulated latency to pay (slow-page rules).
+    pub extra_ns: u64,
+    /// Fail the attempt outright (transient rules).
+    pub fault: Option<ReadFault>,
+    /// Flip the bit selected by this hash in the returned copy.
+    pub flip_bit: Option<u64>,
+}
+
+/// splitmix64 finalizer — the same mixer as the vendored `rand` shim.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Pure decision function: does `rule` fire for `(page, attempt)`?
+fn fires(seed: u64, salt: u64, page: u32, attempt: u32, p: f64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    if p <= 0.0 {
+        return false;
+    }
+    let h = splitmix(seed ^ splitmix(salt ^ (u64::from(page) << 32) ^ u64::from(attempt)));
+    ((h >> 11) as f64) < p * (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let spec = FaultSpec::parse(
+            "seed=42; transient:p=0.25; slow:table=cr.PL@c0,ns=250000; bitflip:pages=3..9,p=0.5; torn",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.rules.len(), 4);
+        assert_eq!(spec.rules[0].kind, FaultKind::TransientRead);
+        assert_eq!(spec.rules[0].probability, 0.25);
+        assert_eq!(
+            spec.rules[1].target,
+            FaultTarget::Table("cr.PL@c0".to_owned())
+        );
+        assert_eq!(spec.rules[1].slow_ns, 250_000);
+        assert_eq!(
+            spec.rules[2].target,
+            FaultTarget::Pages { start: 3, end: 9 }
+        );
+        assert_eq!(spec.rules[3].kind, FaultKind::TornWrite);
+        assert_eq!(spec.rules[3].probability, 1.0);
+        assert!(!spec.is_transient_only());
+        assert!(FaultSpec::parse("seed=1;transient:p=0.5;slow")
+            .unwrap()
+            .is_transient_only());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("explode").is_err());
+        assert!(FaultSpec::parse("transient:p=2.0").is_err());
+        assert!(FaultSpec::parse("transient:pages=9").is_err());
+        assert!(FaultSpec::parse("seed=x").is_err());
+        assert!(FaultSpec::parse("slow:volume=11").is_err());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_inputs() {
+        for page in 0..64u32 {
+            for attempt in 0..MAX_READ_ATTEMPTS {
+                let a = fires(7, 13, page, attempt, 0.3);
+                let b = fires(7, 13, page, attempt, 0.3);
+                assert_eq!(a, b);
+            }
+        }
+        // Different seeds give different fault sets (overwhelmingly).
+        let hits =
+            |seed: u64| -> Vec<u32> { (0..256).filter(|&p| fires(seed, 1, p, 0, 0.3)).collect() };
+        assert_ne!(hits(1), hits(2));
+    }
+
+    #[test]
+    fn transient_never_fires_on_final_attempt() {
+        let layer = FaultLayer::default();
+        layer.install(FaultSpec::new(9).rule(FaultKind::TransientRead, FaultTarget::All, 1.0));
+        for page in 0..32 {
+            for attempt in 0..MAX_READ_ATTEMPTS - 1 {
+                assert_eq!(
+                    layer.on_read(page, attempt).fault,
+                    Some(ReadFault::Transient)
+                );
+            }
+            assert_eq!(layer.on_read(page, MAX_READ_ATTEMPTS - 1).fault, None);
+        }
+    }
+
+    #[test]
+    fn table_rules_resolve_to_page_ranges() {
+        let layer = FaultLayer::default();
+        layer.install(FaultSpec::new(1).rule(
+            FaultKind::TransientRead,
+            FaultTarget::Table("t".to_owned()),
+            1.0,
+        ));
+        // Unresolved: inert.
+        assert_eq!(layer.on_read(5, 0).fault, None);
+        layer.resolve_table("other", 0, 100);
+        assert_eq!(layer.on_read(5, 0).fault, None);
+        layer.resolve_table("t", 4, 3); // pages 4..7
+        assert_eq!(layer.on_read(5, 0).fault, Some(ReadFault::Transient));
+        assert_eq!(layer.on_read(3, 0).fault, None);
+        assert_eq!(layer.on_read(7, 0).fault, None);
+    }
+
+    #[test]
+    fn quarantine_and_stats() {
+        let layer = FaultLayer::default();
+        assert!(!layer.is_quarantined(3));
+        layer.arm_checks();
+        layer.quarantine(3);
+        layer.quarantine(3);
+        assert!(layer.is_quarantined(3));
+        assert!(!layer.is_quarantined(4));
+        assert_eq!(layer.snapshot().quarantined, 1);
+        layer.clear();
+        assert!(!layer.is_quarantined(3));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let layer = FaultLayer::default();
+        layer.install(FaultSpec::new(77));
+        for page in 0..16 {
+            for attempt in 1..MAX_READ_ATTEMPTS {
+                let j = layer.jitter(page, attempt);
+                assert!((0.75..1.25).contains(&j), "{j}");
+                assert_eq!(j.to_bits(), layer.jitter(page, attempt).to_bits());
+            }
+        }
+    }
+}

@@ -27,18 +27,23 @@ pub mod cache;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod page;
 pub mod query;
 pub mod stats;
 pub mod table;
 
 pub use blob::BlobStore;
-pub use buffer::{BufferPool, IoSnapshot};
+pub use buffer::{BufferPool, IoSnapshot, PageFaultError};
 pub use cache::LruCache;
 pub use db::Db;
 pub use error::StoreError;
 pub use exec::{hash_join, HashJoin, IndexNestedLoopJoin, RowIter};
-pub use page::{Disk, PageId, PAGE_U32S};
+pub use fault::{
+    FaultKind, FaultLayer, FaultRule, FaultSnapshot, FaultSpec, FaultSpecParseError, FaultTarget,
+    MAX_READ_ATTEMPTS,
+};
+pub use page::{page_checksum, Disk, PageId, PAGE_U32S};
 pub use query::{Query, QueryError};
 pub use stats::TableStats;
 pub use table::{AccessPath, Id, PhysicalOptions, Row, Table};

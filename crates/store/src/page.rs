@@ -5,7 +5,16 @@
 //! integer type to represent the ID datatype"). A page holds
 //! [`PAGE_U32S`] ids (8 KiB). The [`Disk`] is stable storage: fetching a
 //! page into the buffer pool copies it, which is the simulated I/O cost.
+//!
+//! Every stored page carries a checksum in its frame header (beside the
+//! data, so the 2048 tuple slots stay intact). The checksum is computed
+//! over the pristine data at append time and verified on the buffer
+//! pool's miss path whenever the [`FaultLayer`] is armed — so injected
+//! corruption (bit flips, torn writes) surfaces as a typed error, never
+//! as silently wrong rows. Disarmed, the verification check is a single
+//! relaxed atomic load.
 
+use crate::fault::{FaultLayer, ReadFault};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -19,12 +28,22 @@ pub type Page = Arc<[u32; PAGE_U32S]>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
-/// The simulated disk: an append-only array of pages. Thread-safe; pages
-/// are immutable once written (XKeyword bulk-loads at decomposition time
-/// and is read-only afterwards).
+/// A stored page: data plus the frame-header checksum of the data as it
+/// *should* be (torn writes persist corrupt data under the pristine
+/// checksum, which is exactly how they are caught).
+#[derive(Debug)]
+struct Frame {
+    data: Page,
+    checksum: u64,
+}
+
+/// The simulated disk: an append-only array of checksummed pages. Thread
+/// safe; pages are immutable once written (XKeyword bulk-loads at
+/// decomposition time and is read-only afterwards).
 #[derive(Debug, Default)]
 pub struct Disk {
-    pages: RwLock<Vec<Page>>,
+    pages: RwLock<Vec<Frame>>,
+    faults: FaultLayer,
 }
 
 impl Disk {
@@ -33,24 +52,108 @@ impl Disk {
         Self::default()
     }
 
-    /// Appends a page, returning its id.
-    pub fn append(&self, data: [u32; PAGE_U32S]) -> PageId {
+    /// The fault-injection layer attached to this disk.
+    pub fn faults(&self) -> &FaultLayer {
+        &self.faults
+    }
+
+    /// Appends a page, returning its id. The frame checksum is taken over
+    /// the data as handed in; an armed torn-write rule may then corrupt
+    /// what is actually persisted.
+    pub fn append(&self, mut data: [u32; PAGE_U32S]) -> PageId {
         let mut pages = self.pages.write();
         let id = PageId(pages.len() as u32);
-        pages.push(Arc::new(data));
+        let checksum = page_checksum(&data);
+        self.faults.on_append(id.0, &mut data);
+        pages.push(Frame {
+            data: Arc::new(data),
+            checksum,
+        });
         id
     }
 
     /// Reads a page (cheap `Arc` clone — the *copy* that models the I/O
-    /// transfer happens in the buffer pool).
+    /// transfer happens in the buffer pool). Bypasses fault injection and
+    /// checksum verification; the buffer pool's miss path uses
+    /// [`Disk::read_checked`] instead.
     pub fn read(&self, id: PageId) -> Page {
-        self.pages.read()[id.0 as usize].clone()
+        self.pages.read()[id.0 as usize].data.clone()
+    }
+
+    /// One *physical read attempt* of a page: consults the fault layer
+    /// (transient errors, slow pages, bit flips) and verifies the frame
+    /// checksum. `attempt` is the buffer pool's retry ordinal for this
+    /// fetch, `0`-based; injection decisions are pure functions of
+    /// `(seed, rule, page, attempt)`, so outcomes are deterministic for
+    /// any thread interleaving.
+    ///
+    /// On success returns the page plus extra simulated latency (ns) owed
+    /// to slow-page rules.
+    ///
+    /// # Errors
+    /// [`ReadFault::Transient`] for retryable failures,
+    /// [`ReadFault::Corrupt`] when the data fails verification.
+    pub fn read_checked(&self, id: PageId, attempt: u32) -> Result<(Page, u64), ReadFault> {
+        let frame = {
+            let pages = self.pages.read();
+            let f = &pages[id.0 as usize];
+            (f.data.clone(), f.checksum)
+        };
+        if !self.faults.armed() {
+            return Ok((frame.0, 0));
+        }
+        let decision = self.faults.on_read(id.0, attempt);
+        if let Some(fault) = decision.fault {
+            return Err(fault);
+        }
+        let (data, checksum) = frame;
+        let data = match decision.flip_bit {
+            None => data,
+            Some(h) => {
+                // A bit flip on the wire: corrupt one bit of the copy the
+                // reader would receive; verification below catches it.
+                let mut copy = *data;
+                let slot = (h as usize) % PAGE_U32S;
+                copy[slot] ^= 1 << ((h >> 32) % 32);
+                Arc::new(copy)
+            }
+        };
+        if page_checksum(&data) != checksum {
+            self.faults.count_checksum_failure();
+            return Err(ReadFault::Corrupt);
+        }
+        Ok((data, decision.extra_ns))
     }
 
     /// Number of pages on disk.
     pub fn page_count(&self) -> usize {
         self.pages.read().len()
     }
+
+    /// Out-of-band corruption for tests and fault drills: flips one bit
+    /// of the stored data *without* updating the frame checksum, then
+    /// arms checksum verification so the damage is caught on the next
+    /// physical read.
+    pub fn corrupt_page(&self, id: PageId) {
+        let mut pages = self.pages.write();
+        let frame = &mut pages[id.0 as usize];
+        let mut copy = *frame.data;
+        copy[0] ^= 1;
+        frame.data = Arc::new(copy);
+        drop(pages);
+        self.faults.arm_checks();
+    }
+}
+
+/// The frame-header checksum: FNV-1a over the page's 2048 words. Torn
+/// writes and bit flips are single-burst corruptions, which FNV detects
+/// with probability 1 − 2⁻⁶⁴ for our injected patterns.
+pub fn page_checksum(data: &[u32; PAGE_U32S]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in data.iter() {
+        h = (h ^ u64::from(w)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Helper that packs a stream of `u32`s into pages, appending them to the
@@ -102,6 +205,7 @@ impl<'d> PageWriter<'d> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec, FaultTarget, MAX_READ_ATTEMPTS};
 
     #[test]
     fn append_and_read_round_trip() {
@@ -139,5 +243,77 @@ mod tests {
         let w = PageWriter::new(&d);
         assert!(w.finish().is_empty());
         assert_eq!(d.page_count(), 0);
+    }
+
+    #[test]
+    fn checked_read_verifies_clean_pages() {
+        let d = Disk::new();
+        let id = d.append([3; PAGE_U32S]);
+        d.faults().arm_checks();
+        let (page, extra) = d.read_checked(id, 0).unwrap();
+        assert_eq!(page[0], 3);
+        assert_eq!(extra, 0);
+    }
+
+    #[test]
+    fn corrupt_page_is_caught_by_checksum() {
+        let d = Disk::new();
+        let id = d.append([5; PAGE_U32S]);
+        d.corrupt_page(id);
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            assert_eq!(d.read_checked(id, attempt), Err(ReadFault::Corrupt));
+        }
+        assert_eq!(
+            d.faults().snapshot().checksum_failures,
+            u64::from(MAX_READ_ATTEMPTS)
+        );
+    }
+
+    #[test]
+    fn torn_write_persists_corruption_under_pristine_checksum() {
+        let d = Disk::new();
+        d.faults()
+            .install(FaultSpec::new(11).rule(FaultKind::TornWrite, FaultTarget::All, 1.0));
+        let id = d.append([9; PAGE_U32S]);
+        assert_eq!(d.faults().snapshot().torn_writes, 1);
+        // The raw read sees torn data; the checked read reports it.
+        assert_ne!(d.read(id)[PAGE_U32S - 1], 9);
+        assert_eq!(d.read_checked(id, 0), Err(ReadFault::Corrupt));
+    }
+
+    #[test]
+    fn bit_flips_never_return_silently_wrong_data() {
+        let d = Disk::new();
+        let id = d.append([1; PAGE_U32S]);
+        d.faults()
+            .install(FaultSpec::new(23).rule(FaultKind::BitFlip, FaultTarget::All, 1.0));
+        for attempt in 0..MAX_READ_ATTEMPTS {
+            assert_eq!(d.read_checked(id, attempt), Err(ReadFault::Corrupt));
+        }
+        // The stored page itself is intact — the flip was on the wire.
+        d.faults().clear();
+        assert_eq!(d.read_checked(id, 0).unwrap().0[0], 1);
+    }
+
+    #[test]
+    fn transient_faults_recover_by_final_attempt() {
+        let d = Disk::new();
+        let id = d.append([2; PAGE_U32S]);
+        d.faults()
+            .install(FaultSpec::new(5).rule(FaultKind::TransientRead, FaultTarget::All, 1.0));
+        for attempt in 0..MAX_READ_ATTEMPTS - 1 {
+            assert_eq!(d.read_checked(id, attempt), Err(ReadFault::Transient));
+        }
+        assert!(d.read_checked(id, MAX_READ_ATTEMPTS - 1).is_ok());
+    }
+
+    #[test]
+    fn slow_pages_surface_extra_latency() {
+        let d = Disk::new();
+        let id = d.append([4; PAGE_U32S]);
+        d.faults()
+            .install(FaultSpec::new(3).slow(FaultTarget::All, 1.0, 250_000));
+        let (_, extra) = d.read_checked(id, 0).unwrap();
+        assert_eq!(extra, 250_000);
     }
 }

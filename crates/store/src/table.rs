@@ -18,6 +18,7 @@
 //! `MinNClustNIndx` configuration.
 
 use crate::buffer::BufferPool;
+use crate::error::StoreError;
 use crate::page::{Disk, Page, PageId, PageWriter, PAGE_U32S};
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -175,6 +176,14 @@ impl Table {
         self.pages.len()
     }
 
+    /// The table's first page id on disk (`None` for empty tables).
+    /// Builds run under the catalog lock, so a table's pages are one
+    /// contiguous run starting here — which is how fault rules targeting
+    /// a table resolve to a page range.
+    pub fn first_page(&self) -> Option<PageId> {
+        self.pages.first().copied()
+    }
+
     /// The cluster key, if index-organized.
     pub fn cluster_key(&self) -> Option<&[usize]> {
         self.cluster_key.as_deref()
@@ -186,14 +195,30 @@ impl Table {
     }
 
     /// Fetches row `i` through the buffer pool.
+    ///
+    /// # Panics
+    /// Panics on an unreadable page; see [`Table::try_row`].
     pub fn row(&self, disk: &Disk, pool: &BufferPool, i: u32) -> Row {
+        self.try_row(disk, pool, i)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fetches row `i` through the buffer pool, reporting unreadable
+    /// pages as [`StoreError::CorruptPage`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::CorruptPage`] when the page exhausted its read
+    /// retries or is quarantined.
+    pub fn try_row(&self, disk: &Disk, pool: &BufferPool, i: u32) -> Result<Row, StoreError> {
         let i = i as usize;
         assert!(i < self.n_rows, "row index out of range");
         let page = self.pages[i / self.rows_per_page];
         self.logical.fetch_add(1, Ordering::Relaxed);
-        let data: Page = pool.fetch(disk, page);
+        let data: Page = pool
+            .try_fetch(disk, page)
+            .map_err(|e| StoreError::from_page_fault(&self.name, e))?;
         let off = (i % self.rows_per_page) * self.arity;
-        data[off..off + self.arity].into()
+        Ok(data[off..off + self.arity].into())
     }
 
     /// Sequentially scans the whole table.
@@ -224,6 +249,9 @@ impl Table {
 
     /// Looks up all rows whose `cols` equal `key`, picking the best access
     /// path; returns the rows and the path used.
+    ///
+    /// # Panics
+    /// Panics on an unreadable page; see [`Table::try_probe`].
     pub fn probe(
         &self,
         disk: &Disk,
@@ -231,34 +259,93 @@ impl Table {
         cols: &[usize],
         key: &[Id],
     ) -> (Vec<Row>, AccessPath) {
+        self.try_probe(disk, pool, cols, key)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Looks up all rows whose `cols` equal `key`, reporting unreadable
+    /// pages as typed errors instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::CorruptPage`] when a page needed by the lookup
+    /// exhausted its read retries or is quarantined.
+    pub fn try_probe(
+        &self,
+        disk: &Disk,
+        pool: &BufferPool,
+        cols: &[usize],
+        key: &[Id],
+    ) -> Result<(Vec<Row>, AccessPath), StoreError> {
         assert_eq!(cols.len(), key.len());
         if self.is_cluster_prefix(cols) {
-            return (
-                self.clustered_range(disk, pool, cols, key),
+            return Ok((
+                self.clustered_range(disk, pool, cols, key)?,
                 AccessPath::ClusteredRange,
-            );
+            ));
         }
         if let Some((icols, map)) = self
             .indexes
             .iter()
             .find(|(icols, _)| cols.len() <= icols.len() && icols[..cols.len()] == *cols)
         {
-            let rows = if icols.len() == cols.len() {
-                map.get(key)
-                    .map(|locs| locs.iter().map(|&i| self.row(disk, pool, i)).collect())
-                    .unwrap_or_default()
+            let mut rows = Vec::new();
+            if icols.len() == cols.len() {
+                if let Some(locs) = map.get(key) {
+                    for &i in locs {
+                        rows.push(self.try_row(disk, pool, i)?);
+                    }
+                }
             } else {
-                prefix_range(map, key)
-                    .flat_map(|(_, locs)| locs.iter().map(|&i| self.row(disk, pool, i)))
-                    .collect()
-            };
-            return (rows, AccessPath::SecondaryIndex);
+                for (_, locs) in prefix_range(map, key) {
+                    for &i in locs {
+                        rows.push(self.try_row(disk, pool, i)?);
+                    }
+                }
+            }
+            return Ok((rows, AccessPath::SecondaryIndex));
         }
-        let rows = self
-            .scan(disk, pool)
-            .filter(|r| cols.iter().zip(key).all(|(&c, &v)| r[c] == v))
-            .collect();
-        (rows, AccessPath::FullScan)
+        let rows = self.try_scan_filter(disk, pool, cols, key)?;
+        Ok((rows, AccessPath::FullScan))
+    }
+
+    /// Sequentially scans the whole table into a vector, reporting
+    /// unreadable pages as typed errors instead of panicking.
+    ///
+    /// # Errors
+    /// [`StoreError::CorruptPage`] for unreadable pages.
+    pub fn try_scan_all(&self, disk: &Disk, pool: &BufferPool) -> Result<Vec<Row>, StoreError> {
+        self.try_scan_filter(disk, pool, &[], &[])
+    }
+
+    /// Streaming sequential scan keeping rows whose `cols` equal `key`
+    /// (everything when `cols` is empty). One pool fetch per page, like
+    /// [`Scan`].
+    fn try_scan_filter(
+        &self,
+        disk: &Disk,
+        pool: &BufferPool,
+        cols: &[usize],
+        key: &[Id],
+    ) -> Result<Vec<Row>, StoreError> {
+        let mut out = Vec::new();
+        let mut cached: Option<(usize, Page)> = None;
+        for i in 0..self.n_rows {
+            let page_no = i / self.rows_per_page;
+            if !matches!(&cached, Some((p, _)) if *p == page_no) {
+                self.logical.fetch_add(1, Ordering::Relaxed);
+                let data = pool
+                    .try_fetch(disk, self.pages[page_no])
+                    .map_err(|e| StoreError::from_page_fault(&self.name, e))?;
+                cached = Some((page_no, data));
+            }
+            let (_, data) = cached.as_ref().unwrap();
+            let off = (i % self.rows_per_page) * self.arity;
+            let row = &data[off..off + self.arity];
+            if cols.iter().zip(key).all(|(&c, &v)| row[c] == v) {
+                out.push(row.into());
+            }
+        }
+        Ok(out)
     }
 
     /// Clustered prefix range scan: binary search for the first matching
@@ -270,7 +357,7 @@ impl Table {
         pool: &BufferPool,
         cols: &[usize],
         key: &[Id],
-    ) -> Vec<Row> {
+    ) -> Result<Vec<Row>, StoreError> {
         // First page whose fence is >= key; the run may begin on the page
         // before it, so step one page back.
         let start_page = self
@@ -283,7 +370,7 @@ impl Table {
         let (mut a, mut b) = (lo, hi);
         while a < b {
             let mid = (a + b) / 2;
-            let r = self.row(disk, pool, mid as u32);
+            let r = self.try_row(disk, pool, mid as u32)?;
             let probe: Vec<Id> = cols.iter().map(|&c| r[c]).collect();
             if probe.as_slice() < key {
                 a = mid + 1;
@@ -294,7 +381,7 @@ impl Table {
         let mut out = Vec::new();
         let mut i = a as u32;
         while (i as usize) < self.n_rows {
-            let r = self.row(disk, pool, i);
+            let r = self.try_row(disk, pool, i)?;
             let probe: Vec<Id> = cols.iter().map(|&c| r[c]).collect();
             if probe.as_slice() == key {
                 out.push(r);
@@ -303,7 +390,7 @@ impl Table {
             }
             i += 1;
         }
-        out
+        Ok(out)
     }
 }
 

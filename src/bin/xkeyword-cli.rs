@@ -3,7 +3,7 @@
 //! ```text
 //! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
 //!              [--threads N] [--pool-shards N] [--explain] [--stats] \
-//!              [--trace-out FILE]
+//!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
@@ -21,6 +21,15 @@
 //! one-shot `--query` in EXPLAIN ANALYZE mode; `--trace-out FILE`
 //! enables tracing and writes every recorded span as Chrome
 //! `trace_event` JSON (load it in `about:tracing` / Perfetto) on exit.
+//!
+//! `--deadline-ms N` bounds each query's evaluation: rows found in time
+//! are returned with a degradation note, and a query that produced
+//! nothing before the deadline fails cleanly. `--faults SPEC` arms the
+//! storage fault-injection layer (e.g.
+//! `seed=42;transient:p=0.05;slow:table=FREE,ns=200000`); `:faults`
+//! prints the cumulative injected-fault counters. Any `XkError` in
+//! one-shot `--query` mode prints a one-line message and exits
+//! nonzero; malformed flag values are rejected up front.
 
 #![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::io::BufRead;
@@ -39,9 +48,27 @@ struct Args {
     explain: bool,
     stats: bool,
     trace_out: Option<String>,
+    deadline: Option<std::time::Duration>,
+    faults: Option<xkeyword::store::FaultSpec>,
 }
 
-fn parse_args() -> Args {
+/// The value following `flag`, or a one-line error.
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Strictly parses a numeric flag value — a malformed number is an
+/// error, not a silent fallback to the default.
+fn flag_num<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = flag_value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag}"))
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         file: None,
         query: None,
@@ -52,39 +79,51 @@ fn parse_args() -> Args {
         explain: false,
         stats: false,
         trace_out: None,
+        deadline: None,
+        faults: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--query" => args.query = it.next(),
-            "--z" => args.z = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
-            "--top" => args.top = it.next().and_then(|v| v.parse().ok()).unwrap_or(10),
-            "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
-            "--pool-shards" => {
-                args.pool_shards = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-            }
+            "--query" => args.query = Some(flag_value(&mut it, "--query")?),
+            "--z" => args.z = flag_num(&mut it, "--z")?,
+            "--top" => args.top = flag_num(&mut it, "--top")?,
+            "--threads" => args.threads = flag_num(&mut it, "--threads")?,
+            "--pool-shards" => args.pool_shards = flag_num(&mut it, "--pool-shards")?,
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
-            "--trace-out" => args.trace_out = it.next(),
+            "--trace-out" => args.trace_out = Some(flag_value(&mut it, "--trace-out")?),
+            "--deadline-ms" => {
+                let ms: u64 = flag_num(&mut it, "--deadline-ms")?;
+                args.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--faults" => {
+                let spec = flag_value(&mut it, "--faults")?;
+                args.faults = Some(
+                    xkeyword::store::FaultSpec::parse(&spec)
+                        .map_err(|e| format!("invalid --faults spec: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
-                     [--threads N] [--pool-shards N] [--explain] [--stats] [--trace-out FILE]"
+                     [--threads N] [--pool-shards N] [--explain] [--stats] [--trace-out FILE] \
+                     [--deadline-ms N] [--faults SPEC]"
                 );
                 std::process::exit(0);
             }
             _ if !a.starts_with('-') => args.file = Some(a),
-            other => {
-                eprintln!("unknown flag {other}; try --help");
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown flag {other}")),
         }
     }
-    args
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}; try --help");
+        std::process::exit(2);
+    });
     if args.trace_out.is_some() {
         // Turn tracing + metrics on before the load stage so its spans
         // (load.targets, load.master, ...) land in the trace too.
@@ -94,6 +133,7 @@ fn main() {
         decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
         pool_shards: args.pool_shards,
         exec_threads: args.threads,
+        faults: args.faults.clone(),
         ..LoadOptions::default()
     };
     let xk = match &args.file {
@@ -110,8 +150,12 @@ fn main() {
         None => {
             eprintln!("(no file given — loading the paper's Figure 1 document)");
             let (graph, _, _) = xkeyword::datagen::tpch::figure1();
-            XKeyword::load(graph, xkeyword::datagen::tpch::tss_graph(), options)
-                .expect("Figure 1 loads")
+            XKeyword::load(graph, xkeyword::datagen::tpch::tss_graph(), options).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot load the built-in Figure 1 document: {e}");
+                    std::process::exit(1);
+                },
+            )
         }
     };
     eprintln!(
@@ -123,17 +167,21 @@ fn main() {
     );
 
     if let Some(q) = &args.query {
-        if args.explain {
-            run_explain(&xk, q, &args);
+        let ok = if args.explain {
+            run_explain(&xk, q, &args)
         } else {
-            run_query(&xk, q, &args);
-        }
+            run_query(&xk, q, &args)
+        };
         write_trace(&args);
+        if !ok {
+            std::process::exit(1);
+        }
         return;
     }
     eprintln!(
         "enter keyword queries (one per line; `:stats` engine + pool stats, \
-         `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, ctrl-D to quit):"
+         `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, \
+         `:faults` injected-fault counters, ctrl-D to quit):"
     );
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
@@ -149,6 +197,10 @@ fn main() {
             print_metrics(&xk);
             continue;
         }
+        if line == ":faults" {
+            print_faults(&xk);
+            continue;
+        }
         if let Some(q) = line.strip_prefix(":explain ") {
             run_explain(&xk, q, &args);
             continue;
@@ -156,6 +208,27 @@ fn main() {
         run_query(&xk, line, &args);
     }
     write_trace(&args);
+}
+
+/// Prints the storage fault layer's cumulative counters.
+fn print_faults(xk: &XKeyword) {
+    let f = xk.db.faults();
+    if !f.armed() {
+        println!("faults: layer disarmed (start with --faults SPEC to arm it)");
+        return;
+    }
+    let s = f.snapshot();
+    println!(
+        "faults: {} transient, {} slow, {} bit flips, {} torn writes; \
+         {} checksum failures, {} retries, {} pages quarantined",
+        s.transient,
+        s.slow,
+        s.bit_flips,
+        s.torn_writes,
+        s.checksum_failures,
+        s.retries,
+        s.quarantined
+    );
 }
 
 /// Dumps every span recorded so far as Chrome `trace_event` JSON.
@@ -217,8 +290,8 @@ fn print_stats(xk: &XKeyword) {
 }
 
 /// Runs one query in EXPLAIN ANALYZE mode and prints the per-operator
-/// profile of every candidate-network plan.
-fn run_explain(xk: &XKeyword, query: &str, args: &Args) {
+/// profile of every candidate-network plan. Returns whether it succeeded.
+fn run_explain(xk: &XKeyword, query: &str, args: &Args) -> bool {
     let keywords: Vec<&str> = query.split_whitespace().collect();
     let engine = xk.engine();
     match engine.explain(&keywords, args.z, ExecMode::Cached { capacity: 8192 }) {
@@ -227,22 +300,33 @@ fn run_explain(xk: &XKeyword, query: &str, args: &Args) {
             if args.stats {
                 print_stats(xk);
             }
+            true
         }
-        Err(e) => println!("query error: {e}"),
+        Err(e) => {
+            println!("query error: {e}");
+            false
+        }
     }
 }
 
-fn run_query(xk: &XKeyword, query: &str, args: &Args) {
+/// Runs one query, prints the ranked results and per-stage metrics.
+/// Returns whether it succeeded.
+fn run_query(xk: &XKeyword, query: &str, args: &Args) -> bool {
     let keywords: Vec<&str> = query.split_whitespace().collect();
     let engine = xk.engine();
-    let out = match engine.query_all(&keywords, args.z, ExecMode::Cached { capacity: 8192 }) {
+    let out = match engine.query_all_within(
+        &keywords,
+        args.z,
+        ExecMode::Cached { capacity: 8192 },
+        args.deadline,
+    ) {
         Ok(out) => out,
         Err(e) => {
             println!("query error: {e}");
             if args.stats {
                 print_stats(xk);
             }
-            return;
+            return false;
         }
     };
     // Re-planning for ranking hits the plan cache the query just warmed,
@@ -264,6 +348,21 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) {
         m.plans,
         res.stats.probes,
     );
+    let deg = &res.degradation;
+    if deg.is_degraded() {
+        println!(
+            "  DEGRADED: {} plans skipped, {} incomplete, {} faults, {} retries{}",
+            deg.plans_skipped,
+            deg.plans_incomplete,
+            deg.faults.len(),
+            deg.retries,
+            if deg.deadline_exceeded {
+                " (deadline exceeded)"
+            } else {
+                ""
+            }
+        );
+    }
     println!(
         "  stages: discover {:?} | plan {:?} ({}) | exec {:?} | present {:?}; io {} hits / {} misses",
         m.discover,
@@ -300,4 +399,5 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) {
             break;
         }
     }
+    true
 }

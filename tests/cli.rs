@@ -1,0 +1,94 @@
+//! Drives the `xkeyword-cli` binary end to end: malformed flags are
+//! rejected up front with a one-line message and exit code 2, query
+//! failures in one-shot mode exit nonzero, and a healthy query over the
+//! built-in Figure 1 document exits 0.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xkeyword-cli"))
+        .args(args)
+        .output()
+        .expect("binary must spawn")
+}
+
+#[test]
+fn malformed_numeric_flags_exit_2_with_a_message() {
+    for (flag, value) in [
+        ("--z", "bogus"),
+        ("--top", "-3"),
+        ("--threads", "1.5"),
+        ("--pool-shards", ""),
+        ("--deadline-ms", "soon"),
+    ] {
+        let out = run(&[flag, value]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {value:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains(flag),
+            "{flag}: one-line message must name the flag, got {stderr:?}"
+        );
+    }
+}
+
+#[test]
+fn missing_flag_values_and_unknown_flags_exit_2() {
+    let out = run(&["--query"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--query needs a value"));
+
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --frobnicate"));
+}
+
+#[test]
+fn malformed_fault_specs_exit_2() {
+    let out = run(&["--faults", "transient:p=2.0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid --faults spec"), "got {stderr:?}");
+}
+
+#[test]
+fn query_errors_exit_nonzero_in_one_shot_mode() {
+    // "zzz_missing" occurs nowhere in Figure 1 — a typed XkError, not a
+    // panic, and a nonzero exit.
+    let out = run(&["--query", "zzz_missing vcr"]);
+    assert_eq!(out.status.code(), Some(1), "query error must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("query error"), "got {stdout:?}");
+    assert!(stdout.contains("zzz_missing"), "message names the keyword");
+}
+
+#[test]
+fn healthy_query_exits_0_and_faulted_query_stays_correct() {
+    // Drop the per-run wall-clock line ("  stages: ..."); everything
+    // else is deterministic.
+    fn result_lines(out: &Output) -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("stages:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    let clean = run(&["--query", "john vcr"]);
+    assert_eq!(clean.status.code(), Some(0), "{:?}", clean.status);
+    let clean_out = result_lines(&clean);
+    assert!(clean_out.contains("results ("), "got {clean_out:?}");
+
+    // A transient-only fault plan must not change the printed answer.
+    let faulted = run(&["--faults", "seed=42;transient:p=0.4", "--query", "john vcr"]);
+    assert_eq!(faulted.status.code(), Some(0));
+    assert_eq!(
+        result_lines(&faulted),
+        clean_out,
+        "transient faults must not alter one-shot output"
+    );
+}

@@ -95,7 +95,9 @@ fn explain_io_decomposes_on_three_keyword_dblp_query() {
 }
 
 /// Sabotaged plans make worker threads panic; the engine surfaces that
-/// as a typed [`XkError::WorkerPanic`] instead of a silent drop.
+/// as a typed [`XkError::WorkerPanic`] carrying the index of the plan
+/// the worker was evaluating, and keyword decoration (the engine layer
+/// applies it in `run`) names the query in the rendered message.
 #[test]
 fn worker_panics_surface_as_typed_errors() {
     let xk = load_figure1();
@@ -107,10 +109,13 @@ fn worker_panics_surface_as_typed_errors() {
     for threads in [1usize, 2, 4] {
         let err = try_all_plans_mt(&xk.db, &xk.catalog, &plans, cached(), threads).unwrap_err();
         assert!(
-            matches!(err, XkError::WorkerPanic(_)),
-            "expected WorkerPanic at {threads} threads, got {err:?}"
+            matches!(&err, XkError::WorkerPanic { plan: Some(p), .. } if *p == last),
+            "expected WorkerPanic naming plan {last} at {threads} threads, got {err:?}"
         );
-        assert!(err.to_string().contains("worker thread panicked"));
+        let text = err.with_keywords(&["john", "vcr"]).to_string();
+        assert!(text.contains("worker thread panicked"), "{text}");
+        assert!(text.contains(&format!("plan {last}")), "{text}");
+        assert!(text.contains("john, vcr"), "{text}");
     }
 }
 

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use xkeyword::datagen::tpch::TpchConfig;
 use xkeyword::graph::{parse, writer};
-use xkeyword::store::{hash_join, Db, PhysicalOptions, Row};
+use xkeyword::store::{hash_join, BlobStore, Db, PhysicalOptions, Row, StoreError};
 
 fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
     prop::collection::vec((0u32..40, 0u32..40, 0u32..1000), 0..300)
@@ -79,6 +79,36 @@ proptest! {
             .collect();
         want.sort();
         prop_assert_eq!(got, want);
+    }
+
+    /// BLOB round trips survive interleaved fetches of ids that were
+    /// never stored: present ids come back byte-identical, absent ids
+    /// come back as typed [`StoreError::MissingBlob`] errors naming the
+    /// id — never a panic, never someone else's bytes.
+    #[test]
+    fn blob_round_trip_with_interleaved_missing_ids(
+        stored in prop::collection::vec((0u32..64, prop::collection::vec(0u8..=255, 0..48)), 0..40),
+        lookups in prop::collection::vec(0u32..128, 1..80),
+    ) {
+        let blobs = BlobStore::new();
+        // Later puts replace earlier ones — mirror that in the model.
+        let mut model = std::collections::HashMap::new();
+        for (id, bytes) in &stored {
+            blobs.put(*id, bytes.clone());
+            model.insert(*id, bytes.clone());
+        }
+        prop_assert_eq!(blobs.len(), model.len());
+        for id in lookups {
+            match (blobs.try_get(id), model.get(&id)) {
+                (Ok(bytes), Some(want)) => prop_assert_eq!(bytes.as_ref(), &want[..]),
+                (Err(e), None) => prop_assert_eq!(e, StoreError::MissingBlob(id)),
+                (got, want) => prop_assert!(
+                    false,
+                    "blob {} mismatch: got {:?}, model has {:?}",
+                    id, got.map(|b| b.len()), want.map(Vec::len)
+                ),
+            }
+        }
     }
 
     /// Generated XML data survives a write→parse round trip with node and
