@@ -505,11 +505,10 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
     let driver_cands = plan.candidates[plan.driver as usize]
         .as_ref()
         .expect("driver is annotated");
-    // Deterministic iteration order for reproducibility.
-    let mut drivers: Vec<ToId> = driver_cands.iter().copied().collect();
-    drivers.sort_unstable();
     let fresh = suffix_fresh_roles(plan, 0);
-    for to in drivers {
+    // Candidate sets are stored sorted — ascending iteration is the
+    // deterministic order reproducibility relies on.
+    for to in driver_cands.iter() {
         assignment[plan.driver as usize] = Some(to);
         let subs = match mode {
             ExecMode::Naive => {
@@ -936,13 +935,12 @@ impl<'a> ResultStream<'a> {
 
     fn load_plan_drivers(&mut self) {
         if let Some(plan) = self.plans.get(self.plan_idx) {
-            let mut d: Vec<ToId> = plan.candidates[plan.driver as usize]
+            // Already sorted ascending — the deterministic driver order.
+            let d: Vec<ToId> = plan.candidates[plan.driver as usize]
                 .as_ref()
                 .expect("driver is annotated")
                 .iter()
-                .copied()
                 .collect();
-            d.sort_unstable();
             self.drivers = d.into_iter();
         }
     }
@@ -1571,9 +1569,7 @@ fn hash_join_plan_inner<M: ScanMemoOps>(
     if plan.tiles.is_empty() {
         // Single-role plan: candidates are the results.
         if let Some(c) = &plan.candidates[plan.driver as usize] {
-            let mut tos: Vec<ToId> = c.iter().copied().collect();
-            tos.sort_unstable();
-            for to in tos {
+            for to in c.iter() {
                 out.stats.results += 1;
                 out.rows.push(ResultRow {
                     plan: pi,

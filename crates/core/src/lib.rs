@@ -26,6 +26,7 @@ pub mod error;
 pub mod exec;
 pub mod master_index;
 pub mod optimizer;
+pub mod postings;
 pub mod presentation;
 pub mod ranking;
 pub mod relations;
@@ -43,6 +44,7 @@ pub mod prelude {
     pub use crate::error::XkError;
     pub use crate::exec::{ExecMode, QueryResults};
     pub use crate::master_index::MasterIndex;
+    pub use crate::postings::{PostingsFormat, PostingsFormatKind};
     pub use crate::presentation::PresentationGraph;
     pub use crate::relations::PhysicalPolicy;
     pub use crate::semantics::{Mtnn, Mtton};

@@ -8,40 +8,45 @@
 //! The keyword discoverer of the query stage reads *containing lists*
 //! L(k) straight out of this index. The paper implements it with Oracle
 //! interMedia Text; here it is an in-memory inverted index over the same
-//! triplets.
+//! triplets, with the list storage behind the
+//! [`PostingsFormat`](crate::postings::PostingsFormat) trait — plain
+//! sorted vectors or delta-encoded bitpacked blocks
+//! ([`PostingsFormatKind`]) — so larger graphs fit in memory. Lists are
+//! sorted by `(to, node)` regardless of format, which keeps every
+//! downstream result byte-identical across formats.
 
 use crate::error::{validate_keywords, XkError, MAX_KEYWORDS};
+use crate::postings::{PostingsFormat, PostingsFormatKind, PostingsIter, PostingsList};
 use crate::target::{TargetGraph, ToId};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use xkw_graph::{graph::tokenize, NodeId, SchemaNodeId, XmlGraph};
 
-/// One posting of a containing list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Posting {
-    /// Target object containing the node.
-    pub to: ToId,
-    /// The containing data node itself.
-    pub node: NodeId,
-    /// Its schema node — needed to score candidate networks, since the
-    /// connection relations only store target-object ids.
-    pub schema_node: SchemaNodeId,
-}
+pub use crate::postings::Posting;
 
 /// The inverted index keyword → containing list.
 #[derive(Debug, Default)]
 pub struct MasterIndex {
-    map: HashMap<String, Vec<Posting>>,
+    map: HashMap<String, PostingsList>,
     /// Query-keyword sets per node are computed lazily per query; this
     /// stores total postings for reporting.
     postings: usize,
+    format: PostingsFormatKind,
 }
 
 impl MasterIndex {
+    /// [`MasterIndex::build_with`] in the format selected by the
+    /// `XKW_POSTINGS` environment variable (raw unless `packed`).
+    pub fn build(graph: &XmlGraph, targets: &TargetGraph) -> Self {
+        Self::build_with(graph, targets, PostingsFormatKind::from_env())
+    }
+
     /// Indexes every member node of every target object (dummy nodes
     /// carry no information and are skipped). Keywords are lower-cased
-    /// tokens of the node's tag and value, per §3.1.
-    pub fn build(graph: &XmlGraph, targets: &TargetGraph) -> Self {
-        let mut map: HashMap<String, Vec<Posting>> = HashMap::new();
+    /// tokens of the node's tag and value, per §3.1. Containing lists
+    /// are stored in `format`.
+    pub fn build_with(graph: &XmlGraph, targets: &TargetGraph, format: PostingsFormatKind) -> Self {
+        let mut staging: HashMap<String, Vec<Posting>> = HashMap::new();
         let mut postings = 0usize;
         for n in graph.node_ids() {
             let Some(to) = targets.to_of_node(n) else {
@@ -53,19 +58,25 @@ impl MasterIndex {
                 schema_node: targets.class_of(n),
             };
             for kw in graph.keywords(n) {
-                map.entry(kw).or_default().push(posting);
+                staging.entry(kw).or_default().push(posting);
                 postings += 1;
             }
         }
-        MasterIndex { map, postings }
+        let map = staging
+            .into_iter()
+            .map(|(kw, list)| (kw, PostingsList::build(list, format)))
+            .collect();
+        MasterIndex {
+            map,
+            postings,
+            format,
+        }
     }
 
-    /// The containing list L(k) (empty slice if the keyword is unknown).
-    pub fn containing_list(&self, keyword: &str) -> &[Posting] {
-        self.map
-            .get(&keyword.to_lowercase())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// The containing list L(k) (empty if the keyword is unknown),
+    /// iterable in `(to, node)` order in any storage format.
+    pub fn containing_list(&self, keyword: &str) -> Postings<'_> {
+        Postings(self.map.get(lookup_key(keyword).as_ref()))
     }
 
     /// Distinct schema nodes whose extension contains `keyword`.
@@ -111,7 +122,7 @@ impl MasterIndex {
         let mut out: HashMap<NodeId, (u16, Posting)> = HashMap::new();
         for (i, kw) in keywords.iter().enumerate() {
             for p in self.containing_list(kw) {
-                let entry = out.entry(p.node).or_insert((0, *p));
+                let entry = out.entry(p.node).or_insert((0, p));
                 entry.0 |= 1 << i;
             }
         }
@@ -130,18 +141,41 @@ impl MasterIndex {
     }
 
     /// Target objects that contain, in a node of type `schema_node`, a
-    /// node whose exact query-keyword set equals `set`.
+    /// node whose exact query-keyword set equals `set`, sorted and
+    /// deduplicated.
     pub fn candidate_tos(
         &self,
         keywords: &[&str],
         schema_node: SchemaNodeId,
         set: u16,
-    ) -> HashSet<ToId> {
-        self.exact_sets(keywords)
+    ) -> Vec<ToId> {
+        let mut tos: Vec<ToId> = self
+            .exact_sets(keywords)
             .values()
             .filter(|(s, p)| *s == set && p.schema_node == schema_node)
             .map(|(_, p)| p.to)
-            .collect()
+            .collect();
+        tos.sort_unstable();
+        tos.dedup();
+        tos
+    }
+
+    /// One exact-sets pass turned into an index over every
+    /// `(schema_node, set)` requirement — the optimizer instantiates
+    /// many plans per query and looks requirements up here instead of
+    /// recomputing [`MasterIndex::candidate_tos`] per annotation.
+    pub fn candidate_index(&self, keywords: &[&str]) -> CandidateIndex {
+        let mut map: HashMap<(SchemaNodeId, u16), Vec<ToId>> = HashMap::new();
+        for (set, posting) in self.exact_sets(keywords).values() {
+            map.entry((posting.schema_node, *set))
+                .or_default()
+                .push(posting.to);
+        }
+        for tos in map.values_mut() {
+            tos.sort_unstable();
+            tos.dedup();
+        }
+        CandidateIndex { map }
     }
 
     /// Number of indexed keywords.
@@ -153,12 +187,111 @@ impl MasterIndex {
     pub fn posting_count(&self) -> usize {
         self.postings
     }
+
+    /// The storage format the containing lists were built in.
+    pub fn format(&self) -> PostingsFormatKind {
+        self.format
+    }
+
+    /// Heap bytes of posting-list storage across all containing lists
+    /// (excludes the keyword hash keys, which are identical across
+    /// formats).
+    pub fn postings_bytes(&self) -> usize {
+        self.map.values().map(PostingsList::size_bytes).sum()
+    }
+}
+
+/// A borrowed containing list — the handle [`MasterIndex::containing_list`]
+/// returns. Unknown keywords yield an empty handle.
+#[derive(Debug, Clone, Copy)]
+pub struct Postings<'a>(Option<&'a PostingsList>);
+
+impl<'a> Postings<'a> {
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.0.map_or(0, PostingsList::len)
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the postings in `(to, node)` order.
+    pub fn iter(&self) -> PostingsIter<'a> {
+        self.0.map_or_else(PostingsIter::empty, PostingsList::iter)
+    }
+
+    /// Iterates postings whose target object is `>= min_to`, using the
+    /// format's skip index.
+    pub fn seek(&self, min_to: ToId) -> PostingsIter<'a> {
+        match self.0 {
+            Some(list) => list.seek(min_to),
+            None => PostingsIter::empty(),
+        }
+    }
+
+    /// The first posting, if any (smallest `(to, node)`).
+    pub fn first(&self) -> Option<Posting> {
+        self.iter().next()
+    }
+
+    /// Materializes the list (test/diagnostic convenience).
+    pub fn to_vec(&self) -> Vec<Posting> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for Postings<'a> {
+    type Item = Posting;
+    type IntoIter = PostingsIter<'a>;
+
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Sorted, deduplicated candidate target-objects per
+/// `(schema_node, exact keyword set)` requirement — the product of one
+/// [`MasterIndex::candidate_index`] pass.
+#[derive(Debug, Default)]
+pub struct CandidateIndex {
+    map: HashMap<(SchemaNodeId, u16), Vec<ToId>>,
+}
+
+impl CandidateIndex {
+    /// The sorted candidate list for a requirement (empty if none).
+    pub fn tos(&self, schema_node: SchemaNodeId, set: u16) -> &[ToId] {
+        self.map
+            .get(&(schema_node, set))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// The index lookup key for a query keyword: borrowed when it is
+/// already lowercase ASCII (the common case), allocated otherwise.
+fn lookup_key(keyword: &str) -> Cow<'_, str> {
+    if keyword.is_ascii() && !keyword.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Borrowed(keyword)
+    } else {
+        Cow::Owned(keyword.to_lowercase())
+    }
 }
 
 /// Re-export of the tokenizer used at index time, so query keywords can
-/// be normalized identically.
-pub fn normalize(keyword: &str) -> String {
-    tokenize(keyword).join(" ")
+/// be normalized identically. Borrows when the keyword is already a
+/// single normalized token — the hot path allocates nothing.
+pub fn normalize(keyword: &str) -> Cow<'_, str> {
+    let already = !keyword.is_empty()
+        && keyword
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit());
+    if already {
+        Cow::Borrowed(keyword)
+    } else {
+        Cow::Owned(tokenize(keyword).join(" "))
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +310,7 @@ mod tests {
     #[test]
     fn containing_lists_find_values() {
         let (g, _, idx) = fixture();
-        let john = idx.containing_list("john");
+        let john = idx.containing_list("john").to_vec();
         assert_eq!(john.len(), 1);
         assert_eq!(g.value(john[0].node), Some("John"));
         // Case-insensitive lookup.
@@ -233,6 +366,10 @@ mod tests {
         assert_eq!(tos.len(), 2); // the two VCR parts
         let tos_tv = idx.candidate_tos(&["tv"], pname, 0b1);
         assert_eq!(tos_tv.len(), 1);
+        // The batch index agrees with the per-requirement path.
+        let ci = idx.candidate_index(&["vcr"]);
+        assert_eq!(ci.tos(pname, 0b1), tos.as_slice());
+        assert!(ci.tos(pname, 0b10).is_empty());
     }
 
     #[test]
@@ -263,6 +400,39 @@ mod tests {
         let (_, _, idx) = fixture();
         assert!(idx.keyword_count() > 10);
         assert!(idx.posting_count() > idx.keyword_count());
+        assert!(idx.postings_bytes() > 0);
         assert_eq!(normalize("  VCR!"), "vcr");
+    }
+
+    #[test]
+    fn normalize_borrows_when_already_normalized() {
+        assert!(matches!(normalize("vcr"), Cow::Borrowed("vcr")));
+        assert!(matches!(normalize("dvd2"), Cow::Borrowed(_)));
+        assert!(matches!(normalize("VCR"), Cow::Owned(_)));
+        assert!(matches!(normalize(" vcr "), Cow::Owned(_)));
+        assert_eq!(normalize("VCR"), "vcr");
+    }
+
+    #[test]
+    fn formats_agree_everywhere() {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        let raw = MasterIndex::build_with(&g, &tg, PostingsFormatKind::Raw);
+        let packed = MasterIndex::build_with(&g, &tg, PostingsFormatKind::Packed);
+        assert_eq!(raw.format(), PostingsFormatKind::Raw);
+        assert_eq!(packed.format(), PostingsFormatKind::Packed);
+        assert_eq!(raw.posting_count(), packed.posting_count());
+        for kw in ["john", "vcr", "person", "zzz-missing"] {
+            assert_eq!(
+                raw.containing_list(kw).to_vec(),
+                packed.containing_list(kw).to_vec(),
+                "list for {kw}"
+            );
+        }
+        assert_eq!(
+            raw.exact_sets(&["john", "vcr"]),
+            packed.exact_sets(&["john", "vcr"])
+        );
     }
 }

@@ -27,6 +27,68 @@ use crate::target::ToId;
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// A role's candidate target objects: a sorted, deduplicated vector
+/// with binary-search membership. Sorted storage means the executor's
+/// driver loops iterate in ascending `ToId` order without re-sorting
+/// per evaluation — and that order is what the determinism guarantee
+/// rides on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet(Vec<ToId>);
+
+impl CandidateSet {
+    /// Wraps an already-sorted, deduplicated vector.
+    pub fn from_sorted(tos: Vec<ToId>) -> Self {
+        debug_assert!(tos.windows(2).all(|w| w[0] < w[1]));
+        CandidateSet(tos)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership by binary search.
+    pub fn contains(&self, to: &ToId) -> bool {
+        self.0.binary_search(to).is_ok()
+    }
+
+    /// Iterates candidates in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ToId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The candidates as a sorted slice.
+    pub fn as_slice(&self) -> &[ToId] {
+        &self.0
+    }
+}
+
+/// Intersects two sorted, deduplicated slices, galloping through the
+/// larger one with binary searches from the smaller.
+fn intersect_sorted(a: &[ToId], b: &[ToId]) -> Vec<ToId> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut lo = 0usize;
+    for &v in small {
+        match large[lo..].binary_search(&v) {
+            Ok(i) => {
+                out.push(v);
+                lo += i + 1;
+            }
+            Err(i) => lo += i,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    out
+}
+
 /// One tile of a plan: a connection relation with its column→role map.
 #[derive(Debug, Clone)]
 pub struct TilePlan {
@@ -46,7 +108,7 @@ pub struct CtssnPlan {
     /// Tiles in nesting order; each shares ≥ 1 role with what precedes.
     pub tiles: Vec<TilePlan>,
     /// Candidate target objects per role (`None` = free role).
-    pub candidates: Vec<Option<Arc<HashSet<ToId>>>>,
+    pub candidates: Vec<Option<Arc<CandidateSet>>>,
     /// Per step `i`: the bound roles that tiles `i..` still reference
     /// (the cache key variables).
     pub key_roles: Vec<Vec<u8>>,
@@ -225,22 +287,24 @@ pub fn instantiate(
 ) -> Option<CtssnPlan> {
     let ctssn = &skeleton.ctssn;
     let nroles = ctssn.tree.roles.len();
-    // Candidate sets per role.
-    let mut candidates: Vec<Option<Arc<HashSet<ToId>>>> = vec![None; nroles];
+    // Candidate sets per role: one exact-sets pass serves every
+    // requirement of every role; sorted lists intersect by galloping.
+    let index = master.candidate_index(keywords);
+    let mut candidates: Vec<Option<Arc<CandidateSet>>> = vec![None; nroles];
     for (role, reqs) in ctssn.annotated_roles() {
-        let mut acc: Option<HashSet<ToId>> = None;
+        let mut acc: Option<Vec<ToId>> = None;
         for r in reqs {
-            let set = master.candidate_tos(keywords, r.schema_node, r.set);
+            let set = index.tos(r.schema_node, r.set);
             acc = Some(match acc {
-                None => set,
-                Some(prev) => prev.intersection(&set).copied().collect(),
+                None => set.to_vec(),
+                Some(prev) => intersect_sorted(&prev, set),
             });
         }
         let acc = acc.expect("annotated role has requirements");
         if acc.is_empty() {
             return None;
         }
-        candidates[role as usize] = Some(Arc::new(acc));
+        candidates[role as usize] = Some(Arc::new(CandidateSet::from_sorted(acc)));
     }
 
     // Driver: forced anchor, else the smallest candidate set.
@@ -321,7 +385,7 @@ const PROBE_OVERHEAD: f64 = 4.0;
 fn order_tiles(
     mut tiles: Vec<TilePlan>,
     driver: u8,
-    candidates: &[Option<Arc<HashSet<ToId>>>],
+    candidates: &[Option<Arc<CandidateSet>>],
     catalog: &RelationCatalog,
 ) -> Vec<TilePlan> {
     let mut ordered: Vec<TilePlan> = Vec::with_capacity(tiles.len());
@@ -355,7 +419,7 @@ fn order_tiles(
 fn estimate_cost(
     ordered: &[TilePlan],
     driver: u8,
-    candidates: &[Option<Arc<HashSet<ToId>>>],
+    candidates: &[Option<Arc<CandidateSet>>],
     catalog: &RelationCatalog,
 ) -> f64 {
     let mut bound: HashSet<u8> = HashSet::from([driver]);

@@ -227,11 +227,7 @@ pub fn expand_on_demand_limited(
     let before = pg.len();
     let mut shown = pg.nodes_of_role(role).len();
     let candidates: Vec<ToId> = match &anchored_plan.candidates[role as usize] {
-        Some(c) => {
-            let mut v: Vec<ToId> = c.iter().copied().collect();
-            v.sort_unstable();
-            v
-        }
+        Some(c) => c.iter().collect(),
         None => universe.to_vec(),
     };
     for u in candidates {

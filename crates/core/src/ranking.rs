@@ -38,9 +38,17 @@ impl IdfWeights {
         let weights = keywords
             .iter()
             .map(|k| {
-                let df: std::collections::HashSet<_> =
-                    master.containing_list(k).iter().map(|p| p.to).collect();
-                (1.0 + n / (df.len().max(1) as f64)).ln()
+                // Containing lists are sorted by target object, so df is
+                // a run count — no hash set needed.
+                let mut df = 0usize;
+                let mut prev = None;
+                for p in master.containing_list(k) {
+                    if prev != Some(p.to) {
+                        df += 1;
+                        prev = Some(p.to);
+                    }
+                }
+                (1.0 + n / (df.max(1) as f64)).ln()
             })
             .collect();
         IdfWeights { weights }

@@ -15,6 +15,7 @@ use crate::engine::QueryEngine;
 use crate::exec::{self, ExecMode, PartialCache, QueryResults};
 use crate::master_index::MasterIndex;
 use crate::optimizer::{build_plan_anchored, CtssnPlan};
+use crate::postings::PostingsFormatKind;
 use crate::presentation::{expand_on_demand, PresentationGraph};
 use crate::relations::{PhysicalPolicy, RelationCatalog};
 use crate::target::{TargetGraph, ToId};
@@ -75,6 +76,11 @@ pub struct LoadOptions {
     /// leaves the fault layer disarmed: reads skip checksum verification
     /// and pay a single relaxed atomic load.
     pub faults: Option<xkw_store::FaultSpec>,
+    /// Storage format of the master index's containing lists. The
+    /// default honours the `XKW_POSTINGS` environment variable
+    /// ([`PostingsFormatKind::from_env`]), so a whole test suite can be
+    /// switched to the packed format without touching call sites.
+    pub postings_format: PostingsFormatKind,
 }
 
 impl Default for LoadOptions {
@@ -87,6 +93,7 @@ impl Default for LoadOptions {
             exec_threads: 1,
             build_blobs: true,
             faults: None,
+            postings_format: PostingsFormatKind::from_env(),
         }
     }
 }
@@ -163,9 +170,16 @@ impl XKeyword {
         let targets = TargetGraph::build(&graph, &tss)?;
         drop(targets_span);
         let mut master_span = xkw_obs::span!("load.master");
-        let master = MasterIndex::build(&graph, &targets);
+        let master = MasterIndex::build_with(&graph, &targets, options.postings_format);
         master_span.record("targets", targets.len());
+        master_span.record("postings_bytes", master.postings_bytes() as u64);
         drop(master_span);
+        if xkw_obs::enabled() {
+            let reg = xkw_obs::global();
+            reg.gauge("xkw_postings_bytes")
+                .set(master.postings_bytes() as u64);
+            reg.gauge("xkw_graph_bytes").set(graph.graph_bytes() as u64);
+        }
         let db = Db::with_pool_shards(options.pool_pages, options.pool_shards);
         if let Some(spec) = options.faults.clone() {
             db.install_faults(spec);
@@ -236,6 +250,19 @@ impl XKeyword {
     /// being `Send + Sync`, `&engine` can be handed to worker threads.
     pub fn engine(&self) -> &QueryEngine {
         &self.engine
+    }
+
+    /// Exports this instance's metrics into `registry`: the store's
+    /// pool/fault counters plus the index-footprint gauges
+    /// (`xkw_postings_bytes` / `xkw_graph_bytes`).
+    pub fn export_metrics(&self, registry: &xkw_obs::Registry) {
+        self.db.export_metrics(registry);
+        registry
+            .gauge("xkw_postings_bytes")
+            .set(self.master.postings_bytes() as u64);
+        registry
+            .gauge("xkw_graph_bytes")
+            .set(self.graph.graph_bytes() as u64);
     }
 
     /// The first stages of query processing: keyword discoverer → CN

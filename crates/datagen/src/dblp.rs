@@ -107,6 +107,25 @@ impl Default for DblpConfig {
     }
 }
 
+impl DblpConfig {
+    /// The default configuration scaled to roughly `scale` × 1000 papers
+    /// (`scale = 1` ≈ the default's 1000): papers grow linearly via
+    /// `papers_per_year`, the author pool and vocabulary grow with the
+    /// square root so co-authorship and keyword selectivity keep their
+    /// shape. `dblp --scale 25` and beyond is the regime the packed
+    /// postings format exists for.
+    pub fn at_scale(scale: usize) -> Self {
+        let scale = scale.max(1);
+        let sqrt = (scale as f64).sqrt();
+        Self {
+            papers_per_year: 40 * scale,
+            authors: (300.0 * sqrt) as usize,
+            vocabulary: (500.0 * sqrt) as usize,
+            ..Self::default()
+        }
+    }
+}
+
 /// A generated DBLP-like dataset.
 #[derive(Debug)]
 pub struct DblpData {

@@ -75,6 +75,16 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (LabelId(i as u32), s.as_str()))
     }
+
+    /// Approximate heap bytes held by the interner: the interned string
+    /// payloads (counted once per side: the dedup map mirrors `strings`)
+    /// plus the table entries.
+    pub fn size_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len() * 2).sum();
+        payload
+            + self.strings.len()
+                * (std::mem::size_of::<String>() * 2 + std::mem::size_of::<LabelId>())
+    }
 }
 
 #[cfg(test)]

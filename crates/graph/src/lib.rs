@@ -30,7 +30,7 @@ pub mod tss;
 pub mod uncycled;
 pub mod writer;
 
-pub use graph::{EdgeKind, NodeId, XmlGraph, XmlNode};
+pub use graph::{EdgeKind, NodeId, XmlGraph};
 pub use infer::{auto_mapping, infer_schema};
 pub use interner::{Interner, LabelId};
 pub use parser::{parse, ParseError};

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
-//!              [--threads N] [--pool-shards N] [--explain] [--stats] \
-//!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC]
+//!              [--threads N] [--pool-shards N] [--postings raw|packed] \
+//!              [--explain] [--stats] [--trace-out FILE] [--deadline-ms N] \
+//!              [--faults SPEC]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
@@ -45,6 +46,7 @@ struct Args {
     top: usize,
     threads: usize,
     pool_shards: usize,
+    postings: PostingsFormatKind,
     explain: bool,
     stats: bool,
     trace_out: Option<String>,
@@ -76,6 +78,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         top: 10,
         threads: 1,
         pool_shards: 0,
+        postings: PostingsFormatKind::from_env(),
         explain: false,
         stats: false,
         trace_out: None,
@@ -90,6 +93,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--top" => args.top = flag_num(&mut it, "--top")?,
             "--threads" => args.threads = flag_num(&mut it, "--threads")?,
             "--pool-shards" => args.pool_shards = flag_num(&mut it, "--pool-shards")?,
+            "--postings" => args.postings = flag_num(&mut it, "--postings")?,
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
             "--trace-out" => args.trace_out = Some(flag_value(&mut it, "--trace-out")?),
@@ -107,8 +111,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
-                     [--threads N] [--pool-shards N] [--explain] [--stats] [--trace-out FILE] \
-                     [--deadline-ms N] [--faults SPEC]"
+                     [--threads N] [--pool-shards N] [--postings raw|packed] [--explain] \
+                     [--stats] [--trace-out FILE] [--deadline-ms N] [--faults SPEC]"
                 );
                 std::process::exit(0);
             }
@@ -134,6 +138,7 @@ fn main() {
         pool_shards: args.pool_shards,
         exec_threads: args.threads,
         faults: args.faults.clone(),
+        postings_format: args.postings,
         ..LoadOptions::default()
     };
     let xk = match &args.file {
@@ -249,7 +254,7 @@ fn print_metrics(xk: &XKeyword) {
         return;
     }
     let registry = xkeyword::obs::global();
-    xk.db.export_metrics(registry);
+    xk.export_metrics(registry);
     print!("{}", registry.render_prometheus());
 }
 
@@ -287,6 +292,16 @@ fn print_stats(xk: &XKeyword) {
             sh.resident, sh.capacity, sh.hits, sh.misses, sh.evictions
         );
     }
+    let postings = xk.master.postings_bytes();
+    let graph = xk.graph.graph_bytes();
+    let nodes = xk.graph.node_count().max(1);
+    println!(
+        "index: {} postings format, {} postings bytes, {} graph bytes, {:.1} bytes/node",
+        xk.master.format(),
+        postings,
+        graph,
+        (postings + graph) as f64 / nodes as f64
+    );
 }
 
 /// Runs one query in EXPLAIN ANALYZE mode and prints the per-operator

@@ -20,6 +20,7 @@ fn malformed_numeric_flags_exit_2_with_a_message() {
         ("--threads", "1.5"),
         ("--pool-shards", ""),
         ("--deadline-ms", "soon"),
+        ("--postings", "bogus"),
     ] {
         let out = run(&[flag, value]);
         assert_eq!(
@@ -66,18 +67,18 @@ fn query_errors_exit_nonzero_in_one_shot_mode() {
     assert!(stdout.contains("zzz_missing"), "message names the keyword");
 }
 
+// Drop the per-run wall-clock line ("  stages: ..."); everything else
+// is deterministic.
+fn result_lines(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("stages:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn healthy_query_exits_0_and_faulted_query_stays_correct() {
-    // Drop the per-run wall-clock line ("  stages: ..."); everything
-    // else is deterministic.
-    fn result_lines(out: &Output) -> String {
-        String::from_utf8_lossy(&out.stdout)
-            .lines()
-            .filter(|l| !l.trim_start().starts_with("stages:"))
-            .collect::<Vec<_>>()
-            .join("\n")
-    }
-
     let clean = run(&["--query", "john vcr"]);
     assert_eq!(clean.status.code(), Some(0), "{:?}", clean.status);
     let clean_out = result_lines(&clean);
@@ -90,5 +91,21 @@ fn healthy_query_exits_0_and_faulted_query_stays_correct() {
         result_lines(&faulted),
         clean_out,
         "transient faults must not alter one-shot output"
+    );
+}
+
+#[test]
+fn postings_format_does_not_change_one_shot_output() {
+    let raw = run(&["--postings", "raw", "--query", "john vcr"]);
+    assert_eq!(raw.status.code(), Some(0), "{:?}", raw.status);
+    let raw_out = result_lines(&raw);
+    assert!(raw_out.contains("results ("), "got {raw_out:?}");
+
+    let packed = run(&["--postings", "packed", "--query", "john vcr"]);
+    assert_eq!(packed.status.code(), Some(0), "{:?}", packed.status);
+    assert_eq!(
+        result_lines(&packed),
+        raw_out,
+        "--postings packed must print byte-identical results"
     );
 }
