@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
-//!             [explain] [faults] [all]
+//!             [explain] [faults] [topk] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -55,6 +55,68 @@ fn main() {
     }
     if want("faults") {
         faults_section();
+    }
+    if want("topk") {
+        topk_section();
+    }
+}
+
+/// Top-k early termination: per-k work and latency with the threshold
+/// cutoff on vs the `--no-prune` baseline, on the Fig. 15(a)
+/// disk-resident XKeyword scenario with a cold pool per batch
+/// (reproduced in EXPERIMENTS.md §"Top-k early termination"; the CI
+/// gate lives in the `topk_pruning` bench).
+fn topk_section() {
+    println!("\n== Top-k early termination: pruned vs --no-prune (XKeyword, DBLP) ==");
+    println!(
+        "(disk-resident scenario: 100us round trip, 128-page pool cleared per batch, \
+         2ms miss penalty, 8 threads)"
+    );
+    let data = w::bench_dblp_config();
+    let mut opts = Config::XKeyword.load_options();
+    opts.pool_pages = 128;
+    let d = data.generate();
+    let xk = XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms");
+    xk.db.pool().set_miss_penalty(Duration::from_millis(2));
+    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+    let plan_sets: Vec<Vec<_>> = queries
+        .iter()
+        .map(|(a, b)| w::plans_for(&xk, &[a, b], w::Z))
+        .collect();
+    let total_plans: usize = plan_sets.iter().map(Vec::len).sum();
+    println!(
+        "({} queries, {total_plans} plans instantiated)",
+        plan_sets.len()
+    );
+    println!(
+        "{:<8}{:<10}{:>9}{:>9}{:>9}{:>11}{:>12}",
+        "k", "mode", "claimed", "pruned", "aborted", "evaluated", "batch-ms"
+    );
+    for k in [1usize, 10, 100] {
+        for prune in [false, true] {
+            xk.db.pool().clear();
+            let (mut claimed, mut pruned, mut aborted) = (0usize, 0usize, 0usize);
+            let t = Instant::now();
+            for plans in &plan_sets {
+                let res = exec::topk_opts(&xk.db, &xk.catalog, plans, w::cached(), k, 8, prune);
+                claimed += res.prune.plans_claimed;
+                pruned += res.prune.plans_pruned;
+                aborted += res.prune.plans_early_stopped;
+                std::hint::black_box(res.rows.len());
+            }
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:<8}{:<10}{:>9}{:>9}{:>9}{:>11}{:>12.1}",
+                k,
+                if prune { "pruned" } else { "no-prune" },
+                claimed,
+                pruned,
+                aborted,
+                claimed - aborted,
+                ms
+            );
+        }
     }
 }
 

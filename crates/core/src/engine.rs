@@ -36,7 +36,7 @@ use crate::ctssn::Ctssn;
 use crate::error::{validate_keywords, XkError};
 use crate::exec::{self, ExecMode, QueryResults};
 use crate::master_index::MasterIndex;
-use crate::optimizer::{build_skeleton, instantiate, CtssnPlan, PlanSkeleton};
+use crate::optimizer::{build_skeleton, instantiate_with, CtssnPlan, PlanSkeleton};
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::TargetGraph;
@@ -82,6 +82,11 @@ pub struct QueryMetrics {
     pub io_hits: u64,
     /// Buffer-pool misses attributable to this query.
     pub io_misses: u64,
+    /// Plans skipped outright by the top-k threshold (never claimed for
+    /// evaluation). Zero on non-top-k and prune-disabled paths.
+    pub plans_pruned: usize,
+    /// Plans aborted mid-evaluation by the top-k threshold.
+    pub plans_early_stopped: usize,
 }
 
 /// Cumulative engine statistics across all queries.
@@ -103,6 +108,10 @@ pub struct EngineStats {
     pub io_hits: u64,
     /// Buffer-pool misses attributed to queries.
     pub io_misses: u64,
+    /// Plans skipped by the top-k threshold across all queries.
+    pub plans_pruned: u64,
+    /// Plans aborted mid-evaluation by the top-k threshold.
+    pub plans_early_stopped: u64,
     /// Total time in keyword discovery.
     pub discover: Duration,
     /// Total time in planning.
@@ -125,6 +134,8 @@ impl EngineStats {
         self.partial_cache_misses += m.partial_cache_misses;
         self.io_hits += m.io_hits;
         self.io_misses += m.io_misses;
+        self.plans_pruned += m.plans_pruned as u64;
+        self.plans_early_stopped += m.plans_early_stopped as u64;
         self.discover += m.discover;
         self.plan += m.plan;
         self.exec += m.exec;
@@ -303,9 +314,13 @@ impl QueryEngine {
                 (skeletons, false)
             }
         };
+        // One seek index serves every skeleton: requirement resolution is
+        // memoized across plans, and over packed postings the zig-zag
+        // joins skip non-intersecting blocks without decoding them.
+        let index = self.master.seek_candidates(keywords);
         let plans: Vec<CtssnPlan> = skeletons
             .iter()
-            .filter_map(|s| instantiate(s, &self.catalog, &self.master, keywords, None))
+            .filter_map(|s| instantiate_with(s, &self.catalog, &index, None))
             .collect();
         plan_span.record("cache_hit", plan_cache_hit);
         plan_span.record("plans", plans.len());
@@ -398,8 +413,31 @@ impl QueryEngine {
         threads: usize,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, XkError> {
+        self.query_topk_opts(keywords, z, k, mode, threads, deadline, true)
+    }
+
+    /// [`QueryEngine::query_topk_within`] with explicit control over
+    /// threshold pruning. `prune: false` is the A/B escape hatch (the
+    /// CLI's `--no-prune`): every claimed plan runs to its per-plan row
+    /// limit as before this optimization. Returned rows are
+    /// byte-identical either way — pruning only changes how much work is
+    /// *not* done.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::query_topk_within`] errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_topk_opts(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: usize,
+        mode: ExecMode,
+        threads: usize,
+        deadline: Option<Duration>,
+        prune: bool,
+    ) -> Result<QueryOutcome, XkError> {
         self.run(keywords, z, mode, |prepared| {
-            exec::try_topk_within(
+            exec::try_topk_within_opts(
                 &self.db,
                 &self.catalog,
                 &prepared.plans,
@@ -407,6 +445,7 @@ impl QueryEngine {
                 k,
                 threads,
                 deadline,
+                prune,
             )
         })
     }
@@ -485,6 +524,8 @@ impl QueryEngine {
             partial_cache_misses: results.stats.cache_misses,
             io_hits: results.stats.io_hits,
             io_misses: results.stats.io_misses,
+            plans_pruned: results.prune.plans_pruned,
+            plans_early_stopped: results.prune.plans_early_stopped,
         };
         self.stats.lock().absorb(&metrics);
         publish_query_metrics(&metrics, &results);
@@ -538,6 +579,71 @@ impl QueryEngine {
             partial_cache_misses: results.stats.cache_misses,
             io_hits: results.stats.io_hits,
             io_misses: results.stats.io_misses,
+            plans_pruned: results.prune.plans_pruned,
+            plans_early_stopped: results.prune.plans_early_stopped,
+        };
+        self.stats.lock().absorb(&metrics);
+        publish_query_metrics(&metrics, &results);
+        let profiles = raw
+            .iter()
+            .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+            .collect();
+        Ok(ExplainReport {
+            outcome: QueryOutcome {
+                results,
+                mttons,
+                metrics,
+            },
+            profiles,
+        })
+    }
+
+    /// EXPLAIN ANALYZE for the top-k path: like [`QueryEngine::explain`]
+    /// but executed through the pruned bounded-evaluation pipeline.
+    /// Pruned plans appear in the profile list as `pruned` entries
+    /// carrying their score bound and zero attributed I/O, so summing
+    /// I/O over every profile still reproduces the query totals exactly.
+    ///
+    /// # Errors
+    /// The [`QueryEngine::prepare`] errors plus [`XkError::BadMode`].
+    pub fn explain_topk(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: usize,
+        mode: ExecMode,
+    ) -> Result<ExplainReport, XkError> {
+        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
+        exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
+        let prepared = self.prepare(keywords, z)?;
+        exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
+
+        let t = Instant::now();
+        let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len(), explain = true);
+        let (results, raw) =
+            exec::profile_plans_topk(&self.db, &self.catalog, &prepared.plans, mode, k);
+        drop(exec_span);
+        let exec_time = t.elapsed();
+
+        let t = Instant::now();
+        let present_span = xkw_obs::span!("query.present", rows = results.rows.len());
+        let mttons = results.mttons();
+        drop(present_span);
+        let present = t.elapsed();
+
+        let metrics = QueryMetrics {
+            discover: prepared.discover,
+            plan: prepared.plan,
+            exec: exec_time,
+            present,
+            plan_cache_hit: prepared.plan_cache_hit,
+            plans: prepared.plans.len(),
+            partial_cache_hits: results.stats.cache_hits,
+            partial_cache_misses: results.stats.cache_misses,
+            io_hits: results.stats.io_hits,
+            io_misses: results.stats.io_misses,
+            plans_pruned: results.prune.plans_pruned,
+            plans_early_stopped: results.prune.plans_early_stopped,
         };
         self.stats.lock().absorb(&metrics);
         publish_query_metrics(&metrics, &results);
@@ -593,6 +699,7 @@ impl QueryEngine {
             score: raw.score,
             rows_out: raw.rows_out,
             elapsed_ns: raw.elapsed_ns,
+            pruned: raw.pruned,
             root: OpProfile {
                 label: format!(
                     "drive {} ({} candidate target objects)",
@@ -696,6 +803,15 @@ fn publish_query_metrics(m: &QueryMetrics, results: &QueryResults) {
         .observe(results.rows.len() as u64);
     reg.histogram("xkw_query_io")
         .observe(m.io_hits + m.io_misses);
+    if results.prune.enabled {
+        reg.counter("xkw_plans_pruned_total")
+            .add(results.prune.plans_pruned as u64);
+        reg.counter("xkw_plans_early_stopped_total")
+            .add(results.prune.plans_early_stopped as u64);
+        if let Some((score, _plan)) = results.prune.threshold {
+            reg.gauge("xkw_topk_threshold").set(score as u64);
+        }
+    }
     let deg = &results.degradation;
     if deg.is_degraded() {
         reg.counter("xkw_queries_degraded_total").inc();
@@ -888,6 +1004,61 @@ mod tests {
                 .unwrap();
             assert_eq!(top.results.rows, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn topk_pruning_is_invisible_in_results() {
+        let e = engine();
+        let mode = ExecMode::Cached { capacity: 1024 };
+        for k in [1, 3, 20] {
+            for threads in [1, 2, 8] {
+                let pruned = e
+                    .query_topk_opts(&["us", "vcr"], 8, k, mode, threads, None, true)
+                    .unwrap();
+                let plain = e
+                    .query_topk_opts(&["us", "vcr"], 8, k, mode, threads, None, false)
+                    .unwrap();
+                assert_eq!(
+                    pruned.results.rows, plain.results.rows,
+                    "k={k} threads={threads}"
+                );
+                assert!(pruned.results.prune.enabled);
+                assert!(!plain.results.prune.enabled);
+            }
+        }
+        let s = e.stats();
+        assert_eq!(s.queries, 18);
+    }
+
+    #[test]
+    fn explain_topk_decomposes_io_and_marks_pruned_plans() {
+        let e = engine();
+        let mode = ExecMode::Cached { capacity: 1024 };
+        let report = e.explain_topk(&["us", "vcr"], 8, 1, mode).unwrap();
+        let m = &report.outcome.metrics;
+        // The accounting invariant survives pruning: pruned plans carry
+        // zero I/O, so profile sums still reproduce the query totals.
+        assert_eq!(report.io_total(), m.io_hits + m.io_misses);
+        assert_eq!(report.profiles.len(), m.plans);
+        assert_eq!(
+            m.plans_pruned,
+            report.profiles.iter().filter(|p| p.pruned).count()
+        );
+        // The profiled top-1 equals the plain top-k path's answer.
+        let plain = e.query_topk(&["us", "vcr"], 8, 1, mode, 1).unwrap();
+        assert_eq!(report.outcome.results.rows, plain.results.rows);
+        // Once a row lands, every later plan's bound exceeds the k=1
+        // threshold — so if any plan follows the first emitting one, it
+        // must show up pruned.
+        let first_row_plan = report.outcome.results.rows.first().map(|r| r.plan);
+        if let Some(f) = first_row_plan {
+            if report.profiles.iter().any(|p| p.plan > f) {
+                assert!(m.plans_pruned > 0, "later plans must be pruned at k=1");
+                let text = report.render();
+                assert!(text.contains("pruned by top-k threshold"), "{text}");
+            }
+        }
+        assert!(report.render().contains("stages:"));
     }
 
     /// `query_all`/`query_all_hash` return the same outcome for any

@@ -27,6 +27,7 @@
 
 use crate::error::XkError;
 use crate::optimizer::CtssnPlan;
+use crate::ranking::{topk_key, topk_key_parts, ThresholdTracker};
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::ToId;
@@ -35,7 +36,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xkw_store::{Db, IoSnapshot, LruCache, Row, StoreError};
@@ -169,11 +170,57 @@ impl ExecCtl {
     }
 }
 
+/// A worker's view of the shared top-k threshold while it evaluates one
+/// plan: the tracker's published cell plus this plan's (fixed) score
+/// bound. One relaxed load answers "can this plan still contribute a
+/// top-k row?" — `false` means at least `k` collected rows already sort
+/// strictly before every row this plan can produce.
+#[derive(Clone, Copy)]
+pub(crate) struct PrunePoll<'a> {
+    cell: &'a AtomicU64,
+    bound: u64,
+}
+
+impl<'a> PrunePoll<'a> {
+    /// A poll of `cell` against the fixed per-plan `bound` key.
+    pub(crate) fn new(cell: &'a AtomicU64, bound: u64) -> Self {
+        PrunePoll { cell, bound }
+    }
+
+    /// Whether the plan is now beaten: the published k-th-best key is
+    /// *strictly* smaller than every key this plan can produce. Strict,
+    /// so a plan's own rows (key == bound) never cut the plan itself.
+    pub(crate) fn cut(&self) -> bool {
+        self.cell.load(Ordering::Relaxed) < self.bound
+    }
+}
+
+/// What the inner evaluation loops poll at probe boundaries: the query's
+/// control block (deadline / stop flag) plus, on the pruned top-k path,
+/// the threshold poll for the plan under evaluation.
+pub(crate) struct ProbeCtl<'a> {
+    exec: &'a ExecCtl,
+    prune: Option<PrunePoll<'a>>,
+}
+
+impl<'a> ProbeCtl<'a> {
+    /// A probe control without threshold pruning (every non-top-k path).
+    pub(crate) fn plain(exec: &'a ExecCtl) -> Self {
+        ProbeCtl { exec, prune: None }
+    }
+
+    fn cut(&self) -> bool {
+        self.prune.is_some_and(|p| p.cut())
+    }
+}
+
 /// Why an evaluation stopped before completing a plan (internal to the
 /// executors; surfaced as [`Degradation`] / [`XkError`]).
 pub(crate) enum EvalAbort {
     /// The query deadline elapsed.
     Deadline,
+    /// The top-k threshold proved the plan can no longer contribute.
+    Pruned,
     /// The store reported an unrecoverable page fault.
     Fault(StoreError),
 }
@@ -182,6 +229,7 @@ impl std::fmt::Display for EvalAbort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalAbort::Deadline => write!(f, "query deadline exceeded"),
+            EvalAbort::Pruned => write!(f, "plan pruned by the top-k threshold"),
             EvalAbort::Fault(e) => write!(f, "{e}"),
         }
     }
@@ -452,7 +500,18 @@ pub fn eval_plan_obs<C: PartialCacheOps, O: ProbeObserver>(
 ) -> ControlFlow<()> {
     let ctl = ExecCtl::unbounded();
     unwrap_abort(eval_plan_bounded(
-        db, catalog, plan_idx, plan, mode, cache, stats, emit, obs, &ctl,
+        db,
+        catalog,
+        plan_idx,
+        plan,
+        mode,
+        cache,
+        stats,
+        emit,
+        obs,
+        &ctl,
+        usize::MAX,
+        None,
     ))
 }
 
@@ -460,6 +519,17 @@ pub fn eval_plan_obs<C: PartialCacheOps, O: ProbeObserver>(
 /// control block's deadline and propagates unrecoverable store faults as
 /// typed aborts instead of panicking. Buffer-pool traffic is charged to
 /// `stats` even when the evaluation aborts.
+///
+/// `limit` is the pushed-down per-plan result budget: evaluation returns
+/// `Break` once `limit` rows have been emitted, exactly as if `emit` had
+/// broken on the `limit`-th row (`usize::MAX` = unlimited). The budget
+/// caps *emission*, never the materialization of cached completions — a
+/// truncated completion list in the shared cache would silently corrupt
+/// every later query that hits it.
+///
+/// `prune` is the top-k threshold poll: when it trips at a probe
+/// boundary, evaluation aborts with [`EvalAbort::Pruned`] (rows already
+/// emitted stay with the caller; see [`topk`] for why that is sound).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_plan_bounded<C: PartialCacheOps, O: ProbeObserver>(
     db: &Db,
@@ -472,6 +542,8 @@ pub(crate) fn eval_plan_bounded<C: PartialCacheOps, O: ProbeObserver>(
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
     obs: &mut O,
     ctl: &ExecCtl,
+    limit: usize,
+    prune: Option<PrunePoll<'_>>,
 ) -> Result<ControlFlow<()>, EvalAbort> {
     let _span = xkw_obs::span!(
         "exec.plan",
@@ -480,8 +552,9 @@ pub(crate) fn eval_plan_bounded<C: PartialCacheOps, O: ProbeObserver>(
         tiles = plan.tiles.len()
     );
     let io_before = db.local_io();
+    let pctl = ProbeCtl { exec: ctl, prune };
     let flow = eval_plan_inner(
-        db, catalog, plan_idx, plan, mode, cache, stats, emit, obs, ctl,
+        db, catalog, plan_idx, plan, mode, cache, stats, emit, obs, &pctl, limit,
     );
     charge_local_io(stats, db, io_before);
     flow
@@ -498,7 +571,8 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
     stats: &mut ExecStats,
     emit: &mut dyn FnMut(ResultRow) -> ControlFlow<()>,
     obs: &mut O,
-    ctl: &ExecCtl,
+    ctl: &ProbeCtl<'_>,
+    limit: usize,
 ) -> Result<ControlFlow<()>, EvalAbort> {
     let nroles = plan.role_count();
     let mut assignment: Vec<Option<ToId>> = vec![None; nroles];
@@ -506,6 +580,7 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
         .as_ref()
         .expect("driver is annotated");
     let fresh = suffix_fresh_roles(plan, 0);
+    let mut produced = 0usize;
     // Candidate sets are stored sorted — ascending iteration is the
     // deterministic order reproducibility relies on.
     for to in driver_cands.iter() {
@@ -538,6 +613,10 @@ fn eval_plan_inner<C: PartialCacheOps, O: ProbeObserver>(
                     score: plan.score,
                 });
                 if flow.is_break() {
+                    return Ok(ControlFlow::Break(()));
+                }
+                produced += 1;
+                if produced >= limit {
                     return Ok(ControlFlow::Break(()));
                 }
             }
@@ -603,6 +682,7 @@ fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
     assignment[plan.driver as usize] = Some(to);
     let fresh = suffix_fresh_roles(plan, 0);
     let ctl = ExecCtl::unbounded();
+    let pctl = ProbeCtl::plain(&ctl);
     let subs = match mode {
         ExecMode::Naive => unwrap_abort(completions_naive(
             db,
@@ -612,7 +692,7 @@ fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
             0,
             &mut assignment,
             obs,
-            &ctl,
+            &pctl,
         )),
         ExecMode::Cached { .. } => unwrap_abort(completions_cached(
             db,
@@ -623,7 +703,7 @@ fn eval_anchored_inner<C: PartialCacheOps, O: ProbeObserver>(
             0,
             &mut assignment,
             obs,
-            &ctl,
+            &pctl,
         )),
     };
     for sub in subs.iter() {
@@ -656,7 +736,7 @@ fn completions_naive<O: ProbeObserver>(
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
     obs: &mut O,
-    ctl: &ExecCtl,
+    ctl: &ProbeCtl<'_>,
 ) -> Result<Arc<Vec<Vec<ToId>>>, EvalAbort> {
     if i == plan.tiles.len() {
         return Ok(Arc::new(vec![Vec::new()]));
@@ -701,7 +781,7 @@ fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
     i: usize,
     assignment: &mut Vec<Option<ToId>>,
     obs: &mut O,
-    ctl: &ExecCtl,
+    ctl: &ProbeCtl<'_>,
 ) -> Result<Arc<Vec<Vec<ToId>>>, EvalAbort> {
     if i == plan.tiles.len() {
         return Ok(Arc::new(vec![Vec::new()]));
@@ -749,8 +829,9 @@ fn completions_cached<C: PartialCacheOps, O: ProbeObserver>(
 }
 
 /// Probes tile `i`'s relation on its currently-bound columns. Checks the
-/// control block first (the probe boundary is the cancellation point)
-/// and reports unrecoverable store faults as aborts.
+/// control block first (the probe boundary is the cancellation point —
+/// for the deadline and for the top-k threshold alike) and reports
+/// unrecoverable store faults as aborts.
 #[allow(clippy::too_many_arguments)]
 fn probe_tile<O: ProbeObserver>(
     db: &Db,
@@ -760,10 +841,13 @@ fn probe_tile<O: ProbeObserver>(
     assignment: &[Option<ToId>],
     stats: &mut ExecStats,
     obs: &mut O,
-    ctl: &ExecCtl,
+    ctl: &ProbeCtl<'_>,
 ) -> Result<Vec<Row>, EvalAbort> {
-    if ctl.should_stop() {
+    if ctl.exec.should_stop() {
         return Err(EvalAbort::Deadline);
+    }
+    if ctl.cut() {
+        return Err(EvalAbort::Pruned);
     }
     let tile = &plan.tiles[i];
     let mut cols: Vec<usize> = Vec::new();
@@ -859,6 +943,31 @@ fn check_distinct(plan: &CtssnPlan, assignment: &[Option<ToId>]) -> bool {
     true
 }
 
+/// What the top-k threshold saved (and proved) during one query. A
+/// default report (`enabled: false`, all zero) means the evaluation ran
+/// without threshold pruning — every non-top-k path, and top-k with
+/// pruning explicitly disabled. Pruning is *never* degradation: a pruned
+/// plan is one the threshold proved irrelevant, so the answer is still
+/// exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Whether threshold pruning was active for this evaluation.
+    pub enabled: bool,
+    /// Plans actually started by a worker (claimed and evaluated, even
+    /// partially). With pruning off this counts every claimed plan.
+    pub plans_claimed: usize,
+    /// Plans skipped at claim time because the threshold already beat
+    /// their score bound — never started, zero probes spent.
+    pub plans_pruned: usize,
+    /// Plans aborted mid-evaluation at a probe boundary once the
+    /// threshold latched below their bound. Their emitted rows are kept
+    /// (harmless — they sort after the k kept rows).
+    pub plans_early_stopped: usize,
+    /// The latched threshold as `(score, plan index)` of the k-th best
+    /// collected row, when `k` rows were observed.
+    pub threshold: Option<(usize, usize)>,
+}
+
 /// The results of a query evaluation.
 #[derive(Debug, Default)]
 pub struct QueryResults {
@@ -869,6 +978,8 @@ pub struct QueryResults {
     /// How (if at all) the answer fell short of completeness — deadline
     /// or store-fault degradation. Default means complete.
     pub degradation: Degradation,
+    /// What top-k threshold pruning did (default: pruning not active).
+    pub prune: PruneReport,
 }
 
 impl QueryResults {
@@ -971,6 +1082,7 @@ impl Iterator for ResultStream<'_> {
             assignment[plan.driver as usize] = Some(to);
             let fresh = suffix_fresh_roles(plan, 0);
             let ctl = ExecCtl::unbounded();
+            let pctl = ProbeCtl::plain(&ctl);
             let subs = match self.mode {
                 ExecMode::Naive => unwrap_abort(completions_naive(
                     self.db,
@@ -980,7 +1092,7 @@ impl Iterator for ResultStream<'_> {
                     0,
                     &mut assignment,
                     &mut NoProbeObs,
-                    &ctl,
+                    &pctl,
                 )),
                 ExecMode::Cached { .. } => unwrap_abort(completions_cached(
                     self.db,
@@ -991,7 +1103,7 @@ impl Iterator for ResultStream<'_> {
                     0,
                     &mut assignment,
                     &mut NoProbeObs,
-                    &ctl,
+                    &pctl,
                 )),
             };
             for sub in subs.iter() {
@@ -1059,6 +1171,8 @@ fn all_plans_ctl(
                 },
                 &mut NoProbeObs,
                 ctl,
+                usize::MAX,
+                None,
             )
         }));
         out.stats.merge(&stats);
@@ -1066,6 +1180,7 @@ fn all_plans_ctl(
         match caught {
             Ok(Ok(_)) => {}
             Ok(Err(EvalAbort::Deadline)) => out.degradation.plans_incomplete += 1,
+            Ok(Err(EvalAbort::Pruned)) => unreachable!("no threshold poll on this path"),
             Ok(Err(EvalAbort::Fault(e))) => {
                 out.degradation.plans_incomplete += 1;
                 out.degradation.faults.push((i, e));
@@ -1101,6 +1216,11 @@ pub struct PlanExecProfile {
     /// every buffer-pool request this executor issues flows through
     /// [`eval_plan`]'s tile probes.
     pub steps: Vec<StepProbe>,
+    /// Whether the top-k threshold pruned this plan before it was
+    /// evaluated ([`profile_plans_topk`] only). A pruned plan spent no
+    /// probes and no I/O, so the accounting invariant above still sums
+    /// plan I/O to the query total exactly.
+    pub pruned: bool,
 }
 
 /// Profiled [`all_plans`]: evaluates every plan single-threaded with a
@@ -1148,9 +1268,103 @@ pub fn profile_plans(
             elapsed_ns,
             stats,
             steps: obs.steps,
+            pruned: false,
         });
         out.stats.merge(&stats);
     }
+    (out, profiles)
+}
+
+/// Profiled [`topk`]: the EXPLAIN ANALYZE view of the pruned top-k path.
+/// Single-threaded and sequential (so I/O attribution decomposes the
+/// query total exactly, like [`profile_plans`]), with a local threshold
+/// tracker standing in for the shared one: a plan whose score bound the
+/// latched threshold already beats is *pruned* — it gets a profile with
+/// zero probes, zero I/O and `pruned: true` instead of being evaluated.
+/// Evaluated plans run under the pushed-down `k`-row limit. The returned
+/// rows are the standard top-k set: sorted by `(score, plan,
+/// assignment)` and truncated to `k`.
+pub fn profile_plans_topk(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+) -> (QueryResults, Vec<PlanExecProfile>) {
+    let mut cache = new_cache(mode);
+    let mut out = QueryResults {
+        prune: PruneReport {
+            enabled: true,
+            ..PruneReport::default()
+        },
+        ..QueryResults::default()
+    };
+    let mut profiles = Vec::with_capacity(plans.len());
+    if k == 0 {
+        return (out, profiles);
+    }
+    let tracker = ThresholdTracker::new(k);
+    let ctl = ExecCtl::unbounded();
+    for (i, p) in plans.iter().enumerate() {
+        let bound = topk_key(p.score, i);
+        let drivers = p.candidates[p.driver as usize]
+            .as_ref()
+            .map_or(0, |c| c.len() as u64);
+        if PrunePoll::new(tracker.cell(), bound).cut() {
+            out.prune.plans_pruned += 1;
+            profiles.push(PlanExecProfile {
+                plan: i,
+                score: p.score,
+                drivers,
+                pruned: true,
+                steps: vec![StepProbe::default(); p.tiles.len()],
+                ..PlanExecProfile::default()
+            });
+            continue;
+        }
+        out.prune.plans_claimed += 1;
+        let mut stats = ExecStats::default();
+        let mut obs = StepProbeObs::for_steps(p.tiles.len());
+        let rows_before = out.rows.len();
+        let t0 = Instant::now();
+        // Sequential evaluation never trips its own threshold poll (a
+        // plan's rows share its exact bound, and the cut is strict), so
+        // no mid-plan abort can occur here — `unwrap_abort` is safe.
+        let _ = unwrap_abort(eval_plan_bounded(
+            db,
+            catalog,
+            i,
+            p,
+            mode,
+            &mut cache,
+            &mut stats,
+            &mut |r| {
+                tracker.observe(topk_key(r.score, r.plan));
+                out.rows.push(r);
+                ControlFlow::Continue(())
+            },
+            &mut obs,
+            &ctl,
+            k,
+            Some(PrunePoll::new(tracker.cell(), bound)),
+        ));
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        profiles.push(PlanExecProfile {
+            plan: i,
+            score: p.score,
+            drivers,
+            rows_out: (out.rows.len() - rows_before) as u64,
+            elapsed_ns,
+            stats,
+            steps: obs.steps,
+            pruned: false,
+        });
+        out.stats.merge(&stats);
+    }
+    out.prune.threshold = tracker.threshold().map(topk_key_parts);
+    out.rows
+        .sort_by(|a, b| (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment)));
+    out.rows.truncate(k);
     (out, profiles)
 }
 
@@ -1189,10 +1403,14 @@ pub(crate) fn all_plans_mt_result(
 
 /// How a worker finished one claimed plan.
 enum PlanOutcome {
-    /// Ran to completion.
+    /// Ran to completion (or to its pushed-down result limit).
     Done,
     /// Aborted on the deadline; emitted rows are kept.
     Incomplete,
+    /// Aborted mid-plan by the top-k threshold; emitted rows are kept.
+    /// Not degradation — the threshold *proved* the rest of the plan
+    /// cannot contribute a top-k row.
+    EarlyStopped,
     /// Aborted on an unrecoverable store fault; emitted rows are kept.
     Fault(StoreError),
 }
@@ -1200,7 +1418,7 @@ enum PlanOutcome {
 /// Folds one plan's outcome into the degradation report.
 fn absorb_outcome(deg: &mut Degradation, pi: usize, outcome: PlanOutcome) {
     match outcome {
-        PlanOutcome::Done => {}
+        PlanOutcome::Done | PlanOutcome::EarlyStopped => {}
         PlanOutcome::Incomplete => deg.plans_incomplete += 1,
         PlanOutcome::Fault(e) => {
             deg.plans_incomplete += 1;
@@ -1261,11 +1479,16 @@ pub(crate) fn all_plans_mt_ctl(
                             },
                             &mut NoProbeObs,
                             ctl,
+                            usize::MAX,
+                            None,
                         )
                     }));
                     let outcome = match caught {
                         Ok(Ok(_)) => PlanOutcome::Done,
                         Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Pruned)) => {
+                            unreachable!("no threshold poll on this path")
+                        }
                         Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
                         Err(payload) => {
                             let _ = panic_tx.send((pi, panic_message(payload)));
@@ -1306,18 +1529,57 @@ pub(crate) fn all_plans_mt_ctl(
 
 /// Top-k evaluation with a thread pool (§6): threads pull candidate
 /// networks in score order, sharing one striped partial-result cache;
-/// workers stop claiming networks once `k` results exist overall, and
-/// the collected rows are sorted by `(score, plan, assignment)` before
-/// truncating to `k`.
+/// a shared [`ThresholdTracker`] watches the k-th best collected row,
+/// workers stop claiming (and abort mid-plan) once it proves a plan
+/// irrelevant, and the collected rows are sorted by `(score, plan,
+/// assignment)` before truncating to `k`. Threshold pruning is on;
+/// [`topk_opts`] exposes the switch for A/B runs.
 ///
-/// The result set is identical for every thread count: plans are claimed
-/// in index (score) order; a claimed plan emits a deterministic prefix
-/// of its deterministic row sequence (capped at `k` rows per plan — one
-/// plan can satisfy the whole answer, so nothing past its first `k` rows
-/// can ever be needed); and because plans arrive sorted by score, rows
-/// of higher-indexed plans sort strictly after rows of lower-indexed
-/// ones, so the extra networks an eager thread picks up can never
-/// displace rows of the prefix a single-threaded run would evaluate.
+/// # Why the pruned result set is byte-identical, at every thread count
+///
+/// Write `key(row) = (row.score, row.plan)` ([`crate::ranking::topk_key`])
+/// and `bound(p) = (p.score, p)` for plan index `p`. Every row plan `p`
+/// can emit has `key == bound(p)` exactly — the bound is admissible
+/// *and* tight — and the final sort order `(score, plan, assignment)`
+/// refines the key order, with the assignment tiebreak confined to rows
+/// of one plan.
+///
+/// 1. **Threshold cuts are sound, regardless of plan order or timing.**
+///    The tracker publishes `T`, the k-th smallest key among rows
+///    collected so far, once `k` rows exist. Suppose a worker skips or
+///    aborts plan `p` because `T < bound(p)` *strictly*. Then at that
+///    moment `k` already-collected rows have keys `≤ T < bound(p)`;
+///    those rows are in the final collection and sort strictly before
+///    every row `p` could have produced. So all of `p`'s unproduced rows
+///    would have been truncated anyway — dropping them cannot change the
+///    kept `k`. (Rows `p` emitted *before* a mid-plan abort are kept and
+///    are equally harmless: they also sort after those `k` rows.) The
+///    argument uses only the keys of collected rows, so it holds under
+///    any claim interleaving. `T` only tightens over time, so a stale
+///    read of the published cell prunes less, never wrongly.
+/// 2. **The per-plan `k`-row limit is sound.** A claimed plan emits a
+///    deterministic prefix of its deterministic row sequence, and the
+///    pushed-down limit caps it at `k` rows — one plan can satisfy the
+///    whole answer, so nothing past its first `k` rows can ever be
+///    needed. The cap is per plan, never per pool: a global cut would
+///    make the kept subset depend on thread scheduling.
+/// 3. **Claim-time pruning coincides with the legacy stop rule.** Plans
+///    are claimed in ascending index order, so when plan `p` comes up
+///    for claiming, every collected row came from a plan `< p` and has
+///    key `< bound(p)`. Hence "`T` latched" (k rows exist) implies
+///    "`T < bound(p)`" — the threshold cut fires exactly when the old
+///    `emitted ≥ k` check would have stopped the claiming, and never
+///    before the tracker has seen `k` rows. Single-threaded, a claimed
+///    plan's own rows share its exact bound and the cut is strict, so no
+///    mid-plan abort fires and evaluation is verbatim the legacy one.
+///
+/// By (1) the cuts drop only truncated-anyway rows, by (2) kept plans
+/// emit the same prefixes as before, and by (3) the same plans are
+/// claimed — so the sorted, truncated result is identical with pruning
+/// on or off, for every thread count. What pruning buys is work: plans a
+/// multi-threaded run claimed eagerly are aborted at their next probe
+/// boundary instead of running to completion, and late plans are skipped
+/// with zero probes.
 pub fn topk(
     db: &Arc<Db>,
     catalog: &Arc<RelationCatalog>,
@@ -1327,6 +1589,32 @@ pub fn topk(
     threads: usize,
 ) -> QueryResults {
     topk_result(db, catalog, plans, mode, k, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`topk`] with the threshold-pruning switch exposed (`prune: false`
+/// runs the legacy evaluate-then-truncate path — the A/B baseline for
+/// benches and the CLI's `--no-prune`). Results are identical either
+/// way; [`QueryResults::prune`] reports what the threshold did.
+pub fn topk_opts(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+    prune: bool,
+) -> QueryResults {
+    topk_ctl(
+        db,
+        catalog,
+        plans,
+        mode,
+        k,
+        threads,
+        &ExecCtl::unbounded(),
+        prune,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`topk`] reporting worker-thread panics as [`XkError::WorkerPanic`].
@@ -1341,13 +1629,26 @@ pub(crate) fn topk_result(
     k: usize,
     threads: usize,
 ) -> Result<QueryResults, XkError> {
-    topk_ctl(db, catalog, plans, mode, k, threads, &ExecCtl::unbounded())
+    topk_ctl(
+        db,
+        catalog,
+        plans,
+        mode,
+        k,
+        threads,
+        &ExecCtl::unbounded(),
+        true,
+    )
 }
 
 /// [`topk_result`] under a control block: workers stop claiming plans
 /// once it trips; rows emitted before the trip are kept (each one is a
 /// genuine MTTON), so a deadline yields a degraded partial top-k rather
 /// than nothing.
+///
+/// With `prune` on, the claim check is the threshold cut of the [`topk`]
+/// proof; with it off, the legacy shared `emitted ≥ k` counter stops the
+/// claiming (the per-plan `k`-row limit applies on both paths).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn topk_ctl(
     db: &Arc<Db>,
@@ -1357,13 +1658,21 @@ pub(crate) fn topk_ctl(
     k: usize,
     threads: usize,
     ctl: &ExecCtl,
+    prune: bool,
 ) -> Result<QueryResults, XkError> {
+    if k == 0 {
+        // Workers would stop before claiming anything; skip the pool.
+        return Ok(QueryResults::default());
+    }
+    let tracker = prune.then(|| ThresholdTracker::new(k));
     let emitted = AtomicUsize::new(0);
     let next_plan = AtomicUsize::new(0);
     let threads = threads.max(1);
     let shared = SharedPartialCache::new(mode, threads);
     enum TopkMsg {
         Row(ResultRow),
+        /// A plan skipped at claim time by the threshold (never started).
+        Cut,
         PlanDone(usize, ExecStats, PlanOutcome),
     }
     let (tx, rx) = crossbeam::channel::unbounded::<TopkMsg>();
@@ -1372,13 +1681,16 @@ pub(crate) fn topk_ctl(
         for _ in 0..threads {
             let tx = tx.clone();
             let panic_tx = panic_tx.clone();
-            let (emitted, next_plan, shared) = (&emitted, &next_plan, &shared);
+            let (emitted, next_plan, shared, tracker) = (&emitted, &next_plan, &shared, &tracker);
             let db = db.clone();
             let catalog = catalog.clone();
             scope.spawn(move || {
                 let mut cache = shared;
                 loop {
-                    if emitted.load(Ordering::SeqCst) >= k || ctl.should_stop() {
+                    if ctl.should_stop() {
+                        break;
+                    }
+                    if tracker.is_none() && emitted.load(Ordering::SeqCst) >= k {
                         break;
                     }
                     let pi = next_plan.fetch_add(1, Ordering::SeqCst);
@@ -1386,8 +1698,17 @@ pub(crate) fn topk_ctl(
                         break;
                     }
                     let plan = &plans[pi];
+                    let bound = topk_key(plan.score, pi);
+                    let poll = tracker.as_ref().map(|t| PrunePoll::new(t.cell(), bound));
+                    if poll.is_some_and(|p| p.cut()) {
+                        // Beaten before it started: zero probes spent.
+                        // Keep walking the claim sequence (cheap — one
+                        // atomic and one load per plan) so every plan is
+                        // individually checked and accounted for.
+                        let _ = tx.send(TopkMsg::Cut);
+                        continue;
+                    }
                     let mut stats = ExecStats::default();
-                    let mut local = 0usize;
                     let caught = catch_unwind(AssertUnwindSafe(|| {
                         eval_plan_bounded(
                             &db,
@@ -1398,25 +1719,24 @@ pub(crate) fn topk_ctl(
                             &mut cache,
                             &mut stats,
                             &mut |r| {
-                                local += 1;
-                                emitted.fetch_add(1, Ordering::SeqCst);
-                                let _ = tx.send(TopkMsg::Row(r));
-                                // Cap per plan, never per pool: a global cut
-                                // would make the kept subset depend on
-                                // thread scheduling.
-                                if local >= k {
-                                    ControlFlow::Break(())
+                                if let Some(t) = tracker {
+                                    t.observe(topk_key(r.score, r.plan));
                                 } else {
-                                    ControlFlow::Continue(())
+                                    emitted.fetch_add(1, Ordering::SeqCst);
                                 }
+                                let _ = tx.send(TopkMsg::Row(r));
+                                ControlFlow::Continue(())
                             },
                             &mut NoProbeObs,
                             ctl,
+                            k,
+                            poll,
                         )
                     }));
                     let outcome = match caught {
                         Ok(Ok(_)) => PlanOutcome::Done,
                         Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Pruned)) => PlanOutcome::EarlyStopped,
                         Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
                         Err(payload) => {
                             let _ = panic_tx.send((pi, panic_message(payload)));
@@ -1430,12 +1750,17 @@ pub(crate) fn topk_ctl(
         drop(tx);
         drop(panic_tx);
         let mut out = QueryResults::default();
+        out.prune.enabled = prune;
         let mut started = 0usize;
         for msg in rx {
             match msg {
                 TopkMsg::Row(row) => out.rows.push(row),
+                TopkMsg::Cut => out.prune.plans_pruned += 1,
                 TopkMsg::PlanDone(pi, stats, outcome) => {
                     out.stats.merge(&stats);
+                    if matches!(outcome, PlanOutcome::EarlyStopped) {
+                        out.prune.plans_early_stopped += 1;
+                    }
                     absorb_outcome(&mut out.degradation, pi, outcome);
                     started += 1;
                 }
@@ -1448,6 +1773,11 @@ pub(crate) fn topk_ctl(
                 keywords: Vec::new(),
             });
         }
+        out.prune.plans_claimed = started;
+        out.prune.threshold = tracker
+            .as_ref()
+            .and_then(|t| t.threshold())
+            .map(topk_key_parts);
         out.rows.sort_by(|a, b| {
             (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
         });
@@ -1455,10 +1785,12 @@ pub(crate) fn topk_ctl(
         out.degradation.faults.sort_by_key(|(pi, _)| *pi);
         out.degradation.deadline_exceeded = ctl.timed_out();
         // Top-k legitimately leaves plans unstarted once it has k
-        // results; unstarted plans count as skipped only when the
-        // deadline (not success) stopped the claiming.
+        // results (claims stopped, or the threshold cut them); unstarted
+        // plans count as skipped only when the deadline (not success)
+        // stopped the claiming.
         if ctl.timed_out() {
-            out.degradation.plans_skipped = plans.len().saturating_sub(started);
+            out.degradation.plans_skipped =
+                plans.len().saturating_sub(started + out.prune.plans_pruned);
         }
         Ok(out)
     })
@@ -1724,6 +2056,7 @@ fn all_results_ctl(
         match caught {
             Ok(Ok(())) => {}
             Ok(Err(EvalAbort::Deadline)) => out.degradation.plans_incomplete += 1,
+            Ok(Err(EvalAbort::Pruned)) => unreachable!("no threshold poll on this path"),
             Ok(Err(EvalAbort::Fault(e))) => {
                 out.degradation.plans_incomplete += 1;
                 out.degradation.faults.push((pi, e));
@@ -1803,6 +2136,9 @@ pub(crate) fn all_results_mt_ctl(
                     let outcome = match caught {
                         Ok(Ok(())) => PlanOutcome::Done,
                         Ok(Err(EvalAbort::Deadline)) => PlanOutcome::Incomplete,
+                        Ok(Err(EvalAbort::Pruned)) => {
+                            unreachable!("no threshold poll on this path")
+                        }
                         Ok(Err(EvalAbort::Fault(e))) => PlanOutcome::Fault(e),
                         Err(payload) => {
                             let _ = panic_tx.send((pi, panic_message(payload)));
@@ -2028,6 +2364,25 @@ pub fn try_topk_within(
     threads: usize,
     deadline: Option<Duration>,
 ) -> Result<QueryResults, XkError> {
+    try_topk_within_opts(db, catalog, plans, mode, k, threads, deadline, true)
+}
+
+/// [`try_topk_within`] with the threshold-pruning switch exposed (the
+/// CLI's `--no-prune` reaches this). Results are identical either way.
+///
+/// # Errors
+/// Same as [`try_topk_within`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_topk_within_opts(
+    db: &Arc<Db>,
+    catalog: &Arc<RelationCatalog>,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    k: usize,
+    threads: usize,
+    deadline: Option<Duration>,
+    prune: bool,
+) -> Result<QueryResults, XkError> {
     validate_mode(mode)?;
     validate_plans(catalog, plans)?;
     let ctl = ExecCtl::within(deadline);
@@ -2035,7 +2390,7 @@ pub fn try_topk_within(
     finish_bounded(
         db,
         before,
-        topk_ctl(db, catalog, plans, mode, k, threads, &ctl),
+        topk_ctl(db, catalog, plans, mode, k, threads, &ctl, prune),
     )
 }
 

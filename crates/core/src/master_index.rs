@@ -16,10 +16,14 @@
 //! downstream result byte-identical across formats.
 
 use crate::error::{validate_keywords, XkError, MAX_KEYWORDS};
-use crate::postings::{PostingsFormat, PostingsFormatKind, PostingsIter, PostingsList};
+use crate::postings::{
+    PostingsCursor, PostingsFormat, PostingsFormatKind, PostingsIter, PostingsList,
+};
 use crate::target::{TargetGraph, ToId};
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use xkw_graph::{graph::tokenize, NodeId, SchemaNodeId, XmlGraph};
 
 pub use crate::postings::Posting;
@@ -178,6 +182,24 @@ impl MasterIndex {
         CandidateIndex { map }
     }
 
+    /// A lazy, seek-driven alternative to
+    /// [`MasterIndex::candidate_index`]: requirements are resolved on
+    /// first use by zig-zag membership joins over the query's containing
+    /// lists instead of one eager pass over every posting of every
+    /// keyword. Over the packed format the join's
+    /// [`PostingsCursor`] skips whole blocks whose `max_to` falls short
+    /// of the probe target without decoding them, so plans whose
+    /// requirements touch a small slice of a large list pay for that
+    /// slice only. Results are byte-identical to the eager index in
+    /// either format.
+    pub fn seek_candidates<'a>(&'a self, keywords: &[&str]) -> SeekCandidateIndex<'a> {
+        SeekCandidateIndex {
+            lists: keywords.iter().map(|kw| self.containing_list(kw)).collect(),
+            sets_memo: RefCell::new(HashMap::new()),
+            req_memo: RefCell::new(HashMap::new()),
+        }
+    }
+
     /// Number of indexed keywords.
     pub fn keyword_count(&self) -> usize {
         self.map.len()
@@ -240,6 +262,13 @@ impl<'a> Postings<'a> {
     pub fn to_vec(&self) -> Vec<Posting> {
         self.iter().collect()
     }
+
+    /// A forward-only seeking cursor over the list (empty for unknown
+    /// keywords).
+    pub fn cursor(&self) -> PostingsCursor<'a> {
+        self.0
+            .map_or_else(PostingsCursor::empty, PostingsList::cursor)
+    }
 }
 
 impl<'a> IntoIterator for Postings<'a> {
@@ -266,6 +295,107 @@ impl CandidateIndex {
             .get(&(schema_node, set))
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+}
+
+/// Lazily-resolved candidate target-objects per `(schema_node, exact
+/// keyword set)` requirement, built by [`MasterIndex::seek_candidates`].
+///
+/// Where [`CandidateIndex`] decodes every containing list up front, this
+/// index answers each requirement by a *zig-zag membership join*: it
+/// drives over the smallest containing list of the requested set and,
+/// per driving posting `(to, node)`, seeks every other query list to
+/// that exact position — keywords inside the set must contain it,
+/// keywords outside must not (exactly the exact-set/tuple-set semantics
+/// the eager pass computes). Because the per-keyword
+/// [`PostingsCursor`]s only ever move forward over a sorted driving
+/// sequence, each list is traversed at most once per set, and packed
+/// lists skip non-intersecting blocks without decoding them.
+///
+/// Two memo levels keep repeated plan instantiation cheap: resolved
+/// exact-set memberships are shared across every `(schema_node, set)`
+/// requirement with the same `set`, and resolved requirements are
+/// returned as shared [`Arc`] slices. The index borrows the master
+/// index and holds per-query `RefCell` state — build one per prepared
+/// query, not one per plan, and do not share it across threads.
+#[derive(Debug)]
+pub struct SeekCandidateIndex<'a> {
+    /// One containing list per query keyword, in keyword-bit order.
+    lists: Vec<Postings<'a>>,
+    /// set → `(schema_node, to)` of every node whose exact set is `set`.
+    sets_memo: Memo<u16, Vec<(SchemaNodeId, ToId)>>,
+    /// `(schema_node, set)` → sorted deduplicated candidate tos.
+    req_memo: Memo<(SchemaNodeId, u16), Vec<ToId>>,
+}
+
+/// Interior-mutable per-query memo of shared resolved values.
+type Memo<K, V> = RefCell<HashMap<K, Arc<V>>>;
+
+impl SeekCandidateIndex<'_> {
+    /// The sorted candidate list for a requirement (empty if none) —
+    /// byte-identical to [`CandidateIndex::tos`] for the same query.
+    pub fn tos(&self, schema_node: SchemaNodeId, set: u16) -> Arc<Vec<ToId>> {
+        let key = (schema_node, set);
+        if let Some(hit) = self.req_memo.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let members = self.members_of(set);
+        let mut tos: Vec<ToId> = members
+            .iter()
+            .filter(|(sn, _)| *sn == schema_node)
+            .map(|(_, to)| *to)
+            .collect();
+        tos.sort_unstable();
+        tos.dedup();
+        let resolved = Arc::new(tos);
+        self.req_memo
+            .borrow_mut()
+            .insert(key, Arc::clone(&resolved));
+        resolved
+    }
+
+    /// `(schema_node, to)` of every node whose exact query-keyword set
+    /// equals `set`, memoized.
+    fn members_of(&self, set: u16) -> Arc<Vec<(SchemaNodeId, ToId)>> {
+        if let Some(hit) = self.sets_memo.borrow().get(&set) {
+            return Arc::clone(hit);
+        }
+        let members = Arc::new(self.join_set(set));
+        self.sets_memo
+            .borrow_mut()
+            .insert(set, Arc::clone(&members));
+        members
+    }
+
+    /// The zig-zag membership join for one exact set.
+    fn join_set(&self, set: u16) -> Vec<(SchemaNodeId, ToId)> {
+        if set == 0 || (u32::from(set) >> self.lists.len()) != 0 {
+            return Vec::new();
+        }
+        // Drive over the smallest list inside the set — every node with
+        // exact set `set` appears in all of them.
+        let drive = (0..self.lists.len())
+            .filter(|i| set & (1 << i) != 0)
+            .min_by_key(|&i| self.lists[i].len())
+            .expect("non-zero set has a member list");
+        let mut cursors: Vec<Option<PostingsCursor<'_>>> = self
+            .lists
+            .iter()
+            .enumerate()
+            .map(|(j, l)| (j != drive).then(|| l.cursor()))
+            .collect();
+        let mut out = Vec::new();
+        'postings: for p in self.lists[drive].iter() {
+            for (j, cur) in cursors.iter_mut().enumerate() {
+                let Some(cur) = cur else { continue };
+                let wanted = set & (1 << j) != 0;
+                if cur.contains(p.to, p.node) != wanted {
+                    continue 'postings;
+                }
+            }
+            out.push((p.schema_node, p.to));
+        }
+        out
     }
 }
 
@@ -370,6 +500,50 @@ mod tests {
         let ci = idx.candidate_index(&["vcr"]);
         assert_eq!(ci.tos(pname, 0b1), tos.as_slice());
         assert!(ci.tos(pname, 0b10).is_empty());
+    }
+
+    #[test]
+    fn seek_candidates_agree_with_the_eager_index() {
+        let (g, _, _) = tpch::figure1();
+        let tss = tpch::tss_graph();
+        let tg = TargetGraph::build(&g, &tss).unwrap();
+        for format in [PostingsFormatKind::Raw, PostingsFormatKind::Packed] {
+            let idx = MasterIndex::build_with(&g, &tg, format);
+            for keywords in [
+                vec!["vcr"],
+                vec!["john", "vcr"],
+                vec!["vcr", "dvd"],
+                vec!["john", "vcr", "tv", "zzz-missing"],
+            ] {
+                let eager = idx.candidate_index(&keywords);
+                let lazy = idx.seek_candidates(&keywords);
+                let sets = idx.achievable_sets(&keywords);
+                let all_sns: Vec<SchemaNodeId> = {
+                    let mut v: Vec<SchemaNodeId> = g.node_ids().map(|n| tg.class_of(n)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                for sn in &all_sns {
+                    for set in 0u16..(1 << keywords.len()) {
+                        assert_eq!(
+                            eager.tos(*sn, set),
+                            lazy.tos(*sn, set).as_slice(),
+                            "{format} {keywords:?} sn={sn:?} set={set:#b}"
+                        );
+                    }
+                }
+                // Achievable requirements resolve non-empty somewhere.
+                for (sn, achieved) in &sets {
+                    for set in achieved {
+                        assert!(!lazy.tos(*sn, *set).is_empty());
+                    }
+                }
+                // The requirement memo returns the same shared slice.
+                let probe = *all_sns.first().unwrap();
+                assert!(Arc::ptr_eq(&lazy.tos(probe, 0b1), &lazy.tos(probe, 0b1)));
+            }
+        }
     }
 
     #[test]

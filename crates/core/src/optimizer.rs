@@ -21,7 +21,7 @@
 
 use crate::ctssn::Ctssn;
 use crate::decompose::{all_tilings, Tile};
-use crate::master_index::MasterIndex;
+use crate::master_index::{MasterIndex, SeekCandidateIndex};
 use crate::relations::RelationCatalog;
 use crate::target::ToId;
 use std::collections::HashSet;
@@ -277,7 +277,9 @@ pub fn build_plan_anchored(
 /// The keyword-specific half of planning: candidate sets from the master
 /// index, driver selection, tile ordering + cost over the skeleton's
 /// tilings, and cache-key bookkeeping. Returns `None` when a keyword
-/// role has no candidates.
+/// role has no candidates. Builds a throwaway seek index — the engine's
+/// prepare path uses [`instantiate_with`] so one index serves every
+/// skeleton of a query.
 pub fn instantiate(
     skeleton: &PlanSkeleton,
     catalog: &RelationCatalog,
@@ -285,19 +287,32 @@ pub fn instantiate(
     keywords: &[&str],
     forced_driver: Option<u8>,
 ) -> Option<CtssnPlan> {
+    let index = master.seek_candidates(keywords);
+    instantiate_with(skeleton, catalog, &index, forced_driver)
+}
+
+/// [`instantiate`] against a caller-supplied [`SeekCandidateIndex`].
+/// Requirements are resolved lazily by the index's zig-zag membership
+/// joins and memoized, so instantiating many skeletons of one query
+/// pays for each distinct `(schema_node, set)` requirement once.
+pub fn instantiate_with(
+    skeleton: &PlanSkeleton,
+    catalog: &RelationCatalog,
+    index: &SeekCandidateIndex<'_>,
+    forced_driver: Option<u8>,
+) -> Option<CtssnPlan> {
     let ctssn = &skeleton.ctssn;
     let nroles = ctssn.tree.roles.len();
-    // Candidate sets per role: one exact-sets pass serves every
-    // requirement of every role; sorted lists intersect by galloping.
-    let index = master.candidate_index(keywords);
+    // Candidate sets per role: the seek index serves every requirement
+    // of every role; sorted lists intersect by galloping.
     let mut candidates: Vec<Option<Arc<CandidateSet>>> = vec![None; nroles];
     for (role, reqs) in ctssn.annotated_roles() {
         let mut acc: Option<Vec<ToId>> = None;
         for r in reqs {
             let set = index.tos(r.schema_node, r.set);
             acc = Some(match acc {
-                None => set.to_vec(),
-                Some(prev) => intersect_sorted(&prev, set),
+                None => set.as_ref().clone(),
+                Some(prev) => intersect_sorted(&prev, &set),
             });
         }
         let acc = acc.expect("annotated role has requirements");

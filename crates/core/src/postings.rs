@@ -309,6 +309,112 @@ impl Iterator for PostingsIter<'_> {
     }
 }
 
+/// A forward-only seeking cursor over one containing list — the
+/// skip-driven probe primitive behind the seek-based candidate index.
+/// [`PostingsCursor::advance_to`] jumps to the first posting at or past
+/// a `(to, node)` target; over the packed format whole blocks whose skip
+/// entry (`max_to`) falls short of the target are skipped *without
+/// decoding*, so zig-zag membership joins over K containing lists decode
+/// only the blocks their candidate ranges actually intersect.
+///
+/// Targets must be non-decreasing in `(to, node)` order (the cursor
+/// never rewinds); re-requesting the current target is idempotent. Both
+/// formats yield byte-identical results — the cursor is a pure access
+/// path.
+#[derive(Debug)]
+pub enum PostingsCursor<'a> {
+    /// Binary-search-forward over the raw sorted slice.
+    Raw {
+        /// The not-yet-passed tail of the list.
+        rest: &'a [Posting],
+    },
+    /// Block-skipping cursor over the packed format.
+    Packed {
+        /// The list being decoded.
+        list: &'a PackedPostings,
+        /// Index of the next block to consider decoding.
+        next_block: usize,
+        /// The current decoded block (empty until first advance).
+        buf: Vec<Posting>,
+        /// Cursor into `buf`: first posting not yet passed.
+        pos: usize,
+    },
+}
+
+impl PostingsCursor<'_> {
+    /// A cursor over nothing (the unknown-keyword case).
+    pub fn empty() -> Self {
+        PostingsCursor::Raw { rest: &[] }
+    }
+
+    /// The first posting at or past `(to, node)`, advancing the cursor
+    /// to it. `None` once the list is exhausted below the target.
+    pub fn advance_to(&mut self, to: ToId, node: NodeId) -> Option<Posting> {
+        match self {
+            PostingsCursor::Raw { rest } => {
+                let idx = rest.partition_point(|p| (p.to, p.node) < (to, node));
+                *rest = &rest[idx..];
+                rest.first().copied()
+            }
+            PostingsCursor::Packed {
+                list,
+                next_block,
+                buf,
+                pos,
+            } => loop {
+                if *pos >= buf.len() {
+                    // The skip scan: blocks whose largest target object
+                    // is below `to` cannot contain the target — step
+                    // over their metadata without touching the payload.
+                    while *next_block < list.blocks.len() && list.blocks[*next_block].max_to < to {
+                        *next_block += 1;
+                    }
+                    if *next_block >= list.blocks.len() {
+                        return None;
+                    }
+                    list.decode_block(*next_block, buf);
+                    *next_block += 1;
+                    *pos = 0;
+                }
+                let idx = *pos + buf[*pos..].partition_point(|p| (p.to, p.node) < (to, node));
+                if idx < buf.len() {
+                    *pos = idx;
+                    return Some(buf[idx]);
+                }
+                // Target lies past this block (same `to` can continue
+                // into the next block); drain and re-enter the skip scan.
+                *pos = buf.len();
+            },
+        }
+    }
+
+    /// Whether the list contains a posting for exactly `(to, node)`,
+    /// advancing the cursor to it (or past where it would be).
+    pub fn contains(&mut self, to: ToId, node: NodeId) -> bool {
+        self.advance_to(to, node)
+            .is_some_and(|p| p.to == to && p.node == node)
+    }
+}
+
+impl RawPostings {
+    /// A seeking cursor over this list.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        PostingsCursor::Raw { rest: &self.0 }
+    }
+}
+
+impl PackedPostings {
+    /// A seeking cursor over this list.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        PostingsCursor::Packed {
+            list: self,
+            next_block: 0,
+            buf: Vec::with_capacity(BLOCK_LEN),
+            pos: 0,
+        }
+    }
+}
+
 /// A containing list in whichever format the index was built with.
 #[derive(Debug, Clone)]
 pub enum PostingsList {
@@ -333,6 +439,14 @@ impl PostingsList {
             PostingsFormatKind::Packed => {
                 PostingsList::Packed(PackedPostings::from_sorted(&postings))
             }
+        }
+    }
+
+    /// A seeking cursor over this list, whatever its format.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        match self {
+            PostingsList::Raw(r) => r.cursor(),
+            PostingsList::Packed(p) => p.cursor(),
         }
     }
 }
@@ -521,6 +635,57 @@ mod tests {
                 assert_eq!(got, expect, "{kind} seek({min_to})");
             }
         }
+    }
+
+    #[test]
+    fn cursor_matches_linear_scan_across_formats() {
+        let list = sample(1000);
+        let raw = PostingsList::build(list.clone(), PostingsFormatKind::Raw);
+        let packed = PostingsList::build(list, PostingsFormatKind::Packed);
+        let all: Vec<Posting> = raw.iter().collect();
+        // A monotone, mildly adversarial target walk: every 7th posting,
+        // exact hits, between-posting gaps, repeats, and past-the-end.
+        let mut targets: Vec<(ToId, NodeId)> = Vec::new();
+        for p in all.iter().step_by(7) {
+            targets.push((p.to, p.node));
+            targets.push((p.to, p.node)); // idempotent re-request
+            targets.push((p.to, NodeId(p.node.0.saturating_add(1))));
+            targets.push((p.to + 1, NodeId(0)));
+        }
+        targets.push((u32::MAX, NodeId(u32::MAX)));
+        targets.sort_unstable_by_key(|&(to, node)| (to, node));
+        let mut rc = raw.cursor();
+        let mut pc = packed.cursor();
+        for &(to, node) in &targets {
+            let expect = all.iter().copied().find(|p| (p.to, p.node) >= (to, node));
+            assert_eq!(rc.advance_to(to, node), expect, "raw at ({to}, {node:?})");
+            assert_eq!(
+                pc.advance_to(to, node),
+                expect,
+                "packed at ({to}, {node:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_contains_agrees_with_membership() {
+        let list = sample(400);
+        for kind in [PostingsFormatKind::Raw, PostingsFormatKind::Packed] {
+            let built = PostingsList::build(list.clone(), kind);
+            let all: Vec<Posting> = built.iter().collect();
+            let mut cur = built.cursor();
+            let mut probes: Vec<(ToId, NodeId)> = Vec::new();
+            for p in all.iter().step_by(5) {
+                probes.push((p.to, p.node));
+                probes.push((p.to, NodeId(p.node.0 ^ 1)));
+            }
+            probes.sort_unstable();
+            for &(to, node) in &probes {
+                let real = all.iter().any(|p| p.to == to && p.node == node);
+                assert_eq!(cur.contains(to, node), real, "{kind} ({to}, {node:?})");
+            }
+        }
+        assert!(!PostingsCursor::empty().contains(0, NodeId(0)));
     }
 
     #[test]

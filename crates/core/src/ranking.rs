@@ -22,7 +22,95 @@ use crate::exec::ResultRow;
 use crate::master_index::MasterIndex;
 use crate::optimizer::CtssnPlan;
 use crate::target::TargetGraph;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xkw_graph::EdgeKind;
+
+/// Sentinel published by a [`ThresholdTracker`] before `k` rows have
+/// been observed: larger than every real [`topk_key`], so a threshold
+/// comparison against it never prunes.
+pub const THRESHOLD_UNSET: u64 = u64::MAX;
+
+/// Packs a result's `(score, plan)` pair into one totally-ordered `u64`,
+/// matching the lexicographic `(score, plan, assignment)` order the
+/// top-k executor sorts by — for any two rows from *different* plans,
+/// comparing keys is exactly comparing their final sort positions (the
+/// assignment tiebreak only matters within one plan). Every row a plan
+/// can produce has the same key, so a plan's key doubles as an
+/// *admissible and tight* lower bound on its rows' sort positions.
+pub fn topk_key(score: usize, plan: usize) -> u64 {
+    debug_assert!(score < (1 << 31), "score out of key range");
+    debug_assert!(plan < (1 << 32), "plan index out of key range");
+    ((score as u64) << 32) | plan as u64
+}
+
+/// Splits a [`topk_key`] back into `(score, plan)`.
+pub fn topk_key_parts(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize)
+}
+
+/// The shared top-k threshold: tracks the k-th smallest [`topk_key`]
+/// among all rows observed so far and publishes it through a lock-free
+/// cell once `k` rows exist. Workers poll the cell with one relaxed
+/// load per probe; the heap lock is only taken on row emission (rare
+/// next to probes).
+///
+/// Any published value is a genuine k-th-smallest-so-far at some moment,
+/// and published values only decrease over time — so a stale read is
+/// merely *conservative* (prunes less), never wrong. That is why
+/// `Relaxed` ordering suffices.
+#[derive(Debug)]
+pub struct ThresholdTracker {
+    k: usize,
+    /// Max-heap of the k smallest keys observed so far.
+    heap: Mutex<BinaryHeap<u64>>,
+    /// The published threshold ([`THRESHOLD_UNSET`] until k rows exist).
+    cell: AtomicU64,
+}
+
+impl ThresholdTracker {
+    /// A tracker for a top-`k` query (`k > 0`).
+    pub fn new(k: usize) -> Self {
+        debug_assert!(k > 0, "a top-0 query has nothing to track");
+        ThresholdTracker {
+            k,
+            heap: Mutex::new(BinaryHeap::with_capacity(k + 1)),
+            cell: AtomicU64::new(THRESHOLD_UNSET),
+        }
+    }
+
+    /// Observes one emitted row's key, publishing the new k-th-smallest
+    /// when it changes.
+    pub fn observe(&self, key: u64) {
+        let mut heap = self.heap.lock();
+        if heap.len() < self.k {
+            heap.push(key);
+        } else if heap.peek().is_some_and(|&max| key < max) {
+            heap.pop();
+            heap.push(key);
+        } else {
+            // Not among the k smallest — the threshold is unchanged.
+            return;
+        }
+        if heap.len() == self.k {
+            if let Some(&max) = heap.peek() {
+                self.cell.store(max, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The cell workers poll (holds [`THRESHOLD_UNSET`] until latched).
+    pub fn cell(&self) -> &AtomicU64 {
+        &self.cell
+    }
+
+    /// The latched threshold key, if `k` rows have been observed.
+    pub fn threshold(&self) -> Option<u64> {
+        let v = self.cell.load(Ordering::Relaxed);
+        (v != THRESHOLD_UNSET).then_some(v)
+    }
+}
 
 /// Per-keyword IDF weights over the target-object collection.
 #[derive(Debug, Clone)]
@@ -155,6 +243,36 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn topk_key_orders_like_the_final_sort() {
+        // (score, plan) pairs in lexicographic order map to ascending keys.
+        let pairs = [(0, 0), (0, 1), (1, 0), (1, 7), (2, 3), (6, 0), (6, 1)];
+        let keys: Vec<u64> = pairs.iter().map(|&(s, p)| topk_key(s, p)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        for (&(s, p), &k) in pairs.iter().zip(&keys) {
+            assert_eq!(topk_key_parts(k), (s, p));
+            assert!(k < THRESHOLD_UNSET);
+        }
+    }
+
+    #[test]
+    fn threshold_tracker_latches_the_kth_smallest() {
+        let t = ThresholdTracker::new(2);
+        assert_eq!(t.threshold(), None);
+        t.observe(topk_key(5, 0));
+        assert_eq!(t.threshold(), None, "one row cannot latch a top-2");
+        t.observe(topk_key(7, 1));
+        assert_eq!(t.threshold(), Some(topk_key(7, 1)));
+        // A larger key leaves the threshold alone.
+        t.observe(topk_key(9, 2));
+        assert_eq!(t.threshold(), Some(topk_key(7, 1)));
+        // A smaller key tightens it (monotone non-increasing).
+        t.observe(topk_key(3, 0));
+        assert_eq!(t.threshold(), Some(topk_key(5, 0)));
     }
 
     #[test]

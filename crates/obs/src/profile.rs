@@ -92,6 +92,10 @@ pub struct PlanProfile {
     pub rows_out: u64,
     /// Wall time for the whole plan, nanoseconds.
     pub elapsed_ns: u64,
+    /// Whether the top-k threshold pruned this plan before evaluation —
+    /// the plan shows with its (zero-I/O) bound line instead of measured
+    /// operators, so attributed I/O still sums to the query totals.
+    pub pruned: bool,
     /// The operator tree (driver iteration at the root).
     pub root: OpProfile,
 }
@@ -102,8 +106,15 @@ impl PlanProfile {
         self.root.io_total()
     }
 
-    /// EXPLAIN ANALYZE text rendering of this plan.
+    /// EXPLAIN ANALYZE text rendering of this plan. A pruned plan
+    /// renders as a single `pruned` line carrying its score bound.
     pub fn render(&self) -> String {
+        if self.pruned {
+            return format!(
+                "plan {}: {}  (score={} pruned by top-k threshold, io=0h+0m)\n",
+                self.plan, self.name, self.score,
+            );
+        }
         let (h, m) = self.root.io_breakdown();
         let mut out = format!(
             "plan {}: {}  (score={} rows={} io={}h+{}m time={})\n",
@@ -131,6 +142,7 @@ mod tests {
             score: 3,
             rows_out: 4,
             elapsed_ns: 1_500_000,
+            pruned: false,
             root: OpProfile {
                 label: "drive AUTHOR".into(),
                 invocations: 1,
@@ -170,6 +182,23 @@ mod tests {
         let p = sample();
         assert_eq!(p.io_total(), 2 + 1 + 10 + 4 + 20);
         assert_eq!(p.root.io_breakdown(), (32, 5));
+    }
+
+    #[test]
+    fn pruned_plans_render_the_bound_with_zero_io() {
+        let p = PlanProfile {
+            plan: 5,
+            name: "AUTHOR{k0}-PA-PAPER{k1}".into(),
+            score: 9,
+            pruned: true,
+            ..PlanProfile::default()
+        };
+        let text = p.render();
+        assert!(text.contains("pruned by top-k threshold"), "{text}");
+        assert!(text.contains("score=9"), "{text}");
+        assert!(text.contains("io=0h+0m"), "{text}");
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(p.io_total(), 0);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
-//!              [--threads N] [--pool-shards N] [--postings raw|packed] \
-//!              [--explain] [--stats] [--trace-out FILE] [--deadline-ms N] \
-//!              [--faults SPEC]
+//!              [--k N] [--no-prune] [--threads N] [--pool-shards N] \
+//!              [--postings raw|packed] [--explain] [--stats] \
+//!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
@@ -22,6 +22,15 @@
 //! one-shot `--query` in EXPLAIN ANALYZE mode; `--trace-out FILE`
 //! enables tracing and writes every recorded span as Chrome
 //! `trace_event` JSON (load it in `about:tracing` / Perfetto) on exit.
+//!
+//! `--k N` switches execution to the true top-k path: workers stop
+//! claiming — and abort mid-plan — any plan whose score bound can no
+//! longer beat the current k-th best result, and each plan stops
+//! producing after k rows. The returned rows are byte-identical to
+//! truncating a full evaluation; `--no-prune` disables the threshold
+//! pruning for A/B runs. `k` must be a positive integer (0 or a
+//! non-number is rejected up front, like `--postings`). Interactively,
+//! `:topk N` sets or changes `k` for subsequent queries.
 //!
 //! `--deadline-ms N` bounds each query's evaluation: rows found in time
 //! are returned with a degradation note, and a query that produced
@@ -44,6 +53,11 @@ struct Args {
     query: Option<String>,
     z: usize,
     top: usize,
+    /// Top-k execution with threshold pruning when set; full evaluation
+    /// otherwise.
+    k: Option<usize>,
+    /// Threshold pruning on the top-k path (`--no-prune` clears it).
+    prune: bool,
     threads: usize,
     pool_shards: usize,
     postings: PostingsFormatKind,
@@ -57,6 +71,16 @@ struct Args {
 /// The value following `flag`, or a one-line error.
 fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Strictly parses a top-k count: a positive integer. Zero asks for no
+/// results at all and is rejected like a non-number, matching the
+/// `--postings` convention.
+fn parse_k(v: &str, flag: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(k) if k > 0 => Ok(k),
+        _ => Err(format!("invalid value {v:?} for {flag}")),
+    }
 }
 
 /// Strictly parses a numeric flag value — a malformed number is an
@@ -76,6 +100,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         query: None,
         z: 8,
         top: 10,
+        k: None,
+        prune: true,
         threads: 1,
         pool_shards: 0,
         postings: PostingsFormatKind::from_env(),
@@ -91,6 +117,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--query" => args.query = Some(flag_value(&mut it, "--query")?),
             "--z" => args.z = flag_num(&mut it, "--z")?,
             "--top" => args.top = flag_num(&mut it, "--top")?,
+            "--k" => args.k = Some(parse_k(&flag_value(&mut it, "--k")?, "--k")?),
+            "--no-prune" => args.prune = false,
             "--threads" => args.threads = flag_num(&mut it, "--threads")?,
             "--pool-shards" => args.pool_shards = flag_num(&mut it, "--pool-shards")?,
             "--postings" => args.postings = flag_num(&mut it, "--postings")?,
@@ -111,8 +139,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
-                     [--threads N] [--pool-shards N] [--postings raw|packed] [--explain] \
-                     [--stats] [--trace-out FILE] [--deadline-ms N] [--faults SPEC]"
+                     [--k N] [--no-prune] [--threads N] [--pool-shards N] \
+                     [--postings raw|packed] [--explain] [--stats] [--trace-out FILE] \
+                     [--deadline-ms N] [--faults SPEC]"
                 );
                 std::process::exit(0);
             }
@@ -124,7 +153,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+    let mut args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
         eprintln!("error: {e}; try --help");
         std::process::exit(2);
     });
@@ -186,7 +215,8 @@ fn main() {
     eprintln!(
         "enter keyword queries (one per line; `:stats` engine + pool stats, \
          `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, \
-         `:faults` injected-fault counters, ctrl-D to quit):"
+         `:topk N` top-k execution, `:faults` injected-fault counters, \
+         ctrl-D to quit):"
     );
     for line in std::io::stdin().lock().lines() {
         let Ok(line) = line else { break };
@@ -204,6 +234,16 @@ fn main() {
         }
         if line == ":faults" {
             print_faults(&xk);
+            continue;
+        }
+        if let Some(v) = line.strip_prefix(":topk") {
+            match parse_k(v.trim(), ":topk") {
+                Ok(k) => {
+                    args.k = Some(k);
+                    println!("top-k set to {k}");
+                }
+                Err(e) => println!("error: {e}"),
+            }
             continue;
         }
         if let Some(q) = line.strip_prefix(":explain ") {
@@ -273,6 +313,10 @@ fn print_stats(xk: &XKeyword) {
         s.io_misses
     );
     println!(
+        "  topk: {} plans pruned, {} early-stopped",
+        s.plans_pruned, s.plans_early_stopped
+    );
+    println!(
         "  stage totals: discover {:?} | plan {:?} | exec {:?} | present {:?}",
         s.discover, s.plan, s.exec, s.present
     );
@@ -309,7 +353,12 @@ fn print_stats(xk: &XKeyword) {
 fn run_explain(xk: &XKeyword, query: &str, args: &Args) -> bool {
     let keywords: Vec<&str> = query.split_whitespace().collect();
     let engine = xk.engine();
-    match engine.explain(&keywords, args.z, ExecMode::Cached { capacity: 8192 }) {
+    let mode = ExecMode::Cached { capacity: 8192 };
+    let report = match args.k {
+        Some(k) => engine.explain_topk(&keywords, args.z, k, mode),
+        None => engine.explain(&keywords, args.z, mode),
+    };
+    match report {
         Ok(report) => {
             print!("{}", report.render());
             if args.stats {
@@ -329,12 +378,20 @@ fn run_explain(xk: &XKeyword, query: &str, args: &Args) -> bool {
 fn run_query(xk: &XKeyword, query: &str, args: &Args) -> bool {
     let keywords: Vec<&str> = query.split_whitespace().collect();
     let engine = xk.engine();
-    let out = match engine.query_all_within(
-        &keywords,
-        args.z,
-        ExecMode::Cached { capacity: 8192 },
-        args.deadline,
-    ) {
+    let mode = ExecMode::Cached { capacity: 8192 };
+    let out = match args.k {
+        Some(k) => engine.query_topk_opts(
+            &keywords,
+            args.z,
+            k,
+            mode,
+            args.threads.max(1),
+            args.deadline,
+            args.prune,
+        ),
+        None => engine.query_all_within(&keywords, args.z, mode, args.deadline),
+    };
+    let out = match out {
         Ok(out) => out,
         Err(e) => {
             println!("query error: {e}");
@@ -363,6 +420,20 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) -> bool {
         m.plans,
         res.stats.probes,
     );
+    if let Some(k) = args.k {
+        let pr = &res.prune;
+        println!(
+            "  top-{k}: {} plans claimed, {} pruned, {} early-stopped{}",
+            pr.plans_claimed,
+            pr.plans_pruned,
+            pr.plans_early_stopped,
+            if pr.enabled {
+                ""
+            } else {
+                " (pruning disabled)"
+            }
+        );
+    }
     let deg = &res.degradation;
     if deg.is_degraded() {
         println!(

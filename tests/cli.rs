@@ -21,6 +21,10 @@ fn malformed_numeric_flags_exit_2_with_a_message() {
         ("--pool-shards", ""),
         ("--deadline-ms", "soon"),
         ("--postings", "bogus"),
+        ("--k", "bogus"),
+        ("--k", "0"),
+        ("--k", "-1"),
+        ("--k", "2.5"),
     ] {
         let out = run(&[flag, value]);
         assert_eq!(
@@ -92,6 +96,92 @@ fn healthy_query_exits_0_and_faulted_query_stays_correct() {
         clean_out,
         "transient faults must not alter one-shot output"
     );
+}
+
+/// `--k` result rows with pruning on and off, stripped of the prune
+/// accounting line and the probe count (both legitimately differ: a
+/// mid-plan threshold abort lands between probes, so the probe total
+/// depends on worker interleaving — the byte-identity contract covers
+/// the returned rows, result count, and plan count, not the work done).
+fn topk_result_rows(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with("stages:") && !t.starts_with("top-")
+        })
+        .map(|l| match l.rsplit_once(", ") {
+            Some((head, tail)) if tail.ends_with("probes)") => format!("{head})"),
+            _ => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn topk_pruning_does_not_change_one_shot_output() {
+    for (threads, postings) in [("1", "raw"), ("4", "packed")] {
+        let base = &[
+            "--query",
+            "us vcr",
+            "--k",
+            "3",
+            "--threads",
+            threads,
+            "--postings",
+            postings,
+        ];
+        let pruned = run(base);
+        assert_eq!(pruned.status.code(), Some(0), "{:?}", pruned.status);
+        let pruned_out = topk_result_rows(&pruned);
+        assert!(pruned_out.contains("results ("), "got {pruned_out:?}");
+        let stdout = String::from_utf8_lossy(&pruned.stdout);
+        assert!(stdout.contains("top-3:"), "prune accounting line missing");
+
+        let mut unpruned_args = base.to_vec();
+        unpruned_args.push("--no-prune");
+        let unpruned = run(&unpruned_args);
+        assert_eq!(unpruned.status.code(), Some(0));
+        assert!(
+            String::from_utf8_lossy(&unpruned.stdout).contains("(pruning disabled)"),
+            "--no-prune must be reflected in the accounting line"
+        );
+        assert_eq!(
+            topk_result_rows(&unpruned),
+            pruned_out,
+            "--no-prune must print byte-identical results ({threads} threads, {postings})"
+        );
+    }
+}
+
+#[test]
+fn interactive_topk_rejects_zero_and_non_numbers() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xkeyword-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary must spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b":topk 0\n:topk soon\n:topk 2\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("invalid value \"0\" for :topk"),
+        "got {stdout:?}"
+    );
+    assert!(
+        stdout.contains("invalid value \"soon\" for :topk"),
+        "got {stdout:?}"
+    );
+    assert!(stdout.contains("top-k set to 2"), "got {stdout:?}");
 }
 
 #[test]

@@ -188,3 +188,77 @@ proptest! {
         prop_assert_eq!(sharded.snapshot().logical(), accesses.len() as u64);
     }
 }
+
+/// One shared instance per postings format for the top-k oracle
+/// proptest — loading Figure 1 per case would dominate the run.
+fn shared_figure1(format: PostingsFormatKind) -> &'static XKeyword {
+    static RAW: std::sync::OnceLock<XKeyword> = std::sync::OnceLock::new();
+    static PACKED: std::sync::OnceLock<XKeyword> = std::sync::OnceLock::new();
+    let cell = match format {
+        PostingsFormatKind::Raw => &RAW,
+        PostingsFormatKind::Packed => &PACKED,
+    };
+    cell.get_or_init(|| {
+        let (graph, _, _) = tpch::figure1();
+        XKeyword::load(
+            graph,
+            tpch::tss_graph(),
+            LoadOptions {
+                decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
+                pool_pages: 64,
+                pool_shards: 8,
+                postings_format: format,
+                ..LoadOptions::default()
+            },
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The byte-identity pin of the top-k early-termination work: for
+    /// every query shape, pruned top-k ≡ unpruned top-k ≡ the brute-force
+    /// oracle (full evaluation sorted by `(score, plan, assignment)` and
+    /// truncated to k), at 1/2/8 worker threads, k ∈ {1, 5, 20}, in both
+    /// postings formats. Pruning may only change how much work is *not*
+    /// done — never a returned row.
+    #[test]
+    fn pruned_topk_equals_unpruned_and_brute_force_oracle(qi in 0usize..5) {
+        let queries: [&[&str]; 5] = [
+            &["john", "vcr"],
+            &["us", "vcr"],
+            &["john", "us"],
+            &["tv"],
+            &["vcr", "dvd"],
+        ];
+        let kws = queries[qi];
+        let mode = ExecMode::Cached { capacity: 1024 };
+        for format in [PostingsFormatKind::Raw, PostingsFormatKind::Packed] {
+            let engine = shared_figure1(format).engine();
+            let mut oracle = engine.query_all(kws, 8, mode).unwrap().results.rows;
+            oracle.sort_by(|a, b| {
+                (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment))
+            });
+            for k in [1usize, 5, 20] {
+                let mut want = oracle.clone();
+                want.truncate(k);
+                for threads in [1usize, 2, 8] {
+                    for prune in [true, false] {
+                        let got = engine
+                            .query_topk_opts(kws, 8, k, mode, threads, None, prune)
+                            .unwrap();
+                        prop_assert_eq!(
+                            &got.results.rows,
+                            &want,
+                            "{:?} diverged: {} k={} threads={} prune={}",
+                            kws, format, k, threads, prune
+                        );
+                        prop_assert_eq!(got.results.prune.enabled, prune);
+                    }
+                }
+            }
+        }
+    }
+}
