@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
-//!             [explain] [faults] [topk] [all]
+//!             [explain] [faults] [topk] [slowlog] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -59,6 +59,48 @@ fn main() {
     if want("topk") {
         topk_section();
     }
+    if want("slowlog") {
+        slowlog_section();
+    }
+}
+
+/// Flight-recorder walkthrough: a batch of queries over a mildly slow
+/// store, with the slow threshold tightened so the tail lands in the
+/// slow-query log and picks up its deferred auto-EXPLAIN, plus one
+/// deadline-degraded query for a forced capture (reproduced in
+/// EXPERIMENTS.md §"Slow-query log").
+fn slowlog_section() {
+    use xkw_store::{FaultSpec, FaultTarget};
+    println!("\n== Slow-query log: forced captures with auto-EXPLAIN (XKeyword, DBLP) ==");
+    let data = w::bench_dblp_config();
+    let mut opts = Config::XKeyword.load_options();
+    opts.pool_pages = 64;
+    let d = data.generate();
+    let xk = XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms");
+    let engine = xk.engine();
+    engine.recorder().set_slow_threshold_ns(5_000_000);
+    println!("(5ms slow threshold; 1ms slow pages under a 50ms deadline for the last query)");
+
+    let queries = w::pick_author_queries(&xk, QUERIES, SEED);
+    for (a, b) in &queries {
+        let _ = engine.query_topk(&[a, b], w::Z, 20, w::cached(), 4);
+    }
+    // One deadline-degraded query: pervasive 1ms stalls vs 50ms budget.
+    let (a, b) = &queries[0];
+    xk.db
+        .install_faults(FaultSpec::new(0xA5A5).slow(FaultTarget::All, 1.0, 1_000_000));
+    let _ = engine.query_all_within(&[a, b], w::Z, w::cached(), Some(Duration::from_millis(50)));
+    xk.db.faults().clear();
+
+    // Reading the log triggers the deferred EXPLAIN captures.
+    print!("{}", engine.slow_log(10));
+    print!("{}", engine.recorder().dashboard());
+    let slow = engine.recorder().slow_records(10);
+    println!(
+        "({} of {} records are forced captures; JSONL export via `--query-log` or export_query_log)",
+        slow.len(),
+        engine.recorder().len()
+    );
 }
 
 /// Top-k early termination: per-k work and latency with the threshold

@@ -37,6 +37,7 @@ use crate::error::{validate_keywords, XkError};
 use crate::exec::{self, ExecMode, QueryResults};
 use crate::master_index::MasterIndex;
 use crate::optimizer::{build_skeleton, instantiate_with, CtssnPlan, PlanSkeleton};
+use crate::postings::PostingsFormatKind;
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::TargetGraph;
@@ -45,8 +46,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xkw_graph::TssGraph;
-use xkw_obs::{OpProfile, PlanProfile};
-use xkw_store::{Db, LruCache};
+use xkw_obs::{
+    DegradationSummary, ExplainCapture, FlightRecorder, OpProfile, PlanProfile, QueryRecord,
+    RecordedMode,
+};
+use xkw_store::{Db, LruCache, StoreError};
 
 /// Default capacity of the plan cache, in distinct query shapes.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
@@ -179,6 +183,18 @@ pub struct QueryEngine {
     /// Worker threads for full-evaluation queries (`query_all` /
     /// `query_all_hash`); `query_topk` takes its thread count per call.
     exec_threads: AtomicUsize,
+    /// The always-on flight recorder (see `xkw_obs::recorder`).
+    recorder: Arc<FlightRecorder>,
+}
+
+/// Per-entry-point context [`QueryEngine::run`] needs to build a flight
+/// record: which path ran, its k, deadline, and prune setting.
+#[derive(Debug, Clone, Copy)]
+struct RunInfo {
+    path: &'static str,
+    k: Option<usize>,
+    deadline: Option<Duration>,
+    prune: bool,
 }
 
 impl QueryEngine {
@@ -220,7 +236,14 @@ impl QueryEngine {
             plan_cache: Mutex::new(LruCache::new(capacity)),
             stats: Mutex::new(EngineStats::default()),
             exec_threads: AtomicUsize::new(1),
+            recorder: Arc::new(FlightRecorder::default()),
         }
+    }
+
+    /// The engine's flight recorder: per-query records, the slow-query
+    /// log, and the windowed serving metrics. Always on by default.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Sets the worker-thread count used by `query_all`/`query_all_hash`
@@ -365,7 +388,13 @@ impl QueryEngine {
         mode: ExecMode,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, XkError> {
-        self.run(keywords, z, mode, |prepared| {
+        let info = RunInfo {
+            path: "all",
+            k: None,
+            deadline,
+            prune: false,
+        };
+        self.run(keywords, z, mode, info, |prepared| {
             exec::try_all_plans_mt_within(
                 &self.db,
                 &self.catalog,
@@ -436,7 +465,13 @@ impl QueryEngine {
         deadline: Option<Duration>,
         prune: bool,
     ) -> Result<QueryOutcome, XkError> {
-        self.run(keywords, z, mode, |prepared| {
+        let info = RunInfo {
+            path: "topk",
+            k: Some(k),
+            deadline,
+            prune,
+        };
+        self.run(keywords, z, mode, info, |prepared| {
             exec::try_topk_within_opts(
                 &self.db,
                 &self.catalog,
@@ -473,7 +508,13 @@ impl QueryEngine {
         z: usize,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, XkError> {
-        self.run(keywords, z, ExecMode::Naive, |prepared| {
+        let info = RunInfo {
+            path: "hash",
+            k: None,
+            deadline,
+            prune: false,
+        };
+        self.run(keywords, z, ExecMode::Naive, info, |prepared| {
             exec::try_all_results_mt_within(
                 &self.db,
                 &self.catalog,
@@ -485,15 +526,18 @@ impl QueryEngine {
     }
 
     /// Shared prepare → execute → present skeleton of the `query_*`
-    /// methods.
+    /// methods. Every completion — success, degraded, or execute-stage
+    /// error — appends one flight record.
     fn run(
         &self,
         keywords: &[&str],
         z: usize,
         mode: ExecMode,
+        info: RunInfo,
         execute: impl FnOnce(&Prepared) -> Result<QueryResults, XkError>,
     ) -> Result<QueryOutcome, XkError> {
-        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z);
+        let start = Instant::now();
+        let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
         let prepared = self.prepare(keywords, z)?;
 
@@ -501,9 +545,20 @@ impl QueryEngine {
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len());
         // Worker-panic errors get the keyword set attached here: the
         // executor sees plans, only the engine knows the query.
-        let results = execute(&prepared)
-            .map_err(|e| e.with_keywords(keywords))
-            .inspect_err(|_| self.count_error())?;
+        let results = match execute(&prepared) {
+            Ok(r) => r,
+            Err(e) => {
+                let e = e.with_keywords(keywords);
+                self.count_error();
+                drop(exec_span);
+                let exec_time = t.elapsed();
+                // Close the query span before recording so a drained
+                // span tree includes it.
+                drop(query_span);
+                self.record_failure(keywords, z, mode, info, &prepared, exec_time, start, &e);
+                return Err(e);
+            }
+        };
         drop(exec_span);
         let exec_time = t.elapsed();
 
@@ -529,11 +584,237 @@ impl QueryEngine {
         };
         self.stats.lock().absorb(&metrics);
         publish_query_metrics(&metrics, &results);
+        drop(query_span);
+        self.record_query(
+            keywords,
+            z,
+            mode,
+            info,
+            &metrics,
+            &results,
+            start.elapsed(),
+            None,
+        );
         Ok(QueryOutcome {
             results,
             mttons,
             metrics,
         })
+    }
+
+    /// Builds and appends one flight record. Called after the query span
+    /// closed, so a sampled record can drain the complete span tree.
+    /// Skipped entirely (one atomic load) while the recorder is off.
+    #[allow(clippy::too_many_arguments)]
+    fn record_query(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+        info: RunInfo,
+        metrics: &QueryMetrics,
+        results: &QueryResults,
+        total: Duration,
+        explain: Option<ExplainCapture>,
+    ) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let id = self.recorder.next_id();
+        let total_ns = total.as_nanos() as u64;
+        let degradation = summarize_degradation(&results.degradation);
+        let slow = total_ns >= self.recorder.slow_threshold_ns();
+        let degraded = degradation
+            .as_ref()
+            .is_some_and(|d| d.is_degraded() || d.corrupt);
+        let forced = slow || degraded;
+        let sampled = forced || self.recorder.should_sample(id);
+        // Only sampled records keep spans — this replaces a
+        // grow-forever `take_spans` on the serving path with bounded,
+        // 1-in-N retention.
+        let spans = if sampled && xkw_obs::enabled() {
+            xkw_obs::trace::take_spans()
+        } else {
+            Vec::new()
+        };
+        // Explain-path records carry their capture immediately; forced
+        // serving-path records are flagged for a *deferred* capture,
+        // attached at slow-log read/export time, never while serving.
+        let needs_explain = forced && explain.is_none();
+        self.recorder.push(QueryRecord {
+            id,
+            keywords: keywords.iter().map(|s| (*s).to_owned()).collect(),
+            z,
+            k: info.k,
+            path: info.path,
+            mode: recorded_mode(mode),
+            postings: postings_label(self.master.format()),
+            deadline_ns: info.deadline.map(|d| d.as_nanos() as u64),
+            prune: info.prune,
+            plan_cache_hit: metrics.plan_cache_hit,
+            discover_ns: metrics.discover.as_nanos() as u64,
+            plan_ns: metrics.plan.as_nanos() as u64,
+            exec_ns: metrics.exec.as_nanos() as u64,
+            present_ns: metrics.present.as_nanos() as u64,
+            total_ns,
+            plans: metrics.plans,
+            plans_pruned: metrics.plans_pruned,
+            plans_early_stopped: metrics.plans_early_stopped,
+            rows: results.rows.len(),
+            result_digest: digest_rows(&results.rows),
+            io_hits: metrics.io_hits,
+            io_misses: metrics.io_misses,
+            degradation,
+            error: None,
+            slow,
+            forced,
+            sampled,
+            spans,
+            explain,
+            explain_error: None,
+            needs_explain,
+        });
+    }
+
+    /// Records a query whose execute stage failed. Errors are always
+    /// force-captured but never request a deferred EXPLAIN — re-running
+    /// a failing query would just fail again.
+    #[allow(clippy::too_many_arguments)]
+    fn record_failure(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        mode: ExecMode,
+        info: RunInfo,
+        prepared: &Prepared,
+        exec_time: Duration,
+        start: Instant,
+        error: &XkError,
+    ) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let id = self.recorder.next_id();
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let slow = total_ns >= self.recorder.slow_threshold_ns();
+        let spans = if xkw_obs::enabled() {
+            xkw_obs::trace::take_spans()
+        } else {
+            Vec::new()
+        };
+        self.recorder.push(QueryRecord {
+            id,
+            keywords: keywords.iter().map(|s| (*s).to_owned()).collect(),
+            z,
+            k: info.k,
+            path: info.path,
+            mode: recorded_mode(mode),
+            postings: postings_label(self.master.format()),
+            deadline_ns: info.deadline.map(|d| d.as_nanos() as u64),
+            prune: info.prune,
+            plan_cache_hit: prepared.plan_cache_hit,
+            discover_ns: prepared.discover.as_nanos() as u64,
+            plan_ns: prepared.plan.as_nanos() as u64,
+            exec_ns: exec_time.as_nanos() as u64,
+            present_ns: 0,
+            total_ns,
+            plans: prepared.plans.len(),
+            plans_pruned: 0,
+            plans_early_stopped: 0,
+            rows: 0,
+            result_digest: digest_rows(&[]),
+            io_hits: 0,
+            io_misses: 0,
+            degradation: None,
+            error: Some(error.to_string()),
+            slow,
+            forced: true,
+            sampled: true,
+            spans,
+            explain: None,
+            explain_error: None,
+            needs_explain: false,
+        });
+    }
+
+    /// Runs every deferred EXPLAIN capture the recorder has queued
+    /// (records force-captured as slow, degraded, or corrupt). Each
+    /// capture re-runs the recorded query single-threaded with probes
+    /// attached — honoring the original deadline, so a query that
+    /// degraded under a deadline cannot stall its capture either — and
+    /// attaches an [`ExplainCapture`] whose per-operator I/O decomposes
+    /// the capture run's own totals exactly. This runs on the *read*
+    /// path (slow-log render, JSONL export), never while serving, and
+    /// bypasses engine stats, published metrics and recording, so a
+    /// capture is invisible to every counter. Returns the number of
+    /// captures attached.
+    pub fn capture_pending_explains(&self) -> usize {
+        let mut captured = 0;
+        for p in self.recorder.pending_explains() {
+            let keywords: Vec<&str> = p.keywords.iter().map(String::as_str).collect();
+            let deadline = p.deadline_ns.map(Duration::from_nanos);
+            match self.capture_explain(&keywords, p.z, p.k, exec_mode_of(p.mode), deadline) {
+                Ok(capture) => {
+                    if self.recorder.attach_explain(p.id, capture) {
+                        captured += 1;
+                    }
+                }
+                Err(e) => {
+                    self.recorder.explain_failed(p.id, e.to_string());
+                }
+            }
+        }
+        captured
+    }
+
+    /// One deferred capture: prepare + profiled evaluation, with no
+    /// stats absorption, metric publication, or record push.
+    fn capture_explain(
+        &self,
+        keywords: &[&str],
+        z: usize,
+        k: Option<usize>,
+        mode: ExecMode,
+        deadline: Option<Duration>,
+    ) -> Result<ExplainCapture, XkError> {
+        exec::validate_mode(mode)?;
+        let prepared = self.prepare(keywords, z)?;
+        exec::validate_plans(&self.catalog, &prepared.plans)?;
+        let (results, raw) = match k {
+            Some(k) => exec::profile_plans_topk(
+                &self.db,
+                &self.catalog,
+                &prepared.plans,
+                mode,
+                k,
+                deadline,
+            ),
+            None => {
+                exec::profile_plans_within(&self.db, &self.catalog, &prepared.plans, mode, deadline)
+            }
+        };
+        Ok(ExplainCapture {
+            io_hits: results.stats.io_hits,
+            io_misses: results.stats.io_misses,
+            profiles: raw
+                .iter()
+                .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+                .collect(),
+        })
+    }
+
+    /// The rendered slow-query log: the last `n` force-captured queries
+    /// as an aligned table, deferred EXPLAIN captures attached first.
+    pub fn slow_log(&self, n: usize) -> String {
+        self.capture_pending_explains();
+        self.recorder.render_slow_table(n)
+    }
+
+    /// JSON-lines export of every retained flight record, deferred
+    /// EXPLAIN captures attached first. One JSON object per line.
+    pub fn export_query_log(&self) -> String {
+        self.capture_pending_explains();
+        self.recorder.export_jsonl()
     }
 
     /// EXPLAIN ANALYZE: prepares the query as usual, then evaluates every
@@ -551,7 +832,8 @@ impl QueryEngine {
         z: usize,
         mode: ExecMode,
     ) -> Result<ExplainReport, XkError> {
-        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
+        let start = Instant::now();
+        let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
         let prepared = self.prepare(keywords, z)?;
         exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
@@ -584,10 +866,31 @@ impl QueryEngine {
         };
         self.stats.lock().absorb(&metrics);
         publish_query_metrics(&metrics, &results);
-        let profiles = raw
+        let profiles: Vec<PlanProfile> = raw
             .iter()
             .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
             .collect();
+        drop(query_span);
+        let info = RunInfo {
+            path: "explain",
+            k: None,
+            deadline: None,
+            prune: false,
+        };
+        self.record_query(
+            keywords,
+            z,
+            mode,
+            info,
+            &metrics,
+            &results,
+            start.elapsed(),
+            Some(ExplainCapture {
+                io_hits: metrics.io_hits,
+                io_misses: metrics.io_misses,
+                profiles: profiles.clone(),
+            }),
+        );
         Ok(ExplainReport {
             outcome: QueryOutcome {
                 results,
@@ -613,7 +916,8 @@ impl QueryEngine {
         k: usize,
         mode: ExecMode,
     ) -> Result<ExplainReport, XkError> {
-        let _query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
+        let start = Instant::now();
+        let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
         let prepared = self.prepare(keywords, z)?;
         exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
@@ -621,7 +925,7 @@ impl QueryEngine {
         let t = Instant::now();
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len(), explain = true);
         let (results, raw) =
-            exec::profile_plans_topk(&self.db, &self.catalog, &prepared.plans, mode, k);
+            exec::profile_plans_topk(&self.db, &self.catalog, &prepared.plans, mode, k, None);
         drop(exec_span);
         let exec_time = t.elapsed();
 
@@ -647,10 +951,31 @@ impl QueryEngine {
         };
         self.stats.lock().absorb(&metrics);
         publish_query_metrics(&metrics, &results);
-        let profiles = raw
+        let profiles: Vec<PlanProfile> = raw
             .iter()
             .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
             .collect();
+        drop(query_span);
+        let info = RunInfo {
+            path: "explain",
+            k: Some(k),
+            deadline: None,
+            prune: true,
+        };
+        self.record_query(
+            keywords,
+            z,
+            mode,
+            info,
+            &metrics,
+            &results,
+            start.elapsed(),
+            Some(ExplainCapture {
+                io_hits: metrics.io_hits,
+                io_misses: metrics.io_misses,
+                profiles: profiles.clone(),
+            }),
+        );
         Ok(ExplainReport {
             outcome: QueryOutcome {
                 results,
@@ -700,6 +1025,7 @@ impl QueryEngine {
             rows_out: raw.rows_out,
             elapsed_ns: raw.elapsed_ns,
             pruned: raw.pruned,
+            skipped: raw.skipped,
             root: OpProfile {
                 label: format!(
                     "drive {} ({} candidate target objects)",
@@ -770,6 +1096,77 @@ impl ExplainReport {
         );
         out
     }
+}
+
+/// [`ExecMode`] → the obs-layer [`RecordedMode`] (obs sits below core in
+/// the dependency stack, so it mirrors the enum instead of using it).
+fn recorded_mode(mode: ExecMode) -> RecordedMode {
+    match mode {
+        ExecMode::Naive => RecordedMode::Naive,
+        ExecMode::Cached { capacity } => RecordedMode::Cached { capacity },
+    }
+}
+
+/// [`RecordedMode`] → [`ExecMode`], for deferred EXPLAIN re-runs.
+fn exec_mode_of(mode: RecordedMode) -> ExecMode {
+    match mode {
+        RecordedMode::Naive => ExecMode::Naive,
+        RecordedMode::Cached { capacity } => ExecMode::Cached { capacity },
+    }
+}
+
+/// Static label for the postings format backing the master index.
+fn postings_label(kind: PostingsFormatKind) -> &'static str {
+    match kind {
+        PostingsFormatKind::Raw => "raw",
+        PostingsFormatKind::Packed => "packed",
+    }
+}
+
+/// Flattens the executor's degradation report into the obs-layer
+/// summary: faults render to strings, corruption is classified from the
+/// store error. `None` when the query ran clean (no retries either).
+fn summarize_degradation(d: &exec::Degradation) -> Option<DegradationSummary> {
+    if !d.is_degraded() && d.retries == 0 {
+        return None;
+    }
+    Some(DegradationSummary {
+        deadline_exceeded: d.deadline_exceeded,
+        plans_skipped: d.plans_skipped,
+        plans_incomplete: d.plans_incomplete,
+        corrupt: d
+            .faults
+            .iter()
+            .any(|(_, e)| matches!(e, StoreError::CorruptPage { .. })),
+        faults: d
+            .faults
+            .iter()
+            .map(|(i, e)| format!("plan {i}: {e}"))
+            .collect(),
+        retries: d.retries,
+    })
+}
+
+/// FNV-1a over the result rows' (plan, assignment, score) — the
+/// byte-identity fingerprint two runs of the same query can be compared
+/// by without retaining the rows themselves.
+fn digest_rows(rows: &[exec::ResultRow]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in rows {
+        eat(&mut h, r.plan as u64);
+        eat(&mut h, r.score as u64);
+        eat(&mut h, r.assignment.len() as u64);
+        for &a in &r.assignment {
+            eat(&mut h, u64::from(a));
+        }
+    }
+    h
 }
 
 /// Feeds one query's metrics into the global `xkw-obs` registry. A no-op

@@ -1221,6 +1221,11 @@ pub struct PlanExecProfile {
     /// probes and no I/O, so the accounting invariant above still sums
     /// plan I/O to the query total exactly.
     pub pruned: bool,
+    /// Whether a query deadline expired before this plan started
+    /// ([`profile_plans_within`] only). Like `pruned`, a skipped plan
+    /// spent no probes and no I/O, keeping the decomposition exact for
+    /// degraded captures.
+    pub skipped: bool,
 }
 
 /// Profiled [`all_plans`]: evaluates every plan single-threaded with a
@@ -1269,9 +1274,95 @@ pub fn profile_plans(
             stats,
             steps: obs.steps,
             pruned: false,
+            skipped: false,
         });
         out.stats.merge(&stats);
     }
+    (out, profiles)
+}
+
+/// Profiled [`all_plans`] under an optional query deadline: the EXPLAIN
+/// ANALYZE view the slow-query log attaches to deadline-degraded
+/// queries. Evaluated plans run with a [`StepProbeObs`] attached exactly
+/// as in [`profile_plans`]; once the deadline expires, every remaining
+/// plan gets a zero-I/O profile with `skipped: true` instead of being
+/// evaluated, and an abort mid-plan keeps the rows and probes measured
+/// so far (counted as incomplete). Attributed I/O therefore still
+/// decomposes the capture's query totals exactly, degraded or not.
+pub fn profile_plans_within(
+    db: &Db,
+    catalog: &RelationCatalog,
+    plans: &[CtssnPlan],
+    mode: ExecMode,
+    deadline: Option<Duration>,
+) -> (QueryResults, Vec<PlanExecProfile>) {
+    let mut cache = new_cache(mode);
+    let mut out = QueryResults::default();
+    let mut profiles = Vec::with_capacity(plans.len());
+    let ctl = ExecCtl::within(deadline);
+    let faults_before = db.faults().snapshot();
+    for (i, p) in plans.iter().enumerate() {
+        let drivers = p.candidates[p.driver as usize]
+            .as_ref()
+            .map_or(0, |c| c.len() as u64);
+        if ctl.should_stop() {
+            out.degradation.plans_skipped += 1;
+            profiles.push(PlanExecProfile {
+                plan: i,
+                score: p.score,
+                drivers,
+                skipped: true,
+                steps: vec![StepProbe::default(); p.tiles.len()],
+                ..PlanExecProfile::default()
+            });
+            continue;
+        }
+        let mut stats = ExecStats::default();
+        let mut obs = StepProbeObs::for_steps(p.tiles.len());
+        let rows_before = out.rows.len();
+        let t0 = Instant::now();
+        let aborted = eval_plan_bounded(
+            db,
+            catalog,
+            i,
+            p,
+            mode,
+            &mut cache,
+            &mut stats,
+            &mut |r| {
+                out.rows.push(r);
+                ControlFlow::Continue(())
+            },
+            &mut obs,
+            &ctl,
+            usize::MAX,
+            None,
+        );
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        match aborted {
+            Ok(_) => {}
+            Err(EvalAbort::Deadline) => out.degradation.plans_incomplete += 1,
+            Err(EvalAbort::Pruned) => unreachable!("no threshold poll on this path"),
+            Err(EvalAbort::Fault(e)) => {
+                out.degradation.plans_incomplete += 1;
+                out.degradation.faults.push((i, e));
+            }
+        }
+        profiles.push(PlanExecProfile {
+            plan: i,
+            score: p.score,
+            drivers,
+            rows_out: (out.rows.len() - rows_before) as u64,
+            elapsed_ns,
+            stats,
+            steps: obs.steps,
+            pruned: false,
+            skipped: false,
+        });
+        out.stats.merge(&stats);
+    }
+    out.degradation.deadline_exceeded = ctl.timed_out();
+    out.degradation.retries = db.faults().snapshot().since(faults_before).retries;
     (out, profiles)
 }
 
@@ -1284,12 +1375,19 @@ pub fn profile_plans(
 /// Evaluated plans run under the pushed-down `k`-row limit. The returned
 /// rows are the standard top-k set: sorted by `(score, plan,
 /// assignment)` and truncated to `k`.
+///
+/// An optional `deadline` bounds the capture the same way it bounds a
+/// live query (the slow-query log re-runs degraded top-k queries through
+/// here): plans not started in time get zero-I/O `skipped` profiles, a
+/// plan aborted mid-evaluation keeps what it measured, and the
+/// degradation report is filled — so the capture itself cannot stall.
 pub fn profile_plans_topk(
     db: &Db,
     catalog: &RelationCatalog,
     plans: &[CtssnPlan],
     mode: ExecMode,
     k: usize,
+    deadline: Option<Duration>,
 ) -> (QueryResults, Vec<PlanExecProfile>) {
     let mut cache = new_cache(mode);
     let mut out = QueryResults {
@@ -1304,12 +1402,25 @@ pub fn profile_plans_topk(
         return (out, profiles);
     }
     let tracker = ThresholdTracker::new(k);
-    let ctl = ExecCtl::unbounded();
+    let ctl = ExecCtl::within(deadline);
+    let faults_before = db.faults().snapshot();
     for (i, p) in plans.iter().enumerate() {
         let bound = topk_key(p.score, i);
         let drivers = p.candidates[p.driver as usize]
             .as_ref()
             .map_or(0, |c| c.len() as u64);
+        if ctl.should_stop() {
+            out.degradation.plans_skipped += 1;
+            profiles.push(PlanExecProfile {
+                plan: i,
+                score: p.score,
+                drivers,
+                skipped: true,
+                steps: vec![StepProbe::default(); p.tiles.len()],
+                ..PlanExecProfile::default()
+            });
+            continue;
+        }
         if PrunePoll::new(tracker.cell(), bound).cut() {
             out.prune.plans_pruned += 1;
             profiles.push(PlanExecProfile {
@@ -1328,9 +1439,9 @@ pub fn profile_plans_topk(
         let rows_before = out.rows.len();
         let t0 = Instant::now();
         // Sequential evaluation never trips its own threshold poll (a
-        // plan's rows share its exact bound, and the cut is strict), so
-        // no mid-plan abort can occur here — `unwrap_abort` is safe.
-        let _ = unwrap_abort(eval_plan_bounded(
+        // plan's rows share its exact bound, and the cut is strict) —
+        // only the deadline or a store fault can abort mid-plan.
+        let aborted = eval_plan_bounded(
             db,
             catalog,
             i,
@@ -1347,8 +1458,17 @@ pub fn profile_plans_topk(
             &ctl,
             k,
             Some(PrunePoll::new(tracker.cell(), bound)),
-        ));
+        );
         let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        match aborted {
+            Ok(_) => {}
+            Err(EvalAbort::Deadline) => out.degradation.plans_incomplete += 1,
+            Err(EvalAbort::Pruned) => unreachable!("sequential poll shares the plan's bound"),
+            Err(EvalAbort::Fault(e)) => {
+                out.degradation.plans_incomplete += 1;
+                out.degradation.faults.push((i, e));
+            }
+        }
         profiles.push(PlanExecProfile {
             plan: i,
             score: p.score,
@@ -1358,9 +1478,12 @@ pub fn profile_plans_topk(
             stats,
             steps: obs.steps,
             pruned: false,
+            skipped: false,
         });
         out.stats.merge(&stats);
     }
+    out.degradation.deadline_exceeded = ctl.timed_out();
+    out.degradation.retries = db.faults().snapshot().since(faults_before).retries;
     out.prune.threshold = tracker.threshold().map(topk_key_parts);
     out.rows
         .sort_by(|a, b| (a.score, a.plan, &a.assignment).cmp(&(b.score, b.plan, &b.assignment)));

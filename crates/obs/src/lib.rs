@@ -15,23 +15,36 @@
 //!   serde-free JSON dump.
 //! * [`profile`] — the per-operator tree (`rows in/out`, probe counts,
 //!   attributed buffer-pool I/O) an EXPLAIN ANALYZE run reports.
+//! * [`recorder`] — the always-on flight recorder: a bounded ring of
+//!   per-query records with deterministic head sampling, a slow-query
+//!   log with lazily attached EXPLAIN captures, and the [`window`]ed
+//!   qps/latency/degradation instruments behind the `:top` dashboard.
 //!
-//! The whole subsystem is gated on one global [`AtomicBool`]: when
+//! The span/metric layer is gated on one global [`AtomicBool`]: when
 //! disabled (the default), `span!` compiles down to a relaxed atomic
 //! load and a branch — field values are never even constructed — and
 //! instrumented callers skip their metric pushes. The `obs_overhead`
 //! bench in `xkw-bench` asserts the disabled-mode cost stays under the
-//! 2% overhead budget on the fig15a workload.
+//! 2% overhead budget on the fig15a workload. The flight recorder is
+//! the opposite: on by default, with the `recorder_overhead` bench
+//! gating its always-on cost under 5%.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod trace;
+pub mod window;
 
 pub use metrics::{global, Registry};
 pub use profile::{OpProfile, PlanProfile};
+pub use recorder::{
+    DegradationSummary, ExplainCapture, FlightRecorder, PendingExplain, QueryRecord, RecordedMode,
+    RecorderConfig,
+};
 pub use trace::{SpanGuard, SpanRecord};
+pub use window::{WindowedCounter, WindowedHistogram};
 
 /// The master switch. Off by default; nothing is collected while off.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -67,12 +67,12 @@ impl Gauge {
 }
 
 /// Index of the log2 bucket covering `v`.
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
 }
 
 /// Inclusive upper bound reported for bucket `i` (`2^(i+1) - 1`).
-fn bucket_bound(i: usize) -> u64 {
+pub(crate) fn bucket_bound(i: usize) -> u64 {
     if i >= 63 {
         u64::MAX
     } else {
@@ -196,6 +196,7 @@ struct Instruments {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
+    help: BTreeMap<String, String>,
 }
 
 /// A namespace of instruments. Lookup/creation takes a mutex; callers
@@ -236,22 +237,45 @@ impl Registry {
         *inner = Instruments::default();
     }
 
-    /// Prometheus text exposition format. Histogram values are emitted
-    /// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`;
-    /// only non-empty buckets below the final `+Inf` are listed.
+    /// Registers `# HELP` text for the metric family `base` (the name
+    /// without any inline label part). Unregistered families fall back
+    /// to a generated one-liner so every family still carries HELP.
+    pub fn set_help(&self, base: &str, help: &str) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.help.insert(base.to_owned(), help.to_owned());
+    }
+
+    /// Prometheus text exposition format. Each metric family gets one
+    /// `# HELP` and one `# TYPE` line (labeled series of the same base
+    /// name share them); histogram values are emitted as cumulative
+    /// `_bucket{le="..."}` series plus `_sum`/`_count`; only non-empty
+    /// buckets below the final `+Inf` are listed.
     pub fn render_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("registry poisoned");
         let mut out = String::new();
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut header = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if seen.insert(base.to_owned()) {
+                let help = inner
+                    .help
+                    .get(base)
+                    .map(String::as_str)
+                    .unwrap_or("xkeyword metric");
+                out.push_str(&format!("# HELP {base} {}\n", escape_help(help)));
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+        };
         for (name, c) in &inner.counters {
-            out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
+            header(&mut out, name, "counter");
             out.push_str(&format!("{name} {}\n", c.get()));
         }
         for (name, g) in &inner.gauges {
-            out.push_str(&format!("# TYPE {} gauge\n", base_name(name)));
+            header(&mut out, name, "gauge");
             out.push_str(&format!("{name} {}\n", g.get()));
         }
         for (name, h) in &inner.histograms {
-            out.push_str(&format!("# TYPE {} histogram\n", base_name(name)));
+            header(&mut out, name, "histogram");
             let counts = h.bucket_counts();
             let mut cumulative = 0u64;
             for (i, n) in counts.iter().enumerate() {
@@ -316,6 +340,58 @@ fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
 }
 
+/// Escapes a label value per the Prometheus exposition format:
+/// backslash, double quote, and newline must be backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text: backslash and newline only (quotes are legal).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds an instrument name with inline labels, escaping each value:
+/// `labeled("io", &[("table", "a\"b")])` → `io{table="a\"b"}` (escaped).
+/// Instrument names created this way render correctly in
+/// [`Registry::render_prometheus`] even when values carry `\`, `"`, or
+/// newlines.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_owned();
+    }
+    let mut out = String::from(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// `name` + `suffix`, keeping any inline labels after the suffix:
 /// `pool_hits{shard="3"}` + `_sum` → `pool_hits_sum{shard="3"}`.
 fn suffixed(name: &str, suffix: &str) -> String {
@@ -326,7 +402,10 @@ fn suffixed(name: &str, suffix: &str) -> String {
 }
 
 /// `name` + `suffix` with one more label merged into the label set.
+/// The merged value is escaped; pre-existing inline labels are assumed
+/// to have been escaped at construction (see [`labeled`]).
 fn with_label(name: &str, suffix: &str, key: &str, value: &str) -> String {
+    let value = escape_label_value(value);
     match name.split_once('{') {
         Some((base, labels)) => {
             let labels = labels.trim_end_matches('}');
@@ -429,6 +508,74 @@ mod tests {
         assert!(text.contains("xkw_query_latency_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("xkw_query_latency_ns_sum 3100"));
         assert!(text.contains("xkw_query_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn prometheus_families_share_one_help_and_type_line() {
+        let r = Registry::new();
+        r.set_help("xkw_pool_shard_hits", "per-shard buffer pool hits");
+        r.gauge("xkw_pool_shard_hits{shard=\"0\"}").set(1);
+        r.gauge("xkw_pool_shard_hits{shard=\"1\"}").set(2);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE xkw_pool_shard_hits gauge").count(),
+            1,
+            "labeled series of one family must share a single TYPE line:\n{text}"
+        );
+        assert_eq!(
+            text.matches("# HELP xkw_pool_shard_hits per-shard buffer pool hits")
+                .count(),
+            1,
+            "{text}"
+        );
+        // HELP precedes TYPE precedes the samples, per the exposition format.
+        let help = text.find("# HELP xkw_pool_shard_hits").unwrap();
+        let ty = text.find("# TYPE xkw_pool_shard_hits").unwrap();
+        let sample = text.find("xkw_pool_shard_hits{shard=\"0\"} 1").unwrap();
+        assert!(help < ty && ty < sample, "{text}");
+    }
+
+    #[test]
+    fn every_family_gets_default_help() {
+        let r = Registry::new();
+        r.counter("xkw_queries_total").inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP xkw_queries_total xkeyword metric"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label_value("x\ny"), "x\\ny");
+        assert_eq!(
+            labeled("io", &[("table", "a\"b"), ("kind", "r\\w")]),
+            "io{table=\"a\\\"b\",kind=\"r\\\\w\"}"
+        );
+        assert_eq!(labeled("io", &[]), "io");
+
+        let r = Registry::new();
+        r.counter(&labeled("xkw_evil", &[("path", "c:\\tmp\n\"x\"")]))
+            .inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("xkw_evil{path=\"c:\\\\tmp\\n\\\"x\\\"\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let r = Registry::new();
+        r.set_help("m", "line one\nline two \\ backslash");
+        r.counter("m").inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP m line one\\nline two \\\\ backslash"),
+            "{text}"
+        );
     }
 
     #[test]

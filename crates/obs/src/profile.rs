@@ -96,6 +96,10 @@ pub struct PlanProfile {
     /// the plan shows with its (zero-I/O) bound line instead of measured
     /// operators, so attributed I/O still sums to the query totals.
     pub pruned: bool,
+    /// Whether a query deadline expired before this plan started — like
+    /// `pruned`, the plan renders as one zero-I/O line, keeping the
+    /// attributed-I/O decomposition exact for degraded captures.
+    pub skipped: bool,
     /// The operator tree (driver iteration at the root).
     pub root: OpProfile,
 }
@@ -112,6 +116,12 @@ impl PlanProfile {
         if self.pruned {
             return format!(
                 "plan {}: {}  (score={} pruned by top-k threshold, io=0h+0m)\n",
+                self.plan, self.name, self.score,
+            );
+        }
+        if self.skipped {
+            return format!(
+                "plan {}: {}  (score={} skipped by query deadline, io=0h+0m)\n",
                 self.plan, self.name, self.score,
             );
         }
@@ -143,6 +153,7 @@ mod tests {
             rows_out: 4,
             elapsed_ns: 1_500_000,
             pruned: false,
+            skipped: false,
             root: OpProfile {
                 label: "drive AUTHOR".into(),
                 invocations: 1,
@@ -196,6 +207,22 @@ mod tests {
         let text = p.render();
         assert!(text.contains("pruned by top-k threshold"), "{text}");
         assert!(text.contains("score=9"), "{text}");
+        assert!(text.contains("io=0h+0m"), "{text}");
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(p.io_total(), 0);
+    }
+
+    #[test]
+    fn skipped_plans_render_the_deadline_with_zero_io() {
+        let p = PlanProfile {
+            plan: 7,
+            name: "AUTHOR{k0}-PA-PAPER{k1}".into(),
+            score: 4,
+            skipped: true,
+            ..PlanProfile::default()
+        };
+        let text = p.render();
+        assert!(text.contains("skipped by query deadline"), "{text}");
         assert!(text.contains("io=0h+0m"), "{text}");
         assert_eq!(text.lines().count(), 1);
         assert_eq!(p.io_total(), 0);

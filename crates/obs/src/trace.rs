@@ -135,7 +135,45 @@ macro_rules! span {
 /// Stripe count of the collector; thread ids map onto stripes round-robin.
 const STRIPES: usize = 16;
 
-static COLLECTOR: [Mutex<Vec<SpanRecord>>; STRIPES] = [const { Mutex::new(Vec::new()) }; STRIPES];
+/// Default total span capacity across all stripes. The collector is a
+/// bounded ring: once a stripe fills, new spans overwrite its oldest
+/// undrained span (and [`spans_dropped`] counts the loss), so leaving
+/// tracing enabled without draining costs fixed memory instead of
+/// growing forever.
+pub const DEFAULT_SPAN_CAP: usize = 65_536;
+
+/// A stripe of the collector: spans plus a write cursor used for
+/// ring-overwrite once the stripe is at capacity.
+struct Stripe {
+    spans: Vec<SpanRecord>,
+    cursor: usize,
+}
+
+static COLLECTOR: [Mutex<Stripe>; STRIPES] = [const {
+    Mutex::new(Stripe {
+        spans: Vec::new(),
+        cursor: 0,
+    })
+}; STRIPES];
+
+/// Total span capacity, split evenly across stripes.
+static SPAN_CAP: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(DEFAULT_SPAN_CAP);
+
+/// Spans overwritten before anyone drained them.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Caps total collector memory at `cap` spans (min [`STRIPES`]). Spans
+/// past the cap overwrite the oldest undrained span in their stripe.
+pub fn set_span_cap(cap: usize) {
+    SPAN_CAP.store(cap.max(STRIPES), Ordering::Relaxed);
+}
+
+/// Spans lost to ring-overwrite since the process started (monotonic;
+/// draining does not reset it).
+pub fn spans_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
@@ -208,10 +246,18 @@ impl Drop for SpanGuard {
             dur_ns,
             tid,
         };
-        COLLECTOR[(tid as usize) % STRIPES]
+        let per_stripe = (SPAN_CAP.load(Ordering::Relaxed) / STRIPES).max(1);
+        let mut stripe = COLLECTOR[(tid as usize) % STRIPES]
             .lock()
-            .expect("span stripe poisoned")
-            .push(record);
+            .expect("span stripe poisoned");
+        if stripe.spans.len() < per_stripe {
+            stripe.spans.push(record);
+        } else {
+            let at = stripe.cursor % per_stripe;
+            stripe.spans[at] = record;
+            stripe.cursor = stripe.cursor.wrapping_add(1);
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -241,7 +287,9 @@ pub fn start_span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -
 pub fn take_spans() -> Vec<SpanRecord> {
     let mut all: Vec<SpanRecord> = Vec::new();
     for stripe in &COLLECTOR {
-        all.append(&mut stripe.lock().expect("span stripe poisoned"));
+        let mut stripe = stripe.lock().expect("span stripe poisoned");
+        all.append(&mut stripe.spans);
+        stripe.cursor = 0;
     }
     all.sort_by_key(|s| (s.start_ns, s.id));
     all
@@ -250,20 +298,37 @@ pub fn take_spans() -> Vec<SpanRecord> {
 /// Discards all finished spans.
 pub fn clear_spans() {
     for stripe in &COLLECTOR {
-        stripe.lock().expect("span stripe poisoned").clear();
+        let mut stripe = stripe.lock().expect("span stripe poisoned");
+        stripe.spans.clear();
+        stripe.cursor = 0;
     }
 }
 
-/// Renders spans as a Chrome `trace_event` JSON array of complete
-/// events (`"ph":"X"`, timestamps in microseconds), loadable in
-/// `about:tracing` or Perfetto. Fields become `args`.
+/// Renders spans as a Chrome `trace_event` JSON array, loadable in
+/// `about:tracing` or Perfetto. The array opens with `"ph":"M"`
+/// metadata events — one `process_name` plus a `thread_name` per
+/// distinct tid in the batch, so the viewer labels tracks instead of
+/// showing bare numbers — followed by one complete event (`"ph":"X"`,
+/// timestamps in microseconds) per span. Fields become `args`.
 pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
-    let mut out = String::with_capacity(spans.len() * 96 + 2);
+    let mut out = String::with_capacity(spans.len() * 96 + 128);
     out.push('[');
-    for (i, s) in spans.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
+    out.push_str(
+        "\n  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"xkeyword\"}}",
+    );
+    let tids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+    for tid in &tids {
+        let label = if *tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("worker-{tid}")
+        };
+        out.push_str(&format!(
+            ",\n  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    for s in spans.iter() {
+        out.push(',');
         out.push_str("\n  {\"name\":");
         push_json_str(&mut out, s.name);
         out.push_str(",\"cat\":\"xkw\",\"ph\":\"X\",\"pid\":1,\"tid\":");
@@ -472,6 +537,61 @@ mod tests {
         assert!(json.contains("\"name\":\"t.chrome\""));
         assert!(json.contains("\"rel\":\"R_\\\"q\\\"\""));
         assert!(json.contains("\"n\":3"));
+    }
+
+    #[test]
+    fn chrome_export_opens_with_metadata_events() {
+        let spans = with_tracing(|| {
+            {
+                let _g = crate::span!("t.meta");
+            }
+            take_spans()
+        });
+        let json = chrome_trace_json(&spans);
+        assert!(
+            json.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"xkeyword\"}}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"thread_name\",\"ph\":\"M\""),
+            "{json}"
+        );
+        // Metadata precedes the first complete event.
+        assert!(json.find("\"ph\":\"M\"").unwrap() < json.find("\"ph\":\"X\"").unwrap());
+        // One thread_name per distinct tid in the batch.
+        let tids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+        assert_eq!(json.matches("\"thread_name\"").count(), tids.len());
+    }
+
+    #[test]
+    fn chrome_export_of_empty_batch_still_names_the_process() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("process_name"), "{json}");
+        assert!(!json.contains("thread_name"), "{json}");
+    }
+
+    #[test]
+    fn span_cap_bounds_collector_memory() {
+        let spans = with_tracing(|| {
+            set_span_cap(STRIPES); // 1 span per stripe
+            let before = spans_dropped();
+            for _ in 0..64 {
+                let _g = crate::span!("t.capped");
+            }
+            let spans = take_spans();
+            set_span_cap(DEFAULT_SPAN_CAP);
+            assert!(
+                spans_dropped() > before,
+                "overwrites must be counted as drops"
+            );
+            spans
+        });
+        // All 64 ran on one thread → one stripe → exactly 1 survivor.
+        let survivors = spans.iter().filter(|s| s.name == "t.capped").count();
+        assert_eq!(
+            survivors, 1,
+            "stripe must hold at most its share of the cap"
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Sliding-window metrics: counter and histogram wrappers that report
+//! over the *last N windows* instead of cumulative-since-start.
+//!
+//! The cumulative instruments in [`crate::metrics`] answer "how much
+//! ever"; a serving fleet asks "how much in the last minute". Both
+//! wrappers here keep a ring of epoch buckets: observations land in the
+//! current bucket, and an explicit [`WindowedCounter::tick`] /
+//! [`WindowedHistogram::tick`] rotates the ring — the oldest bucket is
+//! zeroed and becomes current. Nothing in this module reads a clock;
+//! the owner (the flight recorder, a test, a dashboard loop) decides
+//! what a window *is* by deciding when to tick. Per-window rates and
+//! merged p50/p95/p99 then come straight out of the ring.
+//!
+//! Updates are relaxed atomics, same as the cumulative instruments; a
+//! tick that races an observation misplaces it by at most one window,
+//! which is exactly the precision a windowed metric promises anyway.
+
+use crate::metrics::{bucket_bound, bucket_of, HistogramSummary, BUCKETS};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Default ring depth: the last 8 windows are retained.
+pub const DEFAULT_WINDOWS: usize = 8;
+
+/// A counter over a ring of epoch buckets.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    slots: Vec<AtomicU64>,
+    cursor: AtomicUsize,
+    ticks: AtomicU64,
+}
+
+impl WindowedCounter {
+    /// A counter retaining `windows` epoch buckets (at least 1).
+    pub fn new(windows: usize) -> Self {
+        let n = windows.max(1);
+        WindowedCounter {
+            slots: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring depth.
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds `n` to the current window.
+    pub fn add(&self, n: u64) {
+        let c = self.cursor.load(Ordering::Relaxed);
+        self.slots[c].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the current window.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Rotates the ring: the oldest bucket is zeroed and becomes the
+    /// current window.
+    pub fn tick(&self) {
+        let next = (self.cursor.load(Ordering::Relaxed) + 1) % self.slots.len();
+        self.slots[next].store(0, Ordering::Relaxed);
+        self.cursor.store(next, Ordering::Relaxed);
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ticks performed so far (windows completed).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Per-window counts, newest (current) first, up to `n` windows.
+    pub fn per_window(&self, n: usize) -> Vec<u64> {
+        let len = self.slots.len();
+        let c = self.cursor.load(Ordering::Relaxed);
+        (0..n.min(len))
+            .map(|i| self.slots[(c + len - i) % len].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum over the `n` most recent windows (current included).
+    pub fn total_last(&self, n: usize) -> u64 {
+        self.per_window(n).iter().sum()
+    }
+}
+
+/// A log2-bucket histogram over a ring of epoch buckets. Bucket math is
+/// shared with [`crate::metrics::Histogram`]; quantiles read back merged
+/// over the last N windows.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slots: Vec<Slot>,
+    cursor: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl WindowedHistogram {
+    /// A histogram retaining `windows` epoch buckets (at least 1).
+    pub fn new(windows: usize) -> Self {
+        WindowedHistogram {
+            slots: (0..windows.max(1)).map(|_| Slot::new()).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ring depth.
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one observation into the current window.
+    pub fn observe(&self, v: u64) {
+        let s = &self.slots[self.cursor.load(Ordering::Relaxed)];
+        s.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Rotates the ring: the oldest bucket is zeroed and becomes the
+    /// current window.
+    pub fn tick(&self) {
+        let next = (self.cursor.load(Ordering::Relaxed) + 1) % self.slots.len();
+        self.slots[next].reset();
+        self.cursor.store(next, Ordering::Relaxed);
+    }
+
+    /// Count/sum/extremes and p50/p95/p99 merged over the `n` most
+    /// recent windows (current included).
+    pub fn summary_last(&self, n: usize) -> HistogramSummary {
+        let len = self.slots.len();
+        let c = self.cursor.load(Ordering::Relaxed);
+        let mut buckets = [0u64; BUCKETS];
+        let (mut count, mut sum) = (0u64, 0u64);
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for i in 0..n.min(len) {
+            let s = &self.slots[(c + len - i) % len];
+            for (m, b) in buckets.iter_mut().zip(&s.buckets) {
+                *m += b.load(Ordering::Relaxed);
+            }
+            count += s.count.load(Ordering::Relaxed);
+            sum += s.sum.load(Ordering::Relaxed);
+            min = min.min(s.min.load(Ordering::Relaxed));
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cumulative = 0u64;
+            for (i, b) in buckets.iter().enumerate() {
+                cumulative += b;
+                if cumulative >= rank {
+                    return bucket_bound(i).clamp(min.min(max), max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum,
+            min,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rotates_and_sums() {
+        let c = WindowedCounter::new(3);
+        c.add(5);
+        assert_eq!(c.total_last(3), 5);
+        c.tick();
+        c.add(7);
+        assert_eq!(c.per_window(3), vec![7, 5, 0]);
+        assert_eq!(c.total_last(2), 12);
+        assert_eq!(c.total_last(1), 7);
+        // Two more ticks push the first window off the ring.
+        c.tick();
+        c.tick();
+        assert_eq!(c.per_window(3), vec![0, 0, 7]);
+        assert_eq!(c.ticks(), 3);
+    }
+
+    #[test]
+    fn counter_oldest_window_is_zeroed_on_reuse() {
+        let c = WindowedCounter::new(2);
+        c.add(9);
+        c.tick();
+        c.tick(); // wraps onto the bucket that held 9
+        assert_eq!(c.total_last(2), 0);
+    }
+
+    #[test]
+    fn histogram_merges_last_windows() {
+        let h = WindowedHistogram::new(4);
+        for v in [10u64, 20, 30] {
+            h.observe(v);
+        }
+        h.tick();
+        h.observe(1000);
+        let last = h.summary_last(1);
+        assert_eq!(last.count, 1);
+        assert_eq!((last.min, last.max), (1000, 1000));
+        let both = h.summary_last(2);
+        assert_eq!(both.count, 4);
+        assert_eq!(both.sum, 1060);
+        assert_eq!((both.min, both.max), (10, 1000));
+        assert!(both.p99 >= 1000);
+        // A full rotation forgets the old observations.
+        for _ in 0..4 {
+            h.tick();
+        }
+        assert_eq!(h.summary_last(4), HistogramSummary::default());
+    }
+
+    #[test]
+    fn empty_summary_is_default() {
+        let h = WindowedHistogram::new(2);
+        assert_eq!(h.summary_last(2), HistogramSummary::default());
+    }
+
+    #[test]
+    fn concurrent_adds_all_land_somewhere() {
+        let c = WindowedCounter::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..2 {
+                    c.tick();
+                }
+            });
+        });
+        // Observations may straddle ticks but none are lost outright.
+        assert_eq!(c.total_last(4), 4000);
+    }
+}

@@ -494,9 +494,15 @@ impl FaultLayer {
     }
 
     /// Marks a page as persistently failing; later fetches fail fast.
+    /// Quarantines are rare and serious, so each one also lands in the
+    /// process-global store-event log (the CLI `:top` view).
     pub fn quarantine(&self, page: u32) {
         if self.state.write().quarantined.insert(page) {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            xkw_obs::recorder::events().push(
+                "quarantine",
+                format!("page {page} quarantined after exhausting read retries"),
+            );
         }
     }
 
@@ -510,9 +516,14 @@ impl FaultLayer {
         self.stats.retries.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one checksum verification failure.
+    /// Records one checksum verification failure (also logged to the
+    /// store-event feed — a failure means a corrupt read was *caught*).
     pub fn count_checksum_failure(&self) {
         self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+        xkw_obs::recorder::events().push(
+            "checksum_failure",
+            "page failed checksum verification on read".to_owned(),
+        );
     }
 
     /// Current counters.

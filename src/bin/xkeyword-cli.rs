@@ -4,7 +4,8 @@
 //! xkeyword-cli [FILE.xml] [--query "kw1 kw2 ..."] [--z N] [--top K] \
 //!              [--k N] [--no-prune] [--threads N] [--pool-shards N] \
 //!              [--postings raw|packed] [--explain] [--stats] \
-//!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC]
+//!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC] \
+//!              [--query-log FILE] [--slow-ms N]
 //! ```
 //!
 //! With a file: parses it, infers the schema and target segments, builds
@@ -40,6 +41,15 @@
 //! prints the cumulative injected-fault counters. Any `XkError` in
 //! one-shot `--query` mode prints a one-line message and exits
 //! nonzero; malformed flag values are rejected up front.
+//!
+//! The engine's flight recorder is always on: `--slow-ms N` sets the
+//! slow-query threshold (a positive integer; 0 or a non-number is
+//! rejected like `--k`), `--query-log FILE` writes every retained
+//! flight record as JSON-lines on exit (the file must be writable —
+//! checked up front), `:slow` renders the slow-query log with each
+//! entry's auto-captured EXPLAIN profile, and `:top` shows the windowed
+//! dashboard (qps, latency quantiles, pool hit rate, degradation rate)
+//! plus recent store events.
 
 #![allow(clippy::disallowed_macros)] // printing is this target's interface
 use std::io::BufRead;
@@ -66,6 +76,10 @@ struct Args {
     trace_out: Option<String>,
     deadline: Option<std::time::Duration>,
     faults: Option<xkeyword::store::FaultSpec>,
+    /// JSON-lines flight-record export target, written on exit.
+    query_log: Option<String>,
+    /// Slow-query threshold override, milliseconds.
+    slow_ms: Option<u64>,
 }
 
 /// The value following `flag`, or a one-line error.
@@ -110,6 +124,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         trace_out: None,
         deadline: None,
         faults: None,
+        query_log: None,
+        slow_ms: None,
     };
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -136,12 +152,19 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                         .map_err(|e| format!("invalid --faults spec: {e}"))?,
                 );
             }
+            "--query-log" => args.query_log = Some(flag_value(&mut it, "--query-log")?),
+            "--slow-ms" => {
+                // A zero threshold would flag every query slow — reject
+                // it like a non-number, matching the --k convention.
+                args.slow_ms =
+                    Some(parse_k(&flag_value(&mut it, "--slow-ms")?, "--slow-ms")? as u64);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
                      [--k N] [--no-prune] [--threads N] [--pool-shards N] \
                      [--postings raw|packed] [--explain] [--stats] [--trace-out FILE] \
-                     [--deadline-ms N] [--faults SPEC]"
+                     [--deadline-ms N] [--faults SPEC] [--query-log FILE] [--slow-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +184,18 @@ fn main() {
         // Turn tracing + metrics on before the load stage so its spans
         // (load.targets, load.master, ...) land in the trace too.
         xkeyword::obs::set_enabled(true);
+    }
+    if let Some(path) = &args.query_log {
+        // Fail fast: an unwritable log target should not cost a full
+        // load stage before being reported.
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            eprintln!("cannot open query log {path}: {e}");
+            std::process::exit(1);
+        }
     }
     let options = LoadOptions {
         decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
@@ -199,6 +234,11 @@ fn main() {
         xk.catalog.len(),
         xk.master.keyword_count()
     );
+    if let Some(ms) = args.slow_ms {
+        xk.engine()
+            .recorder()
+            .set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+    }
 
     if let Some(q) = &args.query {
         let ok = if args.explain {
@@ -206,7 +246,8 @@ fn main() {
         } else {
             run_query(&xk, q, &args)
         };
-        write_trace(&args);
+        write_trace(&xk, &args);
+        write_query_log(&xk, &args);
         if !ok {
             std::process::exit(1);
         }
@@ -216,6 +257,7 @@ fn main() {
         "enter keyword queries (one per line; `:stats` engine + pool stats, \
          `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, \
          `:topk N` top-k execution, `:faults` injected-fault counters, \
+         `:slow` slow-query log, `:top` windowed dashboard, \
          ctrl-D to quit):"
     );
     for line in std::io::stdin().lock().lines() {
@@ -236,6 +278,21 @@ fn main() {
             print_faults(&xk);
             continue;
         }
+        if line == ":slow" {
+            print!("{}", xk.engine().slow_log(20));
+            continue;
+        }
+        if line == ":top" {
+            print!("{}", xk.engine().recorder().dashboard());
+            let events = xkeyword::obs::recorder::events().recent(5);
+            if !events.is_empty() {
+                println!("  recent store events:");
+                for ev in events {
+                    println!("    [{}] {}", ev.kind, ev.detail);
+                }
+            }
+            continue;
+        }
         if let Some(v) = line.strip_prefix(":topk") {
             match parse_k(v.trim(), ":topk") {
                 Ok(k) => {
@@ -252,7 +309,8 @@ fn main() {
         }
         run_query(&xk, line, &args);
     }
-    write_trace(&args);
+    write_trace(&xk, &args);
+    write_query_log(&xk, &args);
 }
 
 /// Prints the storage fault layer's cumulative counters.
@@ -276,10 +334,17 @@ fn print_faults(xk: &XKeyword) {
     );
 }
 
-/// Dumps every span recorded so far as Chrome `trace_event` JSON.
-fn write_trace(args: &Args) {
+/// Dumps every span recorded so far as Chrome `trace_event` JSON. Spans
+/// the flight recorder drained into sampled records are merged back in
+/// (deduplicated by span id), so forced-capture queries still show up.
+fn write_trace(xk: &XKeyword, args: &Args) {
     let Some(path) = &args.trace_out else { return };
-    let spans = xkeyword::obs::trace::take_spans();
+    let mut spans = xkeyword::obs::trace::take_spans();
+    for rec in xk.engine().recorder().records() {
+        spans.extend(rec.spans.iter().cloned());
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    spans.dedup_by_key(|s| s.id);
     let json = xkeyword::obs::trace::chrome_trace_json(&spans);
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {} spans to {path}", spans.len()),
@@ -287,15 +352,30 @@ fn write_trace(args: &Args) {
     }
 }
 
-/// Publishes the store's pull-based gauges and dumps the registry.
-fn print_metrics(xk: &XKeyword) {
-    if !xkeyword::obs::enabled() {
-        println!("(observability disabled — run with --trace-out to enable collection)");
-        return;
+/// Writes every retained flight record as JSON-lines to the
+/// `--query-log` target (deferred EXPLAIN captures attached first).
+fn write_query_log(xk: &XKeyword, args: &Args) {
+    let Some(path) = &args.query_log else { return };
+    let jsonl = xk.engine().export_query_log();
+    match std::fs::write(path, &jsonl) {
+        Ok(()) => eprintln!("wrote {} query records to {path}", jsonl.lines().count()),
+        Err(e) => eprintln!("cannot write query log to {path}: {e}"),
     }
-    let registry = xkeyword::obs::global();
-    xk.export_metrics(registry);
-    print!("{}", registry.render_prometheus());
+}
+
+/// Publishes the store's pull-based gauges and dumps the registry,
+/// followed by the flight recorder's windowed `xkw_window_*` gauges
+/// (those come from the always-on recorder, so they print even when
+/// the cumulative registry is disabled).
+fn print_metrics(xk: &XKeyword) {
+    if xkeyword::obs::enabled() {
+        let registry = xkeyword::obs::global();
+        xk.export_metrics(registry);
+        print!("{}", registry.render_prometheus());
+    } else {
+        println!("(observability disabled — run with --trace-out to enable collection)");
+    }
+    print!("{}", xk.engine().recorder().render_window_prometheus());
 }
 
 fn print_stats(xk: &XKeyword) {

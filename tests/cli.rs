@@ -25,6 +25,8 @@ fn malformed_numeric_flags_exit_2_with_a_message() {
         ("--k", "0"),
         ("--k", "-1"),
         ("--k", "2.5"),
+        ("--slow-ms", "0"),
+        ("--slow-ms", "soon"),
     ] {
         let out = run(&[flag, value]);
         assert_eq!(
@@ -182,6 +184,62 @@ fn interactive_topk_rejects_zero_and_non_numbers() {
         "got {stdout:?}"
     );
     assert!(stdout.contains("top-k set to 2"), "got {stdout:?}");
+}
+
+#[test]
+fn unwritable_query_log_fails_fast_with_exit_1() {
+    let out = run(&[
+        "--query-log",
+        "/nonexistent-dir/records.jsonl",
+        "--query",
+        "john vcr",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot open query log /nonexistent-dir/records.jsonl"),
+        "friendly one-line message expected, got {stderr:?}"
+    );
+    // Fail-fast: the engine never loads, so no result output.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("results ("));
+}
+
+#[test]
+fn query_log_flag_writes_jsonl_records_on_exit() {
+    let dir = std::env::temp_dir().join(format!("xkw-cli-qlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("records.jsonl");
+    let path_str = path.to_str().unwrap();
+
+    let out = run(&[
+        "--query-log",
+        path_str,
+        "--slow-ms",
+        "1",
+        "--query",
+        "john vcr",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("wrote 1 query records to"),
+        "got {stderr:?}"
+    );
+
+    let log = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 1, "one query → one record: {log:?}");
+    assert!(lines[0].starts_with("{\"id\":"), "got {:?}", lines[0]);
+    assert!(
+        lines[0].contains("\"keywords\":[\"john\",\"vcr\"]"),
+        "got {:?}",
+        lines[0]
+    );
+    // --slow-ms 1 makes the query slow → forced capture with an EXPLAIN
+    // profile attached at export time.
+    assert!(lines[0].contains("\"slow\":true"), "got {:?}", lines[0]);
+    assert!(lines[0].contains("\"explain\":{"), "got {:?}", lines[0]);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -18,7 +18,7 @@ fn cached() -> ExecMode {
 
 fn load_figure1() -> XKeyword {
     let (graph, _, _) = tpch::figure1();
-    XKeyword::load(
+    let xk = XKeyword::load(
         graph,
         tpch::tss_graph(),
         LoadOptions {
@@ -28,7 +28,14 @@ fn load_figure1() -> XKeyword {
             ..LoadOptions::default()
         },
     )
-    .unwrap()
+    .unwrap();
+    // These tests assert against the *global* span collector. A sampled
+    // or forced flight record drains that collector into the record, so
+    // recording is switched off here to keep concurrently-running tests
+    // in this binary from stealing each other's spans. The recorder has
+    // its own suite (tests/recorder.rs).
+    xk.engine().recorder().set_enabled(false);
+    xk
 }
 
 fn load_dblp() -> XKeyword {
@@ -43,7 +50,7 @@ fn load_dblp() -> XKeyword {
         seed: 0xB0B,
     }
     .generate();
-    XKeyword::load(
+    let xk = XKeyword::load(
         data.graph,
         data.tss,
         LoadOptions {
@@ -52,7 +59,9 @@ fn load_dblp() -> XKeyword {
             ..LoadOptions::default()
         },
     )
-    .unwrap()
+    .unwrap();
+    xk.engine().recorder().set_enabled(false);
+    xk
 }
 
 /// The acceptance query: `:explain` over three DBLP author keywords must
@@ -120,7 +129,9 @@ fn worker_panics_surface_as_typed_errors() {
 }
 
 /// Runs queries with tracing enabled and checks the Chrome export is a
-/// syntactically valid JSON array of complete `trace_event` objects.
+/// syntactically valid JSON array: `process_name`/`thread_name`
+/// metadata events (phase `M`) first, then one complete `X` event per
+/// span.
 #[test]
 fn chrome_trace_export_is_valid_trace_event_json() {
     let xk = load_figure1();
@@ -132,6 +143,11 @@ fn chrome_trace_export_is_valid_trace_event_json() {
     assert!(!spans.is_empty(), "tracing enabled must record spans");
     assert!(spans.iter().any(|s| s.name == "query"));
     assert!(spans.iter().any(|s| s.name == "exec.plan"));
+    let distinct_tids = spans
+        .iter()
+        .map(|s| s.tid)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
 
     let json = xkeyword::obs::trace::chrome_trace_json(&spans);
     let value = json::parse(&json).expect("export must be valid JSON");
@@ -139,19 +155,68 @@ fn chrome_trace_export_is_valid_trace_event_json() {
         json::Value::Array(events) => events,
         other => panic!("top level must be an array, got {other:?}"),
     };
-    assert_eq!(events.len(), spans.len(), "one trace event per span");
+    assert_eq!(
+        events.len(),
+        spans.len() + 1 + distinct_tids,
+        "one process_name event, a thread_name per thread, then one event per span"
+    );
+    let mut meta_names = Vec::new();
+    let mut span_events = 0usize;
     for e in &events {
         let json::Value::Object(fields) = e else {
             panic!("every trace event must be an object, got {e:?}");
         };
         let key = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
-        assert!(matches!(key("name"), Some(json::Value::String(_))));
-        assert!(matches!(key("ph"), Some(json::Value::String(p)) if p == "X"));
-        assert!(matches!(key("ts"), Some(json::Value::Number(_))));
-        assert!(matches!(key("dur"), Some(json::Value::Number(_))));
+        let Some(json::Value::String(name)) = key("name") else {
+            panic!("every trace event must carry a string name: {e:?}");
+        };
+        let Some(json::Value::String(ph)) = key("ph") else {
+            panic!("every trace event must carry a phase: {e:?}");
+        };
         assert!(matches!(key("pid"), Some(json::Value::Number(_))));
-        assert!(matches!(key("tid"), Some(json::Value::Number(_))));
+        match ph.as_str() {
+            "M" => {
+                if name == "thread_name" {
+                    assert!(matches!(key("tid"), Some(json::Value::Number(_))));
+                }
+                assert_eq!(
+                    span_events, 0,
+                    "metadata events must precede all span events"
+                );
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata event {name:?}"
+                );
+                let Some(json::Value::Object(args)) = key("args") else {
+                    panic!("metadata event must carry args: {e:?}");
+                };
+                assert!(
+                    args.iter()
+                        .any(|(k, v)| k == "name" && matches!(v, json::Value::String(_))),
+                    "metadata args must name the process/thread: {e:?}"
+                );
+                meta_names.push(name.clone());
+            }
+            "X" => {
+                span_events += 1;
+                assert!(matches!(key("tid"), Some(json::Value::Number(_))));
+                assert!(matches!(key("ts"), Some(json::Value::Number(_))));
+                assert!(matches!(key("dur"), Some(json::Value::Number(_))));
+            }
+            other => panic!("unexpected phase {other:?} in {e:?}"),
+        }
     }
+    assert_eq!(span_events, spans.len(), "one complete event per span");
+    assert_eq!(
+        meta_names.iter().filter(|n| *n == "process_name").count(),
+        1,
+        "exactly one process_name metadata event"
+    );
+    assert_eq!(
+        meta_names.iter().filter(|n| *n == "thread_name").count(),
+        distinct_tids,
+        "one thread_name metadata event per distinct tid"
+    );
 }
 
 /// A minimal recursive-descent JSON parser — enough to check the trace
