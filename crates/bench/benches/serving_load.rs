@@ -1,0 +1,203 @@
+//! Serving-layer load gate — the CI contract behind `xkw-serve`.
+//!
+//! Two phases over one shared DBLP-shaped engine (warm pool, 100µs
+//! statement round trip so a query costs realistic milliseconds):
+//!
+//! 1. **Closed loop** (capacity): [`CLIENTS`] connections, one request
+//!    outstanding each, against a server with a generous in-flight
+//!    bound. No request may shed or error, the loss accounting must
+//!    close, and p99 latency must stay under [`MAX_P99_MS`].
+//! 2. **Open loop at 2× capacity** (overload): a fresh server over the
+//!    *same* engine with a tight in-flight bound and zero admission
+//!    wait, driven at twice the measured closed-loop goodput with
+//!    bursty seeded arrivals. The server must shed — visibly: every
+//!    request resolves to a results page or a typed `Overloaded`
+//!    (sequence ids checked), the harness tallies reconcile exactly
+//!    with the server's own `xkw_server_{requests,responses,shed}_total`
+//!    counters, and goodput under overload must hold at least
+//!    [`MIN_GOODPUT_FRACTION`] of the closed-loop capacity — shedding
+//!    is supposed to *protect* throughput, not collapse it.
+//!
+//! One `{"workload":..}` JSON line per phase — the numbers recorded in
+//! `BENCH_serving.json`.
+//!
+//! Usage: `cargo bench -p xkw-bench --bench serving_load [-- --quick]`
+
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
+use std::sync::Arc;
+use std::time::Duration;
+use xkw_bench::loadgen::{self, QueryMix, RequestSpec};
+use xkw_bench::workload::{self as w, Config};
+use xkw_core::prelude::*;
+use xkw_serve::{start, ServerConfig};
+
+/// Closed-loop connections (each keeps one request in flight).
+const CLIENTS: usize = 4;
+
+/// Closed-loop p99 latency bound, milliseconds. Generous — the gate is
+/// against pathological queueing (seconds), not scheduler noise.
+const MAX_P99_MS: u64 = 500;
+
+/// Goodput at 2× overload must be at least this fraction of the
+/// closed-loop capacity.
+const MIN_GOODPUT_FRACTION: f64 = 0.35;
+
+/// Open-loop overload factor over measured capacity.
+const OVERLOAD_FACTOR: f64 = 2.0;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_client = if quick { 60 } else { 200 };
+    let open_total = if quick { 240 } else { 800 };
+
+    // Shared engine: DBLP-shaped data, warm pool, per-statement round
+    // trip so a query costs ~ms (the middleware scenario the serving
+    // layer fronts).
+    let data = w::bench_dblp_config();
+    let d = data.generate();
+    let xk = Arc::new(
+        XKeyword::load(d.graph, d.tss, Config::XKeyword.load_options())
+            .expect("DBLP data conforms"),
+    );
+    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    let mix = QueryMix::author_pairs(&xk, 24, 7, 1.1);
+    let spec = RequestSpec {
+        k: 10,
+        ..RequestSpec::default()
+    };
+    println!(
+        "{{\"workload\":\"serving_setup\",\"queries\":{},\"clients\":{CLIENTS},\
+         \"per_client\":{per_client},\"open_total\":{open_total}}}",
+        mix.len()
+    );
+
+    // Phase 1: closed-loop capacity.
+    let mut cap_srv = start(
+        Arc::clone(&xk),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 64,
+            exec_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind capacity server");
+    let closed = loadgen::closed_loop(cap_srv.addr(), &mix, spec, CLIENTS, per_client, 0xC1);
+    let cap_stats = cap_srv.stats();
+    println!(
+        "{{\"workload\":\"serving_closed_loop\",\"sent\":{},\"ok\":{},\"shed\":{},\
+         \"errors\":{},\"qps\":{:.1},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+        closed.tally.sent,
+        closed.tally.ok,
+        closed.tally.shed,
+        closed.tally.errors,
+        closed.goodput_qps,
+        closed.latency.p50_ns as f64 / 1e6,
+        closed.latency.p95_ns as f64 / 1e6,
+        closed.latency.p99_ns as f64 / 1e6,
+    );
+    cap_srv.shutdown();
+    assert!(
+        closed.fully_accounted(),
+        "closed loop: requests unaccounted"
+    );
+    assert_eq!(
+        closed.tally.errors, 0,
+        "closed loop: typed/transport errors"
+    );
+    assert_eq!(
+        closed.tally.shed, 0,
+        "closed loop sheds below the in-flight bound"
+    );
+    assert_eq!(
+        cap_stats.requests, closed.tally.sent,
+        "server request counter mismatch"
+    );
+    assert_eq!(
+        cap_stats.responses, closed.tally.ok,
+        "server response counter mismatch"
+    );
+    let p99_ms = closed.latency.p99_ns / 1_000_000;
+    assert!(
+        p99_ms <= MAX_P99_MS,
+        "closed-loop p99 {p99_ms}ms exceeds the {MAX_P99_MS}ms gate"
+    );
+
+    // Phase 2: open loop at 2× capacity against a tight server. Same
+    // engine (the plan cache stays warm across servers — sessions share
+    // plans), but fresh per-server counters.
+    let rate = closed.goodput_qps * OVERLOAD_FACTOR;
+    let mut tight_srv = start(
+        Arc::clone(&xk),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 2,
+            admission_wait: Duration::ZERO,
+            exec_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind overload server");
+    let open = loadgen::open_loop(tight_srv.addr(), &mix, spec, rate, open_total, 8, 4, 0x0B);
+    let open_stats = tight_srv.stats();
+    println!(
+        "{{\"workload\":\"serving_open_loop\",\"offered_qps_target\":{rate:.1},\
+         \"offered_qps\":{:.1},\"sent\":{},\"ok\":{},\"shed\":{},\"errors\":{},\"late\":{},\
+         \"goodput_qps\":{:.1},\"p99_ms\":{:.3},\"server_shed_total\":{},\
+         \"inflight_peak\":{}}}",
+        open.offered_qps,
+        open.tally.sent,
+        open.tally.ok,
+        open.tally.shed,
+        open.tally.errors,
+        open.late,
+        open.goodput_qps,
+        open.latency.p99_ns as f64 / 1e6,
+        open_stats.shed,
+        open_stats.inflight_peak,
+    );
+    tight_srv.shutdown();
+
+    // Loss accounting, harness-side and server-side, must close exactly.
+    assert!(open.fully_accounted(), "open loop: requests unaccounted");
+    assert_eq!(open.tally.errors, 0, "open loop: typed/transport errors");
+    assert_eq!(
+        open_stats.requests, open.tally.sent,
+        "server request counter mismatch"
+    );
+    assert_eq!(
+        open_stats.responses, open.tally.ok,
+        "server response counter mismatch"
+    );
+    assert_eq!(
+        open_stats.shed, open.tally.shed,
+        "xkw_server_shed_total disagrees with the harness shed tally — a silent drop \
+         or an untyped rejection slipped through"
+    );
+    assert!(
+        open.tally.shed > 0,
+        "2x overload against max_inflight=2 produced no sheds — the overload phase is vacuous"
+    );
+    let goodput_fraction = open.goodput_qps / closed.goodput_qps.max(1e-9);
+    println!(
+        "{{\"workload\":\"serving_summary\",\"capacity_qps\":{:.1},\
+         \"overload_goodput_qps\":{:.1},\"goodput_fraction\":{goodput_fraction:.3},\
+         \"shed_fraction\":{:.3}}}",
+        closed.goodput_qps,
+        open.goodput_qps,
+        open.tally.shed as f64 / open.tally.sent as f64,
+    );
+    assert!(
+        goodput_fraction >= MIN_GOODPUT_FRACTION,
+        "goodput under 2x overload collapsed to {goodput_fraction:.3} of capacity \
+         (gate {MIN_GOODPUT_FRACTION}) — shedding is not protecting throughput"
+    );
+    println!(
+        "ok: capacity {:.1} qps (p99 {p99_ms}ms), 2x-overload goodput {:.1} qps \
+         ({:.0}% of capacity), {} sheds all typed and reconciled",
+        closed.goodput_qps,
+        open.goodput_qps,
+        goodput_fraction * 100.0,
+        open.tally.shed
+    );
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
-//!             [explain] [faults] [topk] [slowlog] [all]
+//!             [explain] [faults] [topk] [slowlog] [serve] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -62,6 +62,99 @@ fn main() {
     if want("slowlog") {
         slowlog_section();
     }
+    if want("serve") {
+        serve_section();
+    }
+}
+
+/// Serving-layer walkthrough: an in-process `xkw-serve` server over the
+/// DBLP workload, a closed-loop capacity probe, then an open-loop burst
+/// at 2× capacity against a tightened in-flight bound — showing typed
+/// shedding with exact loss accounting (reproduced in EXPERIMENTS.md
+/// §"Serving under load").
+fn serve_section() {
+    use std::sync::Arc;
+    use xkw_bench::loadgen::{self, QueryMix, RequestSpec};
+    use xkw_serve::{start, ServerConfig};
+    println!("\n== Serving under load: admission control and typed shedding (XKeyword, DBLP) ==");
+    let data = w::bench_dblp_config();
+    let d = data.generate();
+    let xk = Arc::new(
+        XKeyword::load(d.graph, d.tss, Config::XKeyword.load_options()).expect("DBLP conforms"),
+    );
+    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    let mix = QueryMix::author_pairs(&xk, 24, 7, 1.1);
+    let spec = RequestSpec {
+        k: 10,
+        ..RequestSpec::default()
+    };
+
+    let mut srv = start(
+        Arc::clone(&xk),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 64,
+            exec_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    println!("server on {} (max_inflight 64)", srv.addr());
+    let closed = loadgen::closed_loop(srv.addr(), &mix, spec, 4, 50, 0xC1);
+    println!(
+        "closed loop, 4 clients x 50:  {:>6.1} qps, p50 {:.1}ms p99 {:.1}ms, {} shed",
+        closed.goodput_qps,
+        closed.latency.p50_ns as f64 / 1e6,
+        closed.latency.p99_ns as f64 / 1e6,
+        closed.tally.shed
+    );
+    srv.shutdown();
+
+    let mut srv = start(
+        Arc::clone(&xk),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 2,
+            admission_wait: Duration::ZERO,
+            exec_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    println!(
+        "server on {} (max_inflight 2, zero admission wait)",
+        srv.addr()
+    );
+    let open = loadgen::open_loop(
+        srv.addr(),
+        &mix,
+        spec,
+        closed.goodput_qps * 2.0,
+        300,
+        8,
+        4,
+        0x0B,
+    );
+    let s = srv.stats();
+    srv.shutdown();
+    println!(
+        "open loop at 2x capacity:     {:>6.1} qps offered, {:.1} qps goodput ({:.0}% of capacity)",
+        open.offered_qps,
+        open.goodput_qps,
+        100.0 * open.goodput_qps / closed.goodput_qps.max(1e-9)
+    );
+    println!(
+        "  {} sent = {} ok + {} shed + {} errors (accounted: {})",
+        open.tally.sent,
+        open.tally.ok,
+        open.tally.shed,
+        open.tally.errors,
+        open.fully_accounted()
+    );
+    println!(
+        "  server counters agree: requests {} responses {} shed {} inflight_peak {}",
+        s.requests, s.responses, s.shed, s.inflight_peak
+    );
 }
 
 /// Flight-recorder walkthrough: a batch of queries over a mildly slow

@@ -3,4 +3,5 @@
 //! Shared workload builders for the Criterion benches and the
 //! `experiments` binary that regenerate the paper's Figures 15–16.
 
+pub mod loadgen;
 pub mod workload;

@@ -1,0 +1,404 @@
+//! Deterministic load generation for the serving layer.
+//!
+//! Two generator shapes, both fully seeded — the query sequence, the
+//! Zipf popularity draws and the open-loop arrival schedule are pure
+//! functions of the seed, so a run is reproducible request-for-request
+//! (wall-clock latencies are of course machine-dependent):
+//!
+//! * **Closed loop** ([`closed_loop`]): `clients` connections each keep
+//!   exactly one request outstanding, back to back. Measures the
+//!   server's capacity (sustainable qps) and its latency distribution
+//!   *without* queueing inflation — the classic "how fast can it go"
+//!   harness.
+//! * **Open loop** ([`open_loop`]): requests arrive on a precomputed
+//!   schedule at a fixed offered rate with bursty clumps, regardless of
+//!   how fast the server answers — the "millions of users" shape, where
+//!   arrival times do not care about completions. Run it above the
+//!   measured capacity and the server must shed: the report's
+//!   loss-accounting then reconciles, id by id, with the server's own
+//!   counters ([`xkw_serve::StatsResponse`]).
+//!
+//! Query popularity follows a Zipf distribution over a pool of
+//! author-pair queries ([`QueryMix::author_pairs`]), mirroring how a
+//! small set of hot keywords dominates real search traffic — which is
+//! exactly what makes the shared plan cache and partial-result caches
+//! earn their keep under load.
+
+use crate::workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use xkw_core::prelude::*;
+use xkw_datagen::words::Zipf;
+use xkw_serve::{Client, ErrorCode, QueryRequest, StatsResponse};
+
+/// A pool of valid queries with a Zipf popularity ranking: index 0 is
+/// the hottest query.
+pub struct QueryMix {
+    pairs: Vec<(String, String)>,
+    zipf: Zipf,
+}
+
+impl QueryMix {
+    /// Builds a pool of `n` two-keyword author queries with moderate
+    /// selectivity (the paper's workload shape) and a Zipf(`skew`)
+    /// popularity law over them.
+    pub fn author_pairs(xk: &XKeyword, n: usize, seed: u64, skew: f64) -> QueryMix {
+        QueryMix {
+            pairs: workload::pick_author_queries(xk, n, seed),
+            zipf: Zipf::new(n, skew),
+        }
+    }
+
+    /// Builds a mix from explicit keyword pairs with a Zipf(`skew`)
+    /// popularity law — for fixtures (Figure 1 and kin) whose
+    /// vocabulary is not DBLP-shaped.
+    ///
+    /// # Panics
+    /// If `pairs` is empty.
+    pub fn fixed(pairs: Vec<(String, String)>, skew: f64) -> QueryMix {
+        assert!(!pairs.is_empty(), "a query mix needs at least one query");
+        let n = pairs.len();
+        QueryMix {
+            pairs,
+            zipf: Zipf::new(n, skew),
+        }
+    }
+
+    /// Distinct queries in the pool.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Samples one query by popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (&str, &str) {
+        let rank = self.zipf.sample(rng);
+        let (a, b) = &self.pairs[rank];
+        (a, b)
+    }
+}
+
+/// The fixed per-request parameters of a load run.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSpec {
+    /// Maximum candidate-network size.
+    pub z: u16,
+    /// Top-k bound; 0 = all results.
+    pub k: u32,
+    /// Per-query deadline, ms; 0 = none.
+    pub deadline_ms: u32,
+    /// Page size; 0 = server maximum.
+    pub page_size: u32,
+    /// Wire request flags.
+    pub flags: u8,
+}
+
+impl Default for RequestSpec {
+    fn default() -> Self {
+        RequestSpec {
+            z: 8,
+            k: 10,
+            deadline_ms: 0,
+            page_size: 0,
+            flags: 0,
+        }
+    }
+}
+
+/// Latency quantiles in nanoseconds (over successful responses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+fn percentiles(mut lat: Vec<u64>) -> Percentiles {
+    if lat.is_empty() {
+        return Percentiles::default();
+    }
+    lat.sort_unstable();
+    let q = |p: f64| {
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    };
+    Percentiles {
+        p50_ns: q(0.50),
+        p95_ns: q(0.95),
+        p99_ns: q(0.99),
+        max_ns: *lat.last().unwrap(),
+    }
+}
+
+/// Request outcome tallies. The loss-accounting invariant:
+/// `ok + shed + errors == sent` — every request resolves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tally {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful result pages.
+    pub ok: u64,
+    /// Typed sheds (`Overloaded` / `QuotaExceeded`).
+    pub shed: u64,
+    /// Other typed errors plus transport failures.
+    pub errors: u64,
+}
+
+/// One load run's results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Outcome tallies.
+    pub tally: Tally,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Successful responses per second (goodput).
+    pub goodput_qps: f64,
+    /// Requests sent per second (offered load).
+    pub offered_qps: f64,
+    /// Latency quantiles over successful responses.
+    pub latency: Percentiles,
+    /// Whether every response's id matched its request's id — the
+    /// sequence-number check behind the loss accounting.
+    pub ids_consistent: bool,
+    /// Open loop only: arrivals that fired behind schedule (the sender
+    /// could not keep up — nonzero means offered_qps undershot the
+    /// target).
+    pub late: u64,
+}
+
+impl LoadReport {
+    /// The loss-accounting invariant: every sent request resolved to
+    /// exactly one outcome, with matching sequence numbers.
+    pub fn fully_accounted(&self) -> bool {
+        self.ids_consistent
+            && self.tally.ok + self.tally.shed + self.tally.errors == self.tally.sent
+    }
+}
+
+struct WorkerResult {
+    tally: Tally,
+    latencies: Vec<u64>,
+    ids_consistent: bool,
+    late: u64,
+}
+
+/// Sends one request and classifies the outcome.
+fn send_one(client: &mut Client, req: &QueryRequest, out: &mut WorkerResult, record_latency: bool) {
+    out.tally.sent += 1;
+    let t = Instant::now();
+    match client.query(req) {
+        Ok(xkw_serve::QueryOutcome::Results(r)) => {
+            if r.id != req.id {
+                out.ids_consistent = false;
+            }
+            out.tally.ok += 1;
+            if record_latency {
+                out.latencies.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+        Ok(xkw_serve::QueryOutcome::Error(e)) => {
+            if e.id != req.id {
+                out.ids_consistent = false;
+            }
+            if e.code.is_shed() {
+                out.tally.shed += 1;
+            } else {
+                out.tally.errors += 1;
+            }
+        }
+        Err(_) => out.tally.errors += 1,
+    }
+}
+
+fn merge(results: Vec<WorkerResult>, wall: Duration) -> LoadReport {
+    let mut tally = Tally::default();
+    let mut lat = Vec::new();
+    let mut ids_consistent = true;
+    let mut late = 0;
+    for r in results {
+        tally.sent += r.tally.sent;
+        tally.ok += r.tally.ok;
+        tally.shed += r.tally.shed;
+        tally.errors += r.tally.errors;
+        lat.extend(r.latencies);
+        ids_consistent &= r.ids_consistent;
+        late += r.late;
+    }
+    let secs = wall.as_secs_f64().max(1e-9);
+    LoadReport {
+        tally,
+        wall,
+        goodput_qps: tally.ok as f64 / secs,
+        offered_qps: tally.sent as f64 / secs,
+        latency: percentiles(lat),
+        ids_consistent,
+        late,
+    }
+}
+
+/// Closed-loop run: `clients` connections, each sending `per_client`
+/// requests back to back. Deterministic query sequence per client from
+/// `seed`.
+pub fn closed_loop(
+    addr: SocketAddr,
+    mix: &QueryMix,
+    spec: RequestSpec,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> LoadReport {
+    let start = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (ci as u64).wrapping_mul(0x9E37));
+                    let mut out = WorkerResult {
+                        tally: Tally::default(),
+                        latencies: Vec::with_capacity(per_client),
+                        ids_consistent: true,
+                        late: 0,
+                    };
+                    let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(30))
+                    else {
+                        out.tally.sent = per_client as u64;
+                        out.tally.errors = per_client as u64;
+                        return out;
+                    };
+                    for n in 0..per_client {
+                        let (a, b) = mix.sample(&mut rng);
+                        let req = QueryRequest {
+                            id: ((ci as u64) << 32) | n as u64,
+                            z: spec.z,
+                            k: spec.k,
+                            deadline_ms: spec.deadline_ms,
+                            page_size: spec.page_size,
+                            flags: spec.flags,
+                            keywords: vec![a.to_owned(), b.to_owned()],
+                            ..QueryRequest::default()
+                        };
+                        send_one(&mut client, &req, &mut out, true);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    merge(results, start.elapsed())
+}
+
+/// Open-loop run: `total` requests arrive at `rate_qps` on a seeded,
+/// bursty schedule spread over `senders` connections, regardless of
+/// completion times. With probability ~1/4 an arrival clumps into a
+/// burst of `burst` back-to-back requests (the schedule then pauses to
+/// keep the long-run rate), modeling flash crowds.
+///
+/// The report's [`LoadReport::fully_accounted`] holds whenever the
+/// server upholds the shedding contract: a response or a typed shed for
+/// every request, never a silent drop.
+#[allow(clippy::too_many_arguments)]
+pub fn open_loop(
+    addr: SocketAddr,
+    mix: &QueryMix,
+    spec: RequestSpec,
+    rate_qps: f64,
+    total: usize,
+    senders: usize,
+    burst: usize,
+    seed: u64,
+) -> LoadReport {
+    let senders = senders.max(1);
+    let per_sender = total.div_ceil(senders);
+    let interval = Duration::from_secs_f64(senders as f64 / rate_qps.max(1e-9));
+    let start = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..senders)
+            .map(|si| {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (si as u64).wrapping_mul(7919));
+                    let mut out = WorkerResult {
+                        tally: Tally::default(),
+                        latencies: Vec::with_capacity(per_sender),
+                        ids_consistent: true,
+                        late: 0,
+                    };
+                    // A short read timeout keeps "server hangs" a typed
+                    // failure instead of a stuck harness.
+                    let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(10))
+                    else {
+                        out.tally.sent = per_sender as u64;
+                        out.tally.errors = per_sender as u64;
+                        return out;
+                    };
+                    // Stagger senders so arrivals interleave instead of
+                    // phase-locking.
+                    let mut next = interval.mul_f64(si as f64 / senders as f64);
+                    let mut sent = 0usize;
+                    while sent < per_sender {
+                        // Burst clumps: everything in the clump shares
+                        // one arrival instant, then the schedule skips
+                        // ahead to preserve the long-run rate.
+                        let clump = if burst > 1 && rng.gen_range(0..4usize) == 0 {
+                            burst.min(per_sender - sent)
+                        } else {
+                            1
+                        };
+                        let now = start.elapsed();
+                        if now < next {
+                            std::thread::sleep(next - now);
+                        } else if now > next + interval {
+                            out.late += 1;
+                        }
+                        for n in 0..clump {
+                            let (a, b) = mix.sample(&mut rng);
+                            let req = QueryRequest {
+                                id: ((si as u64) << 32) | (sent + n) as u64,
+                                z: spec.z,
+                                k: spec.k,
+                                deadline_ms: spec.deadline_ms,
+                                page_size: spec.page_size,
+                                flags: spec.flags,
+                                keywords: vec![a.to_owned(), b.to_owned()],
+                                ..QueryRequest::default()
+                            };
+                            send_one(&mut client, &req, &mut out, true);
+                        }
+                        sent += clump;
+                        next += interval.mul_f64(clump as f64);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    merge(results, start.elapsed())
+}
+
+/// Fetches a server's counters over the wire (fresh connection, so it
+/// also works while load connections are busy).
+///
+/// # Errors
+/// Propagates connect/protocol failures as an opaque error string.
+pub fn server_stats(addr: SocketAddr) -> Result<StatsResponse, String> {
+    let mut c =
+        Client::connect_timeout(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    c.stats().map_err(|e| e.to_string())
+}
+
+/// Classifies an error code for reporting (used by `experiments serve`).
+pub fn is_shed_code(code: ErrorCode) -> bool {
+    code.is_shed()
+}

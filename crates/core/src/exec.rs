@@ -170,6 +170,86 @@ impl ExecCtl {
     }
 }
 
+/// A cumulative evaluation-time budget shared by every query of one
+/// session (one network connection, one interactive client, one tenant —
+/// whatever the caller scopes it to). Each query draws its deadline from
+/// what is left: [`SessionBudget::clamp`] caps a requested per-query
+/// deadline by the remaining budget, and [`SessionBudget::charge`]
+/// deducts the time a query actually spent. A session that burns through
+/// its budget degrades gracefully — late queries get ever-tighter
+/// [`ExecCtl`] deadlines (so they return partial answers with a
+/// [`Degradation`] report, exactly the PR 4 contract) until the budget
+/// is exhausted and [`SessionBudget::exhausted`] tells the caller to
+/// reject outright.
+///
+/// Thread-safe: servers poll and charge from the connection thread while
+/// admission code inspects `remaining` from elsewhere. Charging
+/// saturates at zero; over-charge (a query that overshot its clamped
+/// deadline by a probe, see [`ExecCtl::should_stop`]) just exhausts the
+/// budget sooner, never underflows.
+#[derive(Debug)]
+pub struct SessionBudget {
+    /// Remaining budget in nanoseconds; `u64::MAX` means unlimited.
+    remaining_ns: std::sync::atomic::AtomicU64,
+}
+
+impl SessionBudget {
+    /// A session allowed `total` cumulative evaluation time.
+    pub fn new(total: Duration) -> Self {
+        SessionBudget {
+            remaining_ns: std::sync::atomic::AtomicU64::new(
+                u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
+            ),
+        }
+    }
+
+    /// A session with no cumulative limit: `clamp` passes deadlines
+    /// through untouched and `charge` is a no-op.
+    pub fn unlimited() -> Self {
+        SessionBudget {
+            remaining_ns: std::sync::atomic::AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The remaining budget, or `None` when the session is unlimited.
+    pub fn remaining(&self) -> Option<Duration> {
+        match self.remaining_ns.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Whether the budget is spent. Unlimited sessions never exhaust.
+    pub fn exhausted(&self) -> bool {
+        self.remaining_ns.load(Ordering::Relaxed) == 0
+    }
+
+    /// The effective deadline for the next query: the tighter of the
+    /// requested per-query deadline and the remaining session budget.
+    /// `None` in → `None` out only while the session is unlimited.
+    pub fn clamp(&self, requested: Option<Duration>) -> Option<Duration> {
+        match (self.remaining(), requested) {
+            (None, req) => req,
+            (Some(rem), None) => Some(rem),
+            (Some(rem), Some(req)) => Some(req.min(rem)),
+        }
+    }
+
+    /// Deducts time a query actually spent. Saturates at zero.
+    pub fn charge(&self, spent: Duration) {
+        let spent_ns = u64::try_from(spent.as_nanos()).unwrap_or(u64::MAX);
+        // CAS loop: unlimited sessions stay unlimited, bounded ones
+        // saturate at zero (fetch_sub could wrap and fetch_update keeps
+        // the MAX sentinel intact).
+        let _ =
+            self.remaining_ns
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |rem| match rem {
+                    u64::MAX => None,
+                    r => Some(r.saturating_sub(spent_ns)),
+                });
+    }
+}
+
 /// A worker's view of the shared top-k threshold while it evaluates one
 /// plan: the tracker's published cell plus this plan's (fixed) score
 /// bound. One relaxed load answers "can this plan still contribute a
@@ -3163,5 +3243,60 @@ mod edge_case_tests {
         let tiny = all_plans(&db, &catalog, &plans, ExecMode::Cached { capacity: 1 });
         let naive = all_plans(&db, &catalog, &plans, ExecMode::Naive);
         assert_eq!(tiny.mttons(), naive.mttons());
+    }
+}
+
+#[cfg(test)]
+mod session_budget_tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_passes_deadlines_through() {
+        let b = SessionBudget::unlimited();
+        assert_eq!(b.remaining(), None);
+        assert!(!b.exhausted());
+        assert_eq!(b.clamp(None), None);
+        let req = Duration::from_millis(250);
+        assert_eq!(b.clamp(Some(req)), Some(req));
+        b.charge(Duration::from_secs(3600));
+        assert_eq!(b.remaining(), None, "unlimited sessions never drain");
+    }
+
+    #[test]
+    fn clamp_takes_the_tighter_of_request_and_remaining() {
+        let b = SessionBudget::new(Duration::from_millis(100));
+        // A generous request is capped by the budget.
+        assert_eq!(
+            b.clamp(Some(Duration::from_secs(5))),
+            Some(Duration::from_millis(100))
+        );
+        // A tight request passes through.
+        assert_eq!(
+            b.clamp(Some(Duration::from_millis(10))),
+            Some(Duration::from_millis(10))
+        );
+        // No request at all still gets the session cap.
+        assert_eq!(b.clamp(None), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn charge_drains_to_zero_and_saturates() {
+        let b = SessionBudget::new(Duration::from_millis(100));
+        b.charge(Duration::from_millis(60));
+        assert_eq!(b.remaining(), Some(Duration::from_millis(40)));
+        assert!(!b.exhausted());
+        // Overshoot saturates instead of wrapping.
+        b.charge(Duration::from_millis(500));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        assert!(b.exhausted());
+        assert_eq!(b.clamp(Some(Duration::from_secs(1))), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn near_max_totals_do_not_overflow() {
+        let b = SessionBudget::new(Duration::from_secs(u64::MAX / 2));
+        // as_nanos overflows u64 here; the constructor saturates to the
+        // unlimited sentinel rather than truncating to a tiny budget.
+        assert_eq!(b.remaining(), None);
     }
 }

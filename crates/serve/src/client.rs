@@ -1,0 +1,186 @@
+//! A blocking wire-protocol client: one connection, one outstanding
+//! request at a time. The unit the load harness, the CLI client mode and
+//! the end-to-end tests all build on.
+
+use crate::proto::{
+    self, ErrorResponse, Frame, QueryRequest, QueryResponse, ReadFrameError, StatsResponse,
+    WireError,
+};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read timeout, peer closed...).
+    Io(io::Error),
+    /// The server sent bytes that do not decode.
+    Wire(WireError),
+    /// The server closed the connection instead of answering.
+    Closed,
+    /// The server answered with a frame kind the call did not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Unexpected(kind) => write!(f, "unexpected {kind} frame"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadFrameError> for ClientError {
+    fn from(e: ReadFrameError) -> Self {
+        match e {
+            ReadFrameError::Io(e) => ClientError::Io(e),
+            ReadFrameError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// What a query call resolved to: every request gets exactly one of
+/// these (the loss-accounting contract the overload tests pin).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// A results page.
+    Results(QueryResponse),
+    /// A typed error — sheds (`code.is_shed()`) included.
+    Error(ErrorResponse),
+}
+
+/// A blocking client for one server connection.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects with a 30-second read timeout.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with the given read timeout — the harness's guarantee
+    /// that a hung server shows up as a typed timeout, never a stuck
+    /// test.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, read_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(read_timeout))?;
+        Ok(Client {
+            stream,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one query and reads its response.
+    ///
+    /// # Errors
+    /// Transport and protocol failures; typed server errors come back as
+    /// `Ok(QueryOutcome::Error(..))`, not `Err`.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryOutcome, ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::Query(req.clone()))?;
+        match self.read()? {
+            Frame::Results(r) => Ok(QueryOutcome::Results(r)),
+            Frame::Error(e) => Ok(QueryOutcome::Error(e)),
+            f => {
+                let _ = f;
+                Err(ClientError::Unexpected("non-response"))
+            }
+        }
+    }
+
+    /// Fetches every page of a query in result order, following
+    /// `next_offset` tokens from the requested offset.
+    ///
+    /// # Errors
+    /// As [`Client::query`]; a typed error on any page aborts the walk.
+    pub fn query_all_pages(&mut self, req: &QueryRequest) -> Result<QueryOutcome, ClientError> {
+        let mut req = req.clone();
+        let mut merged: Option<QueryResponse> = None;
+        loop {
+            match self.query(&req)? {
+                QueryOutcome::Error(e) => return Ok(QueryOutcome::Error(e)),
+                QueryOutcome::Results(page) => {
+                    let next = page.next_offset;
+                    match &mut merged {
+                        None => merged = Some(page),
+                        Some(all) => {
+                            all.rows.extend(page.rows);
+                            all.next_offset = next;
+                        }
+                    }
+                    match next {
+                        Some(off) => req.offset = off,
+                        None => return Ok(QueryOutcome::Results(merged.unwrap())),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::StatsRequest)?;
+        match self.read()? {
+            Frame::Stats(s) => Ok(*s),
+            Frame::Error(_) => Err(ClientError::Unexpected("error")),
+            _ => Err(ClientError::Unexpected("non-stats")),
+        }
+    }
+
+    /// Liveness probe: sends `token`, expects it echoed.
+    ///
+    /// # Errors
+    /// Transport/protocol failures, or an unexpected reply kind.
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        proto::write_frame(&mut self.stream, &Frame::Ping(token))?;
+        match self.read()? {
+            Frame::Pong(t) => Ok(t),
+            _ => Err(ClientError::Unexpected("non-pong")),
+        }
+    }
+
+    /// Writes raw bytes to the socket — the fuzz harness's way of
+    /// sending malformed frames.
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one frame, mapping clean close to [`ClientError::Closed`].
+    ///
+    /// # Errors
+    /// Transport and protocol failures.
+    pub fn read(&mut self) -> Result<Frame, ClientError> {
+        match proto::read_frame(&mut self.stream, self.max_frame)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Closed),
+        }
+    }
+}

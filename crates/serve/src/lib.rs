@@ -1,0 +1,38 @@
+//! # xkw-serve — the XKeyword network serving layer
+//!
+//! Turns the in-process [`QueryEngine`](xkw_core::engine::QueryEngine)
+//! into a network service: a std-only TCP front end speaking a
+//! length-prefixed, versioned binary protocol ([`proto`]), with
+//! connection lifecycle management, admission control (a bounded
+//! in-flight queue plus per-client token-bucket quotas, both shedding
+//! with *typed* responses), per-session
+//! [`SessionBudget`](xkw_core::exec::SessionBudget)s feeding the PR 4
+//! deadline/degradation machinery, result pagination over the stable
+//! (deterministic) result order, and warm plan-cache sharing across
+//! sessions — every connection plans against the same engine, so a
+//! query shape one client warmed plans in microseconds for all.
+//!
+//! Three modules:
+//!
+//! * [`proto`] — frames, strict encode/decode, typed [`WireError`]s;
+//! * [`server`] — [`start`] / [`ServerHandle`], [`ServerConfig`],
+//!   [`ServerMetrics`];
+//! * [`client`] — a blocking [`Client`] for tests, load harnesses and
+//!   the CLI's `--connect` mode.
+//!
+//! The serving contract the tests pin: served rows are byte-identical
+//! to in-process evaluation at any worker-thread count and postings
+//! format; every request resolves to exactly one response — a results
+//! page or a typed error (sheds included); malformed frames get a typed
+//! protocol error or a clean close, never a panic or a hang.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryOutcome};
+pub use proto::{
+    ErrorCode, ErrorResponse, Frame, QueryRequest, QueryResponse, StatsResponse, WireDegradation,
+    WireError, WireMetrics, WireRow,
+};
+pub use server::{start, QuotaConfig, ServerConfig, ServerHandle, ServerMetrics};

@@ -5,8 +5,16 @@
 //!              [--k N] [--no-prune] [--threads N] [--pool-shards N] \
 //!              [--postings raw|packed] [--explain] [--stats] \
 //!              [--trace-out FILE] [--deadline-ms N] [--faults SPEC] \
-//!              [--query-log FILE] [--slow-ms N]
+//!              [--query-log FILE] [--slow-ms N] [--connect ADDR]
 //! ```
+//!
+//! `--connect ADDR` switches to client mode: instead of loading a
+//! document, queries are sent to a running `xkeyword-serve` over the
+//! binary wire protocol (one-shot with `--query`, interactive
+//! otherwise; `:stats` fetches the server's counters). `--z`, `--k`,
+//! `--no-prune` and `--deadline-ms` map onto request fields; typed
+//! server errors — including `Overloaded` sheds, with their retry
+//! hints — print as one-line messages.
 //!
 //! With a file: parses it, infers the schema and target segments, builds
 //! the XKeyword decomposition and answers queries. Without a file: loads
@@ -60,6 +68,9 @@ use xkeyword::core::xkeyword::DecompositionSpec;
 
 struct Args {
     file: Option<String>,
+    /// Client mode: query a running `xkeyword-serve` at this address
+    /// instead of loading a document in-process.
+    connect: Option<std::net::SocketAddr>,
     query: Option<String>,
     z: usize,
     top: usize,
@@ -111,6 +122,7 @@ fn flag_num<T: std::str::FromStr>(
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         file: None,
+        connect: None,
         query: None,
         z: 8,
         top: 10,
@@ -130,6 +142,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut it = argv;
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--connect" => {
+                let v = flag_value(&mut it, "--connect")?;
+                args.connect = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid value {v:?} for --connect"))?,
+                );
+            }
             "--query" => args.query = Some(flag_value(&mut it, "--query")?),
             "--z" => args.z = flag_num(&mut it, "--z")?,
             "--top" => args.top = flag_num(&mut it, "--top")?,
@@ -164,7 +183,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     "usage: xkeyword-cli [FILE.xml] [--query \"kw1 kw2\"] [--z N] [--top K] \
                      [--k N] [--no-prune] [--threads N] [--pool-shards N] \
                      [--postings raw|packed] [--explain] [--stats] [--trace-out FILE] \
-                     [--deadline-ms N] [--faults SPEC] [--query-log FILE] [--slow-ms N]"
+                     [--deadline-ms N] [--faults SPEC] [--query-log FILE] [--slow-ms N] \
+                     [--connect ADDR]"
                 );
                 std::process::exit(0);
             }
@@ -180,6 +200,10 @@ fn main() {
         eprintln!("error: {e}; try --help");
         std::process::exit(2);
     });
+    if let Some(addr) = args.connect {
+        // Client mode: no local document, the server evaluates.
+        std::process::exit(run_client(addr, &args));
+    }
     if args.trace_out.is_some() {
         // Turn tracing + metrics on before the load stage so its spans
         // (load.targets, load.master, ...) land in the trace too.
@@ -311,6 +335,170 @@ fn main() {
     }
     write_trace(&xk, &args);
     write_query_log(&xk, &args);
+}
+
+/// Client mode: sends queries to a running `xkeyword-serve`. Returns
+/// the process exit code (0 = all queries succeeded, 1 = a query or
+/// the connection failed).
+fn run_client(addr: std::net::SocketAddr, args: &Args) -> i32 {
+    use xkeyword::serve::Client;
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    eprintln!("connected to {addr}");
+    let mut k = args.k;
+    if let Some(q) = &args.query {
+        return if client_query(&mut client, q, k, args) {
+            0
+        } else {
+            1
+        };
+    }
+    eprintln!(
+        "enter keyword queries (one per line; `:stats` server counters, \
+         `:topk N` top-k execution, ctrl-D to quit):"
+    );
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":stats" {
+            match client.stats() {
+                Ok(s) => print_server_stats(&s),
+                Err(e) => println!("stats error: {e}"),
+            }
+            continue;
+        }
+        if let Some(v) = line.strip_prefix(":topk") {
+            match parse_k(v.trim(), ":topk") {
+                Ok(n) => {
+                    k = Some(n);
+                    println!("top-k set to {n}");
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        client_query(&mut client, line, k, args);
+    }
+    0
+}
+
+/// Sends one query over the wire, following pagination to the end, and
+/// prints the rows with server-side metrics. Returns success.
+fn client_query(
+    client: &mut xkeyword::serve::Client,
+    query: &str,
+    k: Option<usize>,
+    args: &Args,
+) -> bool {
+    use xkeyword::serve::proto::FLAG_NO_PRUNE;
+    use xkeyword::serve::QueryOutcome;
+    let req = xkeyword::serve::QueryRequest {
+        z: args.z as u16,
+        k: k.unwrap_or(0) as u32,
+        deadline_ms: args
+            .deadline
+            .map_or(0, |d| d.as_millis().min(u32::MAX as u128) as u32),
+        flags: if args.prune { 0 } else { FLAG_NO_PRUNE },
+        keywords: query.split_whitespace().map(str::to_owned).collect(),
+        ..Default::default()
+    };
+    match client.query_all_pages(&req) {
+        Ok(QueryOutcome::Results(r)) => {
+            let m = &r.metrics;
+            println!(
+                "{} results ({} candidate networks, {}; server exec {:?} of {:?} total; \
+                 io {} hits / {} misses)",
+                r.total_rows,
+                m.plans,
+                if m.plan_cache_hit {
+                    "plan-cache hit"
+                } else {
+                    "cold"
+                },
+                std::time::Duration::from_nanos(m.exec_ns),
+                std::time::Duration::from_nanos(m.total_ns),
+                m.io_hits,
+                m.io_misses
+            );
+            let d = &r.degradation;
+            if d.is_degraded() {
+                println!(
+                    "  DEGRADED: {} plans skipped, {} incomplete, {} faults, {} retries{}",
+                    d.plans_skipped,
+                    d.plans_incomplete,
+                    d.faults,
+                    d.retries,
+                    if d.deadline_exceeded {
+                        " (deadline exceeded)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            for row in r.rows.iter().take(args.top) {
+                let nodes: Vec<String> = row.assignment.iter().map(u32::to_string).collect();
+                println!(
+                    "  size {:>2} plan {:>3}: nodes [{}]",
+                    row.score,
+                    row.plan,
+                    nodes.join(", ")
+                );
+            }
+            true
+        }
+        Ok(QueryOutcome::Error(e)) => {
+            if e.retry_after_ms > 0 {
+                println!(
+                    "query error: {:?}: {} (retry after {}ms)",
+                    e.code, e.message, e.retry_after_ms
+                );
+            } else {
+                println!("query error: {:?}: {}", e.code, e.message);
+            }
+            false
+        }
+        Err(e) => {
+            println!("query error: transport: {e}");
+            false
+        }
+    }
+}
+
+/// Prints a server counter snapshot (the Stats frame).
+fn print_server_stats(s: &xkeyword::serve::StatsResponse) {
+    println!(
+        "server: {} connections ({} rejected), {} requests, {} responses; \
+         {} shed, {} quota-shed, {} protocol errors, {} request errors",
+        s.connections,
+        s.connections_rejected,
+        s.requests,
+        s.responses,
+        s.shed,
+        s.quota_shed,
+        s.protocol_errors,
+        s.request_errors
+    );
+    println!(
+        "  inflight {} (peak {}); degraded {} ({} plans skipped, {} incomplete, {} faults)",
+        s.inflight,
+        s.inflight_peak,
+        s.degraded,
+        s.plans_skipped,
+        s.plans_incomplete,
+        s.query_faults
+    );
+    println!(
+        "  engine: {} queries, {} errors, {} plan-cache hits",
+        s.engine_queries, s.engine_errors, s.engine_plan_cache_hits
+    );
 }
 
 /// Prints the storage fault layer's cumulative counters.

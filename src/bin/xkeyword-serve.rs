@@ -1,0 +1,237 @@
+//! `xkeyword-serve` — the XKeyword network server.
+//!
+//! ```text
+//! xkeyword-serve [FILE.xml] [--listen ADDR] [--max-inflight N]
+//!                [--max-connections N] [--admission-wait-ms N]
+//!                [--quota-rps F] [--quota-burst N]
+//!                [--max-deadline-ms N] [--session-budget-ms N]
+//!                [--threads N] [--pool-shards N] [--postings raw|packed]
+//!                [--page-rows N] [--faults SPEC] [--serve-secs N]
+//! ```
+//!
+//! Loads an XML document (or the paper's Figure 1 document when no file
+//! is given) exactly like `xkeyword-cli`, then serves it over the
+//! `xkw-serve` wire protocol. Prints `listening on ADDR` — with the
+//! actual bound address, so `--listen 127.0.0.1:0` works for tests —
+//! and serves until killed (or for `--serve-secs N`, after which it
+//! shuts down cleanly and prints the final counter snapshot in
+//! Prometheus text format).
+//!
+//! Admission control knobs: `--max-inflight` bounds concurrently
+//! evaluating queries (excess requests get a typed `Overloaded`
+//! response), `--admission-wait-ms` sets how long a request may wait
+//! for a slot before shedding, `--quota-rps`/`--quota-burst` arm the
+//! per-client token-bucket quota, `--session-budget-ms` caps each
+//! connection's cumulative evaluation time, and `--max-deadline-ms`
+//! clamps per-query deadlines server-side. Flag values are parsed
+//! strictly — a malformed address or count is a one-line error and exit
+//! code 2, never a silent fallback.
+//!
+//! Query with `xkeyword-cli --connect ADDR`.
+
+#![allow(clippy::disallowed_macros)] // printing is this target's interface
+use std::net::SocketAddr;
+use std::time::Duration;
+use xkeyword::core::prelude::*;
+use xkeyword::core::xkeyword::DecompositionSpec;
+use xkeyword::serve::{QuotaConfig, ServerConfig};
+
+struct Args {
+    file: Option<String>,
+    listen: SocketAddr,
+    cfg: ServerConfig,
+    quota_rps: Option<f64>,
+    quota_burst: Option<u32>,
+    threads: usize,
+    pool_shards: usize,
+    postings: PostingsFormatKind,
+    faults: Option<xkeyword::store::FaultSpec>,
+    serve_secs: Option<u64>,
+}
+
+/// The value following `flag`, or a one-line error.
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Strictly parses a numeric flag value — a malformed number is an
+/// error, not a silent fallback to the default.
+fn flag_num<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = flag_value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag}"))
+}
+
+/// Strictly parses a positive count (0 is rejected like a non-number —
+/// a zero in-flight bound would shed everything).
+fn flag_positive(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let v = flag_value(it, flag)?;
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("invalid value {v:?} for {flag}")),
+    }
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        file: None,
+        listen: "127.0.0.1:4250".parse().expect("default address parses"),
+        cfg: ServerConfig::default(),
+        quota_rps: None,
+        quota_burst: None,
+        threads: 1,
+        pool_shards: 0,
+        postings: PostingsFormatKind::from_env(),
+        faults: None,
+        serve_secs: None,
+    };
+    let mut it = argv;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => {
+                let v = flag_value(&mut it, "--listen")?;
+                args.listen = v
+                    .parse()
+                    .map_err(|_| format!("invalid value {v:?} for --listen"))?;
+            }
+            "--max-inflight" => args.cfg.max_inflight = flag_positive(&mut it, "--max-inflight")?,
+            "--max-connections" => {
+                args.cfg.max_connections = flag_positive(&mut it, "--max-connections")?;
+            }
+            "--admission-wait-ms" => {
+                let ms: u64 = flag_num(&mut it, "--admission-wait-ms")?;
+                args.cfg.admission_wait = Duration::from_millis(ms);
+            }
+            "--quota-rps" => {
+                let v = flag_value(&mut it, "--quota-rps")?;
+                match v.parse::<f64>() {
+                    Ok(rps) if rps > 0.0 && rps.is_finite() => args.quota_rps = Some(rps),
+                    _ => return Err(format!("invalid value {v:?} for --quota-rps")),
+                }
+            }
+            "--quota-burst" => {
+                args.quota_burst = Some(flag_positive(&mut it, "--quota-burst")? as u32);
+            }
+            "--max-deadline-ms" => {
+                let ms = flag_positive(&mut it, "--max-deadline-ms")? as u64;
+                args.cfg.max_deadline = Some(Duration::from_millis(ms));
+            }
+            "--session-budget-ms" => {
+                let ms = flag_positive(&mut it, "--session-budget-ms")? as u64;
+                args.cfg.session_budget = Some(Duration::from_millis(ms));
+            }
+            "--page-rows" => {
+                args.cfg.max_page_rows = flag_positive(&mut it, "--page-rows")? as u32;
+            }
+            "--threads" => args.threads = flag_num(&mut it, "--threads")?,
+            "--pool-shards" => args.pool_shards = flag_num(&mut it, "--pool-shards")?,
+            "--postings" => args.postings = flag_num(&mut it, "--postings")?,
+            "--faults" => {
+                let spec = flag_value(&mut it, "--faults")?;
+                args.faults = Some(
+                    xkeyword::store::FaultSpec::parse(&spec)
+                        .map_err(|e| format!("invalid --faults spec: {e}"))?,
+                );
+            }
+            "--serve-secs" => args.serve_secs = Some(flag_num(&mut it, "--serve-secs")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: xkeyword-serve [FILE.xml] [--listen ADDR] [--max-inflight N] \
+                     [--max-connections N] [--admission-wait-ms N] [--quota-rps F] \
+                     [--quota-burst N] [--max-deadline-ms N] [--session-budget-ms N] \
+                     [--threads N] [--pool-shards N] [--postings raw|packed] \
+                     [--page-rows N] [--faults SPEC] [--serve-secs N]"
+                );
+                std::process::exit(0);
+            }
+            _ if !a.starts_with('-') => args.file = Some(a),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let mut args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}; try --help");
+        std::process::exit(2);
+    });
+    if args.quota_rps.is_some() || args.quota_burst.is_some() {
+        args.cfg.quota = Some(QuotaConfig {
+            per_sec: args.quota_rps.unwrap_or(50.0),
+            burst: args.quota_burst.unwrap_or(20),
+        });
+    }
+    args.cfg.exec_threads = args.threads.max(1);
+
+    let options = LoadOptions {
+        decomposition: DecompositionSpec::XKeyword { m: 6, b: 2 },
+        pool_shards: args.pool_shards,
+        exec_threads: args.threads,
+        faults: args.faults.clone(),
+        postings_format: args.postings,
+        ..LoadOptions::default()
+    };
+    let xk = match &args.file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            XKeyword::load_xml(&text, options).unwrap_or_else(|e| {
+                eprintln!("cannot load {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            eprintln!("(no file given — serving the paper's Figure 1 document)");
+            let (graph, _, _) = xkeyword::datagen::tpch::figure1();
+            XKeyword::load(graph, xkeyword::datagen::tpch::tss_graph(), options).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot load the built-in Figure 1 document: {e}");
+                    std::process::exit(1);
+                },
+            )
+        }
+    };
+    eprintln!(
+        "loaded: {} target objects, {} connection relations, {} keywords",
+        xk.targets.len(),
+        xk.catalog.len(),
+        xk.master.keyword_count()
+    );
+
+    let mut handle = xkeyword::serve::start(std::sync::Arc::new(xk), args.listen, args.cfg.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot listen on {}: {e}", args.listen);
+            std::process::exit(1);
+        });
+    // Stdout on purpose (and flushed by println): harnesses read the
+    // bound address from here when --listen uses port 0.
+    println!("listening on {}", handle.addr());
+    eprintln!(
+        "max-inflight {}, admission wait {:?}, quota {}",
+        args.cfg.max_inflight,
+        args.cfg.admission_wait,
+        match args.cfg.quota {
+            Some(q) => format!("{} rps (burst {})", q.per_sec, q.burst),
+            None => "off".into(),
+        }
+    );
+
+    match args.serve_secs {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            handle.shutdown();
+            print!("{}", handle.metrics().render_prometheus());
+        }
+        None => loop {
+            // Serve until killed; the acceptor and connection threads do
+            // all the work.
+            std::thread::park();
+        },
+    }
+}

@@ -35,6 +35,7 @@ pub use xkw_core as core;
 pub use xkw_datagen as datagen;
 pub use xkw_graph as graph;
 pub use xkw_obs as obs;
+pub use xkw_serve as serve;
 pub use xkw_store as store;
 
 pub use xkw_core::prelude::*;

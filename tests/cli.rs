@@ -1,12 +1,21 @@
-//! Drives the `xkeyword-cli` binary end to end: malformed flags are
-//! rejected up front with a one-line message and exit code 2, query
-//! failures in one-shot mode exit nonzero, and a healthy query over the
-//! built-in Figure 1 document exits 0.
+//! Drives the `xkeyword-cli` and `xkeyword-serve` binaries end to end:
+//! malformed flags are rejected up front with a one-line message and
+//! exit code 2, query failures in one-shot mode exit nonzero, a healthy
+//! query over the built-in Figure 1 document exits 0, and the
+//! `--threads`/`--deadline-ms`/`--k` matrix prints byte-identical
+//! result rows.
 
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_xkeyword-cli"))
+        .args(args)
+        .output()
+        .expect("binary must spawn")
+}
+
+fn run_serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xkeyword-serve"))
         .args(args)
         .output()
         .expect("binary must spawn")
@@ -154,6 +163,141 @@ fn topk_pruning_does_not_change_one_shot_output() {
             "--no-prune must print byte-identical results ({threads} threads, {postings})"
         );
     }
+}
+
+/// `--threads` × `--deadline-ms` × `--k` matrix: a generous deadline
+/// never degrades, and the printed result rows are byte-identical at
+/// every thread count — the CLI surface of the determinism contract.
+#[test]
+fn threads_deadline_k_matrix_is_byte_identical() {
+    let baseline = run(&["--query", "us vcr", "--k", "3", "--threads", "1"]);
+    assert_eq!(baseline.status.code(), Some(0), "{:?}", baseline.status);
+    let want = topk_result_rows(&baseline);
+    assert!(want.contains("results ("), "got {want:?}");
+    for threads in ["2", "4", "8"] {
+        for deadline in [None, Some("60000")] {
+            let mut args = vec!["--query", "us vcr", "--k", "3", "--threads", threads];
+            if let Some(ms) = deadline {
+                args.extend(["--deadline-ms", ms]);
+            }
+            let out = run(&args);
+            assert_eq!(out.status.code(), Some(0), "{args:?}: {:?}", out.status);
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                !stdout.contains("DEGRADED"),
+                "a 60s deadline must not degrade Figure 1: {args:?}"
+            );
+            assert_eq!(
+                topk_result_rows(&out),
+                want,
+                "rows diverged at {threads} threads, deadline {deadline:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cli_connect_flag_parses_strictly() {
+    for bad in ["not-an-addr", "127.0.0.1", "localhost:99999", ""] {
+        let out = run(&["--connect", bad]);
+        assert_eq!(out.status.code(), Some(2), "--connect {bad:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains("--connect"),
+            "got {stderr:?}"
+        );
+    }
+    let out = run(&["--connect"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect needs a value"));
+}
+
+/// The serve binary rejects malformed flag values up front — before any
+/// load stage — with a one-line message naming the flag and exit 2.
+#[test]
+fn serve_flags_parse_strictly() {
+    for (flag, value) in [
+        ("--listen", "not-an-addr"),
+        ("--listen", "127.0.0.1"),
+        ("--listen", "127.0.0.1:notaport"),
+        ("--max-inflight", "0"),
+        ("--max-inflight", "-1"),
+        ("--max-inflight", "bogus"),
+        ("--max-inflight", "1.5"),
+        ("--max-connections", "0"),
+        ("--admission-wait-ms", "soon"),
+        ("--quota-rps", "fast"),
+        ("--quota-rps", "0"),
+        ("--quota-rps", "-2.5"),
+        ("--quota-burst", "0"),
+        ("--max-deadline-ms", "0"),
+        ("--session-budget-ms", "never"),
+        ("--page-rows", "0"),
+        ("--postings", "bogus"),
+        ("--serve-secs", "forever"),
+    ] {
+        let out = run_serve(&[flag, value]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {value:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains(flag),
+            "{flag}: one-line message must name the flag, got {stderr:?}"
+        );
+        // Fail-fast: rejected before loading anything.
+        assert!(
+            !stderr.contains("loaded:"),
+            "{flag}: must reject before the load stage"
+        );
+    }
+    let out = run_serve(&["--listen"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--listen needs a value"));
+
+    let out = run_serve(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --frobnicate"));
+}
+
+/// One-shot serve-then-query round trip through both binaries: the
+/// server prints its bound address, the CLI client queries it over the
+/// wire, and the server's final counter dump reflects the request.
+#[test]
+fn serve_and_cli_client_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    let mut server = Command::new(env!("CARGO_BIN_EXE_xkeyword-serve"))
+        .args(["--listen", "127.0.0.1:0", "--serve-secs", "30"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server must spawn");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let first = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
+        .to_string();
+
+    let out = run(&["--connect", &addr, "--query", "john vcr", "--k", "3"]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("results ("), "got {stdout:?}");
+
+    // A typed query error still exits 1, same convention as local mode.
+    let bad = run(&["--connect", &addr, "--query", "zzz_missing"]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("query error"));
+
+    server.kill().ok();
+    server.wait().ok();
 }
 
 #[test]
