@@ -34,7 +34,7 @@ fn cache_capacity(c: &mut Criterion) {
             b.iter(|| {
                 for plans in &plan_sets {
                     let capped = w::cap_ctssn_size(plans, 5);
-                    let res = exec::all_plans(&xk.db, &xk.catalog, &capped, mode);
+                    let res = exec::all_plans(&xk.db, &xk.catalog(), &capped, mode);
                     std::hint::black_box(res.rows.len());
                 }
             })
@@ -60,7 +60,7 @@ fn cross_cn_reuse(c: &mut Criterion) {
             for plans in &plan_sets {
                 let capped = w::cap_ctssn_size(plans, 5);
                 // all_plans shares one cache across plans.
-                let res = exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached());
+                let res = exec::all_plans(&xk.db, &xk.catalog(), &capped, w::cached());
                 std::hint::black_box(res.rows.len());
             }
         })
@@ -74,7 +74,7 @@ fn cross_cn_reuse(c: &mut Criterion) {
                     let mut stats = exec::ExecStats::default();
                     let _ = exec::eval_plan(
                         &xk.db,
-                        &xk.catalog,
+                        &xk.catalog(),
                         i,
                         p,
                         w::cached(),
@@ -104,7 +104,7 @@ fn cn_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("generate", z), &z, |b, &z| {
             b.iter(|| {
                 for (a, b_) in &queries {
-                    let achievable = xk.master.achievable_sets(&[a, b_]);
+                    let achievable = xk.master().achievable_sets(&[a, b_]);
                     let gen = CnGenerator::new(xk.tss.schema(), &achievable, 2);
                     std::hint::black_box(gen.generate(z).len());
                 }
@@ -123,10 +123,10 @@ fn plan_cache(c: &mut Criterion) {
     // Cold: a zero-capacity cache replans every prepare from scratch.
     let cold_engine = QueryEngine::with_plan_cache_capacity(
         xk.tss.clone(),
-        xk.targets.clone(),
-        xk.master.clone(),
+        xk.targets().clone(),
+        xk.master().clone(),
         xk.db.clone(),
-        xk.catalog.clone(),
+        xk.catalog().clone(),
         0,
     );
     // Warm: the default engine, its cache pre-warmed with the query

@@ -85,7 +85,7 @@ fn main() {
             .collect();
         let batch = || {
             for plans in &plan_sets {
-                let res = exec::topk(&xk.db, &xk.catalog, plans, w::cached(), 20, 1);
+                let res = exec::topk(&xk.db, &xk.catalog(), plans, w::cached(), 20, 1);
                 std::hint::black_box(res.rows.len());
             }
         };

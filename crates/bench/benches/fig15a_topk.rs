@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(cfg.name(), k), &k, |b, &k| {
                 b.iter(|| {
                     for plans in &plan_sets {
-                        let res = exec::topk(&xk.db, &xk.catalog, plans, w::cached(), k, 4);
+                        let res = exec::topk(&xk.db, &xk.catalog(), plans, w::cached(), k, 4);
                         std::hint::black_box(res.rows.len());
                     }
                 })

@@ -24,9 +24,9 @@ fn bench(c: &mut Criterion) {
                     for plans in &plan_sets {
                         let capped = w::cap_ctssn_size(plans, m);
                         let res = if hash {
-                            exec::all_results(&xk.db, &xk.catalog, &capped)
+                            exec::all_results(&xk.db, &xk.catalog(), &capped)
                         } else {
-                            exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached())
+                            exec::all_plans(&xk.db, &xk.catalog(), &capped, w::cached())
                         };
                         std::hint::black_box(res.rows.len());
                     }

@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     for plans in &plan_sets {
                         let capped = w::cap_ctssn_size(plans, m);
-                        let res = exec::all_plans(&xk.db, &xk.catalog, &capped, mode);
+                        let res = exec::all_plans(&xk.db, &xk.catalog(), &capped, mode);
                         std::hint::black_box(res.rows.len());
                     }
                 })

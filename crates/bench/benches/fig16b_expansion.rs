@@ -81,7 +81,7 @@ fn bench(c: &mut Criterion) {
             let mut setups = Vec::new();
             for (a, b) in &queries {
                 let keywords = [a.as_str(), b.as_str()];
-                let Some(plan) = build_plan(&ctssn, &xk.catalog, &xk.master, &keywords) else {
+                let Some(plan) = build_plan(&ctssn, &xk.catalog(), &xk.master(), &keywords) else {
                     continue;
                 };
                 let mut cache = PartialCache::new(8192);
@@ -89,7 +89,7 @@ fn bench(c: &mut Criterion) {
                 let mut first = None;
                 let _ = exec::eval_plan(
                     &xk.db,
-                    &xk.catalog,
+                    &xk.catalog(),
                     0,
                     &plan,
                     w::cached(),
@@ -102,7 +102,7 @@ fn bench(c: &mut Criterion) {
                 );
                 let Some(first) = first else { continue };
                 let anchored =
-                    build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1).unwrap();
+                    build_plan_anchored(&ctssn, &xk.catalog(), &xk.master(), &keywords, 1).unwrap();
                 setups.push((first, anchored));
             }
             if setups.is_empty() {
@@ -113,7 +113,7 @@ fn bench(c: &mut Criterion) {
                 .node_ids()
                 .find(|&i| xk.tss.node(i).name == "Paper")
                 .unwrap();
-            let universe = xk.targets.tos_of(paper).to_vec();
+            let universe = xk.targets().tos_of(paper).to_vec();
             group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
                 b.iter(|| {
                     for (first, anchored) in &setups {
@@ -121,7 +121,7 @@ fn bench(c: &mut Criterion) {
                         let mut cache = PartialCache::new(8192);
                         let r = expand_on_demand(
                             &xk.db,
-                            &xk.catalog,
+                            &xk.catalog(),
                             anchored,
                             &mut pg,
                             &universe,

@@ -59,7 +59,7 @@ fn main() {
         XKeyword::load(d.graph, d.tss, Config::XKeyword.load_options())
             .expect("DBLP data conforms"),
     );
-    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    xk.catalog().set_roundtrip(Duration::from_micros(100));
     let mix = QueryMix::author_pairs(&xk, 24, 7, 1.1);
     let spec = RequestSpec {
         k: 10,

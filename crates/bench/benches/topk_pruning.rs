@@ -86,7 +86,7 @@ fn main() {
     let d = data.generate();
     let xk = XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms");
     xk.db.pool().set_miss_penalty(Duration::from_millis(2));
-    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    xk.catalog().set_roundtrip(Duration::from_micros(100));
     let queries = w::pick_author_queries(&xk, 5, 7);
     let plan_sets: Vec<Vec<_>> = queries
         .iter()
@@ -107,7 +107,7 @@ fn main() {
     let batch = |k: usize, prune: bool| -> Work {
         let mut work = Work::default();
         for plans in &plan_sets {
-            let res = exec::topk_opts(&xk.db, &xk.catalog, plans, w::cached(), k, THREADS, prune);
+            let res = exec::topk_opts(&xk.db, &xk.catalog(), plans, w::cached(), k, THREADS, prune);
             work.claimed += res.prune.plans_claimed;
             work.pruned += res.prune.plans_pruned;
             work.early_stopped += res.prune.plans_early_stopped;
@@ -122,8 +122,8 @@ fn main() {
         // Byte-identity spot check on this workload (the proptest in
         // tests/concurrency.rs is the primary pin).
         for plans in &plan_sets {
-            let a = exec::topk_opts(&xk.db, &xk.catalog, plans, w::cached(), k, THREADS, true);
-            let b = exec::topk_opts(&xk.db, &xk.catalog, plans, w::cached(), k, THREADS, false);
+            let a = exec::topk_opts(&xk.db, &xk.catalog(), plans, w::cached(), k, THREADS, true);
+            let b = exec::topk_opts(&xk.db, &xk.catalog(), plans, w::cached(), k, THREADS, false);
             assert_eq!(a.rows, b.rows, "pruning changed the top-{k} rows");
         }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig15a] [fig15b] [fig16a] [fig16b] [space] [decompose] \
-//!             [explain] [faults] [topk] [slowlog] [serve] [all]
+//!             [explain] [faults] [topk] [slowlog] [serve] [ingest] [all]
 //! ```
 //!
 //! * **fig15a** — top-K execution time (ms) vs K per decomposition
@@ -65,6 +65,114 @@ fn main() {
     if want("serve") {
         serve_section();
     }
+    if want("ingest") {
+        ingest_section();
+    }
+}
+
+/// Durable-write-path walkthrough: incremental document ingestion over
+/// a WAL, a simulated torn append, crash recovery on reopen, and a
+/// checkpoint compacting the log to the net live documents (reproduced
+/// in EXPERIMENTS.md §"Durable ingest").
+fn ingest_section() {
+    use xkw_store::{FaultKind, FsyncPolicy, WalFault};
+    println!("\n== Durable ingest: WAL, crash recovery, checkpoint (XKeyword, DBLP) ==");
+    let dir = std::env::temp_dir().join(format!("xkw-experiments-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let data = w::bench_dblp_config();
+    let load = || {
+        let d = data.generate();
+        let mut opts = Config::XKeyword.load_options();
+        opts.wal_dir = Some(dir.clone());
+        opts.fsync = FsyncPolicy::Always;
+        XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms")
+    };
+    let delta = |i: usize| {
+        format!(
+            "<conference><cname>DELTACONF{i}</cname><year><yval>2004</yval>\
+             <paper idrefs=\"da{i}\"><title>incremental maintenance delta {i}</title>\
+             <pages>1-12</pages><url>db/conf/delta/p{i}.html</url></paper></year>\
+             </conference><author id=\"da{i}\"><aname>Ada Deltauthor</aname></author>"
+        )
+    };
+    let kws = ["incremental", "maintenance"];
+    let hits = |xk: &XKeyword| xk.query_all(&kws, w::Z, w::cached()).mttons().len();
+
+    let t = Instant::now();
+    let xk = load();
+    println!(
+        "bulk load: {} target objects, {} postings in {:.0}ms (wal: {})",
+        xk.targets().len(),
+        xk.master().posting_count(),
+        t.elapsed().as_secs_f64() * 1e3,
+        dir.display()
+    );
+    println!(
+        "\"{} {}\" before ingest: {} results",
+        kws[0],
+        kws[1],
+        hits(&xk)
+    );
+    for i in 0..2 {
+        let t = Instant::now();
+        let doc = xk.insert_document(&delta(i)).expect("delta conforms");
+        println!(
+            "insert delta {i} -> document {doc} in {:.1}ms; {} results",
+            t.elapsed().as_secs_f64() * 1e3,
+            hits(&xk)
+        );
+    }
+    let pre_crash = hits(&xk);
+
+    // A torn append: the record hits the disk with its payload mangled,
+    // as if the process died mid-write. The mutation reports the failure
+    // and nothing is applied; the instance is then abandoned.
+    let next_append = xk.wal_stats().expect("WAL configured").appends;
+    xk.set_wal_fault(Some(WalFault {
+        kind: FaultKind::WalTorn,
+        at: next_append,
+    }));
+    match xk.insert_document(&delta(2)) {
+        Ok(_) => unreachable!("torn append must fail"),
+        Err(e) => println!("insert delta 2 under a torn-write fault: {e}"),
+    }
+    let wal_file = dir.join(xkw_core::xkeyword::WAL_FILE);
+    let on_disk = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "abandoning instance at {} on-disk wal bytes (mangled tail included); {} results survive",
+        on_disk(&wal_file),
+        hits(&xk)
+    );
+    drop(xk);
+
+    // Reopen: the two durable records replay, the torn tail is truncated.
+    let xk = load();
+    println!(
+        "reopen: {} documents recovered ({} replays), wal truncated to {} bytes; {} results",
+        xk.documents().len(),
+        xk.recoveries(),
+        on_disk(&wal_file),
+        hits(&xk)
+    );
+    assert_eq!(
+        hits(&xk),
+        pre_crash,
+        "recovery must restore the pre-crash view"
+    );
+
+    // Delete one document and checkpoint: the log compacts to the net
+    // live set (one insert record), not the full history.
+    xk.delete_document(1).expect("doc 1 is live");
+    let before = xk.wal_stats().expect("WAL configured").bytes;
+    xk.checkpoint().expect("checkpoint");
+    let after = xk.wal_stats().expect("WAL configured").bytes;
+    println!(
+        "delete document 1 + checkpoint: wal {before} -> {after} bytes, {} live documents, {} results",
+        xk.documents().len(),
+        hits(&xk)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Serving-layer walkthrough: an in-process `xkw-serve` server over the
@@ -82,7 +190,7 @@ fn serve_section() {
     let xk = Arc::new(
         XKeyword::load(d.graph, d.tss, Config::XKeyword.load_options()).expect("DBLP conforms"),
     );
-    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    xk.catalog().set_roundtrip(Duration::from_micros(100));
     let mix = QueryMix::author_pairs(&xk, 24, 7, 1.1);
     let spec = RequestSpec {
         k: 10,
@@ -213,7 +321,7 @@ fn topk_section() {
     let d = data.generate();
     let xk = XKeyword::load(d.graph, d.tss, opts).expect("DBLP data conforms");
     xk.db.pool().set_miss_penalty(Duration::from_millis(2));
-    xk.catalog.set_roundtrip(Duration::from_micros(100));
+    xk.catalog().set_roundtrip(Duration::from_micros(100));
     let queries = w::pick_author_queries(&xk, QUERIES, SEED);
     let plan_sets: Vec<Vec<_>> = queries
         .iter()
@@ -234,7 +342,7 @@ fn topk_section() {
             let (mut claimed, mut pruned, mut aborted) = (0usize, 0usize, 0usize);
             let t = Instant::now();
             for plans in &plan_sets {
-                let res = exec::topk_opts(&xk.db, &xk.catalog, plans, w::cached(), k, 8, prune);
+                let res = exec::topk_opts(&xk.db, &xk.catalog(), plans, w::cached(), k, 8, prune);
                 claimed += res.prune.plans_claimed;
                 pruned += res.prune.plans_pruned;
                 aborted += res.prune.plans_early_stopped;
@@ -354,8 +462,8 @@ fn space() {
         println!(
             "{:<16}{:>12}{:>12}{:>12}",
             cfg.name(),
-            xk.catalog.decomposition.fragments.len(),
-            xk.catalog.space_cells(),
+            xk.catalog().decomposition.fragments.len(),
+            xk.catalog().space_cells(),
             xk.db.disk_pages()
         );
     }
@@ -380,7 +488,7 @@ fn fig15a() {
         let d = data.generate();
         let xk = XKeyword::load(d.graph, d.tss, opts).unwrap();
         xk.db.pool().set_miss_penalty(Duration::from_millis(2));
-        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        xk.catalog().set_roundtrip(Duration::from_micros(100));
         let queries = w::pick_author_queries(&xk, QUERIES, SEED);
         let plan_sets: Vec<Vec<_>> = queries
             .iter()
@@ -391,7 +499,7 @@ fn fig15a() {
             let mut samples = Vec::new();
             for plans in &plan_sets {
                 let t = Instant::now();
-                let res = exec::topk(&xk.db, &xk.catalog, plans, w::cached(), k, 4);
+                let res = exec::topk(&xk.db, &xk.catalog(), plans, w::cached(), k, 4);
                 samples.push(t.elapsed());
                 std::hint::black_box(res.rows.len());
             }
@@ -418,7 +526,7 @@ fn fig15b() {
     println!("(middleware scenario: 100us statement round trip)");
     for cfg in Config::FIG15 {
         let xk = w::dblp_instance(cfg, &data);
-        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        xk.catalog().set_roundtrip(Duration::from_micros(100));
         let queries = w::pick_author_queries(&xk, QUERIES, SEED);
         let plan_sets: Vec<Vec<_>> = queries
             .iter()
@@ -435,9 +543,9 @@ fn fig15b() {
                 let capped = w::cap_ctssn_size(plans, m);
                 let t = Instant::now();
                 let res = if hash {
-                    exec::all_results(&xk.db, &xk.catalog, &capped)
+                    exec::all_results(&xk.db, &xk.catalog(), &capped)
                 } else {
-                    exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached())
+                    exec::all_plans(&xk.db, &xk.catalog(), &capped, w::cached())
                 };
                 samples.push(t.elapsed());
                 std::hint::black_box(res.rows.len());
@@ -455,7 +563,7 @@ fn fig16a() {
     println!("(middleware scenario: 20us statement round trip)");
     let data = w::bench_dblp_config();
     let xk = w::dblp_instance(Config::MinClust, &data);
-    xk.catalog.set_roundtrip(Duration::from_micros(20));
+    xk.catalog().set_roundtrip(Duration::from_micros(20));
     let queries = w::pick_author_queries(&xk, 3, SEED);
     let plan_sets: Vec<Vec<_>> = queries
         .iter()
@@ -471,11 +579,11 @@ fn fig16a() {
         for plans in &plan_sets {
             let capped = w::cap_ctssn_size(plans, m);
             let t = Instant::now();
-            let rn = exec::all_plans(&xk.db, &xk.catalog, &capped, ExecMode::Naive);
+            let rn = exec::all_plans(&xk.db, &xk.catalog(), &capped, ExecMode::Naive);
             tn.push(t.elapsed());
             pn += rn.stats.probes;
             let t = Instant::now();
-            let rc = exec::all_plans(&xk.db, &xk.catalog, &capped, w::cached());
+            let rc = exec::all_plans(&xk.db, &xk.catalog(), &capped, w::cached());
             tc.push(t.elapsed());
             pc += rc.stats.probes;
             assert_eq!(rn.mttons(), rc.mttons());
@@ -512,7 +620,7 @@ fn fig16b() {
         ("combination", Config::Combined),
     ] {
         let xk = w::dblp_instance(cfg, &data);
-        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        xk.catalog().set_roundtrip(Duration::from_micros(100));
         let queries = w::pick_author_queries(&xk, QUERIES, SEED);
         print!("{:<14}", label);
         for s in sizes {
@@ -582,7 +690,7 @@ fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Dur
         cn_size: size + 2,
     };
     let keywords = [kw_a, kw_b];
-    let plan = xkw_core::optimizer::build_plan(&ctssn, &xk.catalog, &xk.master, &keywords)?;
+    let plan = xkw_core::optimizer::build_plan(&ctssn, &xk.catalog(), &xk.master(), &keywords)?;
 
     // PG0: first result.
     let mut cache = PartialCache::new(8192);
@@ -590,7 +698,7 @@ fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Dur
     let mut first = None;
     let _ = exec::eval_plan(
         &xk.db,
-        &xk.catalog,
+        &xk.catalog(),
         0,
         &plan,
         w::cached(),
@@ -604,13 +712,13 @@ fn expand_once(xk: &XKeyword, kw_a: &str, kw_b: &str, size: usize) -> Option<Dur
     let mut pg = xkw_core::presentation::PresentationGraph::initial(0, first?);
 
     // Expand the first Paper role (role 1).
-    let anchored = build_plan_anchored(&ctssn, &xk.catalog, &xk.master, &keywords, 1)?;
-    let universe = xk.targets.tos_of(paper).to_vec();
+    let anchored = build_plan_anchored(&ctssn, &xk.catalog(), &xk.master(), &keywords, 1)?;
+    let universe = xk.targets().tos_of(paper).to_vec();
     let mut cache = PartialCache::new(8192);
     let t = Instant::now();
     let (_, _) = expand_on_demand(
         &xk.db,
-        &xk.catalog,
+        &xk.catalog(),
         &anchored,
         &mut pg,
         &universe,
@@ -632,7 +740,7 @@ fn tpch_section() {
     );
     for cfg in [Config::XKeyword, Config::MinClust, Config::MinNClustNIndx] {
         let xk = w::tpch_instance(cfg, &data);
-        xk.catalog.set_roundtrip(Duration::from_micros(100));
+        xk.catalog().set_roundtrip(Duration::from_micros(100));
         let queries = w::pick_product_queries(&xk, 3);
         let mut total_joins = 0usize;
         let mut nplans = 0usize;
@@ -643,7 +751,7 @@ fn tpch_section() {
             total_joins += plans.iter().map(|p| p.joins()).sum::<usize>();
             nplans += plans.len();
             let t = Instant::now();
-            let res = exec::topk(&xk.db, &xk.catalog, &plans, w::cached(), 20, 4);
+            let res = exec::topk(&xk.db, &xk.catalog(), &plans, w::cached(), 20, 4);
             samples.push(t.elapsed());
             probes += res.stats.probes;
         }

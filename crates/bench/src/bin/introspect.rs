@@ -7,8 +7,9 @@ fn main() {
     let data = xkw_bench::workload::bench_dblp_config();
     let xk = xkw_bench::workload::dblp_instance(xkw_bench::workload::Config::XKeyword, &data);
     let tss = &xk.tss;
-    for (i, f) in xk.catalog.decomposition.fragments.iter().enumerate() {
-        let rel = xk.catalog.relation(i);
+    let catalog = xk.catalog();
+    for (i, f) in catalog.decomposition.fragments.iter().enumerate() {
+        let rel = catalog.relation(i);
         let names: Vec<&str> = f
             .tree
             .roles

@@ -130,8 +130,8 @@ pub fn pick_author_queries(xk: &XKeyword, n: usize, seed: u64) -> Vec<(String, S
         if a == b {
             continue;
         }
-        let ca = xk.master.containing_list(&a).len();
-        let cb = xk.master.containing_list(&b).len();
+        let ca = xk.master().containing_list(&a).len();
+        let cb = xk.master().containing_list(&b).len();
         if (2..=40).contains(&ca) && (2..=40).contains(&cb) {
             out.push((a, b));
         }
@@ -144,7 +144,7 @@ pub fn pick_author_queries(xk: &XKeyword, n: usize, seed: u64) -> Vec<(String, S
 /// builds plans against this instance's catalog — the per-decomposition
 /// part of query processing.
 pub fn plans_for(xk: &XKeyword, keywords: &[&str], z: usize) -> Vec<CtssnPlan> {
-    let achievable = xk.master.achievable_sets(keywords);
+    let achievable = xk.master().achievable_sets(keywords);
     if achievable.is_empty() {
         return Vec::new();
     }
@@ -152,7 +152,7 @@ pub fn plans_for(xk: &XKeyword, keywords: &[&str], z: usize) -> Vec<CtssnPlan> {
     gen.generate(z)
         .iter()
         .filter_map(|cn| Ctssn::from_cn(cn, &xk.tss).ok())
-        .filter_map(|c| build_plan(&c, &xk.catalog, &xk.master, keywords))
+        .filter_map(|c| build_plan(&c, &xk.catalog(), &xk.master(), keywords))
         .collect()
 }
 
@@ -228,8 +228,8 @@ pub fn pick_product_queries(xk: &XKeyword, n: usize) -> Vec<(String, String)> {
     'outer: for i in 0..nouns.len() {
         for j in i + 1..nouns.len() {
             let (a, b) = (nouns[i].to_lowercase(), nouns[j].to_lowercase());
-            let ca = xk.master.containing_list(&a).len();
-            let cb = xk.master.containing_list(&b).len();
+            let ca = xk.master().containing_list(&a).len();
+            let cb = xk.master().containing_list(&b).len();
             if (2..=30).contains(&ca) && (2..=30).contains(&cb) {
                 out.push((a, b));
                 if out.len() >= n {

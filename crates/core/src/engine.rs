@@ -41,7 +41,7 @@ use crate::postings::PostingsFormatKind;
 use crate::relations::RelationCatalog;
 use crate::semantics::Mtton;
 use crate::target::TargetGraph;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -171,13 +171,30 @@ pub struct QueryOutcome {
     pub metrics: QueryMetrics,
 }
 
+/// One consistent snapshot of the queryable load-stage products. Every
+/// query resolves the view exactly once on entry and runs discovery,
+/// planning and execution against that snapshot, so an ingest installing
+/// a new view mid-query can never mix epochs within one answer.
+#[derive(Clone)]
+pub struct ReadView {
+    /// The target-object decomposition of this epoch.
+    pub targets: Arc<TargetGraph>,
+    /// The master index of this epoch.
+    pub master: Arc<MasterIndex>,
+    /// The connection-relation catalog of this epoch.
+    pub catalog: Arc<RelationCatalog>,
+    /// Monotone installation counter; the bulk-loaded view is epoch 0.
+    pub epoch: u64,
+}
+
 /// The shared query-stage core. See the module docs.
 pub struct QueryEngine {
     tss: Arc<TssGraph>,
-    targets: Arc<TargetGraph>,
-    master: Arc<MasterIndex>,
     db: Arc<Db>,
-    catalog: Arc<RelationCatalog>,
+    /// The current read view. Writers swap the whole `Arc` under a short
+    /// write lock; readers clone it once per query and never block each
+    /// other.
+    view: RwLock<Arc<ReadView>>,
     plan_cache: Mutex<LruCache<PlanKey, Arc<Vec<PlanSkeleton>>>>,
     stats: Mutex<EngineStats>,
     /// Worker threads for full-evaluation queries (`query_all` /
@@ -229,10 +246,13 @@ impl QueryEngine {
     ) -> Self {
         QueryEngine {
             tss,
-            targets,
-            master,
             db,
-            catalog,
+            view: RwLock::new(Arc::new(ReadView {
+                targets,
+                master,
+                catalog,
+                epoch: 0,
+            })),
             plan_cache: Mutex::new(LruCache::new(capacity)),
             stats: Mutex::new(EngineStats::default()),
             exec_threads: AtomicUsize::new(1),
@@ -263,14 +283,51 @@ impl QueryEngine {
         &self.tss
     }
 
-    /// The target-object decomposition.
-    pub fn targets(&self) -> &Arc<TargetGraph> {
-        &self.targets
+    /// The current read view: one `Arc` clone, no allocation. Hold the
+    /// returned snapshot for the duration of one logical operation — a
+    /// concurrent ingest swaps the engine's view but can never mutate a
+    /// snapshot already handed out.
+    pub fn view(&self) -> Arc<ReadView> {
+        self.view.read().clone()
     }
 
-    /// The master index.
-    pub fn master(&self) -> &Arc<MasterIndex> {
-        &self.master
+    /// The epoch of the currently installed view (0 = the bulk load).
+    pub fn epoch(&self) -> u64 {
+        self.view.read().epoch
+    }
+
+    /// Atomically installs a new read view built by the write path and
+    /// returns its epoch. In-flight queries keep their old snapshot;
+    /// queries entering after this see only the new one. The plan cache
+    /// is cleared — cached skeletons embed relation handles and statistics
+    /// of the superseded catalog.
+    pub fn install_view(
+        &self,
+        targets: Arc<TargetGraph>,
+        master: Arc<MasterIndex>,
+        catalog: Arc<RelationCatalog>,
+    ) -> u64 {
+        let mut guard = self.view.write();
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(ReadView {
+            targets,
+            master,
+            catalog,
+            epoch,
+        });
+        drop(guard);
+        self.plan_cache.lock().clear();
+        epoch
+    }
+
+    /// The target-object decomposition of the current view.
+    pub fn targets(&self) -> Arc<TargetGraph> {
+        self.view.read().targets.clone()
+    }
+
+    /// The master index of the current view.
+    pub fn master(&self) -> Arc<MasterIndex> {
+        self.view.read().master.clone()
     }
 
     /// The embedded store.
@@ -278,9 +335,9 @@ impl QueryEngine {
         &self.db
     }
 
-    /// The connection-relation catalog.
-    pub fn catalog(&self) -> &Arc<RelationCatalog> {
-        &self.catalog
+    /// The connection-relation catalog of the current view.
+    pub fn catalog(&self) -> Arc<RelationCatalog> {
+        self.view.read().catalog.clone()
     }
 
     /// Cumulative statistics across all queries on this engine.
@@ -302,22 +359,37 @@ impl QueryEngine {
     /// malformed queries; [`XkError::UnknownKeyword`] when a keyword
     /// occurs nowhere in the data (so no result can exist).
     pub fn prepare(&self, keywords: &[&str], z: usize) -> Result<Prepared, XkError> {
+        let view = self.view();
+        self.prepare_with(&view, keywords, z)
+    }
+
+    /// [`QueryEngine::prepare`] against an explicit snapshot — the form
+    /// every `query_*` entry point uses so discovery, planning and
+    /// execution all read the same epoch.
+    pub fn prepare_with(
+        &self,
+        view: &ReadView,
+        keywords: &[&str],
+        z: usize,
+    ) -> Result<Prepared, XkError> {
         validate_keywords(keywords).inspect_err(|_| self.count_error())?;
 
         // Discover: containing lists + the schema-level partition.
         let t = Instant::now();
         let discover_span = xkw_obs::span!("query.discover", keywords = keywords.len());
         for kw in keywords {
-            if self.master.containing_list(kw).is_empty() {
+            if view.master.containing_list(kw).is_empty() {
                 self.count_error();
                 return Err(XkError::UnknownKeyword((*kw).to_owned()));
             }
         }
-        let achievable = self.master.achievable_sets(keywords);
+        let achievable = view.master.achievable_sets(keywords);
         drop(discover_span);
         let discover = t.elapsed();
 
-        // Plan: skeletons from the cache, or built cold and cached.
+        // Plan: skeletons from the cache, or built cold and cached. The
+        // cache is cleared on every view install, so a cached skeleton is
+        // always from this view's epoch.
         let t = Instant::now();
         let mut plan_span = xkw_obs::span!("query.plan", z = z);
         let key = plan_key(&achievable, keywords.len(), z);
@@ -330,7 +402,7 @@ impl QueryEngine {
                     gen.generate(z)
                         .iter()
                         .filter_map(|cn| Ctssn::from_cn(cn, &self.tss).ok())
-                        .filter_map(|c| build_skeleton(&c, &self.catalog))
+                        .filter_map(|c| build_skeleton(&c, &view.catalog))
                         .collect(),
                 );
                 self.plan_cache.lock().put(key, skeletons.clone());
@@ -340,10 +412,10 @@ impl QueryEngine {
         // One seek index serves every skeleton: requirement resolution is
         // memoized across plans, and over packed postings the zig-zag
         // joins skip non-intersecting blocks without decoding them.
-        let index = self.master.seek_candidates(keywords);
+        let index = view.master.seek_candidates(keywords);
         let plans: Vec<CtssnPlan> = skeletons
             .iter()
-            .filter_map(|s| instantiate_with(s, &self.catalog, &index, None))
+            .filter_map(|s| instantiate_with(s, &view.catalog, &index, None))
             .collect();
         plan_span.record("cache_hit", plan_cache_hit);
         plan_span.record("plans", plans.len());
@@ -394,10 +466,10 @@ impl QueryEngine {
             deadline,
             prune: false,
         };
-        self.run(keywords, z, mode, info, |prepared| {
+        self.run(keywords, z, mode, info, |view, prepared| {
             exec::try_all_plans_mt_within(
                 &self.db,
-                &self.catalog,
+                &view.catalog,
                 &prepared.plans,
                 mode,
                 self.exec_threads(),
@@ -471,10 +543,10 @@ impl QueryEngine {
             deadline,
             prune,
         };
-        self.run(keywords, z, mode, info, |prepared| {
+        self.run(keywords, z, mode, info, |view, prepared| {
             exec::try_topk_within_opts(
                 &self.db,
-                &self.catalog,
+                &view.catalog,
                 &prepared.plans,
                 mode,
                 k,
@@ -514,10 +586,10 @@ impl QueryEngine {
             deadline,
             prune: false,
         };
-        self.run(keywords, z, ExecMode::Naive, info, |prepared| {
+        self.run(keywords, z, ExecMode::Naive, info, |view, prepared| {
             exec::try_all_results_mt_within(
                 &self.db,
-                &self.catalog,
+                &view.catalog,
                 &prepared.plans,
                 self.exec_threads(),
                 deadline,
@@ -534,18 +606,21 @@ impl QueryEngine {
         z: usize,
         mode: ExecMode,
         info: RunInfo,
-        execute: impl FnOnce(&Prepared) -> Result<QueryResults, XkError>,
+        execute: impl FnOnce(&ReadView, &Prepared) -> Result<QueryResults, XkError>,
     ) -> Result<QueryOutcome, XkError> {
         let start = Instant::now();
         let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
-        let prepared = self.prepare(keywords, z)?;
+        // One snapshot per query: discovery, planning and execution all
+        // read this view even if an ingest installs a newer one mid-way.
+        let view = self.view();
+        let prepared = self.prepare_with(&view, keywords, z)?;
 
         let t = Instant::now();
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len());
         // Worker-panic errors get the keyword set attached here: the
         // executor sees plans, only the engine knows the query.
-        let results = match execute(&prepared) {
+        let results = match execute(&view, &prepared) {
             Ok(r) => r,
             Err(e) => {
                 let e = e.with_keywords(keywords);
@@ -648,7 +723,7 @@ impl QueryEngine {
             k: info.k,
             path: info.path,
             mode: recorded_mode(mode),
-            postings: postings_label(self.master.format()),
+            postings: postings_label(self.master().format()),
             deadline_ns: info.deadline.map(|d| d.as_nanos() as u64),
             prune: info.prune,
             plan_cache_hit: metrics.plan_cache_hit,
@@ -709,7 +784,7 @@ impl QueryEngine {
             k: info.k,
             path: info.path,
             mode: recorded_mode(mode),
-            postings: postings_label(self.master.format()),
+            postings: postings_label(self.master().format()),
             deadline_ns: info.deadline.map(|d| d.as_nanos() as u64),
             prune: info.prune,
             plan_cache_hit: prepared.plan_cache_hit,
@@ -778,19 +853,20 @@ impl QueryEngine {
         deadline: Option<Duration>,
     ) -> Result<ExplainCapture, XkError> {
         exec::validate_mode(mode)?;
-        let prepared = self.prepare(keywords, z)?;
-        exec::validate_plans(&self.catalog, &prepared.plans)?;
+        let view = self.view();
+        let prepared = self.prepare_with(&view, keywords, z)?;
+        exec::validate_plans(&view.catalog, &prepared.plans)?;
         let (results, raw) = match k {
             Some(k) => exec::profile_plans_topk(
                 &self.db,
-                &self.catalog,
+                &view.catalog,
                 &prepared.plans,
                 mode,
                 k,
                 deadline,
             ),
             None => {
-                exec::profile_plans_within(&self.db, &self.catalog, &prepared.plans, mode, deadline)
+                exec::profile_plans_within(&self.db, &view.catalog, &prepared.plans, mode, deadline)
             }
         };
         Ok(ExplainCapture {
@@ -798,7 +874,7 @@ impl QueryEngine {
             io_misses: results.stats.io_misses,
             profiles: raw
                 .iter()
-                .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+                .map(|p| self.plan_profile(&view.catalog, &prepared.plans[p.plan], p))
                 .collect(),
         })
     }
@@ -835,12 +911,13 @@ impl QueryEngine {
         let start = Instant::now();
         let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
-        let prepared = self.prepare(keywords, z)?;
-        exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
+        let view = self.view();
+        let prepared = self.prepare_with(&view, keywords, z)?;
+        exec::validate_plans(&view.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
 
         let t = Instant::now();
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len(), explain = true);
-        let (results, raw) = exec::profile_plans(&self.db, &self.catalog, &prepared.plans, mode);
+        let (results, raw) = exec::profile_plans(&self.db, &view.catalog, &prepared.plans, mode);
         drop(exec_span);
         let exec_time = t.elapsed();
 
@@ -868,7 +945,7 @@ impl QueryEngine {
         publish_query_metrics(&metrics, &results);
         let profiles: Vec<PlanProfile> = raw
             .iter()
-            .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+            .map(|p| self.plan_profile(&view.catalog, &prepared.plans[p.plan], p))
             .collect();
         drop(query_span);
         let info = RunInfo {
@@ -919,13 +996,14 @@ impl QueryEngine {
         let start = Instant::now();
         let query_span = xkw_obs::span!("query", keywords = keywords.len(), z = z, explain = true);
         exec::validate_mode(mode).inspect_err(|_| self.count_error())?;
-        let prepared = self.prepare(keywords, z)?;
-        exec::validate_plans(&self.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
+        let view = self.view();
+        let prepared = self.prepare_with(&view, keywords, z)?;
+        exec::validate_plans(&view.catalog, &prepared.plans).inspect_err(|_| self.count_error())?;
 
         let t = Instant::now();
         let exec_span = xkw_obs::span!("query.exec", plans = prepared.plans.len(), explain = true);
         let (results, raw) =
-            exec::profile_plans_topk(&self.db, &self.catalog, &prepared.plans, mode, k, None);
+            exec::profile_plans_topk(&self.db, &view.catalog, &prepared.plans, mode, k, None);
         drop(exec_span);
         let exec_time = t.elapsed();
 
@@ -953,7 +1031,7 @@ impl QueryEngine {
         publish_query_metrics(&metrics, &results);
         let profiles: Vec<PlanProfile> = raw
             .iter()
-            .map(|p| self.plan_profile(&prepared.plans[p.plan], p))
+            .map(|p| self.plan_profile(&view.catalog, &prepared.plans[p.plan], p))
             .collect();
         drop(query_span);
         let info = RunInfo {
@@ -987,7 +1065,12 @@ impl QueryEngine {
     }
 
     /// Dresses one plan's raw measurements in catalog/TSS names.
-    fn plan_profile(&self, plan: &CtssnPlan, raw: &exec::PlanExecProfile) -> PlanProfile {
+    fn plan_profile(
+        &self,
+        catalog: &RelationCatalog,
+        plan: &CtssnPlan,
+        raw: &exec::PlanExecProfile,
+    ) -> PlanProfile {
         let role_name = |r: u8| {
             self.tss
                 .node(plan.ctssn.tree.roles[r as usize])
@@ -1000,7 +1083,7 @@ impl QueryEngine {
             .zip(&raw.steps)
             .enumerate()
             .map(|(i, (tile, step))| {
-                let frag = &self.catalog.decomposition.fragments[tile.rel];
+                let frag = &catalog.decomposition.fragments[tile.rel];
                 let binds: Vec<String> = plan.new_roles[i].iter().map(|&r| role_name(r)).collect();
                 OpProfile {
                     label: format!("probe {} binding [{}]", frag.name, binds.join(", ")),
@@ -1456,6 +1539,28 @@ mod tests {
             }
         }
         assert!(report.render().contains("stages:"));
+    }
+
+    /// Installing a view bumps the epoch, clears the plan cache, and
+    /// leaves previously handed-out snapshots untouched.
+    #[test]
+    fn install_view_swaps_snapshot_and_clears_plan_cache() {
+        let e = engine();
+        assert_eq!(e.epoch(), 0);
+        assert!(!e.prepare(&["john", "vcr"], 8).unwrap().plan_cache_hit);
+        assert!(e.prepare(&["john", "vcr"], 8).unwrap().plan_cache_hit);
+        let old = e.view();
+        let epoch = e.install_view(e.targets(), e.master(), e.catalog());
+        assert_eq!(epoch, 1);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(old.epoch, 0, "held snapshots keep their epoch");
+        assert_eq!(e.plan_cache_len(), 0, "install clears the plan cache");
+        // Same shape plans cold again, and queries still answer correctly.
+        assert!(!e.prepare(&["john", "vcr"], 8).unwrap().plan_cache_hit);
+        let out = e
+            .query_all(&["john", "vcr"], 8, ExecMode::Cached { capacity: 1024 })
+            .unwrap();
+        assert_eq!(out.mttons.iter().map(|m| m.score).min(), Some(6));
     }
 
     /// `query_all`/`query_all_hash` return the same outcome for any

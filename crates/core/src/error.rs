@@ -61,6 +61,11 @@ pub enum XkError {
     DeadlineExceeded,
     /// A storage-layer failure.
     Store(StoreError),
+    /// An ingested document failed to parse or classify against the TSS
+    /// — rejected before the WAL or any index was touched.
+    BadDocument(String),
+    /// A document id the write path never ingested (or already deleted).
+    UnknownDocument(u64),
 }
 
 impl XkError {
@@ -115,6 +120,10 @@ impl std::fmt::Display for XkError {
                 write!(f, "query deadline elapsed before any result was produced")
             }
             Self::Store(e) => write!(f, "store error: {e}"),
+            Self::BadDocument(why) => write!(f, "document rejected: {why}"),
+            Self::UnknownDocument(doc) => {
+                write!(f, "document {doc} was never ingested (or already deleted)")
+            }
         }
     }
 }

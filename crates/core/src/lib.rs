@@ -40,7 +40,9 @@ pub mod prelude {
     pub use crate::cn::{Cn, CnGenerator};
     pub use crate::ctssn::Ctssn;
     pub use crate::decompose::{Decomposition, DecompositionKind, Fragment};
-    pub use crate::engine::{EngineStats, ExplainReport, QueryEngine, QueryMetrics, QueryOutcome};
+    pub use crate::engine::{
+        EngineStats, ExplainReport, QueryEngine, QueryMetrics, QueryOutcome, ReadView,
+    };
     pub use crate::error::XkError;
     pub use crate::exec::{ExecMode, QueryResults};
     pub use crate::master_index::MasterIndex;

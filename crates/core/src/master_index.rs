@@ -29,9 +29,15 @@ use xkw_graph::{graph::tokenize, NodeId, SchemaNodeId, XmlGraph};
 pub use crate::postings::Posting;
 
 /// The inverted index keyword → containing list.
+///
+/// Containing lists sit behind `Arc` so the incremental write path
+/// ([`MasterIndex::with_appended`], [`MasterIndex::without_range`]) can
+/// produce a new index that *shares* every untouched list with its
+/// predecessor — a delta touching a handful of keywords clones a map of
+/// pointers, not the postings.
 #[derive(Debug, Default)]
 pub struct MasterIndex {
-    map: HashMap<String, PostingsList>,
+    map: HashMap<String, Arc<PostingsList>>,
     /// Query-keyword sets per node are computed lazily per query; this
     /// stores total postings for reporting.
     postings: usize,
@@ -68,7 +74,7 @@ impl MasterIndex {
         }
         let map = staging
             .into_iter()
-            .map(|(kw, list)| (kw, PostingsList::build(list, format)))
+            .map(|(kw, list)| (kw, Arc::new(PostingsList::build(list, format))))
             .collect();
         MasterIndex {
             map,
@@ -77,10 +83,89 @@ impl MasterIndex {
         }
     }
 
+    /// The per-keyword posting delta for the target objects in `range` —
+    /// what a freshly ingested fragment contributes. Lists come out
+    /// sorted by `(to, node)` (ids ascend within and across objects),
+    /// ready for [`MasterIndex::with_appended`].
+    pub fn delta_for(
+        graph: &XmlGraph,
+        targets: &TargetGraph,
+        range: std::ops::Range<ToId>,
+    ) -> std::collections::BTreeMap<String, Vec<Posting>> {
+        let mut delta: std::collections::BTreeMap<String, Vec<Posting>> = Default::default();
+        for to in range {
+            for &n in &targets.to(to).nodes {
+                let posting = Posting {
+                    to,
+                    node: n,
+                    schema_node: targets.class_of(n),
+                };
+                for kw in graph.keywords(n) {
+                    delta.entry(kw).or_default().push(posting);
+                }
+            }
+        }
+        delta
+    }
+
+    /// A new index with `delta` (per-keyword sorted postings, all target
+    /// objects strictly above every existing one — the ingest invariant)
+    /// appended. Untouched containing lists are shared with `self` via
+    /// `Arc`; packed lists re-encode at most their final partial block.
+    pub fn with_appended(
+        &self,
+        delta: &std::collections::BTreeMap<String, Vec<Posting>>,
+    ) -> MasterIndex {
+        let mut map = self.map.clone();
+        let mut postings = self.postings;
+        for (kw, tail) in delta {
+            if tail.is_empty() {
+                continue;
+            }
+            postings += tail.len();
+            let list = match map.get(kw) {
+                Some(old) => old.with_appended(tail).0,
+                None => PostingsList::build(tail.clone(), self.format),
+            };
+            map.insert(kw.clone(), Arc::new(list));
+        }
+        MasterIndex {
+            map,
+            postings,
+            format: self.format,
+        }
+    }
+
+    /// A new index with every posting whose target object lies in
+    /// `[lo, hi)` removed. Lists that do not intersect the range are
+    /// shared with `self` via `Arc` (checked with a block-skipping
+    /// cursor, not a scan); lists emptied by the removal drop out of the
+    /// map entirely.
+    pub fn without_range(&self, lo: ToId, hi: ToId) -> MasterIndex {
+        let mut map = HashMap::with_capacity(self.map.len());
+        let mut postings = self.postings;
+        for (kw, list) in &self.map {
+            if !list.intersects_range(lo, hi) {
+                map.insert(kw.clone(), Arc::clone(list));
+                continue;
+            }
+            let (filtered, _) = list.without_range(lo, hi);
+            postings -= list.len() - filtered.len();
+            if !filtered.is_empty() {
+                map.insert(kw.clone(), Arc::new(filtered));
+            }
+        }
+        MasterIndex {
+            map,
+            postings,
+            format: self.format,
+        }
+    }
+
     /// The containing list L(k) (empty if the keyword is unknown),
     /// iterable in `(to, node)` order in any storage format.
     pub fn containing_list(&self, keyword: &str) -> Postings<'_> {
-        Postings(self.map.get(lookup_key(keyword).as_ref()))
+        Postings(self.map.get(lookup_key(keyword).as_ref()).map(Arc::as_ref))
     }
 
     /// Distinct schema nodes whose extension contains `keyword`.
@@ -219,7 +304,14 @@ impl MasterIndex {
     /// (excludes the keyword hash keys, which are identical across
     /// formats).
     pub fn postings_bytes(&self) -> usize {
-        self.map.values().map(PostingsList::size_bytes).sum()
+        self.map.values().map(|l| l.size_bytes()).sum()
+    }
+
+    /// All indexed keywords, sorted (diagnostics and oracle tests).
+    pub fn keywords(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
     }
 }
 
@@ -585,6 +677,58 @@ mod tests {
         assert!(matches!(normalize("VCR"), Cow::Owned(_)));
         assert!(matches!(normalize(" vcr "), Cow::Owned(_)));
         assert_eq!(normalize("VCR"), "vcr");
+    }
+
+    #[test]
+    fn incremental_delta_matches_bulk_rebuild() {
+        use xkw_graph::EdgeKind;
+        for format in [PostingsFormatKind::Raw, PostingsFormatKind::Packed] {
+            let (mut g, _, _) = tpch::figure1();
+            let tss = tpch::tss_graph();
+            let tg = TargetGraph::build(&g, &tss).unwrap();
+            let base = MasterIndex::build_with(&g, &tg, format);
+
+            // Ingest a fragment: one more person.
+            let mut frag = XmlGraph::new();
+            let p = frag.add_node("person", None);
+            let n = frag.add_node("name", Some("Zoe"));
+            let t = frag.add_node("nation", Some("Greece"));
+            frag.add_edge(p, n, EdgeKind::Containment);
+            frag.add_edge(p, t, EdgeKind::Containment);
+            let frag_tg = TargetGraph::build(&frag, &tss).unwrap();
+            let offset = g.absorb(&frag);
+            let (combined_tg, range) = tg.append(&frag_tg, offset);
+
+            let delta = MasterIndex::delta_for(&g, &combined_tg, range.clone());
+            assert!(delta.contains_key("zoe"));
+            let incr = MasterIndex::with_appended(&base, &delta);
+            let bulk = MasterIndex::build_with(&g, &combined_tg, format);
+            assert_eq!(incr.keyword_count(), bulk.keyword_count());
+            assert_eq!(incr.posting_count(), bulk.posting_count());
+            for kw in bulk.keywords() {
+                assert_eq!(
+                    incr.containing_list(&kw).to_vec(),
+                    bulk.containing_list(&kw).to_vec(),
+                    "{format} list for {kw}"
+                );
+            }
+            // Untouched lists are shared, not copied.
+            assert!(Arc::ptr_eq(&incr.map["john"], &base.map["john"]));
+
+            // Deleting the fragment's range recovers the base index.
+            let back = incr.without_range(range.start, range.end);
+            assert_eq!(back.keyword_count(), base.keyword_count());
+            assert_eq!(back.posting_count(), base.posting_count());
+            for kw in base.keywords() {
+                assert_eq!(
+                    back.containing_list(&kw).to_vec(),
+                    base.containing_list(&kw).to_vec(),
+                    "{format} restored list for {kw}"
+                );
+            }
+            assert!(back.containing_list("zoe").is_empty());
+            assert!(Arc::ptr_eq(&back.map["john"], &base.map["john"]));
+        }
     }
 
     #[test]

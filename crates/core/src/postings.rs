@@ -136,56 +136,138 @@ pub struct PackedPostings {
     data: Vec<u64>,
 }
 
+/// Encodes `postings` (already sorted) as packed blocks appended to
+/// `blocks`/`data`. Every block's payload starts on a 64-bit word
+/// boundary — costing under a word of padding per 128 postings — so the
+/// incremental write path can copy untouched blocks between lists as
+/// whole-word `memcpy`s instead of re-encoding them.
+fn encode_into(postings: &[Posting], blocks: &mut Vec<BlockMeta>, data: &mut Vec<u64>) {
+    debug_assert!(postings
+        .windows(2)
+        .all(|w| posting_key(&w[0]) <= posting_key(&w[1])));
+    blocks.reserve(postings.len().div_ceil(BLOCK_LEN));
+    for chunk in postings.chunks(BLOCK_LEN) {
+        let first = chunk[0];
+        let (mut w_to, mut w_node, mut w_sn) = (0u8, 0u8, 0u8);
+        let mut prev = first;
+        for p in &chunk[1..] {
+            w_to = w_to.max(bits_for(u64::from(p.to - prev.to)));
+            w_node = w_node.max(bits_for(zigzag(
+                i64::from(p.node.0) - i64::from(prev.node.0),
+            )));
+            w_sn = w_sn.max(bits_for(u64::from(p.schema_node.0)));
+            prev = *p;
+        }
+        // Word-align the payload (data holds only whole words, so the
+        // next boundary is simply the current end of the vector).
+        let bit_start = (data.len() as u64) * 64;
+        let mut bitlen = bit_start;
+        let mut prev = first;
+        for p in &chunk[1..] {
+            push_bits(data, &mut bitlen, u64::from(p.to - prev.to), w_to);
+            push_bits(
+                data,
+                &mut bitlen,
+                zigzag(i64::from(p.node.0) - i64::from(prev.node.0)),
+                w_node,
+            );
+            push_bits(data, &mut bitlen, u64::from(p.schema_node.0), w_sn);
+            prev = *p;
+        }
+        blocks.push(BlockMeta {
+            first,
+            max_to: chunk.last().unwrap().to,
+            bit_start,
+            w_to,
+            w_node,
+            w_sn,
+            count: chunk.len() as u16,
+        });
+    }
+}
+
 impl PackedPostings {
     /// Packs an already-sorted posting list.
     fn from_sorted(postings: &[Posting]) -> Self {
-        debug_assert!(postings
-            .windows(2)
-            .all(|w| posting_key(&w[0]) <= posting_key(&w[1])));
-        let mut blocks = Vec::with_capacity(postings.len().div_ceil(BLOCK_LEN));
+        let mut blocks = Vec::new();
         let mut data: Vec<u64> = Vec::new();
-        let mut bitlen: u64 = 0;
-        for chunk in postings.chunks(BLOCK_LEN) {
-            let first = chunk[0];
-            let (mut w_to, mut w_node, mut w_sn) = (0u8, 0u8, 0u8);
-            let mut prev = first;
-            for p in &chunk[1..] {
-                w_to = w_to.max(bits_for(u64::from(p.to - prev.to)));
-                w_node = w_node.max(bits_for(zigzag(
-                    i64::from(p.node.0) - i64::from(prev.node.0),
-                )));
-                w_sn = w_sn.max(bits_for(u64::from(p.schema_node.0)));
-                prev = *p;
-            }
-            let bit_start = bitlen;
-            let mut prev = first;
-            for p in &chunk[1..] {
-                push_bits(&mut data, &mut bitlen, u64::from(p.to - prev.to), w_to);
-                push_bits(
-                    &mut data,
-                    &mut bitlen,
-                    zigzag(i64::from(p.node.0) - i64::from(prev.node.0)),
-                    w_node,
-                );
-                push_bits(&mut data, &mut bitlen, u64::from(p.schema_node.0), w_sn);
-                prev = *p;
-            }
-            blocks.push(BlockMeta {
-                first,
-                max_to: chunk.last().unwrap().to,
-                bit_start,
-                w_to,
-                w_node,
-                w_sn,
-                count: chunk.len() as u16,
-            });
-        }
+        encode_into(postings, &mut blocks, &mut data);
         data.shrink_to_fit();
         PackedPostings {
             len: postings.len(),
             blocks,
             data,
         }
+    }
+
+    /// Returns this list with `tail` appended, re-encoding at most the
+    /// final partial block: full blocks' metadata and payload words are
+    /// copied verbatim (word-aligned `memcpy`), the last block — if
+    /// partial — is decoded, extended and re-encoded together with the
+    /// tail. Also returns how many *existing* blocks were re-encoded
+    /// (0 or 1), so tests and benches can pin the locality claim.
+    ///
+    /// `tail` must be sorted and sort strictly after every existing
+    /// posting — the incremental-ingest invariant (new target objects
+    /// get ids above all old ones).
+    pub fn append_tail(&self, tail: &[Posting]) -> (PackedPostings, usize) {
+        if tail.is_empty() {
+            return (self.clone(), 0);
+        }
+        debug_assert!(tail
+            .windows(2)
+            .all(|w| posting_key(&w[0]) <= posting_key(&w[1])));
+        debug_assert!(self.blocks.last().is_none_or(|b| b.max_to < tail[0].to));
+        let mut blocks = self.blocks.clone();
+        let mut data = self.data.clone();
+        let mut reencoded = 0;
+        let mut pending: Vec<Posting> = Vec::with_capacity(BLOCK_LEN + tail.len());
+        if let Some(last) = blocks.last().copied() {
+            if (last.count as usize) < BLOCK_LEN {
+                debug_assert_eq!(last.bit_start % 64, 0, "blocks are word-aligned");
+                self.decode_block(blocks.len() - 1, &mut pending);
+                blocks.pop();
+                data.truncate((last.bit_start / 64) as usize);
+                reencoded = 1;
+            }
+        }
+        pending.extend_from_slice(tail);
+        encode_into(&pending, &mut blocks, &mut data);
+        (
+            PackedPostings {
+                len: self.len + tail.len(),
+                blocks,
+                data,
+            },
+            reencoded,
+        )
+    }
+
+    /// Returns this list minus every posting whose target object lies in
+    /// `[lo, hi)`, plus how many blocks had to be re-encoded. Blocks
+    /// entirely below `lo` are copied verbatim (metadata and payload
+    /// words); only blocks at or past the range are decoded, filtered
+    /// and re-encoded.
+    pub fn without_range(&self, lo: ToId, hi: ToId) -> (PackedPostings, usize) {
+        let keep = self.blocks.partition_point(|b| b.max_to < lo);
+        let data_end = if keep < self.blocks.len() {
+            debug_assert_eq!(self.blocks[keep].bit_start % 64, 0);
+            (self.blocks[keep].bit_start / 64) as usize
+        } else {
+            self.data.len()
+        };
+        let mut blocks = self.blocks[..keep].to_vec();
+        let mut data = self.data[..data_end].to_vec();
+        let mut pending: Vec<Posting> = Vec::new();
+        let mut buf = Vec::with_capacity(BLOCK_LEN);
+        for bi in keep..self.blocks.len() {
+            self.decode_block(bi, &mut buf);
+            pending.extend(buf.iter().copied().filter(|p| p.to < lo || p.to >= hi));
+        }
+        let reencoded = self.blocks.len() - keep;
+        let len = blocks.iter().map(|b| b.count as usize).sum::<usize>() + pending.len();
+        encode_into(&pending, &mut blocks, &mut data);
+        (PackedPostings { len, blocks, data }, reencoded)
     }
 
     /// Decodes block `bi` into `out` (cleared first).
@@ -448,6 +530,51 @@ impl PostingsList {
             PostingsList::Raw(r) => r.cursor(),
             PostingsList::Packed(p) => p.cursor(),
         }
+    }
+
+    /// Returns this list with `tail` (sorted, strictly after every
+    /// existing posting) appended, preserving the format. The second
+    /// value counts existing packed blocks re-encoded (0 for raw).
+    pub fn with_appended(&self, tail: &[Posting]) -> (PostingsList, usize) {
+        match self {
+            PostingsList::Raw(r) => {
+                let mut v = r.0.clone();
+                v.extend_from_slice(tail);
+                (PostingsList::Raw(RawPostings::from_sorted(v)), 0)
+            }
+            PostingsList::Packed(p) => {
+                let (np, n) = p.append_tail(tail);
+                (PostingsList::Packed(np), n)
+            }
+        }
+    }
+
+    /// Returns this list minus postings whose target object is in
+    /// `[lo, hi)`, preserving the format. The second value counts packed
+    /// blocks re-encoded (0 for raw).
+    pub fn without_range(&self, lo: ToId, hi: ToId) -> (PostingsList, usize) {
+        match self {
+            PostingsList::Raw(r) => {
+                let v: Vec<Posting> =
+                    r.0.iter()
+                        .copied()
+                        .filter(|p| p.to < lo || p.to >= hi)
+                        .collect();
+                (PostingsList::Raw(RawPostings::from_sorted(v)), 0)
+            }
+            PostingsList::Packed(p) => {
+                let (np, n) = p.without_range(lo, hi);
+                (PostingsList::Packed(np), n)
+            }
+        }
+    }
+
+    /// Whether any posting's target object lies in `[lo, hi)`, using the
+    /// seeking cursor (packed blocks below `lo` are skipped undecoded).
+    pub fn intersects_range(&self, lo: ToId, hi: ToId) -> bool {
+        self.cursor()
+            .advance_to(lo, NodeId(0))
+            .is_some_and(|p| p.to < hi)
     }
 }
 
@@ -720,6 +847,107 @@ mod tests {
         let packed = PostingsList::build(postings, PostingsFormatKind::Packed);
         assert_eq!(packed.iter().collect::<Vec<_>>(), expect);
         assert_eq!(packed.seek(u32::MAX).collect::<Vec<_>>(), vec![expect[3]]);
+    }
+
+    #[test]
+    fn append_tail_matches_bulk_rebuild() {
+        for base_n in [0usize, 1, 127, 128, 129, 300, 512] {
+            let mut base = sample(base_n);
+            base.sort_unstable_by_key(posting_key);
+            let max_to = base.last().map_or(0, |p| p.to);
+            // Tail postings sort strictly after everything in the base.
+            let tail: Vec<Posting> = (0..257u32)
+                .map(|i| posting(max_to + 1 + i / 2, i * 7, (i % 4) as u16))
+                .collect();
+            let packed = PackedPostings::from_sorted(&base);
+            let (appended, reencoded) = packed.append_tail(&tail);
+            assert!(reencoded <= 1, "base_n={base_n}: at most one block touched");
+            assert_eq!(
+                reencoded,
+                usize::from(base_n % BLOCK_LEN != 0),
+                "base_n={base_n}: re-encode iff the last block is partial"
+            );
+            let mut full = base.clone();
+            full.extend_from_slice(&tail);
+            let bulk = PackedPostings::from_sorted(&full);
+            assert_eq!(appended.len(), full.len());
+            assert_eq!(
+                appended.iter().collect::<Vec<_>>(),
+                bulk.iter().collect::<Vec<_>>(),
+                "base_n={base_n}"
+            );
+            // Untouched full blocks are copied verbatim, word for word.
+            let kept = (base_n / BLOCK_LEN) * BLOCK_LEN;
+            if kept > 0 {
+                let boundary = (appended.blocks[kept / BLOCK_LEN - 1].bit_start / 64) as usize;
+                assert_eq!(packed.data[..boundary], appended.data[..boundary]);
+            }
+            // The raw wrapper agrees.
+            let (raw_appended, raw_re) =
+                PostingsList::Raw(RawPostings::from_sorted(base.clone())).with_appended(&tail);
+            assert_eq!(raw_re, 0);
+            assert_eq!(
+                raw_appended.iter().collect::<Vec<_>>(),
+                appended.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn without_range_matches_filter() {
+        let mut base = sample(1000);
+        base.sort_unstable_by_key(posting_key);
+        let packed = PackedPostings::from_sorted(&base);
+        let max_to = base.last().unwrap().to;
+        for (lo, hi) in [
+            (0u32, 0u32),
+            (0, 5),
+            (5, 5),
+            (100, 400),
+            (0, max_to + 1),
+            (max_to, max_to + 1),
+            (max_to + 10, max_to + 20),
+        ] {
+            let expect: Vec<Posting> = base
+                .iter()
+                .copied()
+                .filter(|p| p.to < lo || p.to >= hi)
+                .collect();
+            let (got, reencoded) = packed.without_range(lo, hi);
+            assert_eq!(got.len(), expect.len(), "[{lo},{hi})");
+            assert_eq!(got.iter().collect::<Vec<_>>(), expect, "[{lo},{hi})");
+            assert_eq!(
+                reencoded,
+                packed.blocks.len() - packed.blocks.partition_point(|b| b.max_to < lo),
+                "[{lo},{hi}): only blocks reaching lo are re-encoded"
+            );
+            // Survivors still seek correctly through the rebuilt skips.
+            let all: Vec<Posting> = got.iter().collect();
+            let mid = all.get(all.len() / 2).map_or(0, |p| p.to);
+            assert_eq!(
+                got.seek(mid).collect::<Vec<_>>(),
+                all.iter()
+                    .copied()
+                    .filter(|p| p.to >= mid)
+                    .collect::<Vec<_>>()
+            );
+            let (raw, _) =
+                PostingsList::Raw(RawPostings::from_sorted(base.clone())).without_range(lo, hi);
+            assert_eq!(raw.iter().collect::<Vec<_>>(), expect);
+        }
+    }
+
+    #[test]
+    fn intersects_range_agrees_with_scan() {
+        let mut base = sample(300);
+        base.sort_unstable_by_key(posting_key);
+        for kind in [PostingsFormatKind::Raw, PostingsFormatKind::Packed] {
+            let list = PostingsList::build(base.clone(), kind);
+            for (lo, hi) in [(0u32, 1u32), (0, 0), (7, 30), (1_000_000, 2_000_000)] {
+                let expect = base.iter().any(|p| p.to >= lo && p.to < hi);
+                assert_eq!(list.intersects_range(lo, hi), expect, "{kind} [{lo},{hi})");
+            }
+        }
     }
 
     #[test]

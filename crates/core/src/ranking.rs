@@ -279,7 +279,7 @@ mod tests {
     fn idf_prefers_rare_keywords() {
         let xk = load();
         // "john" appears once; "us" appears in both persons' nations.
-        let idf = IdfWeights::compute(&xk.master, &xk.targets, &["john", "us"]);
+        let idf = IdfWeights::compute(&xk.master(), &xk.targets(), &["john", "us"]);
         assert!(idf.weight(0) > idf.weight(1));
         assert!(idf.total() > 0.0);
     }
@@ -290,7 +290,7 @@ mod tests {
         let kws = ["john", "vcr"];
         let plans = xk.plans(&kws, 8);
         let res = xk.query_all(&kws, 8, ExecMode::Cached { capacity: 1024 });
-        let idf = IdfWeights::compute(&xk.master, &xk.targets, &kws);
+        let idf = IdfWeights::compute(&xk.master(), &xk.targets(), &kws);
         let ranked = rank(
             res.rows.clone(),
             &plans,
@@ -312,7 +312,7 @@ mod tests {
         let kws = ["tv", "vcr"];
         let plans = xk.plans(&kws, 8);
         let res = xk.query_all(&kws, 8, ExecMode::Cached { capacity: 1024 });
-        let idf = IdfWeights::compute(&xk.master, &xk.targets, &kws);
+        let idf = IdfWeights::compute(&xk.master(), &xk.targets(), &kws);
         let neutral = rank(
             res.rows.clone(),
             &plans,

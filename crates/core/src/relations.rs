@@ -116,6 +116,9 @@ pub struct RelationCatalog {
     /// The physical policy used.
     pub policy: PhysicalPolicy,
     relations: Vec<ConnRelation>,
+    /// The base table-name prefix [`RelationCatalog::materialize`] was
+    /// given; incremental rebuilds derive epoch-suffixed names from it.
+    prefix: String,
     /// Simulated per-statement round-trip latency in nanoseconds
     /// (0 = off). XKeyword was middleware sending SQL over JDBC; every
     /// probe or scan paid a statement round trip. Experiments that model
@@ -123,11 +126,60 @@ pub struct RelationCatalog {
     roundtrip_ns: AtomicU64,
 }
 
+/// Builds the physical copies of one fragment's relation under `policy`.
+/// `rows` must already be in canonical (sorted, deduplicated) order.
+fn build_relation(
+    db: &Db,
+    prefix: &str,
+    name: &str,
+    arity: usize,
+    rows: Vec<Row>,
+    policy: PhysicalPolicy,
+) -> ConnRelation {
+    let stats = TableStats::compute(arity, &rows);
+    let mut copies = Vec::new();
+    match policy.cluster {
+        ClusterPolicy::AllDirections => {
+            for lead in 0..arity {
+                let mut cols: Vec<usize> = (0..arity).collect();
+                cols.rotate_left(lead);
+                copies.push(db.create_table(
+                    &format!("{prefix}.{name}@c{lead}"),
+                    arity,
+                    rows.clone(),
+                    PhysicalOptions::clustered(&cols),
+                ));
+            }
+        }
+        ClusterPolicy::None => {
+            let options = match policy.index {
+                IndexPolicy::AllSingle => PhysicalOptions::indexed_all(arity),
+                IndexPolicy::None => PhysicalOptions::heap(),
+            };
+            copies.push(db.create_table(&format!("{prefix}.{name}"), arity, rows, options));
+        }
+    }
+    ConnRelation { copies, stats }
+}
+
 impl RelationCatalog {
     /// Enumerates the matches of a fragment in the target-object graph —
     /// the tuples of its connection relation. Roles of the same segment
     /// bind distinct target objects (tree-isomorphism semantics).
     pub fn fragment_rows(fragment: &crate::tree::TssTree, targets: &TargetGraph) -> Vec<Row> {
+        if fragment.roles.is_empty() {
+            return Vec::new();
+        }
+        Self::fragment_rows_from(fragment, targets, targets.tos_of(fragment.roles[0]))
+    }
+
+    /// [`RelationCatalog::fragment_rows`] seeded from an explicit slice
+    /// of first-role target objects instead of the segment's full list.
+    fn fragment_rows_from(
+        fragment: &crate::tree::TssTree,
+        targets: &TargetGraph,
+        seeds: &[crate::target::ToId],
+    ) -> Vec<Row> {
         let mut out: Vec<Row> = Vec::new();
         let k = fragment.roles.len();
         if k == 0 {
@@ -202,7 +254,7 @@ impl RelationCatalog {
                 r == role || fragment.roles[r] != fragment.roles[role] || *a != Some(to)
             })
         }
-        for &start in targets.tos_of(fragment.roles[0]) {
+        for &start in seeds {
             assignment[0] = Some(start);
             rec(fragment, targets, &order, 0, &mut assignment, &mut out);
             assignment[0] = None;
@@ -224,44 +276,143 @@ impl RelationCatalog {
         let mut relations = Vec::with_capacity(decomposition.fragments.len());
         for f in &decomposition.fragments {
             let rows = Self::fragment_rows(&f.tree, targets);
-            let arity = f.tree.roles.len();
-            let stats = TableStats::compute(arity, &rows);
-            let mut copies = Vec::new();
-            match policy.cluster {
-                ClusterPolicy::AllDirections => {
-                    for lead in 0..arity {
-                        let mut cols: Vec<usize> = (0..arity).collect();
-                        cols.rotate_left(lead);
-                        let t = db.create_table(
-                            &format!("{prefix}.{}@c{lead}", f.name),
-                            arity,
-                            rows.clone(),
-                            PhysicalOptions::clustered(&cols),
-                        );
-                        copies.push(t);
-                    }
-                }
-                ClusterPolicy::None => {
-                    let options = match policy.index {
-                        IndexPolicy::AllSingle => PhysicalOptions::indexed_all(arity),
-                        IndexPolicy::None => PhysicalOptions::heap(),
-                    };
-                    copies.push(db.create_table(
-                        &format!("{prefix}.{}", f.name),
-                        arity,
-                        rows.clone(),
-                        options,
-                    ));
-                }
-            }
-            relations.push(ConnRelation { copies, stats });
+            relations.push(build_relation(
+                db,
+                prefix,
+                &f.name,
+                f.tree.roles.len(),
+                rows,
+                policy,
+            ));
         }
         RelationCatalog {
             decomposition,
             policy,
             relations,
+            prefix: prefix.to_owned(),
             roundtrip_ns: AtomicU64::new(0),
         }
+    }
+
+    /// A new catalog with the matches contributed by the target objects
+    /// in `range` (a freshly appended document) added — the incremental
+    /// counterpart of re-running [`RelationCatalog::materialize`].
+    ///
+    /// Because documents are independent subtrees, every fragment match
+    /// either lies wholly inside the new range or wholly outside it, so
+    /// the delta per fragment is exactly the matches whose first role is
+    /// seeded from the new range. Fragments with an empty delta *share*
+    /// their physical tables with `self` (`Arc` clones — stats included,
+    /// which stay correct because the logical relation is unchanged).
+    /// Changed fragments are rebuilt from old rows + delta under
+    /// epoch-suffixed names (`{prefix}@e{epoch}.{frag}…`, unique in the
+    /// store) and the superseded tables are dropped from the catalog:
+    /// snapshots holding the old `Arc<Table>`s keep reading them, and
+    /// the orphaned pages leak by design, log-structured style.
+    pub fn with_inserted(
+        &self,
+        db: &Db,
+        targets: &TargetGraph,
+        range: std::ops::Range<crate::target::ToId>,
+        epoch: u64,
+    ) -> Self {
+        self.rebuild_changed(db, epoch, |f, old_rows| {
+            let delta = Self::fragment_rows_seeded(&f.tree, targets, &range);
+            if delta.is_empty() {
+                return None;
+            }
+            let mut rows = old_rows();
+            rows.extend(delta);
+            rows.sort_unstable();
+            rows.dedup();
+            Some(rows)
+        })
+    }
+
+    /// A new catalog with every match touching a target object in
+    /// `range` (a deleted document's objects) removed. Fragments whose
+    /// relations do not intersect the range share their tables with
+    /// `self`; the rest are rebuilt filtered, under epoch-suffixed
+    /// names, and their superseded tables dropped.
+    pub fn with_deleted(
+        &self,
+        db: &Db,
+        range: std::ops::Range<crate::target::ToId>,
+        epoch: u64,
+    ) -> Self {
+        self.rebuild_changed(db, epoch, |_f, old_rows| {
+            let rows = old_rows();
+            // A match never spans documents, so one cell in the range
+            // means the whole row belongs to the deleted document.
+            let kept: Vec<Row> = rows
+                .iter()
+                .filter(|r| !r.iter().any(|&id| range.contains(&id)))
+                .cloned()
+                .collect();
+            (kept.len() != rows.len()).then_some(kept)
+        })
+    }
+
+    /// Shared machinery of the two delta paths: `delta` returns the new
+    /// canonical row set of a fragment, or `None` to keep it as is. The
+    /// callback receives a lazy scan of the fragment's current rows
+    /// (copy 0 is stored in canonical order under every policy).
+    fn rebuild_changed(
+        &self,
+        db: &Db,
+        epoch: u64,
+        mut delta: impl FnMut(
+            &crate::decompose::Fragment,
+            &mut dyn FnMut() -> Vec<Row>,
+        ) -> Option<Vec<Row>>,
+    ) -> Self {
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for (f, rel) in self.decomposition.fragments.iter().zip(&self.relations) {
+            let mut scan = || db.scan_all(&rel.copies[0]);
+            match delta(f, &mut scan) {
+                None => relations.push(ConnRelation {
+                    copies: rel.copies.clone(),
+                    stats: rel.stats.clone(),
+                }),
+                Some(rows) => {
+                    let rebuilt = build_relation(
+                        db,
+                        &format!("{}@e{epoch}", self.prefix),
+                        &f.name,
+                        f.tree.roles.len(),
+                        rows,
+                        self.policy,
+                    );
+                    for old in &rel.copies {
+                        db.drop_table(old.name());
+                    }
+                    relations.push(rebuilt);
+                }
+            }
+        }
+        RelationCatalog {
+            decomposition: self.decomposition.clone(),
+            policy: self.policy,
+            relations,
+            prefix: self.prefix.clone(),
+            roundtrip_ns: AtomicU64::new(self.roundtrip_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// [`RelationCatalog::fragment_rows`] with the first role's seeds
+    /// restricted to `range` — the per-fragment insert delta.
+    fn fragment_rows_seeded(
+        fragment: &crate::tree::TssTree,
+        targets: &TargetGraph,
+        range: &std::ops::Range<crate::target::ToId>,
+    ) -> Vec<Row> {
+        let all = targets.tos_of(fragment.roles[0]);
+        let lo = all.partition_point(|&t| t < range.start);
+        let hi = all.partition_point(|&t| t < range.end);
+        if lo == hi {
+            return Vec::new();
+        }
+        Self::fragment_rows_from(fragment, targets, &all[lo..hi])
     }
 
     /// Sets the simulated per-statement round-trip latency (busy wait on
@@ -466,6 +617,76 @@ mod tests {
         );
         assert!(min_clustered.space_cells() > min_bare.space_cells());
         assert!(comp.space_cells() > min_clustered.space_cells());
+    }
+
+    #[test]
+    fn incremental_catalog_matches_bulk_materialize() {
+        use xkw_graph::EdgeKind;
+        for policy in [
+            PhysicalPolicy::clustered(),
+            PhysicalPolicy::indexed(),
+            PhysicalPolicy::bare(),
+        ] {
+            let (mut g, tss, tg) = fixture();
+            let db = Db::new(256);
+            let cat = RelationCatalog::materialize(&db, &tg, minimal(&tss), policy, "cr");
+
+            // Ingest a person plus a lineitem referencing them, so at
+            // least one binary fragment actually gains rows.
+            let mut frag = xkw_graph::XmlGraph::new();
+            let p = frag.add_node("person", None);
+            let n = frag.add_node("name", Some("Zoe"));
+            frag.add_edge(p, n, EdgeKind::Containment);
+            let li = frag.add_node("lineitem", None);
+            let sup = frag.add_node("supplier", None);
+            frag.add_edge(li, sup, EdgeKind::Containment);
+            frag.add_edge(sup, p, EdgeKind::Reference);
+            let frag_tg = TargetGraph::build(&frag, &tss).unwrap();
+            let offset = g.absorb(&frag);
+            let (combined, range) = tg.append(&frag_tg, offset);
+
+            let incr = cat.with_inserted(&db, &combined, range.clone(), 1);
+            let db2 = Db::new(256);
+            let bulk = RelationCatalog::materialize(&db2, &combined, minimal(&tss), policy, "cr");
+            assert_eq!(incr.len(), bulk.len());
+            let mut some_shared = false;
+            let mut some_rebuilt = false;
+            for i in 0..bulk.len() {
+                assert_eq!(
+                    incr.scan(&db, i),
+                    bulk.scan(&db2, i),
+                    "{policy:?} fragment {i} rows"
+                );
+                assert_eq!(
+                    incr.relation(i).stats,
+                    bulk.relation(i).stats,
+                    "{policy:?} fragment {i} stats"
+                );
+                if Arc::ptr_eq(&incr.relation(i).copies[0], &cat.relation(i).copies[0]) {
+                    some_shared = true;
+                } else {
+                    some_rebuilt = true;
+                    // The superseded tables were dropped from the catalog.
+                    assert!(db.table(cat.relation(i).copies[0].name()).is_none());
+                }
+            }
+            assert!(some_shared, "{policy:?}: untouched fragments share tables");
+            assert!(
+                some_rebuilt,
+                "{policy:?}: the lineitem-person fragment grew"
+            );
+
+            // Deleting the ingested range restores the original rows.
+            let back = incr.with_deleted(&db, range, 2);
+            for i in 0..back.len() {
+                assert_eq!(
+                    back.scan(&db, i),
+                    cat.scan(&db, i),
+                    "{policy:?} fragment {i}"
+                );
+                assert_eq!(back.relation(i).stats, cat.relation(i).stats);
+            }
+        }
     }
 
     #[test]

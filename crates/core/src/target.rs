@@ -166,6 +166,69 @@ impl TargetGraph {
         Ok(g)
     }
 
+    /// Appends a fragment's target graph, built standalone on the
+    /// fragment's own `XmlGraph`, whose nodes were absorbed into the main
+    /// graph at `node_offset` (see `XmlGraph::absorb`). Returns the new
+    /// graph and the [`ToId`] range assigned to the fragment's objects.
+    ///
+    /// This is the incremental counterpart of [`TargetGraph::build`]:
+    /// documents are independent subtrees (the parser resolves idrefs
+    /// within a document only), so no TSS-edge instance can cross the
+    /// boundary and appending reduces to an id-shifted concatenation —
+    /// an O(total) memcpy instead of re-running classification,
+    /// union-find and edge-path instantiation over the whole graph.
+    /// New objects take ids strictly above all existing ones, the
+    /// invariant the postings and relation delta paths build on.
+    pub fn append(
+        &self,
+        frag: &TargetGraph,
+        node_offset: u32,
+    ) -> (TargetGraph, std::ops::Range<ToId>) {
+        assert_eq!(
+            node_offset as usize,
+            self.node_to.len(),
+            "fragment must be absorbed at the end of the graph this TargetGraph was built on"
+        );
+        let to_off = self.objects.len() as ToId;
+        let mut objects = self.objects.clone();
+        objects.extend(frag.objects.iter().map(|to| TargetObject {
+            tss: to.tss,
+            nodes: to.nodes.iter().map(|n| NodeId(n.0 + node_offset)).collect(),
+            root: NodeId(to.root.0 + node_offset),
+        }));
+        let mut node_to = self.node_to.clone();
+        node_to.extend(frag.node_to.iter().map(|t| t.map(|id| id + to_off)));
+        let mut classes = self.classes.clone();
+        classes.extend_from_slice(&frag.classes);
+        let shift = |lists: &[Vec<(TssEdgeId, ToId)>]| -> Vec<Vec<(TssEdgeId, ToId)>> {
+            lists
+                .iter()
+                .map(|l| l.iter().map(|&(e, t)| (e, t + to_off)).collect())
+                .collect()
+        };
+        let mut out = self.out.clone();
+        out.extend(shift(&frag.out));
+        let mut inc = self.inc.clone();
+        inc.extend(shift(&frag.inc));
+        let mut by_tss = self.by_tss.clone();
+        for (tss_idx, tos) in frag.by_tss.iter().enumerate() {
+            // New ids exceed all old ones, so per-segment lists stay sorted.
+            by_tss[tss_idx].extend(tos.iter().map(|&t| t + to_off));
+        }
+        let range = to_off..to_off + frag.objects.len() as ToId;
+        (
+            TargetGraph {
+                objects,
+                node_to,
+                classes,
+                out,
+                inc,
+                by_tss,
+            },
+            range,
+        )
+    }
+
     /// Number of target objects.
     pub fn len(&self) -> usize {
         self.objects.len()
@@ -376,6 +439,46 @@ mod tests {
         assert!(xml.contains("<pname>TV</pname>"));
         assert!(!xml.contains("sub"), "dummies excluded: {xml}");
         assert!(tg.label(&g, &tss, tv).starts_with("Part["));
+    }
+
+    #[test]
+    fn append_matches_bulk_build() {
+        use xkw_graph::EdgeKind;
+        let (mut g, tss, tg) = fixture();
+        let mut frag = XmlGraph::new();
+        let p = frag.add_node("person", None);
+        let n = frag.add_node("name", Some("Zoe"));
+        let t = frag.add_node("nation", Some("GR"));
+        frag.add_edge(p, n, EdgeKind::Containment);
+        frag.add_edge(p, t, EdgeKind::Containment);
+        let frag_tg = TargetGraph::build(&frag, &tss).unwrap();
+        assert_eq!(frag_tg.len(), 1);
+
+        let offset = g.absorb(&frag);
+        let (appended, range) = tg.append(&frag_tg, offset);
+        assert_eq!(range, 14..15);
+
+        // The incremental result is indistinguishable from rebuilding
+        // over the combined graph (TOs materialize in node-id order, so
+        // even the ids line up).
+        let bulk = TargetGraph::build(&g, &tss).unwrap();
+        assert_eq!(appended.len(), bulk.len());
+        for id in 0..bulk.len() as ToId {
+            assert_eq!(appended.to(id).tss, bulk.to(id).tss, "to {id}");
+            assert_eq!(appended.to(id).nodes, bulk.to(id).nodes, "to {id}");
+            assert_eq!(appended.to(id).root, bulk.to(id).root, "to {id}");
+            assert_eq!(appended.edges_out(id), bulk.edges_out(id), "to {id}");
+            assert_eq!(appended.edges_in(id), bulk.edges_in(id), "to {id}");
+        }
+        for node in g.node_ids() {
+            assert_eq!(appended.to_of_node(node), bulk.to_of_node(node));
+            assert_eq!(appended.class_of(node), bulk.class_of(node));
+        }
+        for seg_id in tss.node_ids() {
+            assert_eq!(appended.tos_of(seg_id), bulk.tos_of(seg_id));
+        }
+        assert_eq!(appended.edge_count(), bulk.edge_count());
+        assert_eq!(appended.to_xml(&g, 14), bulk.to_xml(&g, 14));
     }
 
     #[test]

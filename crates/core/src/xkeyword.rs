@@ -10,8 +10,30 @@
 //! return empty [`QueryResults`] rather than errors. Use
 //! [`XKeyword::engine`] for typed errors, plan caching introspection and
 //! per-stage metrics.
+//!
+//! # The write path
+//!
+//! [`XKeyword::insert_document`] / [`XKeyword::delete_document`] mutate
+//! a loaded instance *incrementally*: a new document's target objects
+//! are appended to the [`TargetGraph`], its postings delta-merged into
+//! the [`MasterIndex`] (re-encoding at most the final packed block per
+//! touched keyword), and the connection relations extended with exactly
+//! the rows the new subtree contributes — nothing is rebuilt from
+//! scratch. Readers are never blocked: each mutation assembles a fresh
+//! [`crate::engine::ReadView`] sharing every untouched structure by
+//! `Arc` and installs it atomically; queries in flight keep their
+//! snapshot.
+//!
+//! Durability comes from an optional write-ahead log
+//! ([`LoadOptions::wal_dir`]): every mutation is appended — checksummed
+//! and fsynced per [`LoadOptions::fsync`] — *before* it is applied, and
+//! a reopened instance replays the surviving log through the same
+//! incremental path ([`XKeyword::recoveries`] counts replays). A torn
+//! tail is truncated, never trusted. [`XKeyword::checkpoint`] rewrites
+//! the log to the net set of live documents.
 
 use crate::engine::QueryEngine;
+use crate::error::XkError;
 use crate::exec::{self, ExecMode, PartialCache, QueryResults};
 use crate::master_index::MasterIndex;
 use crate::optimizer::{build_plan_anchored, CtssnPlan};
@@ -20,9 +42,18 @@ use crate::presentation::{expand_on_demand, PresentationGraph};
 use crate::relations::{PhysicalPolicy, RelationCatalog};
 use crate::target::{TargetGraph, ToId};
 use crate::{decompose, decompose::Decomposition};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use xkw_graph::{TssGraph, XmlGraph};
-use xkw_store::Db;
+use xkw_store::{Db, FsyncPolicy, StoreError, Wal, WalRecord};
+
+/// File name of the write-ahead log inside [`LoadOptions::wal_dir`].
+pub const WAL_FILE: &str = "xkeyword.wal";
 
 /// Which decomposition the load stage materializes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +112,14 @@ pub struct LoadOptions {
     /// ([`PostingsFormatKind::from_env`]), so a whole test suite can be
     /// switched to the packed format without touching call sites.
     pub postings_format: PostingsFormatKind,
+    /// Directory of the write-ahead log. `None` (the default) runs
+    /// without durability: mutations apply in memory only. When set, the
+    /// load stage opens (creating if absent) `wal_dir/`[`WAL_FILE`],
+    /// replays any surviving records through the incremental write path,
+    /// and logs every subsequent mutation before applying it.
+    pub wal_dir: Option<PathBuf>,
+    /// When to fsync the write-ahead log (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for LoadOptions {
@@ -94,7 +133,47 @@ impl Default for LoadOptions {
             build_blobs: true,
             faults: None,
             postings_format: PostingsFormatKind::from_env(),
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
         }
+    }
+}
+
+/// Failures of the load stage, including WAL recovery when
+/// [`LoadOptions::wal_dir`] is set.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Data/schema mismatch.
+    Conformance(xkw_graph::ConformanceError),
+    /// Opening or replaying the write-ahead log failed at the I/O layer.
+    Wal(StoreError),
+    /// A WAL record decoded cleanly off disk but could not be re-applied
+    /// (e.g. the logged document no longer classifies against the TSS).
+    Replay {
+        /// Index of the offending record within the surviving log.
+        record: u64,
+        /// Why the apply failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Conformance(e) => write!(f, "{e}"),
+            Self::Wal(e) => write!(f, "write-ahead log: {e}"),
+            Self::Replay { record, detail } => {
+                write!(f, "replaying WAL record {record}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<xkw_graph::ConformanceError> for LoadError {
+    fn from(e: xkw_graph::ConformanceError) -> Self {
+        LoadError::Conformance(e)
     }
 }
 
@@ -108,6 +187,15 @@ pub enum LoadXmlError {
     /// Data/schema mismatch (cannot occur for inferred schemas, reported
     /// defensively).
     Conformance(xkw_graph::ConformanceError),
+    /// Opening or replaying the write-ahead log failed at the I/O layer.
+    Wal(StoreError),
+    /// A WAL record decoded cleanly but could not be re-applied.
+    Replay {
+        /// Index of the offending record within the surviving log.
+        record: u64,
+        /// Why the apply failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for LoadXmlError {
@@ -116,27 +204,54 @@ impl std::fmt::Display for LoadXmlError {
             Self::Parse(e) => write!(f, "{e}"),
             Self::Tss(e) => write!(f, "{e}"),
             Self::Conformance(e) => write!(f, "{e}"),
+            Self::Wal(e) => write!(f, "write-ahead log: {e}"),
+            Self::Replay { record, detail } => {
+                write!(f, "replaying WAL record {record}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for LoadXmlError {}
 
+/// One ingested document's bookkeeping, held for deletes (which target
+/// objects to retire) and checkpoints (the XML to re-log).
+#[derive(Debug, Clone)]
+struct DocInfo {
+    /// Target objects this document contributed (contiguous by
+    /// construction — the fragment was appended as one block).
+    to_range: Range<ToId>,
+    /// The source XML, verbatim, for checkpoint rewriting.
+    xml: String,
+}
+
+/// The serialized write path: at most one mutation is in flight, and the
+/// WAL append strictly precedes the in-memory apply.
+#[derive(Debug, Default)]
+struct IngestState {
+    /// The write-ahead log; `None` when loaded without a `wal_dir`.
+    wal: Option<Wal>,
+    /// Live WAL-ingested documents by id.
+    docs: BTreeMap<u64, DocInfo>,
+    /// Next document id to assign (monotone, never reused).
+    next_doc: u64,
+}
+
 /// A loaded XKeyword instance.
 pub struct XKeyword {
-    /// The XML data graph.
-    pub graph: XmlGraph,
+    /// The XML data graph; grows on ingest, hence the lock. Readers take
+    /// short read guards ([`XKeyword::graph`]); only the serialized
+    /// write path takes the write side.
+    graph: RwLock<XmlGraph>,
     /// The TSS graph (owning the schema graph).
     pub tss: Arc<TssGraph>,
-    /// The target-object decomposition of the data.
-    pub targets: Arc<TargetGraph>,
-    /// The inverted master index.
-    pub master: Arc<MasterIndex>,
     /// The embedded store holding the connection relations and BLOBs.
     pub db: Arc<Db>,
-    /// The materialized connection relations.
-    pub catalog: Arc<RelationCatalog>,
     engine: QueryEngine,
+    ingest: Mutex<IngestState>,
+    /// Times a non-empty WAL was replayed on open.
+    recoveries: AtomicU64,
+    build_blobs: bool,
 }
 
 impl XKeyword {
@@ -159,12 +274,9 @@ impl XKeyword {
     ///
     /// # Errors
     /// Fails if the data graph does not classify against the TSS graph's
-    /// schema.
-    pub fn load(
-        graph: XmlGraph,
-        tss: TssGraph,
-        options: LoadOptions,
-    ) -> Result<Self, xkw_graph::ConformanceError> {
+    /// schema, or — with [`LoadOptions::wal_dir`] set — when the WAL
+    /// cannot be opened or a surviving record cannot be replayed.
+    pub fn load(graph: XmlGraph, tss: TssGraph, options: LoadOptions) -> Result<Self, LoadError> {
         let _load_span = xkw_obs::span!("load", pool_pages = options.pool_pages);
         let targets_span = xkw_obs::span!("load.targets");
         let targets = TargetGraph::build(&graph, &tss)?;
@@ -215,15 +327,24 @@ impl XKeyword {
             catalog.clone(),
         );
         engine.set_exec_threads(options.exec_threads);
-        Ok(XKeyword {
-            graph,
+        let xk = XKeyword {
+            graph: RwLock::new(graph),
             tss,
-            targets,
-            master,
             db,
-            catalog,
             engine,
-        })
+            ingest: Mutex::new(IngestState::default()),
+            recoveries: AtomicU64::new(0),
+            build_blobs: options.build_blobs,
+        };
+        if let Some(dir) = &options.wal_dir {
+            xk.attach_wal(dir, options.fsync)?;
+            // Arm any WAL-targeted fault only after replay: the fault
+            // models a crash in *this* process's append stream.
+            if let Some(f) = options.faults.as_ref().and_then(|s| s.wal_fault()) {
+                xk.set_wal_fault(Some(f));
+            }
+        }
+        Ok(xk)
     }
 
     /// Zero-configuration load: parses XML text, infers the schema graph
@@ -235,13 +356,276 @@ impl XKeyword {
     /// this is the ad-hoc path for arbitrary documents.
     ///
     /// # Errors
-    /// Fails on malformed XML or when the derived segments violate the
-    /// TSS constraints.
+    /// Fails on malformed XML, when the derived segments violate the
+    /// TSS constraints, or on a WAL open/replay failure.
     pub fn load_xml(xml: &str, options: LoadOptions) -> Result<Self, LoadXmlError> {
         let graph = xkw_graph::parse(xml).map_err(LoadXmlError::Parse)?;
         let schema = xkw_graph::infer_schema(&graph);
         let tss = xkw_graph::auto_mapping(&schema, &graph).map_err(LoadXmlError::Tss)?;
-        Self::load(graph, tss, options).map_err(LoadXmlError::Conformance)
+        Self::load(graph, tss, options).map_err(|e| match e {
+            LoadError::Conformance(c) => LoadXmlError::Conformance(c),
+            LoadError::Wal(w) => LoadXmlError::Wal(w),
+            LoadError::Replay { record, detail } => LoadXmlError::Replay { record, detail },
+        })
+    }
+
+    /// Opens (or creates) the WAL and replays any surviving records
+    /// through the incremental write path. The torn tail, if any, was
+    /// already truncated by [`Wal::open`].
+    fn attach_wal(&self, dir: &Path, policy: FsyncPolicy) -> Result<(), LoadError> {
+        let (wal, replay) = Wal::open(&dir.join(WAL_FILE), policy).map_err(LoadError::Wal)?;
+        let mut state = self.ingest.lock();
+        state.wal = Some(wal);
+        let recovering = !replay.records.is_empty() || replay.truncated_bytes > 0;
+        for (i, rec) in replay.records.into_iter().enumerate() {
+            let applied = match rec {
+                WalRecord::Insert { doc, xml } => self.apply_insert(&mut state, doc, &xml),
+                WalRecord::Delete { doc } => self.apply_delete(&mut state, doc),
+            };
+            applied.map_err(|e| LoadError::Replay {
+                record: i as u64,
+                detail: e.to_string(),
+            })?;
+        }
+        drop(state);
+        if recovering {
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            if xkw_obs::enabled() {
+                xkw_obs::global().counter("xkw_recoveries_total").inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests one XML document incrementally and returns its document
+    /// id. The document is parsed and classified first (a bad document
+    /// changes nothing), then logged to the WAL (when configured), then
+    /// applied: target objects appended, postings delta-merged, BLOBs
+    /// written, connection relations extended — and the new read view
+    /// installed atomically. Concurrent queries keep their snapshot.
+    ///
+    /// # Errors
+    /// [`XkError::BadDocument`] on parse/classification failure (nothing
+    /// logged or applied); [`XkError::Store`] when the WAL append fails
+    /// (nothing applied — on a crash fault the record is *not* durable
+    /// and recovery will not see it).
+    pub fn insert_document(&self, xml: &str) -> Result<u64, XkError> {
+        let start = Instant::now();
+        let mut state = self.ingest.lock();
+        let doc = state.next_doc.max(1);
+        // Validate before logging: the WAL must never hold a record that
+        // cannot be replayed.
+        let frag = xkw_graph::parse(xml).map_err(|e| XkError::BadDocument(e.to_string()))?;
+        TargetGraph::build(&frag, &self.tss).map_err(|e| XkError::BadDocument(e.to_string()))?;
+        if let Some(wal) = &mut state.wal {
+            wal.append(&WalRecord::Insert {
+                doc,
+                xml: xml.to_owned(),
+            })
+            .map_err(XkError::Store)?;
+        }
+        self.apply_insert(&mut state, doc, xml)?;
+        let wal_stats = state.wal.as_ref().map(Wal::snapshot);
+        drop(state);
+        self.publish_ingest_metrics(wal_stats.as_ref());
+        self.record_ingest("ingest", format!("doc:{doc}"), start);
+        Ok(doc)
+    }
+
+    /// Deletes a previously ingested document: its postings leave the
+    /// master index and its rows leave the connection relations; the new
+    /// view is installed atomically. Only documents ingested through
+    /// [`XKeyword::insert_document`] can be deleted — the bulk-loaded
+    /// base is not under WAL control.
+    ///
+    /// # Errors
+    /// [`XkError::UnknownDocument`]; [`XkError::Store`] when the WAL
+    /// append fails (nothing applied).
+    pub fn delete_document(&self, doc: u64) -> Result<(), XkError> {
+        let start = Instant::now();
+        let mut state = self.ingest.lock();
+        if !state.docs.contains_key(&doc) {
+            return Err(XkError::UnknownDocument(doc));
+        }
+        if let Some(wal) = &mut state.wal {
+            wal.append(&WalRecord::Delete { doc })
+                .map_err(XkError::Store)?;
+        }
+        self.apply_delete(&mut state, doc)?;
+        let wal_stats = state.wal.as_ref().map(Wal::snapshot);
+        drop(state);
+        self.publish_ingest_metrics(wal_stats.as_ref());
+        self.record_ingest("delete", format!("doc:{doc}"), start);
+        Ok(())
+    }
+
+    /// Rewrites the WAL to the net set of live documents (insert records
+    /// only, in document order) and truncates the old log atomically. A
+    /// crash at any point leaves either the old or the new log intact.
+    /// No-op without a WAL.
+    ///
+    /// # Errors
+    /// [`XkError::Store`] on WAL I/O failure.
+    pub fn checkpoint(&self) -> Result<(), XkError> {
+        let mut state = self.ingest.lock();
+        let records: Vec<WalRecord> = state
+            .docs
+            .iter()
+            .map(|(&doc, info)| WalRecord::Insert {
+                doc,
+                xml: info.xml.clone(),
+            })
+            .collect();
+        if let Some(wal) = &mut state.wal {
+            wal.checkpoint(&records).map_err(XkError::Store)?;
+        }
+        Ok(())
+    }
+
+    /// The incremental insert: absorb the fragment into the data graph,
+    /// append its target objects, delta-merge postings, write BLOBs,
+    /// extend the touched connection relations, install the new view.
+    fn apply_insert(&self, state: &mut IngestState, doc: u64, xml: &str) -> Result<(), XkError> {
+        let frag = xkw_graph::parse(xml).map_err(|e| XkError::BadDocument(e.to_string()))?;
+        let frag_targets = TargetGraph::build(&frag, &self.tss)
+            .map_err(|e| XkError::BadDocument(e.to_string()))?;
+        let view = self.engine.view();
+        let mut graph = self.graph.write();
+        let node_offset = graph.absorb(&frag);
+        let (targets, range) = view.targets.append(&frag_targets, node_offset);
+        let delta = MasterIndex::delta_for(&graph, &targets, range.clone());
+        let master = view.master.with_appended(&delta);
+        if self.build_blobs {
+            for id in range.clone() {
+                self.db.blobs().put(id, targets.to_xml(&graph, id));
+            }
+        }
+        drop(graph);
+        let catalog = view
+            .catalog
+            .with_inserted(&self.db, &targets, range.clone(), view.epoch + 1);
+        self.engine
+            .install_view(Arc::new(targets), Arc::new(master), Arc::new(catalog));
+        state.docs.insert(
+            doc,
+            DocInfo {
+                to_range: range,
+                xml: xml.to_owned(),
+            },
+        );
+        state.next_doc = state.next_doc.max(doc + 1);
+        Ok(())
+    }
+
+    /// The incremental delete: drop the document's postings range and
+    /// relation rows, install the new view. The target graph and data
+    /// graph keep the dead entries — without postings or rows they are
+    /// unreachable, and ToIds are never reused.
+    fn apply_delete(&self, state: &mut IngestState, doc: u64) -> Result<(), XkError> {
+        let info = state
+            .docs
+            .get(&doc)
+            .ok_or(XkError::UnknownDocument(doc))?
+            .clone();
+        let range = info.to_range;
+        let view = self.engine.view();
+        let master = view.master.without_range(range.start, range.end);
+        let catalog = view
+            .catalog
+            .with_deleted(&self.db, range.clone(), view.epoch + 1);
+        self.engine
+            .install_view(view.targets.clone(), Arc::new(master), Arc::new(catalog));
+        state.docs.remove(&doc);
+        Ok(())
+    }
+
+    /// Live WAL-ingested document ids, ascending.
+    pub fn documents(&self) -> Vec<u64> {
+        self.ingest.lock().docs.keys().copied().collect()
+    }
+
+    /// A WAL counter snapshot, or `None` when loaded without a
+    /// [`LoadOptions::wal_dir`].
+    pub fn wal_stats(&self) -> Option<xkw_store::WalSnapshot> {
+        self.ingest.lock().wal.as_ref().map(Wal::snapshot)
+    }
+
+    /// Times a non-empty WAL was replayed on open (0 or 1 per instance).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Installs a deterministic WAL fault for crash testing — see
+    /// [`xkw_store::WalFault`]. No-op without a WAL.
+    pub fn set_wal_fault(&self, fault: Option<xkw_store::WalFault>) {
+        if let Some(wal) = &mut self.ingest.lock().wal {
+            wal.set_fault(fault);
+        }
+    }
+
+    /// Feeds WAL/ingest counters into the global registry (enabled
+    /// runs only) after a mutation.
+    fn publish_ingest_metrics(&self, wal: Option<&xkw_store::WalSnapshot>) {
+        if !xkw_obs::enabled() {
+            return;
+        }
+        let reg = xkw_obs::global();
+        reg.counter("xkw_ingest_ops_total").inc();
+        if let Some(s) = wal {
+            reg.gauge("xkw_wal_appends_total").set(s.appends);
+            reg.gauge("xkw_wal_bytes").set(s.bytes);
+            reg.gauge("xkw_wal_fsyncs_total").set(s.fsyncs);
+        }
+    }
+
+    /// Tags one ingest operation in the engine's flight recorder, so the
+    /// write path shows up in the query log and windowed dashboard next
+    /// to the queries it interleaves with. Never requests a deferred
+    /// EXPLAIN — an ingest cannot be re-run as a query.
+    fn record_ingest(&self, path: &'static str, label: String, start: Instant) {
+        let rec = self.engine.recorder();
+        if !rec.enabled() {
+            return;
+        }
+        let id = rec.next_id();
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let slow = total_ns >= rec.slow_threshold_ns();
+        rec.push(xkw_obs::QueryRecord {
+            id,
+            keywords: vec![label],
+            z: 0,
+            k: None,
+            path,
+            mode: xkw_obs::RecordedMode::Naive,
+            postings: match self.master().format() {
+                PostingsFormatKind::Raw => "raw",
+                PostingsFormatKind::Packed => "packed",
+            },
+            deadline_ns: None,
+            prune: false,
+            plan_cache_hit: false,
+            discover_ns: 0,
+            plan_ns: 0,
+            exec_ns: total_ns,
+            present_ns: 0,
+            total_ns,
+            plans: 0,
+            plans_pruned: 0,
+            plans_early_stopped: 0,
+            rows: 0,
+            result_digest: 0,
+            io_hits: 0,
+            io_misses: 0,
+            degradation: None,
+            error: None,
+            slow,
+            forced: slow,
+            sampled: slow || rec.should_sample(id),
+            spans: Vec::new(),
+            explain: None,
+            explain_error: None,
+            needs_explain: false,
+        });
     }
 
     /// The shared query-stage engine behind this instance. It exposes the
@@ -252,17 +636,55 @@ impl XKeyword {
         &self.engine
     }
 
+    /// A read guard over the XML data graph. Hold it briefly — the write
+    /// path takes the write side while absorbing an ingested document.
+    pub fn graph(&self) -> RwLockReadGuard<'_, XmlGraph> {
+        self.graph.read()
+    }
+
+    /// The target-object decomposition of the current read view.
+    pub fn targets(&self) -> Arc<TargetGraph> {
+        self.engine.targets()
+    }
+
+    /// The master index of the current read view.
+    pub fn master(&self) -> Arc<MasterIndex> {
+        self.engine.master()
+    }
+
+    /// The connection-relation catalog of the current read view.
+    pub fn catalog(&self) -> Arc<RelationCatalog> {
+        self.engine.catalog()
+    }
+
     /// Exports this instance's metrics into `registry`: the store's
-    /// pool/fault counters plus the index-footprint gauges
-    /// (`xkw_postings_bytes` / `xkw_graph_bytes`).
+    /// pool/fault counters, the index-footprint gauges
+    /// (`xkw_postings_bytes` / `xkw_graph_bytes`), and the write path's
+    /// WAL/document counters (`xkw_wal_appends_total`, `xkw_wal_bytes`,
+    /// `xkw_wal_fsyncs_total`, `xkw_recoveries_total`, `xkw_docs_total`).
     pub fn export_metrics(&self, registry: &xkw_obs::Registry) {
         self.db.export_metrics(registry);
         registry
             .gauge("xkw_postings_bytes")
-            .set(self.master.postings_bytes() as u64);
+            .set(self.master().postings_bytes() as u64);
         registry
             .gauge("xkw_graph_bytes")
-            .set(self.graph.graph_bytes() as u64);
+            .set(self.graph().graph_bytes() as u64);
+        registry
+            .gauge("xkw_recoveries_total")
+            .set(self.recoveries());
+        let state = self.ingest.lock();
+        registry
+            .gauge("xkw_docs_total")
+            .set(state.docs.len() as u64);
+        if let Some(s) = state.wal.as_ref().map(Wal::snapshot) {
+            registry.gauge("xkw_wal_appends_total").set(s.appends);
+            registry.gauge("xkw_wal_bytes").set(s.bytes);
+            registry.gauge("xkw_wal_fsyncs_total").set(s.fsyncs);
+            registry
+                .gauge("xkw_wal_checkpoints_total")
+                .set(s.checkpoints);
+        }
     }
 
     /// The first stages of query processing: keyword discoverer → CN
@@ -311,17 +733,57 @@ impl XKeyword {
             .unwrap_or_default()
     }
 
+    /// A canonical, content-addressed serialization of a query's full
+    /// result set: one line per MTTON — score, then each target object
+    /// rendered as XML — in presentation order. Two instances holding
+    /// the same logical documents produce byte-identical strings even
+    /// when their internal ToIds differ (deletes leave id gaps; a bulk
+    /// rebuild compacts them): live target objects on both sides are
+    /// related by a monotone id bijection, so ordering and rendered
+    /// content agree. This is the crash-recovery oracle's comparator.
+    ///
+    /// # Errors
+    /// The engine's query errors, except [`XkError::UnknownKeyword`]
+    /// which canonicalizes to the empty string (an instance holding
+    /// fewer documents may legitimately not know a keyword).
+    pub fn canonical_results(&self, keywords: &[&str], z: usize) -> Result<String, XkError> {
+        use std::fmt::Write as _;
+        let mttons = match self.engine.query_all(keywords, z, ExecMode::Naive) {
+            Ok(o) => o.mttons,
+            Err(XkError::UnknownKeyword(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let targets = self.targets();
+        let graph = self.graph();
+        let mut out = String::new();
+        for m in &mttons {
+            let _ = write!(out, "{}|", m.score);
+            for &to in &m.tos {
+                let _ = write!(out, "{};", targets.to_xml(&graph, to));
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
     /// Streams results lazily over pre-built plans — the page-by-page
-    /// presentation of §3.2. Use [`XKeyword::plans`] to build the plans,
-    /// then pull pages:
+    /// presentation of §3.2. Use [`XKeyword::plans`] to build the plans
+    /// and [`XKeyword::catalog`] to pin the catalog snapshot, then pull
+    /// pages:
     ///
     /// ```ignore
     /// let plans = xk.plans(&["john", "vcr"], 8);
-    /// let mut stream = xk.stream(&plans, ExecMode::Cached { capacity: 1024 });
+    /// let catalog = xk.catalog();
+    /// let mut stream = xk.stream(&catalog, &plans, ExecMode::Cached { capacity: 1024 });
     /// let first_page = stream.page(10);
     /// ```
-    pub fn stream<'a>(&'a self, plans: &'a [CtssnPlan], mode: ExecMode) -> exec::ResultStream<'a> {
-        exec::ResultStream::new(&self.db, &self.catalog, plans, mode)
+    pub fn stream<'a>(
+        &'a self,
+        catalog: &'a RelationCatalog,
+        plans: &'a [CtssnPlan],
+        mode: ExecMode,
+    ) -> exec::ResultStream<'a> {
+        exec::ResultStream::new(&self.db, catalog, plans, mode)
     }
 
     /// Builds the initial presentation graph (PG0) of plan `plan_idx`:
@@ -331,13 +793,14 @@ impl XKeyword {
         plans: &[CtssnPlan],
         plan_idx: usize,
     ) -> Option<PresentationGraph> {
+        let catalog = self.catalog();
         let plan = &plans[plan_idx];
         let mut cache = PartialCache::new(1024);
         let mut stats = exec::ExecStats::default();
         let mut first: Option<Vec<ToId>> = None;
         let _ = exec::eval_plan(
             &self.db,
-            &self.catalog,
+            &catalog,
             plan_idx,
             plan,
             ExecMode::Cached { capacity: 1024 },
@@ -361,16 +824,18 @@ impl XKeyword {
         role: u8,
         cache: &mut PartialCache,
     ) -> exec::ExecStats {
+        let catalog = self.catalog();
+        let master = self.master();
+        let targets = self.targets();
         let plan = &plans[pg.plan];
-        let Some(anchored) =
-            build_plan_anchored(&plan.ctssn, &self.catalog, &self.master, keywords, role)
+        let Some(anchored) = build_plan_anchored(&plan.ctssn, &catalog, &master, keywords, role)
         else {
             return exec::ExecStats::default();
         };
-        let universe = self.targets.tos_of(plan.ctssn.tree.roles[role as usize]);
+        let universe = targets.tos_of(plan.ctssn.tree.roles[role as usize]);
         let (_, stats) = expand_on_demand(
             &self.db,
-            &self.catalog,
+            &catalog,
             &anchored,
             pg,
             universe,
@@ -390,7 +855,8 @@ impl XKeyword {
 
     /// A short display label for a target object (`Person[John]`).
     pub fn label(&self, to: ToId) -> String {
-        self.targets.label(&self.graph, &self.tss, to)
+        let graph = self.graph();
+        self.targets().label(&graph, &self.tss, to)
     }
 
     /// Renders a presentation graph with labels and the TSS edges'
@@ -465,7 +931,7 @@ mod tests {
         );
         let res = xk.query_all(&["john", "vcr"], 8, ExecMode::Cached { capacity: 1024 });
         let mttons = res.mttons();
-        let oracle = enumerate_mttons(&xk.graph, &xk.targets, &["john", "vcr"], 8);
+        let oracle = enumerate_mttons(&xk.graph(), &xk.targets(), &["john", "vcr"], 8);
         assert_eq!(mttons, oracle);
         assert_eq!(mttons.iter().map(|m| m.score).min(), Some(6));
     }
@@ -517,5 +983,158 @@ mod tests {
         let res = xk.query_all(&["florp", "blag"], 8, ExecMode::Naive);
         assert!(res.rows.is_empty());
         assert!(xk.plans(&["florp"], 8).is_empty());
+    }
+
+    // ---- The write path -------------------------------------------------
+
+    const BASE: &str = "<bib>\
+        <paper><title>xml keyword search</title><author>jones</author></paper>\
+        <paper><title>graph proximity</title><author>smith</author></paper>\
+        </bib>";
+    const DOC2: &str = "<bib>\
+        <paper><title>proximity ranking</title><author>royce</author></paper>\
+        </bib>";
+    const DOC3: &str = "<bib>\
+        <paper><title>incremental indexing</title><author>jones</author></paper>\
+        </bib>";
+    const QUERIES: &[&[&str]] = &[
+        &["jones", "proximity"],
+        &["royce", "ranking"],
+        &["jones", "smith"],
+        &["incremental", "jones"],
+    ];
+
+    /// An oracle instance bulk-loaded from `docs` absorbed into one
+    /// graph, classified against BASE's inferred TSS.
+    fn bulk_oracle(docs: &[&str]) -> XKeyword {
+        let base = xkw_graph::parse(BASE).unwrap();
+        let schema = xkw_graph::infer_schema(&base);
+        let tss = xkw_graph::auto_mapping(&schema, &base).unwrap();
+        let mut graph = base;
+        for doc in docs {
+            let frag = xkw_graph::parse(doc).unwrap();
+            graph.absorb(&frag);
+        }
+        XKeyword::load(graph, tss, LoadOptions::default()).unwrap()
+    }
+
+    fn assert_canonical_eq(a: &XKeyword, b: &XKeyword, tag: &str) {
+        for q in QUERIES {
+            assert_eq!(
+                a.canonical_results(q, 6).unwrap(),
+                b.canonical_results(q, 6).unwrap(),
+                "{tag}: query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_oracle() {
+        let xk = XKeyword::load_xml(BASE, LoadOptions::default()).unwrap();
+        let d2 = xk.insert_document(DOC2).unwrap();
+        let d3 = xk.insert_document(DOC3).unwrap();
+        assert_eq!(xk.documents(), vec![d2, d3]);
+        assert_eq!(xk.engine().epoch(), 2, "one view install per insert");
+        let oracle = bulk_oracle(&[DOC2, DOC3]);
+        assert_canonical_eq(&xk, &oracle, "insert");
+        // New keywords are discoverable and their blobs render.
+        let res = xk.query_all(&["royce", "ranking"], 6, ExecMode::Naive);
+        assert!(!res.rows.is_empty());
+    }
+
+    #[test]
+    fn delete_restores_prior_results() {
+        let xk = XKeyword::load_xml(BASE, LoadOptions::default()).unwrap();
+        let d2 = xk.insert_document(DOC2).unwrap();
+        let d3 = xk.insert_document(DOC3).unwrap();
+        xk.delete_document(d3).unwrap();
+        let oracle = bulk_oracle(&[DOC2]);
+        assert_canonical_eq(&xk, &oracle, "after delete d3");
+        xk.delete_document(d2).unwrap();
+        let fresh = XKeyword::load_xml(BASE, LoadOptions::default()).unwrap();
+        assert_canonical_eq(&xk, &fresh, "after delete d2");
+        assert!(xk.documents().is_empty());
+        // Double delete is a typed error.
+        assert_eq!(
+            xk.delete_document(d2).unwrap_err(),
+            XkError::UnknownDocument(d2)
+        );
+    }
+
+    #[test]
+    fn bad_documents_change_nothing() {
+        let xk = XKeyword::load_xml(BASE, LoadOptions::default()).unwrap();
+        let before = xk.canonical_results(&["jones", "smith"], 6).unwrap();
+        assert!(matches!(
+            xk.insert_document("<bib><pap"),
+            Err(XkError::BadDocument(_))
+        ));
+        assert!(matches!(
+            xk.insert_document("<alien><zap>q</zap></alien>"),
+            Err(XkError::BadDocument(_))
+        ));
+        assert_eq!(xk.engine().epoch(), 0, "no view was installed");
+        assert_eq!(
+            xk.canonical_results(&["jones", "smith"], 6).unwrap(),
+            before
+        );
+    }
+
+    #[test]
+    fn in_flight_snapshot_survives_concurrent_ingest() {
+        let xk = XKeyword::load_xml(BASE, LoadOptions::default()).unwrap();
+        let view = xk.engine().view();
+        let before = xk.canonical_results(&["jones", "smith"], 6).unwrap();
+        xk.insert_document(DOC3).unwrap();
+        // The held snapshot still answers from epoch 0.
+        let prepared = xk
+            .engine()
+            .prepare_with(&view, &["jones", "smith"], 6)
+            .unwrap();
+        assert!(!prepared.plans.is_empty());
+        assert_eq!(view.epoch, 0);
+        assert_ne!(
+            xk.canonical_results(&["incremental", "jones"], 6).unwrap(),
+            "",
+            "new view sees the new document"
+        );
+        let _ = before;
+    }
+
+    #[test]
+    fn wal_replays_history_on_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "xkw-facade-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || LoadOptions {
+            wal_dir: Some(dir.clone()),
+            ..LoadOptions::default()
+        };
+        let xk = XKeyword::load_xml(BASE, opts()).unwrap();
+        assert_eq!(xk.recoveries(), 0, "fresh WAL is not a recovery");
+        let d2 = xk.insert_document(DOC2).unwrap();
+        xk.insert_document(DOC3).unwrap();
+        xk.delete_document(d2).unwrap();
+        let stats = xk.wal_stats().unwrap();
+        assert_eq!(stats.appends, 3);
+        assert!(stats.fsyncs >= 3, "default policy fsyncs every append");
+        drop(xk);
+
+        let xk2 = XKeyword::load_xml(BASE, opts()).unwrap();
+        assert_eq!(xk2.recoveries(), 1);
+        assert_eq!(xk2.documents().len(), 1);
+        let oracle = bulk_oracle(&[DOC3]);
+        assert_canonical_eq(&xk2, &oracle, "recovered");
+
+        // Checkpoint compacts to the net state; reopen still agrees.
+        xk2.checkpoint().unwrap();
+        drop(xk2);
+        let xk3 = XKeyword::load_xml(BASE, opts()).unwrap();
+        assert_eq!(xk3.documents().len(), 1);
+        assert_canonical_eq(&xk3, &oracle, "post-checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -238,6 +238,39 @@ impl XmlGraph {
             .collect()
     }
 
+    /// Absorbs `other` into this graph, returning the node-id offset its
+    /// nodes received: node `n` of `other` becomes `NodeId(n.0 + offset)`
+    /// here. Labels are re-interned (the two graphs own independent
+    /// interners), values are copied into this arena, and adjacency is
+    /// remapped by the offset. No edges are created between the old and
+    /// new nodes — absorbed documents stay independent subgraphs, which
+    /// is exactly the incremental-ingest contract.
+    pub fn absorb(&mut self, other: &XmlGraph) -> u32 {
+        let offset = u32::try_from(self.labels.len()).expect("node count exceeds u32");
+        self.labels.reserve(other.labels.len());
+        self.values.reserve(other.values.len());
+        for n in other.node_ids() {
+            let label = self.interner.intern(other.tag(n));
+            self.labels.push(label);
+            let span = match other.value(n) {
+                Some(v) => self.append_text(v),
+                None => TextSpan::NONE,
+            };
+            self.values.push(span);
+        }
+        let remap = |lists: &[Vec<NodeId>]| -> Vec<Vec<NodeId>> {
+            lists
+                .iter()
+                .map(|l| l.iter().map(|m| NodeId(m.0 + offset)).collect())
+                .collect()
+        };
+        self.children_c.extend(remap(&other.children_c));
+        self.children_r.extend(remap(&other.children_r));
+        self.parents_c.extend(remap(&other.parents_c));
+        self.parents_r.extend(remap(&other.parents_r));
+        offset
+    }
+
     /// The interner (for tag resolution by callers holding [`LabelId`]s).
     pub fn interner(&self) -> &Interner {
         &self.interner
@@ -344,6 +377,30 @@ mod tests {
         assert!(nb.contains(&n));
         assert!(nb.contains(&o));
         assert_eq!(nb.len(), 2);
+    }
+
+    #[test]
+    fn absorb_offsets_nodes_and_remaps_edges() {
+        let (mut g, p, n, o) = tiny();
+        let mut frag = XmlGraph::new();
+        let a = frag.add_node("person", None); // shared tag — re-interned
+        let b = frag.add_node("city", Some("Athens"));
+        frag.add_edge(a, b, EdgeKind::Containment);
+        frag.add_edge(b, a, EdgeKind::Reference);
+
+        let offset = g.absorb(&frag);
+        assert_eq!(offset, 3);
+        assert_eq!(g.node_count(), 5);
+        let (a2, b2) = (NodeId(a.0 + offset), NodeId(b.0 + offset));
+        assert_eq!(g.tag(a2), "person");
+        assert_eq!(g.label(a2), g.label(p), "shared tags unify in the interner");
+        assert_eq!(g.value(b2), Some("Athens"));
+        assert!(g.has_edge(a2, b2, EdgeKind::Containment));
+        assert!(g.has_edge(b2, a2, EdgeKind::Reference));
+        // Old nodes untouched; no cross-edges appeared.
+        assert_eq!(g.containment_children(p), &[n]);
+        assert_eq!(g.reference_targets(o), &[p]);
+        assert!(g.neighbours(p).all(|(m, _, _)| m == n || m == o));
     }
 
     #[test]

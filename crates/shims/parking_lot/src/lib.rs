@@ -6,7 +6,8 @@
 //! `Result`). Backed by `std::sync`; a poisoned lock is recovered rather
 //! than propagated, matching parking_lot's no-poisoning semantics.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose [`Mutex::lock`] never returns `Err`.
 #[derive(Debug, Default)]

@@ -78,6 +78,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Drops every entry, keeping capacity and hit/miss counters. Used
+    /// when the cached values have been invalidated wholesale (e.g. the
+    /// engine installed a new read view and old plan skeletons reference
+    /// superseded relations).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.queue.clear();
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()

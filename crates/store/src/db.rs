@@ -108,6 +108,17 @@ impl Db {
         self.disk.faults()
     }
 
+    /// Unregisters a table from the catalog, returning it if present.
+    ///
+    /// Tables are immutable and the simulated disk is append-only, so
+    /// this frees the *name* (for epoch-rotated replacements on the
+    /// incremental write path) but not the pages: readers holding the
+    /// `Arc` keep scanning the dropped table, log-structured style, and
+    /// the orphaned pages are only reclaimed when the whole `Db` goes.
+    pub fn drop_table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.write().remove(name)
+    }
+
     /// Looks up a table by name.
     pub fn table(&self, name: &str) -> Option<Arc<Table>> {
         self.tables.read().get(name).cloned()

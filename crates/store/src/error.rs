@@ -34,6 +34,32 @@ pub enum StoreError {
     },
     /// No BLOB is stored under this target-object id.
     MissingBlob(u32),
+    /// An OS-level I/O failure on the write-ahead log (open, append,
+    /// fsync, rename, or replay read). Carries the path and the
+    /// stringified cause — `std::io::Error` itself is not `Clone`/`Eq`.
+    WalIo {
+        /// The WAL file involved.
+        path: String,
+        /// Stringified `std::io::Error`.
+        detail: String,
+    },
+    /// The WAL hit a (real or injected) crash mid-append; every later
+    /// append fails fast with this until the log is reopened and
+    /// recovered. Carries the 0-based index of the record that failed.
+    WalCrashed {
+        /// The record index whose append crashed.
+        record: u64,
+    },
+    /// A WAL record decoded under a valid checksum but is semantically
+    /// malformed (unknown tag, truncated payload). Unlike a torn tail,
+    /// this is never silently truncated — it means a writer bug or
+    /// out-of-band tampering.
+    WalBadRecord {
+        /// The 0-based index of the malformed record.
+        record: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl StoreError {
@@ -64,6 +90,16 @@ impl std::fmt::Display for StoreError {
                 "page {page} of table {table:?} is corrupt (checksum verification failed)"
             ),
             Self::MissingBlob(id) => write!(f, "no blob stored for target object {id}"),
+            Self::WalIo { path, detail } => {
+                write!(f, "write-ahead log I/O failure on {path:?}: {detail}")
+            }
+            Self::WalCrashed { record } => write!(
+                f,
+                "write-ahead log crashed appending record {record}; reopen and recover"
+            ),
+            Self::WalBadRecord { record, detail } => {
+                write!(f, "write-ahead log record {record} is malformed: {detail}")
+            }
         }
     }
 }

@@ -60,6 +60,16 @@ pub enum FaultKind {
     BitFlip,
     /// Append persists corrupted data under the pristine checksum.
     TornWrite,
+    /// WAL: record `at` is written only partially before the process
+    /// "crashes" (short write — a truncated tail on replay).
+    WalShort,
+    /// WAL: record `at` is written full-length but with corrupted
+    /// payload bytes under its original checksum, then the process
+    /// "crashes" (torn tail — a checksum mismatch on replay).
+    WalTorn,
+    /// WAL: the append of record `at` fails before writing anything
+    /// (clean crash exactly at a record boundary).
+    Crash,
 }
 
 impl FaultKind {
@@ -69,7 +79,20 @@ impl FaultKind {
             FaultKind::SlowPage => 0x736c_6f77,
             FaultKind::BitFlip => 0x666c_6970,
             FaultKind::TornWrite => 0x746f_726e,
+            FaultKind::WalShort => 0x7773_6872,
+            FaultKind::WalTorn => 0x7774_726e,
+            FaultKind::Crash => 0x6372_7368,
         }
+    }
+
+    /// Whether this kind targets the write-ahead log rather than disk
+    /// pages. WAL faults are driven by a record index (`at=N`), never by
+    /// page probabilities.
+    pub fn is_wal(self) -> bool {
+        matches!(
+            self,
+            FaultKind::WalShort | FaultKind::WalTorn | FaultKind::Crash
+        )
     }
 }
 
@@ -102,6 +125,9 @@ pub struct FaultRule {
     pub probability: f64,
     /// Extra simulated latency for [`FaultKind::SlowPage`], ns.
     pub slow_ns: u64,
+    /// WAL record index the rule fires at (WAL kinds only). Record
+    /// indices count logical appends since the WAL was opened.
+    pub at: Option<u64>,
 }
 
 /// A complete fault script: explicit seed plus rules.
@@ -142,6 +168,7 @@ impl FaultSpec {
             target,
             probability,
             slow_ns: 4 * RETRY_BACKOFF_BASE_NS,
+            at: None,
         });
         self
     }
@@ -154,6 +181,24 @@ impl FaultSpec {
             target,
             probability,
             slow_ns,
+            at: None,
+        });
+        self
+    }
+
+    /// Builder: appends a WAL-targeted rule firing at record index `at`.
+    ///
+    /// # Panics
+    /// Panics if `kind` is not a WAL kind (see [`FaultKind::is_wal`]).
+    #[must_use]
+    pub fn wal(mut self, kind: FaultKind, at: u64) -> Self {
+        assert!(kind.is_wal(), "{kind:?} is not a WAL fault kind");
+        self.rules.push(FaultRule {
+            kind,
+            target: FaultTarget::All,
+            probability: 1.0,
+            slow_ns: 0,
+            at: Some(at),
         });
         self
     }
@@ -161,9 +206,12 @@ impl FaultSpec {
     /// Parses the CLI grammar: semicolon-separated clauses, each either
     /// `seed=N` or `<kind>[:key=val[,key=val…]]` with kinds `transient` /
     /// `slow` / `bitflip` / `torn` and keys `p=<0..1>` (default 1),
-    /// `pages=<a>..<b>`, `table=<name>`, `ns=<latency>` (slow only).
+    /// `pages=<a>..<b>`, `table=<name>`, `ns=<latency>` (slow only), plus
+    /// the WAL kinds `wal_short` / `wal_torn` / `crash`, which take
+    /// exactly one key: `at=<record index>`.
     ///
-    /// Example: `seed=42;transient:p=0.2;slow:table=cr.PL@c0,ns=500000`.
+    /// Example: `seed=42;transient:p=0.2;slow:table=cr.PL@c0,ns=500000`,
+    /// or `crash:at=3` for the write path.
     ///
     /// # Errors
     /// [`FaultSpecParseError`] naming the offending clause.
@@ -183,6 +231,9 @@ impl FaultSpec {
                 "slow" => FaultKind::SlowPage,
                 "bitflip" => FaultKind::BitFlip,
                 "torn" => FaultKind::TornWrite,
+                "wal_short" => FaultKind::WalShort,
+                "wal_torn" => FaultKind::WalTorn,
+                "crash" => FaultKind::Crash,
                 other => {
                     return Err(FaultSpecParseError(format!("unknown fault kind {other:?}")));
                 }
@@ -192,25 +243,33 @@ impl FaultSpec {
                 target: FaultTarget::All,
                 probability: 1.0,
                 slow_ns: 4 * RETRY_BACKOFF_BASE_NS,
+                at: None,
             };
             for kv in args.split(',').map(str::trim).filter(|a| !a.is_empty()) {
                 let (k, v) = kv
                     .split_once('=')
                     .ok_or_else(|| FaultSpecParseError(format!("expected key=value in {kv:?}")))?;
                 match k.trim() {
-                    "p" => {
+                    "at" if kind.is_wal() => {
+                        rule.at = Some(v.trim().parse().map_err(|_| {
+                            FaultSpecParseError(format!("bad record index in {kv:?}"))
+                        })?);
+                    }
+                    "p" if !kind.is_wal() => {
                         rule.probability = v.trim().parse().map_err(|_| {
                             FaultSpecParseError(format!("bad probability in {kv:?}"))
                         })?;
                     }
-                    "ns" => {
+                    "ns" if !kind.is_wal() => {
                         rule.slow_ns = v
                             .trim()
                             .parse()
                             .map_err(|_| FaultSpecParseError(format!("bad latency in {kv:?}")))?;
                     }
-                    "table" => rule.target = FaultTarget::Table(v.trim().to_owned()),
-                    "pages" => {
+                    "table" if !kind.is_wal() => {
+                        rule.target = FaultTarget::Table(v.trim().to_owned());
+                    }
+                    "pages" if !kind.is_wal() => {
                         let (a, b) = v.trim().split_once("..").ok_or_else(|| {
                             FaultSpecParseError(format!("expected a..b range in {kv:?}"))
                         })?;
@@ -227,6 +286,11 @@ impl FaultSpec {
                     }
                 }
             }
+            if kind.is_wal() && rule.at.is_none() {
+                return Err(FaultSpecParseError(format!(
+                    "WAL fault needs at=<record index> in {clause:?}"
+                )));
+            }
             if !(0.0..=1.0).contains(&rule.probability) {
                 return Err(FaultSpecParseError(format!(
                     "probability out of [0,1] in {clause:?}"
@@ -237,6 +301,18 @@ impl FaultSpec {
         Ok(spec)
     }
 
+    /// The first WAL-targeted rule, as a [`WalFault`] the WAL arms
+    /// itself with; `None` when the spec only scripts page faults.
+    pub fn wal_fault(&self) -> Option<WalFault> {
+        self.rules
+            .iter()
+            .find(|r| r.kind.is_wal())
+            .map(|r| WalFault {
+                kind: r.kind,
+                at: r.at.expect("parse/builder guarantee at for WAL kinds"),
+            })
+    }
+
     /// Whether every rule is transient or slow — i.e. the plan can cost
     /// latency but can never corrupt or lose data.
     pub fn is_transient_only(&self) -> bool {
@@ -244,6 +320,19 @@ impl FaultSpec {
             .iter()
             .all(|r| matches!(r.kind, FaultKind::TransientRead | FaultKind::SlowPage))
     }
+}
+
+/// A deterministic WAL fault: `kind` fires exactly when the WAL appends
+/// its `at`-th record (0-based, counted since open). All three kinds
+/// leave exactly the first `at` records recoverable — they differ only
+/// in what garbage the tail holds for replay to truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFault {
+    /// [`FaultKind::WalShort`], [`FaultKind::WalTorn`] or
+    /// [`FaultKind::Crash`].
+    pub kind: FaultKind,
+    /// The 0-based record index the fault fires at.
+    pub at: u64,
 }
 
 /// Cumulative fault-layer counters (all relaxed atomics).
@@ -356,6 +445,11 @@ impl FaultLayer {
         state.resolved.clear();
         state.pending.clear();
         for (i, rule) in spec.rules.into_iter().enumerate() {
+            if rule.kind.is_wal() {
+                // WAL rules are consumed by the WAL itself (see
+                // `FaultSpec::wal_fault`), never by the page layer.
+                continue;
+            }
             let salt = rule.kind.salt() ^ ((i as u64) << 40);
             match rule.target {
                 FaultTarget::All => state.resolved.push(ResolvedRule {
@@ -479,7 +573,12 @@ impl FaultLayer {
                             Some(splitmix(state.seed ^ rule.salt ^ u64::from(page)));
                     }
                 }
-                FaultKind::TornWrite => {}
+                // Torn writes act on the append path; WAL kinds never
+                // reach the resolved set (filtered at install).
+                FaultKind::TornWrite
+                | FaultKind::WalShort
+                | FaultKind::WalTorn
+                | FaultKind::Crash => {}
             }
         }
         decision
@@ -623,6 +722,47 @@ mod tests {
         assert!(FaultSpec::parse("transient:pages=9").is_err());
         assert!(FaultSpec::parse("seed=x").is_err());
         assert!(FaultSpec::parse("slow:volume=11").is_err());
+    }
+
+    #[test]
+    fn parse_wal_fault_kinds() {
+        let spec = FaultSpec::parse("seed=7;crash:at=3").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(
+            spec.wal_fault(),
+            Some(WalFault {
+                kind: FaultKind::Crash,
+                at: 3
+            })
+        );
+        assert!(!spec.is_transient_only());
+        let spec = FaultSpec::parse("wal_short:at=0").unwrap();
+        assert_eq!(spec.wal_fault().unwrap().kind, FaultKind::WalShort);
+        assert_eq!(spec.wal_fault().unwrap().at, 0);
+        let spec = FaultSpec::parse("wal_torn:at=12").unwrap();
+        assert_eq!(spec.wal_fault().unwrap().kind, FaultKind::WalTorn);
+        // Page faults and WAL faults can ride in one spec; the page layer
+        // sees only the page rules.
+        let spec = FaultSpec::parse("seed=1;transient:p=0.5;crash:at=2").unwrap();
+        assert_eq!(spec.rules.len(), 2);
+        assert!(spec.wal_fault().is_some());
+        let layer = FaultLayer::default();
+        layer.install(spec);
+        assert_eq!(layer.on_read(0, 3).fault, None, "crash rule stays inert");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_wal_faults() {
+        // WAL kinds demand an explicit record index …
+        assert!(FaultSpec::parse("crash").is_err());
+        assert!(FaultSpec::parse("wal_torn").is_err());
+        assert!(FaultSpec::parse("crash:at=x").is_err());
+        // … and accept no page-style keys.
+        assert!(FaultSpec::parse("crash:p=0.5").is_err());
+        assert!(FaultSpec::parse("wal_short:at=1,table=cr.PL@c0").is_err());
+        assert!(FaultSpec::parse("wal_torn:pages=0..4").is_err());
+        // `at` is a WAL concept; page kinds reject it.
+        assert!(FaultSpec::parse("transient:at=3").is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod page;
 pub mod query;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
 pub use blob::BlobStore;
 pub use buffer::{BufferPool, IoSnapshot, PageFaultError};
@@ -41,9 +42,10 @@ pub use error::StoreError;
 pub use exec::{hash_join, HashJoin, IndexNestedLoopJoin, RowIter};
 pub use fault::{
     FaultKind, FaultLayer, FaultRule, FaultSnapshot, FaultSpec, FaultSpecParseError, FaultTarget,
-    MAX_READ_ATTEMPTS,
+    WalFault, MAX_READ_ATTEMPTS,
 };
 pub use page::{page_checksum, Disk, PageId, PAGE_U32S};
 pub use query::{Query, QueryError};
 pub use stats::TableStats;
 pub use table::{AccessPath, Id, PhysicalOptions, Row, Table};
+pub use wal::{FsyncPolicy, Wal, WalRecord, WalReplay, WalSnapshot, BATCH_FSYNC_APPENDS};

@@ -1,0 +1,647 @@
+//! The write-ahead log behind the incremental document write path.
+//!
+//! Unlike the rest of the store — which runs on a *simulated* disk so
+//! benchmarks can count I/O — the WAL is a real `std::fs` file: its whole
+//! point is surviving process death, so it must live where the process
+//! does not. The format is deliberately boring:
+//!
+//! ```text
+//! record := [len: u32 LE] [checksum: u64 LE] [payload: len bytes]
+//! payload := 0x01 doc_id:u64 LE xml-utf8…    (insert)
+//!          | 0x02 doc_id:u64 LE              (delete)
+//! ```
+//!
+//! `checksum` is FNV-1a over the payload. Replay walks records from the
+//! front and stops at the first incomplete or checksum-failing record,
+//! **truncating** the file there: a torn tail is the expected signature
+//! of a crash mid-append and is never an error. A record that passes its
+//! checksum but decodes to garbage (unknown tag, truncated payload) is
+//! a [`StoreError::WalBadRecord`] — that is writer corruption, not a
+//! crash, and recovery refuses to guess.
+//!
+//! Durability is a knob ([`FsyncPolicy`]): `always` fsyncs every append
+//! (every acknowledged record survives), `batch` fsyncs every
+//! [`BATCH_FSYNC_APPENDS`] appends, `off` leaves flushing to the OS.
+//! Checkpointing rewrites the log as the net insert set of the surviving
+//! documents (tmp file + fsync + atomic rename), bounding replay work.
+//!
+//! Crash testing hooks into the same [`FaultSpec`](crate::FaultSpec)
+//! grammar as the page layer: a [`WalFault`] fires deterministically at
+//! a record *index*, leaving exactly the records before it recoverable —
+//! `crash:at=N` writes nothing, `wal_short:at=N` stops half-way through
+//! the record, `wal_torn:at=N` writes full length with corrupted bytes
+//! under the pristine checksum. After any of them the WAL is poisoned:
+//! every later append fails fast with [`StoreError::WalCrashed`] until
+//! the log is reopened, exactly like a dead process.
+
+use crate::error::StoreError;
+use crate::fault::{FaultKind, WalFault};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Appends between fsyncs under [`FsyncPolicy::Batch`].
+pub const BATCH_FSYNC_APPENDS: u64 = 32;
+
+/// Record header bytes: `len: u32` + `checksum: u64`.
+const HEADER_BYTES: usize = 12;
+
+/// Payload tags.
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// When to fsync the log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every append — every acknowledged record survives any
+    /// crash.
+    #[default]
+    Always,
+    /// fsync every [`BATCH_FSYNC_APPENDS`] appends — bounded loss window,
+    /// amortized cost.
+    Batch,
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Off,
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (expected always, batch or off)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A document ingested under `doc`, carried as its raw XML text —
+    /// replay re-parses it through the same deterministic load path.
+    Insert {
+        /// The document id the engine assigned.
+        doc: u64,
+        /// The raw XML fragment.
+        xml: String,
+    },
+    /// Document `doc` was deleted.
+    Delete {
+        /// The document id being removed.
+        doc: u64,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Insert { doc, xml } => {
+                let mut p = Vec::with_capacity(9 + xml.len());
+                p.push(TAG_INSERT);
+                p.extend_from_slice(&doc.to_le_bytes());
+                p.extend_from_slice(xml.as_bytes());
+                p
+            }
+            WalRecord::Delete { doc } => {
+                let mut p = Vec::with_capacity(9);
+                p.push(TAG_DELETE);
+                p.extend_from_slice(&doc.to_le_bytes());
+                p
+            }
+        }
+    }
+
+    fn decode(payload: &[u8], record: u64) -> Result<Self, StoreError> {
+        let bad = |detail: String| StoreError::WalBadRecord { record, detail };
+        if payload.len() < 9 {
+            return Err(bad(format!(
+                "payload of {} bytes is too short",
+                payload.len()
+            )));
+        }
+        let doc = u64::from_le_bytes(payload[1..9].try_into().expect("9 bytes checked"));
+        match payload[0] {
+            TAG_INSERT => {
+                let xml = std::str::from_utf8(&payload[9..])
+                    .map_err(|e| bad(format!("insert payload is not UTF-8: {e}")))?;
+                Ok(WalRecord::Insert {
+                    doc,
+                    xml: xml.to_owned(),
+                })
+            }
+            TAG_DELETE if payload.len() == 9 => Ok(WalRecord::Delete { doc }),
+            TAG_DELETE => Err(bad(format!(
+                "delete payload has {} trailing bytes",
+                payload.len() - 9
+            ))),
+            tag => Err(bad(format!("unknown record tag {tag}"))),
+        }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes cut off the tail (0 = the log was clean).
+    pub truncated_bytes: u64,
+}
+
+/// Point-in-time WAL counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalSnapshot {
+    /// Records successfully appended since open.
+    pub appends: u64,
+    /// Explicit fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Current log file length in bytes.
+    pub bytes: u64,
+    /// Checkpoint rewrites since open.
+    pub checkpoints: u64,
+}
+
+/// An append-only, checksummed, crash-recoverable log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    /// Records appended since open — also the fault index cursor.
+    appended: u64,
+    /// Set once a (real or injected) crash poisons the log.
+    crashed: Option<u64>,
+    fault: Option<WalFault>,
+    unsynced: u64,
+    bytes: u64,
+    fsyncs: u64,
+    checkpoints: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying what survives.
+    /// A torn tail — an incomplete or checksum-failing final record — is
+    /// truncated off; everything before it is returned in order.
+    ///
+    /// # Errors
+    /// [`StoreError::WalIo`] for OS failures, [`StoreError::WalBadRecord`]
+    /// for a record that passes its checksum but decodes to garbage.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(Wal, WalReplay), StoreError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| wal_io(path, &e))?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| wal_io(path, &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| wal_io(path, &e))?;
+
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &bytes[pos..];
+            if rest.is_empty() {
+                break;
+            }
+            if rest.len() < HEADER_BYTES {
+                break; // torn header
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+            let Some(payload) = rest.get(HEADER_BYTES..HEADER_BYTES + len) else {
+                break; // torn payload
+            };
+            if fnv1a(payload) != checksum {
+                break; // torn bytes under a stale length — still a tail
+            }
+            records.push(WalRecord::decode(payload, records.len() as u64)?);
+            pos += HEADER_BYTES + len;
+        }
+        let truncated = (bytes.len() - pos) as u64;
+        if truncated > 0 {
+            file.set_len(pos as u64).map_err(|e| wal_io(path, &e))?;
+            file.sync_data().map_err(|e| wal_io(path, &e))?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| wal_io(path, &e))?;
+
+        Ok((
+            Wal {
+                path: path.to_owned(),
+                file,
+                policy,
+                appended: 0,
+                crashed: None,
+                fault: None,
+                unsynced: 0,
+                bytes: pos as u64,
+                fsyncs: 0,
+                checkpoints: 0,
+            },
+            WalReplay {
+                records,
+                truncated_bytes: truncated,
+            },
+        ))
+    }
+
+    /// Arms (or disarms) the deterministic WAL fault. Indices count
+    /// appends since this log handle was opened.
+    pub fn set_fault(&mut self, fault: Option<WalFault>) {
+        self.fault = fault;
+    }
+
+    /// The fsync policy in force.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Appends one record, honouring the fsync policy.
+    ///
+    /// # Errors
+    /// [`StoreError::WalCrashed`] once a crash fault has fired (the
+    /// record is **not** durable — callers must not apply it);
+    /// [`StoreError::WalIo`] for real OS failures, which poison the log
+    /// the same way.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        if let Some(at) = self.crashed {
+            return Err(StoreError::WalCrashed { record: at });
+        }
+        let index = self.appended;
+        if let Some(f) = self.fault {
+            if f.at == index {
+                self.inject(f, record);
+                self.crashed = Some(index);
+                return Err(StoreError::WalCrashed { record: index });
+            }
+        }
+        let encoded = record.encode();
+        if let Err(e) = self.file.write_all(&encoded) {
+            self.crashed = Some(index);
+            return Err(wal_io(&self.path, &e));
+        }
+        self.bytes += encoded.len() as u64;
+        self.appended += 1;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch => {
+                if self.unsynced >= BATCH_FSYNC_APPENDS {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Writes the faulty tail a [`WalFault`] scripts, then abandons the
+    /// handle. Best-effort by design — the "process" is dying mid-write,
+    /// so write errors here are part of the simulation, not failures.
+    fn inject(&mut self, fault: WalFault, record: &WalRecord) {
+        let encoded = record.encode();
+        let garbage: Vec<u8> = match fault.kind {
+            FaultKind::Crash => return,
+            // Half the record made it to the platter.
+            FaultKind::WalShort => encoded[..encoded.len() / 2].to_vec(),
+            // Full length, pristine checksum, corrupted payload bytes.
+            FaultKind::WalTorn => {
+                let mut g = encoded.clone();
+                let last = g.len() - 1;
+                g[last] ^= 0xFF;
+                g[HEADER_BYTES] ^= 0xFF;
+                g
+            }
+            _ => unreachable!("non-WAL kinds never reach the WAL"),
+        };
+        let _ = self.file.write_all(&garbage);
+        let _ = self.file.sync_data();
+    }
+
+    /// Forces an fsync now (used on clean shutdown under `batch`/`off`).
+    ///
+    /// # Errors
+    /// [`StoreError::WalIo`] if the OS reports the flush failed.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.file.sync_data().map_err(|e| wal_io(&self.path, &e))?;
+        self.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Checkpoint: atomically replaces the log with `records` (the net
+    /// insert set of the surviving documents). Written to a sibling tmp
+    /// file, fsynced, then renamed over the log — a crash anywhere
+    /// leaves either the old log or the new one, never a mix.
+    ///
+    /// # Errors
+    /// [`StoreError::WalCrashed`] on a poisoned log, [`StoreError::WalIo`]
+    /// for OS failures.
+    pub fn checkpoint(&mut self, records: &[WalRecord]) -> Result<(), StoreError> {
+        if let Some(at) = self.crashed {
+            return Err(StoreError::WalCrashed { record: at });
+        }
+        let tmp = self.path.with_extension("tmp");
+        let mut out = File::create(&tmp).map_err(|e| wal_io(&tmp, &e))?;
+        let mut total = 0u64;
+        for r in records {
+            let encoded = r.encode();
+            out.write_all(&encoded).map_err(|e| wal_io(&tmp, &e))?;
+            total += encoded.len() as u64;
+        }
+        out.sync_data().map_err(|e| wal_io(&tmp, &e))?;
+        drop(out);
+        std::fs::rename(&tmp, &self.path).map_err(|e| wal_io(&self.path, &e))?;
+        // Reopen: the old handle points at the unlinked inode.
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| wal_io(&self.path, &e))?;
+        if let Some(dir) = self.path.parent() {
+            // Make the rename itself durable where the platform allows.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.bytes = total;
+        self.unsynced = 0;
+        self.fsyncs += 1;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle (also the fault cursor).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Whether a crash fault (or real I/O failure) has poisoned the log.
+    pub fn crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> WalSnapshot {
+        WalSnapshot {
+            appends: self.appended,
+            fsyncs: self.fsyncs,
+            bytes: self.bytes,
+            checkpoints: self.checkpoints,
+        }
+    }
+}
+
+fn wal_io(path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::WalIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// FNV-1a over bytes — same family as the page checksums, byte-wise.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "xkw-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn ins(doc: u64, xml: &str) -> WalRecord {
+        WalRecord::Insert {
+            doc,
+            xml: xml.to_owned(),
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.log");
+        let (mut wal, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert!(replay.records.is_empty());
+        wal.append(&ins(1, "<a>x</a>")).unwrap();
+        wal.append(&WalRecord::Delete { doc: 1 }).unwrap();
+        wal.append(&ins(2, "<b attr=\"v\">y &amp; z</b>")).unwrap();
+        assert_eq!(wal.snapshot().appends, 3);
+        assert!(wal.snapshot().fsyncs >= 3);
+        drop(wal);
+
+        let (_, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(
+            replay.records,
+            vec![
+                ins(1, "<a>x</a>"),
+                WalRecord::Delete { doc: 1 },
+                ins(2, "<b attr=\"v\">y &amp; z</b>"),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(&ins(1, "<a/>")).unwrap();
+        wal.append(&ins(2, "<b/>")).unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: garbage half-record at the tail.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x55; 7]).unwrap();
+        drop(f);
+
+        let (wal, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records, vec![ins(1, "<a/>"), ins(2, "<b/>")]);
+        assert_eq!(replay.truncated_bytes, 7);
+        assert_eq!(wal.snapshot().bytes, clean_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_failing_tail_is_truncated() {
+        let dir = tmp_dir("cksum");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        wal.append(&ins(1, "<a/>")).unwrap();
+        let keep = std::fs::metadata(&path).unwrap().len();
+        wal.append(&ins(2, "<b/>")).unwrap();
+        drop(wal);
+        // Corrupt one payload byte of the last record on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(replay.records, vec![ins(1, "<a/>")]);
+        assert!(replay.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crashes_leave_first_n_records() {
+        for (spec, tag) in [
+            ("crash:at=2", "crash"),
+            ("wal_short:at=2", "short"),
+            ("wal_torn:at=2", "walt"),
+        ] {
+            let dir = tmp_dir(tag);
+            let path = dir.join("wal.log");
+            let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            wal.set_fault(FaultSpec::parse(spec).unwrap().wal_fault());
+            wal.append(&ins(0, "<a/>")).unwrap();
+            wal.append(&ins(1, "<b/>")).unwrap();
+            let err = wal.append(&ins(2, "<c/>")).unwrap_err();
+            assert_eq!(err, StoreError::WalCrashed { record: 2 }, "{spec}");
+            assert!(wal.crashed());
+            // Poisoned: later appends fail fast without touching disk.
+            let err = wal.append(&ins(3, "<d/>")).unwrap_err();
+            assert_eq!(err, StoreError::WalCrashed { record: 2 });
+            drop(wal);
+
+            let (_, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+            assert_eq!(
+                replay.records,
+                vec![ins(0, "<a/>"), ins(1, "<b/>")],
+                "{spec}: exactly the records before the fault survive"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_rewrites_atomically() {
+        let dir = tmp_dir("ckpt");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Batch).unwrap();
+        for i in 0..5 {
+            wal.append(&ins(i, "<x/>")).unwrap();
+        }
+        wal.append(&WalRecord::Delete { doc: 3 }).unwrap();
+        let before = wal.snapshot().bytes;
+        // Net state: docs 0,1,2,4.
+        let net: Vec<WalRecord> = [0u64, 1, 2, 4].iter().map(|&d| ins(d, "<x/>")).collect();
+        wal.checkpoint(&net).unwrap();
+        assert!(wal.snapshot().bytes < before);
+        assert_eq!(wal.snapshot().checkpoints, 1);
+        // The handle still appends fine after the swap.
+        wal.append(&ins(5, "<y/>")).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, replay) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        let mut want = net;
+        want.push(ins(5, "<y/>"));
+        assert_eq!(replay.records, want);
+        assert!(!dir.join("wal.tmp").exists(), "tmp file renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_policy_syncs_every_n_appends() {
+        let dir = tmp_dir("batch");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Batch).unwrap();
+        for i in 0..BATCH_FSYNC_APPENDS - 1 {
+            wal.append(&ins(i, "<x/>")).unwrap();
+            assert_eq!(wal.snapshot().fsyncs, 0);
+        }
+        wal.append(&ins(99, "<x/>")).unwrap();
+        assert_eq!(wal.snapshot().fsyncs, 1);
+        // Off never syncs on append; explicit sync still works.
+        let (mut wal, _) = Wal::open(&dir.join("off.log"), FsyncPolicy::Off).unwrap();
+        wal.append(&ins(0, "<x/>")).unwrap();
+        assert_eq!(wal.snapshot().fsyncs, 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.snapshot().fsyncs, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_record_is_a_typed_error_not_a_truncation() {
+        let dir = tmp_dir("bad");
+        let path = dir.join("wal.log");
+        // Hand-craft a record with a valid checksum but an unknown tag.
+        let payload = [9u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::open(&path, FsyncPolicy::Always).unwrap_err();
+        assert!(matches!(err, StoreError::WalBadRecord { record: 0, .. }));
+        assert!(err.to_string().contains("malformed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_parses_strictly() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("batch".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Batch));
+        assert_eq!("off".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Off));
+        assert!("Always".parse::<FsyncPolicy>().is_err());
+        assert!("".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::Batch.to_string(), "batch");
+    }
+}

@@ -45,9 +45,9 @@ fn main() {
     .unwrap();
     println!(
         "Load stage: {} target objects, {} relations, {} keywords indexed ({:?})",
-        xk.targets.len(),
-        xk.catalog.len(),
-        xk.master.keyword_count(),
+        xk.targets().len(),
+        xk.catalog().len(),
+        xk.master().keyword_count(),
         t.elapsed()
     );
 
@@ -60,8 +60,8 @@ fn main() {
     };
     println!(
         "\nquery: \"{a} {b}\"  (containing lists: {} and {})",
-        xk.master.containing_list(&a).len(),
-        xk.master.containing_list(&b).len()
+        xk.master().containing_list(&a).len(),
+        xk.master().containing_list(&b).len()
     );
 
     let t = Instant::now();

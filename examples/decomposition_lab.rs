@@ -76,7 +76,7 @@ fn main() {
         )
         .unwrap();
         let mvd = xk
-            .catalog
+            .catalog()
             .decomposition
             .fragments
             .iter()
@@ -87,7 +87,7 @@ fn main() {
         let io_before = xk.db.io();
         let res = exec::topk(
             &xk.db,
-            &xk.catalog,
+            &xk.catalog(),
             &plans,
             ExecMode::Cached { capacity: 8192 },
             20,
@@ -97,9 +97,9 @@ fn main() {
         println!(
             "{:<16}{:>6}{:>6}{:>12}{:>8}{:>10}{:>10}{:>10}",
             name,
-            xk.catalog.decomposition.fragments.len(),
+            xk.catalog().decomposition.fragments.len(),
             mvd,
-            xk.catalog.space_cells(),
+            xk.catalog().space_cells(),
             xk.db.disk_pages(),
             joins,
             res.stats.probes,

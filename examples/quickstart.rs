@@ -34,8 +34,8 @@ fn main() {
     .expect("Figure 1 conforms to the TPC-H schema");
     println!(
         "Loaded: {} target objects, {} connection relations, {} disk pages",
-        xk.targets.len(),
-        xk.catalog.len(),
+        xk.targets().len(),
+        xk.catalog().len(),
         xk.db.disk_pages()
     );
 

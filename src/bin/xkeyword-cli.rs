@@ -50,6 +50,14 @@
 //! one-shot `--query` mode prints a one-line message and exits
 //! nonzero; malformed flag values are rejected up front.
 //!
+//! `--wal-dir PATH` arms the durable write path: documents added with
+//! the interactive `:ingest FILE` command (and removed with
+//! `:delete ID`) are logged to a write-ahead log under PATH before the
+//! indexes are updated, and a restart pointing at the same directory
+//! replays the surviving log — crash-safe incremental ingestion.
+//! `--fsync {always,batch,off}` picks the log's fsync policy (strictly
+//! parsed, like `--postings`). `:stats` reports the WAL counters.
+//!
 //! The engine's flight recorder is always on: `--slow-ms N` sets the
 //! slow-query threshold (a positive integer; 0 or a non-number is
 //! rejected like `--k`), `--query-log FILE` writes every retained
@@ -91,6 +99,10 @@ struct Args {
     query_log: Option<String>,
     /// Slow-query threshold override, milliseconds.
     slow_ms: Option<u64>,
+    /// Write-ahead log directory — arms the durable write path.
+    wal_dir: Option<String>,
+    /// WAL fsync policy (`always` / `batch` / `off`).
+    fsync: xkeyword::store::FsyncPolicy,
 }
 
 /// The value following `flag`, or a one-line error.
@@ -138,6 +150,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         faults: None,
         query_log: None,
         slow_ms: None,
+        wal_dir: None,
+        fsync: xkeyword::store::FsyncPolicy::Always,
     };
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -172,6 +186,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 );
             }
             "--query-log" => args.query_log = Some(flag_value(&mut it, "--query-log")?),
+            "--wal-dir" => args.wal_dir = Some(flag_value(&mut it, "--wal-dir")?),
+            "--fsync" => args.fsync = flag_num(&mut it, "--fsync")?,
             "--slow-ms" => {
                 // A zero threshold would flag every query slow — reject
                 // it like a non-number, matching the --k convention.
@@ -184,7 +200,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      [--k N] [--no-prune] [--threads N] [--pool-shards N] \
                      [--postings raw|packed] [--explain] [--stats] [--trace-out FILE] \
                      [--deadline-ms N] [--faults SPEC] [--query-log FILE] [--slow-ms N] \
-                     [--connect ADDR]"
+                     [--wal-dir PATH] [--fsync always|batch|off] [--connect ADDR]"
                 );
                 std::process::exit(0);
             }
@@ -227,6 +243,8 @@ fn main() {
         exec_threads: args.threads,
         faults: args.faults.clone(),
         postings_format: args.postings,
+        wal_dir: args.wal_dir.clone().map(std::path::PathBuf::from),
+        fsync: args.fsync,
         ..LoadOptions::default()
     };
     let xk = match &args.file {
@@ -253,11 +271,18 @@ fn main() {
     };
     eprintln!(
         "loaded: {} target objects, {} segments, {} connection relations, {} keywords",
-        xk.targets.len(),
+        xk.targets().len(),
         xk.tss.node_count(),
-        xk.catalog.len(),
-        xk.master.keyword_count()
+        xk.catalog().len(),
+        xk.master().keyword_count()
     );
+    if args.wal_dir.is_some() {
+        eprintln!(
+            "wal: {} documents recovered ({} replays)",
+            xk.documents().len(),
+            xk.recoveries()
+        );
+    }
     if let Some(ms) = args.slow_ms {
         xk.engine()
             .recorder()
@@ -280,7 +305,8 @@ fn main() {
     eprintln!(
         "enter keyword queries (one per line; `:stats` engine + pool stats, \
          `:metrics` Prometheus dump, `:explain <kw...>` plan profiles, \
-         `:topk N` top-k execution, `:faults` injected-fault counters, \
+         `:topk N` top-k execution, `:ingest FILE` add a document, \
+         `:delete ID` remove one, `:faults` injected-fault counters, \
          `:slow` slow-query log, `:top` windowed dashboard, \
          ctrl-D to quit):"
     );
@@ -329,6 +355,14 @@ fn main() {
         }
         if let Some(q) = line.strip_prefix(":explain ") {
             run_explain(&xk, q, &args);
+            continue;
+        }
+        if let Some(path) = line.strip_prefix(":ingest ") {
+            run_ingest(&xk, path.trim());
+            continue;
+        }
+        if let Some(id) = line.strip_prefix(":delete ") {
+            run_delete(&xk, id.trim());
             continue;
         }
         run_query(&xk, line, &args);
@@ -501,6 +535,37 @@ fn print_server_stats(s: &xkeyword::serve::StatsResponse) {
     );
 }
 
+/// Ingests one XML file through the incremental write path.
+fn run_ingest(xk: &XKeyword, path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("cannot read {path}: {e}");
+            return;
+        }
+    };
+    match xk.insert_document(&text) {
+        Ok(doc) => println!(
+            "ingested {path} as document {doc} ({} target objects, {} keywords)",
+            xk.targets().len(),
+            xk.master().keyword_count()
+        ),
+        Err(e) => println!("ingest error: {e}"),
+    }
+}
+
+/// Deletes a previously ingested document by id.
+fn run_delete(xk: &XKeyword, id: &str) {
+    let Ok(doc) = id.parse::<u64>() else {
+        println!("error: invalid value {id:?} for :delete");
+        return;
+    };
+    match xk.delete_document(doc) {
+        Ok(()) => println!("deleted document {doc}"),
+        Err(e) => println!("delete error: {e}"),
+    }
+}
+
 /// Prints the storage fault layer's cumulative counters.
 fn print_faults(xk: &XKeyword) {
     let f = xk.db.faults();
@@ -604,16 +669,31 @@ fn print_stats(xk: &XKeyword) {
             sh.resident, sh.capacity, sh.hits, sh.misses, sh.evictions
         );
     }
-    let postings = xk.master.postings_bytes();
-    let graph = xk.graph.graph_bytes();
-    let nodes = xk.graph.node_count().max(1);
+    let master = xk.master();
+    let postings = master.postings_bytes();
+    let (graph, nodes) = {
+        let g = xk.graph();
+        (g.graph_bytes(), g.node_count().max(1))
+    };
     println!(
         "index: {} postings format, {} postings bytes, {} graph bytes, {:.1} bytes/node",
-        xk.master.format(),
+        master.format(),
         postings,
         graph,
         (postings + graph) as f64 / nodes as f64
     );
+    if let Some(w) = xk.wal_stats() {
+        println!(
+            "wal: {} appends, {} bytes, {} fsyncs, {} checkpoints; \
+             {} live documents, {} recoveries",
+            w.appends,
+            w.bytes,
+            w.fsyncs,
+            w.checkpoints,
+            xk.documents().len(),
+            xk.recoveries()
+        );
+    }
 }
 
 /// Runs one query in EXPLAIN ANALYZE mode and prints the per-operator
@@ -673,7 +753,7 @@ fn run_query(xk: &XKeyword, query: &str, args: &Args) -> bool {
     // so this costs one instantiation pass.
     let plans = xk.plans(&keywords, args.z);
     let res = &out.results;
-    let idf = IdfWeights::compute(&xk.master, &xk.targets, &keywords);
+    let idf = IdfWeights::compute(&xk.master(), &xk.targets(), &keywords);
     let ranked = rank(
         res.rows.clone(),
         &plans,

@@ -7,6 +7,7 @@
 //!                [--max-deadline-ms N] [--session-budget-ms N]
 //!                [--threads N] [--pool-shards N] [--postings raw|packed]
 //!                [--page-rows N] [--faults SPEC] [--serve-secs N]
+//!                [--wal-dir PATH] [--fsync always|batch|off]
 //! ```
 //!
 //! Loads an XML document (or the paper's Figure 1 document when no file
@@ -47,6 +48,10 @@ struct Args {
     postings: PostingsFormatKind,
     faults: Option<xkeyword::store::FaultSpec>,
     serve_secs: Option<u64>,
+    /// Write-ahead log directory — recovers logged documents on start.
+    wal_dir: Option<String>,
+    /// WAL fsync policy (`always` / `batch` / `off`).
+    fsync: xkeyword::store::FsyncPolicy,
 }
 
 /// The value following `flag`, or a one-line error.
@@ -87,6 +92,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         postings: PostingsFormatKind::from_env(),
         faults: None,
         serve_secs: None,
+        wal_dir: None,
+        fsync: xkeyword::store::FsyncPolicy::Always,
     };
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -137,13 +144,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 );
             }
             "--serve-secs" => args.serve_secs = Some(flag_num(&mut it, "--serve-secs")?),
+            "--wal-dir" => args.wal_dir = Some(flag_value(&mut it, "--wal-dir")?),
+            "--fsync" => args.fsync = flag_num(&mut it, "--fsync")?,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: xkeyword-serve [FILE.xml] [--listen ADDR] [--max-inflight N] \
                      [--max-connections N] [--admission-wait-ms N] [--quota-rps F] \
                      [--quota-burst N] [--max-deadline-ms N] [--session-budget-ms N] \
                      [--threads N] [--pool-shards N] [--postings raw|packed] \
-                     [--page-rows N] [--faults SPEC] [--serve-secs N]"
+                     [--page-rows N] [--faults SPEC] [--serve-secs N] \
+                     [--wal-dir PATH] [--fsync always|batch|off]"
                 );
                 std::process::exit(0);
             }
@@ -173,6 +183,8 @@ fn main() {
         exec_threads: args.threads,
         faults: args.faults.clone(),
         postings_format: args.postings,
+        wal_dir: args.wal_dir.clone().map(std::path::PathBuf::from),
+        fsync: args.fsync,
         ..LoadOptions::default()
     };
     let xk = match &args.file {
@@ -199,10 +211,17 @@ fn main() {
     };
     eprintln!(
         "loaded: {} target objects, {} connection relations, {} keywords",
-        xk.targets.len(),
-        xk.catalog.len(),
-        xk.master.keyword_count()
+        xk.targets().len(),
+        xk.catalog().len(),
+        xk.master().keyword_count()
     );
+    if args.wal_dir.is_some() {
+        eprintln!(
+            "wal: {} documents recovered ({} replays)",
+            xk.documents().len(),
+            xk.recoveries()
+        );
+    }
 
     let mut handle = xkeyword::serve::start(std::sync::Arc::new(xk), args.listen, args.cfg.clone())
         .unwrap_or_else(|e| {

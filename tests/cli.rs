@@ -36,6 +36,9 @@ fn malformed_numeric_flags_exit_2_with_a_message() {
         ("--k", "2.5"),
         ("--slow-ms", "0"),
         ("--slow-ms", "soon"),
+        ("--fsync", "bogus"),
+        ("--fsync", "ALWAYS"),
+        ("--fsync", ""),
     ] {
         let out = run(&[flag, value]);
         assert_eq!(
@@ -235,6 +238,7 @@ fn serve_flags_parse_strictly() {
         ("--page-rows", "0"),
         ("--postings", "bogus"),
         ("--serve-secs", "forever"),
+        ("--fsync", "bogus"),
     ] {
         let out = run_serve(&[flag, value]);
         assert_eq!(
@@ -383,6 +387,90 @@ fn query_log_flag_writes_jsonl_records_on_exit() {
     // profile attached at export time.
     assert!(lines[0].contains("\"slow\":true"), "got {:?}", lines[0]);
     assert!(lines[0].contains("\"explain\":{"), "got {:?}", lines[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The interactive write path end to end: `:ingest FILE` makes the new
+/// document's keywords queryable, `:delete ID` retires them, `:stats`
+/// reports the WAL counters — and a second process pointed at the same
+/// `--wal-dir` replays the history on startup.
+#[test]
+fn interactive_ingest_delete_and_wal_recovery_round_trip() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = std::env::temp_dir().join(format!("xkw-cli-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.xml");
+    std::fs::write(
+        &base,
+        "<bib><paper><title>xml keyword search</title><author>jones</author></paper></bib>",
+    )
+    .unwrap();
+    let doc = dir.join("doc.xml");
+    std::fs::write(
+        &doc,
+        "<bib><paper><title>proximity ranking</title><author>royce</author></paper></bib>",
+    )
+    .unwrap();
+    let wal_dir = dir.join("wal");
+    let wal_flag = wal_dir.to_str().unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xkeyword-cli"))
+        .args([base.to_str().unwrap(), "--wal-dir", wal_flag])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary must spawn");
+    let script = format!(
+        ":ingest {}\nroyce ranking\n:delete soon\n:delete 7\n:delete 1\n:stats\n",
+        doc.to_str().unwrap()
+    );
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("as document 1"), "got {stdout:?}");
+    assert!(
+        stdout.contains("results ("),
+        "ingested keywords must be queryable: {stdout:?}"
+    );
+    assert!(
+        stdout.contains("invalid value \"soon\" for :delete"),
+        "got {stdout:?}"
+    );
+    assert!(
+        stdout.contains("delete error: document 7 was never ingested"),
+        "got {stdout:?}"
+    );
+    assert!(
+        stdout.contains("wal: 2 appends"),
+        ":stats must show the WAL line: {stdout:?}"
+    );
+    assert!(stdout.contains("deleted document 1"), "got {stdout:?}");
+
+    // Reopen: insert + delete replay to an empty net document set.
+    let reopened = Command::new(env!("CARGO_BIN_EXE_xkeyword-cli"))
+        .args([
+            base.to_str().unwrap(),
+            "--wal-dir",
+            wal_flag,
+            "--query",
+            "jones",
+        ])
+        .output()
+        .expect("binary must spawn");
+    assert_eq!(reopened.status.code(), Some(0), "{:?}", reopened.status);
+    let stderr = String::from_utf8_lossy(&reopened.stderr);
+    assert!(
+        stderr.contains("wal: 0 documents recovered (1 replays)"),
+        "got {stderr:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -116,9 +116,9 @@ fn coauthor_pair(xk: &XKeyword) -> (String, String) {
         .node_ids()
         .find(|&i| tss.node(i).name == "Paper")
         .unwrap();
-    for &p in xk.targets.tos_of(paper) {
+    for &p in xk.targets().tos_of(paper) {
         let authors: Vec<_> = xk
-            .targets
+            .targets()
             .edges_out(p)
             .iter()
             .filter(|(e, _)| tss.node(tss.edge(*e).to).name == "Author")
@@ -144,22 +144,25 @@ fn coauthor_pair(xk: &XKeyword) -> (String, String) {
 fn results_identical_raw_vs_packed_at_1_2_8_threads() {
     let raw = load(PostingsFormatKind::Raw);
     let packed = load(PostingsFormatKind::Packed);
-    assert_eq!(raw.master.format(), PostingsFormatKind::Raw);
-    assert_eq!(packed.master.format(), PostingsFormatKind::Packed);
-    assert_eq!(raw.master.posting_count(), packed.master.posting_count());
+    assert_eq!(raw.master().format(), PostingsFormatKind::Raw);
+    assert_eq!(packed.master().format(), PostingsFormatKind::Packed);
+    assert_eq!(
+        raw.master().posting_count(),
+        packed.master().posting_count()
+    );
     assert!(
-        packed.master.postings_bytes() < raw.master.postings_bytes(),
+        packed.master().postings_bytes() < raw.master().postings_bytes(),
         "packed ({}) must undercut raw ({})",
-        packed.master.postings_bytes(),
-        raw.master.postings_bytes()
+        packed.master().postings_bytes(),
+        raw.master().postings_bytes()
     );
 
     let (a, b) = coauthor_pair(&raw);
     assert_eq!((a.clone(), b.clone()), coauthor_pair(&packed));
     let kws = [a.as_str(), b.as_str()];
     assert_eq!(
-        raw.master.containing_list(&a).to_vec(),
-        packed.master.containing_list(&a).to_vec()
+        raw.master().containing_list(&a).to_vec(),
+        packed.master().containing_list(&a).to_vec()
     );
 
     for threads in [1usize, 2, 8] {

@@ -46,9 +46,9 @@ fn coauthor_pair(xk: &XKeyword) -> (String, String) {
         .node_ids()
         .find(|&i| tss.node(i).name == "Paper")
         .unwrap();
-    for &p in xk.targets.tos_of(paper) {
+    for &p in xk.targets().tos_of(paper) {
         let authors: Vec<_> = xk
-            .targets
+            .targets()
             .edges_out(p)
             .iter()
             .filter(|(e, _)| tss.node(tss.edge(*e).to).name == "Author")

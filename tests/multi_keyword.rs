@@ -40,7 +40,7 @@ fn three_keywords_match_oracle() {
             let got = xk
                 .query_all(&kws, 8, ExecMode::Cached { capacity: 4096 })
                 .mttons();
-            let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, 8);
+            let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 8);
             assert_eq!(got, want, "{kws:?}");
         }
     }
@@ -73,12 +73,12 @@ fn three_keyword_cns_include_stars() {
         .find(|&i| xk.tss.node(i).name == "Paper")
         .unwrap();
     let (a, b) = xk
-        .targets
+        .targets()
         .tos_of(paper_seg)
         .iter()
         .find_map(|&p| {
             let authors: Vec<_> = xk
-                .targets
+                .targets()
                 .edges_out(p)
                 .iter()
                 .filter(|(e, _)| xk.tss.node(xk.tss.edge(*e).to).name == "Author")
@@ -121,7 +121,7 @@ fn three_keyword_cns_include_stars() {
     let got = xk
         .query_all(&kws, 6, ExecMode::Cached { capacity: 4096 })
         .mttons();
-    let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, 6);
+    let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 6);
     assert_eq!(got, want);
 }
 
@@ -134,7 +134,7 @@ fn four_keywords_single_result_shape() {
     let got = xk
         .query_all(&kws, 8, ExecMode::Cached { capacity: 4096 })
         .mttons();
-    let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, 8);
+    let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 8);
     assert_eq!(got, want);
     // Best result: the descr node holds {set, dvd, vcr}; John connects
     // through the supplier chain — same shape as the size-6 two-keyword
@@ -157,10 +157,10 @@ fn oracle_agreement_on_random_data_three_keywords() {
     .generate();
     let xk = XKeyword::load(data.graph, data.tss, LoadOptions::default()).unwrap();
     // Pick three value tokens present in the data.
-    let mut toks: Vec<String> = xk
-        .graph
+    let graph = xk.graph();
+    let mut toks: Vec<String> = graph
         .node_ids()
-        .filter_map(|n| xk.graph.value(n))
+        .filter_map(|n| graph.value(n))
         .flat_map(xkeyword::graph::graph::tokenize)
         .filter(|t| t.chars().any(|c| c.is_alphabetic()))
         .collect();
@@ -175,6 +175,6 @@ fn oracle_agreement_on_random_data_three_keywords() {
     let got = xk
         .query_all(&kws, 6, ExecMode::Cached { capacity: 4096 })
         .mttons();
-    let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, 6);
+    let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 6);
     assert_eq!(got, want, "{kws:?}");
 }

@@ -75,7 +75,7 @@ fn explain_io_decomposes_on_three_keyword_dblp_query() {
     // Three distinct author surnames that occur in the generated data.
     let names: Vec<String> = (0..60)
         .map(|i| format!("surname{i}"))
-        .filter(|s| !xk.master.containing_list(s).is_empty())
+        .filter(|s| !xk.master().containing_list(s).is_empty())
         .take(3)
         .collect();
     assert_eq!(names.len(), 3, "DBLP instance must hold 3 author surnames");
@@ -116,7 +116,7 @@ fn worker_panics_surface_as_typed_errors() {
     let driver = plans[last].driver as usize;
     plans[last].candidates[driver] = None;
     for threads in [1usize, 2, 4] {
-        let err = try_all_plans_mt(&xk.db, &xk.catalog, &plans, cached(), threads).unwrap_err();
+        let err = try_all_plans_mt(&xk.db, &xk.catalog(), &plans, cached(), threads).unwrap_err();
         assert!(
             matches!(&err, XkError::WorkerPanic { plan: Some(p), .. } if *p == last),
             "expected WorkerPanic naming plan {last} at {threads} threads, got {err:?}"

@@ -132,7 +132,8 @@ fn engine_equals_semantics_oracle() {
             let got = xk
                 .query_all(&kws, 8, ExecMode::Cached { capacity: 2048 })
                 .mttons();
-            let want = xkeyword::core::semantics::enumerate_mttons(&xk.graph, &xk.targets, &kws, 8);
+            let want =
+                xkeyword::core::semantics::enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 8);
             assert_eq!(got, want, "{kws:?}");
         }
     }

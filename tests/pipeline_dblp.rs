@@ -58,9 +58,9 @@ fn coauthor_pair(xk: &XKeyword) -> (String, String) {
         .node_ids()
         .find(|&i| tss.node(i).name == "Paper")
         .unwrap();
-    for &p in xk.targets.tos_of(paper) {
+    for &p in xk.targets().tos_of(paper) {
         let authors: Vec<_> = xk
-            .targets
+            .targets()
             .edges_out(p)
             .iter()
             .filter(|(e, _)| {
@@ -96,7 +96,7 @@ fn oracle_agreement_small_dblp() {
     let got = xk
         .query_all(&kws, 6, ExecMode::Cached { capacity: 2048 })
         .mttons();
-    let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, 6);
+    let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, 6);
     assert_eq!(got, want);
     assert!(!got.is_empty(), "co-authors must be connected");
     // The best result is the co-authored paper: aname-paper-aname = 4
@@ -209,7 +209,7 @@ fn blobs_round_trip() {
         DecompositionSpec::Minimal,
         PhysicalPolicy::clustered(),
     );
-    for id in 0..xk.targets.len() as u32 {
+    for id in 0..xk.targets().len() as u32 {
         let blob = xk.blob(id).expect("blob");
         let parsed = xkeyword::graph::parse(&blob).expect("parses");
         assert!(parsed.node_count() >= 1);

@@ -39,12 +39,12 @@ fn instance(seed: u64) -> (XKeyword, (String, String)) {
         .find(|&i| xk.tss.node(i).name == "Paper")
         .unwrap();
     let pair = xk
-        .targets
+        .targets()
         .tos_of(paper_seg)
         .iter()
         .find_map(|&p| {
             let authors: Vec<_> = xk
-                .targets
+                .targets()
                 .edges_out(p)
                 .iter()
                 .filter(|(e, _)| xk.tss.node(xk.tss.edge(*e).to).name == "Author")
@@ -77,7 +77,7 @@ proptest! {
         let kws = [a.as_str(), b.as_str()];
         let plans = xk.plans(&kws, 6);
         let res = exec::all_plans(
-            &xk.db, &xk.catalog, &plans, ExecMode::Cached { capacity: 4096 },
+            &xk.db, &xk.catalog(), &plans, ExecMode::Cached { capacity: 4096 },
         );
         // Group results by plan; pick one with results.
         let mut by_plan: HashMap<usize, Vec<Vec<ToId>>> = HashMap::new();
@@ -125,7 +125,7 @@ proptest! {
         let kws = [a.as_str(), b.as_str()];
         let plans = xk.plans(&kws, 5);
         let res = exec::all_plans(
-            &xk.db, &xk.catalog, &plans, ExecMode::Cached { capacity: 4096 },
+            &xk.db, &xk.catalog(), &plans, ExecMode::Cached { capacity: 4096 },
         );
         let mut by_plan: HashMap<usize, Vec<Vec<ToId>>> = HashMap::new();
         for r in &res.rows {
@@ -141,16 +141,16 @@ proptest! {
         for role in 0..plan.role_count() as u8 {
             exact.expand_exact(role, mttons);
             let anchored = build_plan_anchored(
-                &plan.ctssn, &xk.catalog, &xk.master, &kws, role,
+                &plan.ctssn, &xk.catalog(), &xk.master(), &kws, role,
             )
             .unwrap();
             let universe = xk
-                .targets
+                .targets()
                 .tos_of(plan.ctssn.tree.roles[role as usize])
                 .to_vec();
             expand_on_demand(
                 &xk.db,
-                &xk.catalog,
+                &xk.catalog(),
                 &anchored,
                 &mut ondemand,
                 &universe,

@@ -79,7 +79,7 @@ proptest! {
         let got = xk
             .query_all(&kws, z, ExecMode::Cached { capacity: 2048 })
             .mttons();
-        let want = enumerate_mttons(&xk.graph, &xk.targets, &kws, z);
+        let want = enumerate_mttons(&xk.graph(), &xk.targets(), &kws, z);
         prop_assert_eq!(got, want, "keywords {:?} seed {}", kws, seed);
     }
 }

@@ -82,7 +82,7 @@ proptest! {
         let keywords = QUERIES[qpick];
         let baseline = fig1_with(None, 4);
         let plans = baseline.plans(keywords, 8);
-        let want = try_all_plans_mt_within(&baseline.db, &baseline.catalog, &plans, cached(), 1, None)
+        let want = try_all_plans_mt_within(&baseline.db, &baseline.catalog(), &plans, cached(), 1, None)
             .unwrap()
             .rows;
         for seed in fault_seeds() {
@@ -95,7 +95,7 @@ proptest! {
             prop_assert_eq!(fplans.len(), plans.len());
             for threads in exec_threads() {
                 let got = try_all_plans_mt_within(
-                    &xk.db, &xk.catalog, &fplans, cached(), threads, None,
+                    &xk.db, &xk.catalog(), &fplans, cached(), threads, None,
                 )
                 .unwrap();
                 prop_assert_eq!(

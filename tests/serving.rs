@@ -266,7 +266,7 @@ fn degraded_responses_match_published_counters() {
 #[test]
 fn session_budget_exhausts_per_connection() {
     let xk = fig1(PostingsFormatKind::Raw);
-    xk.catalog.set_roundtrip(Duration::from_micros(500));
+    xk.catalog().set_roundtrip(Duration::from_micros(500));
     let mut srv = start(
         Arc::clone(&xk),
         "127.0.0.1:0",
@@ -590,7 +590,7 @@ fn open_loop_overload_sheds_typed_and_reconciles() {
     let xk = fig1(PostingsFormatKind::Raw);
     // A per-statement round trip so queries cost real time — capacity
     // is finite and 2× capacity genuinely overloads.
-    xk.catalog.set_roundtrip(Duration::from_micros(300));
+    xk.catalog().set_roundtrip(Duration::from_micros(300));
     let mix = QueryMix::fixed(
         QUERIES
             .iter()

@@ -31,14 +31,14 @@ fn edge_table(xk: &XKeyword, from: &str, to: &str) -> String {
     };
     let (f, t) = (seg(from), seg(to));
     let idx = xk
-        .catalog
+        .catalog()
         .decomposition
         .fragments
         .iter()
         .position(|fr| fr.tree.roles == vec![f, t])
         .unwrap_or_else(|| panic!("no fragment {from}->{to}"));
     // Clustered policy stores copies named `cr.<frag>@c<i>`.
-    format!("cr.{}@c0", xk.catalog.decomposition.fragments[idx].name)
+    format!("cr.{}@c0", xk.catalog().decomposition.fragments[idx].name)
 }
 
 #[test]
@@ -52,7 +52,7 @@ fn structured_join_over_connection_relations() {
     let po = edge_table(&xk, "Person", "Order");
     // Mike's person TO id:
     let mike = xk
-        .master
+        .master()
         .containing_list("mike")
         .first()
         .map(|p| p.to)
@@ -70,7 +70,7 @@ fn structured_join_over_connection_relations() {
     // Mike's order o1 has three lineitems, all supplied by John.
     assert_eq!(rows.len(), 3);
     let john = xk
-        .master
+        .master()
         .containing_list("john")
         .first()
         .map(|p| p.to)
@@ -89,5 +89,5 @@ fn structured_count_matches_target_graph() {
         .node_ids()
         .find(|&i| xk.tss.node(i).name == "Lineitem")
         .unwrap();
-    assert_eq!(rows.len(), xk.targets.tos_of(li_seg).len());
+    assert_eq!(rows.len(), xk.targets().tos_of(li_seg).len());
 }
